@@ -1,0 +1,130 @@
+package tcommit
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Cluster is a live in-memory deployment of the protocol: one goroutine
+// per processor connected through a lossy, delayable hub.
+type Cluster struct {
+	inner *runtime.Cluster
+	n     int
+}
+
+// ClusterOption customizes a live cluster.
+type ClusterOption func(*clusterSettings)
+
+type clusterSettings struct {
+	tickEvery time.Duration
+	maxTicks  int
+	hub       transport.HubOptions
+}
+
+// WithTick sets the step period (default 2ms). The protocol's timing
+// constant K is measured in ticks, so K*tick is the on-time bound in wall
+// time.
+func WithTick(d time.Duration) ClusterOption {
+	return func(s *clusterSettings) { s.tickEvery = d }
+}
+
+// WithMaxTicks bounds each node's lifetime (default 10000 ticks).
+func WithMaxTicks(ticks int) ClusterOption {
+	return func(s *clusterSettings) { s.maxTicks = ticks }
+}
+
+// WithNetworkDelay injects per-message latency.
+func WithNetworkDelay(f func(from, to ProcID) time.Duration) ClusterOption {
+	return func(s *clusterSettings) {
+		s.hub.Delay = func(m types.Message) time.Duration { return f(m.From, m.To) }
+	}
+}
+
+// WithNetworkLoss injects per-message loss.
+func WithNetworkLoss(f func(from, to ProcID) bool) ClusterOption {
+	return func(s *clusterSettings) {
+		s.hub.Drop = func(m types.Message) bool { return f(m.From, m.To) }
+	}
+}
+
+// NewCluster builds a live in-memory cluster with the given votes.
+func NewCluster(cfg Config, votes []bool, opts ...ClusterOption) (*Cluster, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	vals, err := votesToValues(cfg.N, votes)
+	if err != nil {
+		return nil, err
+	}
+	var settings clusterSettings
+	for _, o := range opts {
+		o(&settings)
+	}
+	machines := make([]types.Machine, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		m, err := core.New(core.Config{
+			ID: ProcID(i), N: cfg.N, T: cfg.T, K: cfg.K,
+			Vote: vals[i], CoinFactor: cfg.CoinFactor, Gadget: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		machines[i] = m
+	}
+	inner, err := runtime.NewLocalCluster(machines, runtime.ClusterOptions{
+		TickEvery: settings.tickEvery,
+		MaxTicks:  settings.maxTicks,
+		Seed:      cfg.Seed,
+		Hub:       settings.hub,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{inner: inner, n: cfg.N}, nil
+}
+
+// CrashAfter schedules processor p to crash (stop and disconnect) after d.
+// Call before Run.
+func (c *Cluster) CrashAfter(p ProcID, d time.Duration) {
+	c.inner.CrashAfter(p, d)
+}
+
+// ClusterOutcome is the result of a live run.
+type ClusterOutcome struct {
+	// Decisions[p] is each processor's final outcome (None if undecided,
+	// e.g. crashed or blocked).
+	Decisions []Decision
+}
+
+// Unanimous returns the common decision among deciders if they all agree
+// and at least one decided.
+func (o *ClusterOutcome) Unanimous() (Decision, bool) {
+	var d Decision
+	for _, dp := range o.Decisions {
+		if dp == None {
+			continue
+		}
+		if d == None {
+			d = dp
+		} else if d != dp {
+			return None, false
+		}
+	}
+	return d, d != None
+}
+
+// Run executes the cluster until every node decides and quiesces (or the
+// context ends / tick budgets expire).
+func (c *Cluster) Run(ctx context.Context) (*ClusterOutcome, error) {
+	res, err := c.inner.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterOutcome{Decisions: res.Decisions()}, nil
+}

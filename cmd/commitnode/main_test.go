@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers("0=127.0.0.1:7000,1=127.0.0.1:7001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[0] != "127.0.0.1:7000" || peers[1] != "127.0.0.1:7001" {
+		t.Fatalf("peers = %v", peers)
+	}
+	if p, err := parsePeers(""); err != nil || len(p) != 0 {
+		t.Fatalf("empty peers: %v %v", p, err)
+	}
+}
+
+func TestParsePeersErrors(t *testing.T) {
+	for _, s := range []string{"justaddr", "x=127.0.0.1:1"} {
+		if _, err := parsePeers(s); err == nil {
+			t.Errorf("%q accepted", s)
+		}
+	}
+}
+
+func TestRunSingleNodeCluster(t *testing.T) {
+	// n=1: the coordinator is the whole cluster; it commits alone over
+	// TCP loopback.
+	err := run([]string{
+		"-id", "0", "-n", "1", "-listen", "127.0.0.1:0",
+		"-vote", "-k", "5", "-tick", "1ms", "-timeout", "10s", "-seed", "7",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadPeers(t *testing.T) {
+	err := run([]string{"-id", "0", "-n", "2", "-peers", "bad"})
+	if err == nil || !strings.Contains(err.Error(), "peer") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if err := run([]string{"-id", "5", "-n", "3", "-listen", "127.0.0.1:0"}); err == nil {
+		t.Fatal("out-of-range id accepted")
+	}
+}

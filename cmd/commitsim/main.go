@@ -1,0 +1,198 @@
+// Command commitsim runs the randomized transaction commit protocol under
+// the formal-model simulator with a configurable adversary and prints the
+// outcome.
+//
+// Examples:
+//
+//	commitsim -n 5                          # all-commit, on-time network
+//	commitsim -n 5 -votes 11011            # processor 2 votes abort
+//	commitsim -n 7 -crash 5@2,6@0          # two crash faults
+//	commitsim -n 5 -adversary random -runs 20
+//	commitsim -n 5 -adversary delay:16 -k 2
+//	commitsim -n 5 -partition 0,0,1,1,1@150
+//	commitsim -n 5 -protocol 2pc -adversary late   # reproduce the E7 inconsistency
+//	commitsim -n 7 -protocol benor -adversary random
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	tcommit "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "commitsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("commitsim", flag.ContinueOnError)
+	var (
+		n         = fs.Int("n", 5, "number of processors")
+		k         = fs.Int("k", 4, "timing constant K (clock ticks)")
+		faults    = fs.Int("t", 0, "fault tolerance t (default (n-1)/2)")
+		votesStr  = fs.String("votes", "", "vote string, e.g. 11011 (default all commit)")
+		seed      = fs.Uint64("seed", 1, "master seed")
+		runs      = fs.Int("runs", 1, "number of seeded runs")
+		advName   = fs.String("adversary", "roundrobin", "roundrobin | random | delay:D | late")
+		crashStr  = fs.String("crash", "", "crash plan p@clock[,p@clock...]")
+		partition = fs.String("partition", "", "partition groups g0,g1,...@healEvent (heal -1: never)")
+		budget    = fs.Int("budget", 0, "step budget (0: default)")
+		coins     = fs.Int("coins", 1, "coin factor c (coordinator flips c*n coins)")
+		verbose   = fs.Bool("v", false, "per-processor detail")
+		traceFile = fs.String("tracefile", "", "write the (last) run's trace as JSON for cmd/tracedump")
+		protocol  = fs.String("protocol", "protocol2", "protocol2 | p1 | benor | 2pc | 2pc-block | 3pc")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	votes, err := parseVotes(*votesStr, *n)
+	if err != nil {
+		return err
+	}
+	if *protocol != "protocol2" {
+		// Baselines run on the internal simulator directly: they exist to
+		// compare failure behaviour, so the output stresses consistency.
+		return runBaseline(*protocol, *n, *k, votes, *seed, *advName, *crashStr, *budget, *verbose)
+	}
+	baseOpts, err := parseOptions(*advName, *crashStr, *partition, *budget, *seed)
+	if err != nil {
+		return err
+	}
+
+	committed, aborted, blocked := 0, 0, 0
+	for r := 0; r < *runs; r++ {
+		cfg := tcommit.Config{N: *n, T: *faults, K: *k, CoinFactor: *coins, Seed: *seed + uint64(r)}
+		opts := baseOpts
+		var tf *os.File
+		if *traceFile != "" && r == *runs-1 {
+			var err error
+			tf, err = os.Create(*traceFile)
+			if err != nil {
+				return err
+			}
+			opts = append(append([]tcommit.SimOption{}, baseOpts...), tcommit.WithTraceWriter(tf))
+		}
+		res, err := tcommit.Simulate(cfg, votes, opts...)
+		if tf != nil {
+			if cerr := tf.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			return err
+		}
+		d, unanimous := res.Unanimous()
+		switch {
+		case res.Blocked:
+			blocked++
+		case unanimous && d == tcommit.Commit:
+			committed++
+		case unanimous && d == tcommit.Abort:
+			aborted++
+		}
+		if *runs == 1 || *verbose {
+			fmt.Printf("run %d: steps=%d msgs=%d onTime=%v rounds=%d maxClock=%d\n",
+				r, res.Steps, res.Messages, res.OnTime, res.Rounds, res.MaxDecisionClock)
+			for p, dp := range res.Decisions {
+				status := dp.String()
+				if res.Crashed[p] {
+					status += " (crashed)"
+				}
+				fmt.Printf("  processor %d: %s\n", p, status)
+			}
+		}
+	}
+	fmt.Printf("summary: %d/%d commit, %d abort, %d blocked\n", committed, *runs, aborted, blocked)
+	return nil
+}
+
+func parseVotes(s string, n int) ([]bool, error) {
+	votes := make([]bool, n)
+	if s == "" {
+		for i := range votes {
+			votes[i] = true
+		}
+		return votes, nil
+	}
+	if len(s) != n {
+		return nil, fmt.Errorf("votes %q has %d entries for n=%d", s, len(s), n)
+	}
+	for i, c := range s {
+		switch c {
+		case '1':
+			votes[i] = true
+		case '0':
+			votes[i] = false
+		default:
+			return nil, fmt.Errorf("votes must be 0/1, got %q", c)
+		}
+	}
+	return votes, nil
+}
+
+func parseOptions(advName, crashStr, partition string, budget int, seed uint64) ([]tcommit.SimOption, error) {
+	var opts []tcommit.SimOption
+	switch {
+	case advName == "roundrobin" || advName == "":
+		// Default adversary.
+	case advName == "random":
+		opts = append(opts, tcommit.WithRandomScheduling(seed^0x5EED))
+	case strings.HasPrefix(advName, "delay:"):
+		d, err := strconv.Atoi(strings.TrimPrefix(advName, "delay:"))
+		if err != nil || d < 1 {
+			return nil, fmt.Errorf("bad delay adversary %q", advName)
+		}
+		opts = append(opts, tcommit.WithBoundedDelay(d))
+	case advName == "late":
+		// The E7 attack shape: the coordinator's second message to
+		// processor 2 arrives long after every timeout.
+		opts = append(opts, tcommit.WithLateMessage(0, 2, 1, 300))
+	default:
+		return nil, fmt.Errorf("unknown adversary %q", advName)
+	}
+	if crashStr != "" {
+		for _, part := range strings.Split(crashStr, ",") {
+			pc := strings.SplitN(part, "@", 2)
+			if len(pc) != 2 {
+				return nil, fmt.Errorf("bad crash entry %q (want p@clock)", part)
+			}
+			p, err1 := strconv.Atoi(pc[0])
+			c, err2 := strconv.Atoi(pc[1])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("bad crash entry %q", part)
+			}
+			opts = append(opts, tcommit.WithCrash(tcommit.ProcID(p), c))
+		}
+	}
+	if partition != "" {
+		ga := strings.SplitN(partition, "@", 2)
+		if len(ga) != 2 {
+			return nil, fmt.Errorf("bad partition %q (want g0,g1,...@heal)", partition)
+		}
+		var groups []int
+		for _, g := range strings.Split(ga[0], ",") {
+			v, err := strconv.Atoi(g)
+			if err != nil {
+				return nil, fmt.Errorf("bad partition group %q", g)
+			}
+			groups = append(groups, v)
+		}
+		heal, err := strconv.Atoi(ga[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad heal event %q", ga[1])
+		}
+		opts = append(opts, tcommit.WithPartition(groups, heal))
+	}
+	if budget > 0 {
+		opts = append(opts, tcommit.WithStepBudget(budget))
+	}
+	return opts, nil
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunDefaults(t *testing.T) {
+	if err := run([]string{"-n", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithVotesAndCrashes(t *testing.T) {
+	if err := run([]string{"-n", "5", "-votes", "11011", "-crash", "4@2", "-runs", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAdversaries(t *testing.T) {
+	for _, adv := range []string{"roundrobin", "random", "delay:6"} {
+		if err := run([]string{"-n", "3", "-adversary", adv}); err != nil {
+			t.Fatalf("%s: %v", adv, err)
+		}
+	}
+}
+
+func TestRunPartition(t *testing.T) {
+	if err := run([]string{"-n", "5", "-k", "2", "-partition", "0,0,1,1,1@150"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := run([]string{"-n", "3", "-tracefile", path}); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file missing or empty: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-n", "5", "-votes", "111"},          // vote length mismatch
+		{"-n", "3", "-votes", "1x1"},          // bad vote char
+		{"-n", "3", "-adversary", "unknown"},  // bad adversary
+		{"-n", "3", "-adversary", "delay:x"},  // bad delay
+		{"-n", "3", "-crash", "nope"},         // bad crash syntax
+		{"-n", "3", "-crash", "a@b"},          // bad crash numbers
+		{"-n", "3", "-partition", "0,1"},      // missing heal
+		{"-n", "3", "-partition", "0,x@5"},    // bad group
+		{"-n", "3", "-partition", "0,1,0@zz"}, // bad heal
+		{"-n", "4", "-t", "2"},                // n <= 2t
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestParseVotes(t *testing.T) {
+	votes, err := parseVotes("", 3)
+	if err != nil || len(votes) != 3 || !votes[0] {
+		t.Fatalf("default votes: %v %v", votes, err)
+	}
+	votes, err = parseVotes("010", 3)
+	if err != nil || votes[0] || !votes[1] || votes[2] {
+		t.Fatalf("parsed votes: %v %v", votes, err)
+	}
+}
+
+func TestRunBaselines(t *testing.T) {
+	for _, proto := range []string{"p1", "benor", "2pc", "2pc-block", "3pc"} {
+		if err := run([]string{"-n", "5", "-protocol", proto}); err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+	}
+}
+
+func TestRunBaselineLateAttack(t *testing.T) {
+	// The E7 attack through the CLI: must run cleanly (the inconsistency
+	// is reported in the output, not as an error).
+	for _, proto := range []string{"2pc", "3pc"} {
+		if err := run([]string{"-n", "5", "-k", "2", "-protocol", proto, "-adversary", "late"}); err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+	}
+}
+
+func TestRunBaselineCrash(t *testing.T) {
+	if err := run([]string{"-n", "5", "-protocol", "3pc", "-crash", "0@1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBaselineErrors(t *testing.T) {
+	if err := run([]string{"-n", "3", "-protocol", "nope"}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if err := run([]string{"-n", "3", "-protocol", "2pc", "-adversary", "delay:4"}); err == nil {
+		t.Error("unsupported baseline adversary accepted")
+	}
+	if err := run([]string{"-n", "3", "-protocol", "2pc", "-crash", "bad"}); err == nil {
+		t.Error("bad baseline crash accepted")
+	}
+}
+
+func TestRunLateAdversaryProtocol2(t *testing.T) {
+	if err := run([]string{"-n", "5", "-adversary", "late"}); err != nil {
+		t.Fatal(err)
+	}
+}

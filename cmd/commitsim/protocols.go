@@ -1,0 +1,158 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/agreement"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/threepc"
+	"repro/internal/trace"
+	"repro/internal/twopc"
+	"repro/internal/types"
+)
+
+// runBaseline simulates one of the non-Protocol-2 protocols (p1, benor,
+// 2pc, 2pc-block, 3pc) under a named adversary and prints the outcome,
+// including whether agreement survived — the interesting part for the
+// timing-fragile baselines.
+func runBaseline(protocol string, n, k int, votes []bool, seed uint64, advName, crashStr string, budget int, verbose bool) error {
+	machines := make([]types.Machine, n)
+	for i := 0; i < n; i++ {
+		v := types.V0
+		if votes[i] {
+			v = types.V1
+		}
+		var (
+			m   types.Machine
+			err error
+		)
+		switch protocol {
+		case "p1":
+			m, err = agreement.New(agreement.Config{
+				ID: types.ProcID(i), N: n, T: (n - 1) / 2, Initial: v,
+				Coins:  agreement.ListCoin{Coins: rng.NewStream(seed ^ 0xC0175).Bits(n)},
+				Gadget: true,
+			})
+		case "benor":
+			m, err = agreement.New(agreement.Config{
+				ID: types.ProcID(i), N: n, T: (n - 1) / 2, Initial: v,
+				Coins: agreement.LocalCoin{}, Gadget: true,
+			})
+		case "2pc":
+			m, err = twopc.New(twopc.Config{
+				ID: types.ProcID(i), N: n, K: k, Vote: v,
+				Policy: twopc.PolicyTimeoutAbort,
+			})
+		case "2pc-block":
+			m, err = twopc.New(twopc.Config{
+				ID: types.ProcID(i), N: n, K: k, Vote: v,
+				Policy: twopc.PolicyBlock,
+			})
+		case "3pc":
+			m, err = threepc.New(threepc.Config{ID: types.ProcID(i), N: n, K: k, Vote: v})
+		default:
+			return fmt.Errorf("unknown protocol %q (want protocol2|p1|benor|2pc|2pc-block|3pc)", protocol)
+		}
+		if err != nil {
+			return err
+		}
+		machines[i] = m
+	}
+
+	adv, err := buildBaselineAdversary(advName, crashStr, seed)
+	if err != nil {
+		return err
+	}
+	if budget == 0 {
+		budget = 60_000
+	}
+	res, err := sim.Run(sim.Config{
+		K: k, Machines: machines, Adversary: adv,
+		Seeds:    rng.NewCollection(seed, n),
+		MaxSteps: budget, Record: true,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("protocol=%s steps=%d msgs=%d onTime=%v\n",
+		protocol, res.Steps, res.Trace.Stats().Sent, res.Trace.OnTime())
+	for p := 0; p < n; p++ {
+		status := "undecided"
+		if res.Decided[p] {
+			status = types.DecisionOf(res.Values[p]).String()
+		}
+		if res.Crashed[p] {
+			status += " (crashed)"
+		}
+		if verbose || n <= 10 {
+			fmt.Printf("  processor %d: %s\n", p, status)
+		}
+	}
+	if err := trace.CheckAgreement(res.Outcomes()); err != nil {
+		fmt.Printf("AGREEMENT VIOLATED: %v\n", err)
+	} else if !res.AllNonfaultyDecided() {
+		fmt.Println("blocked: some nonfaulty processor never decided")
+	} else {
+		fmt.Println("consistent: all nonfaulty processors agree")
+	}
+	return nil
+}
+
+// buildBaselineAdversary mirrors parseOptions for the internal simulator
+// path (baselines bypass the public API, which is Protocol 2 only).
+func buildBaselineAdversary(advName, crashStr string, seed uint64) (sim.Adversary, error) {
+	var inner sim.Adversary
+	switch {
+	case advName == "roundrobin" || advName == "":
+		inner = &adversary.RoundRobin{}
+	case advName == "random":
+		inner = &adversary.Random{Rand: rng.NewStream(seed ^ 0x5EED)}
+	case advName == "late":
+		// The E7 attack: hold the coordinator's second message to
+		// processor 2 far past every timeout.
+		inner = &adversary.TargetedLate{
+			Inner: &adversary.RoundRobin{},
+			Plan:  []adversary.LatePlan{{From: 0, To: 2, SkipFirst: 1, HoldUntilClock: 300}},
+		}
+	default:
+		return nil, fmt.Errorf("baseline adversary %q (want roundrobin|random|late)", advName)
+	}
+	if crashStr == "" {
+		return inner, nil
+	}
+	plans, err := parseCrashPlans(crashStr)
+	if err != nil {
+		return nil, err
+	}
+	return &adversary.Crash{Inner: inner, Plan: plans}, nil
+}
+
+// parseCrashPlans parses "p@clock,p@clock" into adversary crash plans.
+func parseCrashPlans(s string) ([]adversary.CrashPlan, error) {
+	var plans []adversary.CrashPlan
+	var p, c int
+	for _, part := range splitComma(s) {
+		if _, err := fmt.Sscanf(part, "%d@%d", &p, &c); err != nil {
+			return nil, fmt.Errorf("bad crash entry %q: %v", part, err)
+		}
+		plans = append(plans, adversary.CrashPlan{Proc: types.ProcID(p), AtClock: c})
+	}
+	return plans, nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestRunSweep(t *testing.T) {
+	if err := run([]string{"-mode", "sweep", "-n", "3", "-max-crashed", "1", "-horizon", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSweepWithAbortVote(t *testing.T) {
+	if err := run([]string{"-mode", "sweep", "-n", "3", "-votes", "101", "-max-crashed", "1", "-horizon", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBFS(t *testing.T) {
+	if err := run([]string{"-mode", "bfs", "-n", "2", "-k", "1", "-depth", "8", "-max-states", "4000"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValency(t *testing.T) {
+	if err := run([]string{"-mode", "valency", "-n", "2", "-k", "1", "-depth", "10", "-max-states", "8000"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "nope"},
+		{"-mode", "sweep", "-n", "3", "-votes", "10"},
+		{"-mode", "sweep", "-n", "3", "-votes", "1x1"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

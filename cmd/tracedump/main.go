@@ -1,0 +1,162 @@
+// Command tracedump renders a recorded simulator trace (JSON, as written
+// by `commitsim -tracefile`) as a human-readable timeline with message
+// statistics, lateness, and per-processor asynchronous round boundaries.
+//
+//	commitsim -n 5 -tracefile run.json
+//	tracedump run.json
+//	tracedump -rounds -late run.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/rounds"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracedump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracedump", flag.ContinueOnError)
+	var (
+		showRounds = fs.Bool("rounds", true, "print asynchronous round boundaries")
+		showLate   = fs.Bool("late", true, "print late messages")
+		showEvents = fs.Bool("events", true, "print the event timeline")
+		maxEvents  = fs.Int("max-events", 200, "timeline length cap (0: unlimited)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: tracedump [flags] <trace.json>")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close() //nolint:errcheck // read-only
+	tr, err := trace.ReadJSON(f)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("trace: n=%d K=%d events=%d messages=%d\n", tr.N, tr.K, len(tr.Events), len(tr.Msgs))
+	st := tr.Stats()
+	fmt.Printf("messages: sent=%d delivered=%d (%.0f%%), %.1f KiB payload\n", st.Sent, st.Delivered,
+		100*float64(st.Delivered)/maxf(1, float64(st.Sent)), float64(st.TotalBits)/8192)
+	for kind, cnt := range st.ByKind {
+		fmt.Printf("  %-12s %d\n", kind, cnt)
+	}
+	crashed := tr.CrashedSet()
+	if len(crashed) > 0 {
+		fmt.Printf("crashed:")
+		for p := 0; p < tr.N; p++ {
+			if crashed[types.ProcID(p)] {
+				fmt.Printf(" %d", p)
+			}
+		}
+		fmt.Println()
+	}
+
+	if *showLate {
+		late := tr.LateMessages()
+		if len(late) == 0 {
+			fmt.Println("on-time: yes (no late messages)")
+		} else {
+			fmt.Printf("on-time: no (%d late messages)\n", len(late))
+			for i, seq := range late {
+				if i >= 10 {
+					fmt.Printf("  ... %d more\n", len(late)-10)
+					break
+				}
+				m := tr.Msgs[seq]
+				fmt.Printf("  msg %d %d->%d %s sent@ev%d", seq, m.From, m.To, m.Kind, m.SentEvent)
+				if m.Delivered() {
+					fmt.Printf(" recv@ev%d\n", m.RecvEvent)
+				} else {
+					fmt.Println(" never delivered")
+				}
+			}
+		}
+	}
+
+	if *showRounds {
+		an, err := rounds.Analyze(tr, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Println("asynchronous round boundaries (clock at end of round):")
+		for p := 0; p < tr.N; p++ {
+			var ends []string
+			for r := 0; r < len(an.EndClock[p]) && r < 8; r++ {
+				ends = append(ends, fmt.Sprintf("%d", an.EndClock[p][r]))
+			}
+			fmt.Printf("  proc %d: %s\n", p, strings.Join(ends, " "))
+		}
+	}
+
+	if *showEvents {
+		fmt.Println("timeline:")
+		for i := range tr.Events {
+			if *maxEvents > 0 && i >= *maxEvents {
+				fmt.Printf("  ... %d more events\n", len(tr.Events)-*maxEvents)
+				break
+			}
+			e := &tr.Events[i]
+			if e.Crash {
+				fmt.Printf("  ev%-5d p%d CRASH (clock %d)\n", e.Index, e.Proc, e.ClockAfter)
+				continue
+			}
+			var parts []string
+			if len(e.Delivered) > 0 {
+				parts = append(parts, fmt.Sprintf("recv %s", kinds(tr, e.Delivered)))
+			}
+			if len(e.Sent) > 0 {
+				parts = append(parts, fmt.Sprintf("send %s", kinds(tr, e.Sent)))
+			}
+			if len(parts) == 0 {
+				parts = append(parts, "idle")
+			}
+			fmt.Printf("  ev%-5d p%d clk%-4d %s\n", e.Index, e.Proc, e.ClockAfter, strings.Join(parts, "; "))
+		}
+	}
+	return nil
+}
+
+// kinds summarizes a seq list as kind×count.
+func kinds(tr *trace.Trace, seqs []int) string {
+	counts := map[string]int{}
+	var order []string
+	for _, s := range seqs {
+		k := tr.Msgs[s].Kind
+		if counts[k] == 0 {
+			order = append(order, k)
+		}
+		counts[k]++
+	}
+	var parts []string
+	for _, k := range order {
+		if counts[k] == 1 {
+			parts = append(parts, k)
+		} else {
+			parts = append(parts, fmt.Sprintf("%s×%d", k, counts[k]))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,116 @@
+package tcommit_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	tcommit "repro"
+)
+
+// ExampleSimulate runs the protocol once under the formal-model simulator
+// with an on-time network: everyone votes commit, so the decision is
+// COMMIT, reached well within the paper's bounds.
+func ExampleSimulate() {
+	res, err := tcommit.Simulate(
+		tcommit.Config{N: 5, K: 4, Seed: 7},
+		[]bool{true, true, true, true, true},
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	d, unanimous := res.Unanimous()
+	fmt.Println("decision:", d)
+	fmt.Println("unanimous:", unanimous)
+	fmt.Println("on time:", res.OnTime)
+	fmt.Println("within 8K ticks:", res.MaxDecisionClock <= 8*4)
+	// Output:
+	// decision: COMMIT
+	// unanimous: true
+	// on time: true
+	// within 8K ticks: true
+}
+
+// ExampleSimulate_abortVote shows abort validity: one abort vote forces a
+// unanimous abort no matter the timing.
+func ExampleSimulate_abortVote() {
+	res, err := tcommit.Simulate(
+		tcommit.Config{N: 5, Seed: 7},
+		[]bool{true, true, false, true, true},
+		tcommit.WithRandomScheduling(99),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	d, _ := res.Unanimous()
+	fmt.Println("decision:", d)
+	// Output:
+	// decision: ABORT
+}
+
+// ExampleSimulate_crashes tolerates t = 2 crash faults out of 5.
+func ExampleSimulate_crashes() {
+	res, err := tcommit.Simulate(
+		tcommit.Config{N: 5, Seed: 3},
+		[]bool{true, true, true, true, true},
+		tcommit.WithCrash(3, 0), // before its first step
+		tcommit.WithCrash(4, 2), // after two steps
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("blocked:", res.Blocked)
+	_, unanimous := res.Unanimous()
+	fmt.Println("survivors agree:", unanimous)
+	// Output:
+	// blocked: false
+	// survivors agree: true
+}
+
+// ExampleNewCluster runs a live in-memory cluster: one goroutine per
+// processor over a lossy-capable hub.
+func ExampleNewCluster() {
+	cluster, err := tcommit.NewCluster(
+		tcommit.Config{N: 3, K: 10, Seed: 5},
+		[]bool{true, true, true},
+		tcommit.WithTick(time.Millisecond),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	out, err := cluster.Run(context.Background())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	d, _ := out.Unanimous()
+	fmt.Println("decision:", d)
+	// Output:
+	// decision: COMMIT
+}
+
+// ExampleRunTransactions commits a batch of concurrent transactions over
+// one cluster — the paper's distributed database setting.
+func ExampleRunTransactions() {
+	outcomes, err := tcommit.RunTransactions(
+		tcommit.Config{N: 3, K: 10, Seed: 9},
+		[]tcommit.TxnSpec{
+			{ID: "t1", Coordinator: 0, Votes: []bool{true, true, true}},
+			{ID: "t2", Coordinator: 1, Votes: []bool{true, false, true}},
+		},
+		tcommit.WithTick(time.Millisecond),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("t1:", outcomes["t1"])
+	fmt.Println("t2:", outcomes["t2"])
+	// Output:
+	// t1: COMMIT
+	// t2: ABORT
+}

@@ -1,0 +1,157 @@
+// Bank: atomic multi-branch transfers with the PODC '86 commit protocol.
+//
+//	go run ./examples/bank
+//
+// A transfer debits and credits accounts held at different branches. Each
+// branch validates its own legs (account exists, sufficient funds, within
+// limits) and votes commit or abort; the randomized commit protocol makes
+// the outcome atomic: either every branch applies its legs or none does.
+// The example runs three transfers — one clean, one with insufficient
+// funds, one racing a branch crash — and prints the resulting ledgers.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	tcommit "repro"
+)
+
+// branch is one bank branch with its share of the accounts.
+type branch struct {
+	name     string
+	accounts map[string]int64 // balances in cents
+}
+
+// leg is one side of a transfer applied at a single branch.
+type leg struct {
+	account string
+	delta   int64 // negative: debit
+}
+
+// validate is the branch's vote: can it apply every one of its legs?
+func (b *branch) validate(legs []leg) bool {
+	for _, l := range legs {
+		bal, ok := b.accounts[l.account]
+		if !ok {
+			return false
+		}
+		if bal+l.delta < 0 {
+			return false // insufficient funds
+		}
+	}
+	return true
+}
+
+// apply installs the legs (only after a COMMIT decision).
+func (b *branch) apply(legs []leg) {
+	for _, l := range legs {
+		b.accounts[l.account] += l.delta
+	}
+}
+
+// transfer runs one atomic transfer across the branches. legsOf[i] are the
+// legs branch i must apply. crashBranch >= 0 simulates that branch dying
+// mid-protocol.
+func transfer(branches []*branch, legsOf [][]leg, seed uint64, crashBranch int) (tcommit.Decision, error) {
+	n := len(branches)
+	votes := make([]bool, n)
+	for i, b := range branches {
+		votes[i] = b.validate(legsOf[i])
+	}
+	cluster, err := tcommit.NewCluster(
+		tcommit.Config{N: n, K: 12, Seed: seed},
+		votes,
+		tcommit.WithTick(time.Millisecond),
+		tcommit.WithMaxTicks(3000),
+	)
+	if err != nil {
+		return tcommit.None, err
+	}
+	if crashBranch >= 0 {
+		cluster.CrashAfter(tcommit.ProcID(crashBranch), 10*time.Millisecond)
+	}
+	out, err := cluster.Run(context.Background())
+	if err != nil {
+		return tcommit.None, err
+	}
+	decision, ok := out.Unanimous()
+	if !ok {
+		// Survivors agree by the protocol's Agreement guarantee; ok=false
+		// here means nobody decided (too many failures) — keep ledgers
+		// untouched and let the operator retry.
+		return tcommit.None, nil
+	}
+	if decision == tcommit.Commit {
+		for i, b := range branches {
+			if crashBranch == i {
+				continue // the crashed branch recovers and replays later
+			}
+			b.apply(legsOf[i])
+		}
+	}
+	return decision, nil
+}
+
+func printLedgers(branches []*branch) {
+	for _, b := range branches {
+		fmt.Printf("  %-8s", b.name)
+		for acct, bal := range b.accounts {
+			fmt.Printf("  %s=%d.%02d", acct, bal/100, bal%100)
+		}
+		fmt.Println()
+	}
+}
+
+func main() {
+	branches := []*branch{
+		{name: "north", accounts: map[string]int64{"alice": 50_00}},
+		{name: "south", accounts: map[string]int64{"bob": 20_00}},
+		{name: "east", accounts: map[string]int64{"carol": 75_00}},
+	}
+
+	fmt.Println("initial ledgers:")
+	printLedgers(branches)
+
+	// 1. Alice pays Bob 30.00: both branches can validate; commits.
+	d, err := transfer(branches, [][]leg{
+		{{account: "alice", delta: -30_00}},
+		{{account: "bob", delta: +30_00}},
+		nil,
+	}, 1, -1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntransfer 1 (alice -> bob, 30.00):", d)
+	printLedgers(branches)
+
+	// 2. Bob pays Carol 99.00: south lacks funds, votes abort; the
+	// protocol's abort validity guarantees a global ABORT.
+	d, err = transfer(branches, [][]leg{
+		nil,
+		{{account: "bob", delta: -99_00}},
+		{{account: "carol", delta: +99_00}},
+	}, 2, -1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntransfer 2 (bob -> carol, 99.00):", d)
+	printLedgers(branches)
+
+	// 3. Carol pays Alice 10.00 while the east branch crashes
+	// mid-protocol. One crash is within the tolerance t = 1 of a
+	// three-branch cluster: the survivors still reach a common decision.
+	d, err = transfer(branches, [][]leg{
+		{{account: "alice", delta: +10_00}},
+		nil,
+		{{account: "carol", delta: -10_00}},
+	}, 3, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntransfer 3 (carol -> alice, 10.00, east crashes):", d)
+	printLedgers(branches)
+	fmt.Println("\n(east's ledger is stale; on recovery it learns the decision and replays)")
+}

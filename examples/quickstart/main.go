@@ -1,0 +1,45 @@
+// Quickstart: run a five-processor transaction commit in-process.
+//
+//	go run ./examples/quickstart
+//
+// Five goroutine "processors" vote on a transaction and run the PODC '86
+// randomized commit protocol over an in-memory network. All vote commit,
+// so the unanimous decision is COMMIT; flip one vote to false and the
+// decision becomes ABORT.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	tcommit "repro"
+)
+
+func main() {
+	cfg := tcommit.Config{
+		N:    5,  // five processors; processor 0 coordinates
+		K:    10, // messages within 10 ticks are "on time"
+		Seed: 42, // reproducible coin flips
+	}
+	votes := []bool{true, true, true, true, true}
+
+	cluster, err := tcommit.NewCluster(cfg, votes, tcommit.WithTick(2*time.Millisecond))
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := cluster.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for p, d := range out.Decisions {
+		fmt.Printf("processor %d decided %s\n", p, d)
+	}
+	if d, ok := out.Unanimous(); ok {
+		fmt.Println("transaction outcome:", d)
+	} else {
+		fmt.Println("no unanimous outcome (this would be a protocol bug)")
+	}
+}

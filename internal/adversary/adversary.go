@@ -1,0 +1,304 @@
+// Package adversary implements schedulers for the formal-model simulator.
+//
+// All adversaries here except BenOrSpoiler are content-oblivious: they see
+// only the message pattern through sim.View, exactly the adversary of
+// §2.3. Each implements sim.Adversary; they compose (Crash and Partition
+// wrap an inner adversary).
+package adversary
+
+import (
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// RoundRobin steps processors cyclically (skipping crashed ones) and
+// delivers every pending message at the recipient's Delay-th step after
+// the send.
+//
+// With Delay <= K this produces on-time runs: because clocks advance in
+// lockstep cycles, no processor takes more than Delay <= K steps between
+// any send and its delivery. With Delay == 1 messages arrive at the
+// recipient's next step — the paper's benign "messages usually arrive
+// promptly" regime.
+type RoundRobin struct {
+	// Delay is the recipient step (counted from the send) at which a
+	// message is delivered. Zero means 1.
+	Delay int
+
+	next int
+}
+
+var _ sim.Adversary = (*RoundRobin)(nil)
+
+// Next implements sim.Adversary.
+func (a *RoundRobin) Next(v *sim.View) sim.Choice {
+	delay := a.Delay
+	if delay <= 0 {
+		delay = 1
+	}
+	p := a.pick(v)
+	var deliver []int
+	for _, pm := range v.Pending(p) {
+		// AgeSteps counts the recipient's completed steps since the send;
+		// the delivering step is one more, so >= delay-1 delivers at the
+		// recipient's delay-th step.
+		if pm.AgeSteps >= delay-1 {
+			deliver = append(deliver, pm.Seq)
+		}
+	}
+	return sim.Choice{Proc: p, Deliver: deliver}
+}
+
+// pick returns the next uncrashed processor in cyclic order.
+func (a *RoundRobin) pick(v *sim.View) types.ProcID {
+	n := v.N()
+	for i := 0; i < n; i++ {
+		p := types.ProcID((a.next + i) % n)
+		if !v.Crashed(p) {
+			a.next = (int(p) + 1) % n
+			return p
+		}
+	}
+	// All processors crashed; the engine will reject the step, which is
+	// the correct failure mode for a misconfigured experiment.
+	a.next = 1 % n
+	return 0
+}
+
+// randSource is the subset of rng.Stream the randomized adversaries use.
+// The adversary's randomness is separate from the protocol seed collection
+// F, matching the paper's quantification (adversary fixed first, then the
+// expectation is over F).
+type randSource interface {
+	Intn(n int) int
+	Float64() float64
+}
+
+// Random schedules chaotically: each event steps a uniformly random alive
+// processor and delivers each of its pending messages independently with
+// probability DeliverProb, force-delivering anything older than MaxAge
+// recipient steps (which keeps the adversary t-admissible: every
+// guaranteed message is eventually delivered).
+type Random struct {
+	Rand randSource
+	// DeliverProb is the per-message delivery probability at each of the
+	// recipient's steps. Zero means 0.5.
+	DeliverProb float64
+	// MaxAge forces delivery of messages older than this many recipient
+	// steps. Zero means 4*K at first use.
+	MaxAge int
+}
+
+var _ sim.Adversary = (*Random)(nil)
+
+// Next implements sim.Adversary.
+func (a *Random) Next(v *sim.View) sim.Choice {
+	if a.MaxAge == 0 {
+		a.MaxAge = 4 * v.K()
+	}
+	prob := a.DeliverProb
+	if prob == 0 {
+		prob = 0.5
+	}
+	alive := v.Alive()
+	p := alive[a.Rand.Intn(len(alive))]
+	var deliver []int
+	for _, pm := range v.Pending(p) {
+		if pm.AgeSteps >= a.MaxAge || a.Rand.Float64() < prob {
+			deliver = append(deliver, pm.Seq)
+		}
+	}
+	return sim.Choice{Proc: p, Deliver: deliver}
+}
+
+// BoundedDelay steps processors round-robin but withholds every message
+// until it has aged exactly D steps on the recipient's clock. It realizes
+// the Theorem 17 phenomenon: decision time scales with the delay bound D,
+// so no protocol decides in a bounded expected number of clock ticks.
+type BoundedDelay struct {
+	// D is the delivery age in recipient steps. Zero means K at first use.
+	D  int
+	rr RoundRobin
+}
+
+var _ sim.Adversary = (*BoundedDelay)(nil)
+
+// Next implements sim.Adversary.
+func (a *BoundedDelay) Next(v *sim.View) sim.Choice {
+	if a.D == 0 {
+		a.D = v.K()
+	}
+	a.rr.Delay = a.D
+	return a.rr.Next(v)
+}
+
+// CrashPlan schedules one processor crash.
+type CrashPlan struct {
+	Proc types.ProcID
+	// AtClock crashes the processor when its clock reaches this value
+	// (the crash replaces the step that would have been its AtClock-th).
+	AtClock int
+}
+
+// Crash wraps an inner adversary and injects explicit failure steps per a
+// plan. Messages the victim sent at its final step remain undelivered or
+// partially delivered at the inner adversary's whim, which models the
+// paper's non-atomic broadcast (a guaranteed message is one sent at a
+// non-final step; final-step sends may be lost).
+type Crash struct {
+	Inner sim.Adversary
+	Plan  []CrashPlan
+
+	done map[types.ProcID]bool
+}
+
+var _ sim.Adversary = (*Crash)(nil)
+
+// Next implements sim.Adversary.
+func (a *Crash) Next(v *sim.View) sim.Choice {
+	if a.done == nil {
+		a.done = make(map[types.ProcID]bool)
+	}
+	for _, cp := range a.Plan {
+		if a.done[cp.Proc] || v.Crashed(cp.Proc) {
+			continue
+		}
+		if v.Clock(cp.Proc) >= cp.AtClock {
+			a.done[cp.Proc] = true
+			return sim.Choice{Proc: cp.Proc, Crash: true}
+		}
+	}
+	return a.Inner.Next(v)
+}
+
+// Partition wraps an inner adversary and withholds every message that
+// crosses between the two sides of a partition until the partition heals.
+// Crossing messages aged past the heal point are then delivered by the
+// inner adversary's policy.
+type Partition struct {
+	Inner sim.Adversary
+	// GroupOf assigns each processor to a side (0 or 1, or any int).
+	GroupOf []int
+	// HealEvent is the global event index at which the partition heals;
+	// negative means never.
+	HealEvent int
+}
+
+var _ sim.Adversary = (*Partition)(nil)
+
+// Next implements sim.Adversary.
+func (a *Partition) Next(v *sim.View) sim.Choice {
+	c := a.Inner.Next(v)
+	if c.Crash {
+		return c
+	}
+	healed := a.HealEvent >= 0 && v.Events() >= a.HealEvent
+	if healed {
+		return c
+	}
+	pending := v.Pending(c.Proc)
+	bySeq := make(map[int]sim.PendingMessage, len(pending))
+	for _, pm := range pending {
+		bySeq[pm.Seq] = pm
+	}
+	var filtered []int
+	for _, seq := range c.Deliver {
+		pm, ok := bySeq[seq]
+		if !ok {
+			continue
+		}
+		if a.GroupOf[pm.From] == a.GroupOf[c.Proc] {
+			filtered = append(filtered, seq)
+		}
+	}
+	c.Deliver = filtered
+	return c
+}
+
+// LatePlan delays messages of one processor pair. All of this is
+// pattern-level information: the adversary counts the From->To messages in
+// send order and holds those past the first SkipFirst.
+type LatePlan struct {
+	From types.ProcID
+	To   types.ProcID
+	// SkipFirst lets this many From->To messages through unhindered; all
+	// later ones are held. Zero holds every From->To message.
+	SkipFirst int
+	// HoldUntilClock withholds matching messages until the recipient's
+	// clock reaches this value — chosen past K, this makes them late.
+	HoldUntilClock int
+}
+
+// TargetedLate wraps an inner adversary and makes selected messages late.
+// It reproduces the paper's critique of synchronous commit protocols: a
+// single late message (e.g. the second coordinator-to-participant message
+// in 2PC — the outcome) flips their answer.
+type TargetedLate struct {
+	Inner sim.Adversary
+	Plan  []LatePlan
+
+	// ordinal[i][seq] is the 1-based send-order position of message seq
+	// within plan i's flow, assigned as messages are first observed.
+	ordinal []map[int]int
+	counts  []int
+}
+
+var _ sim.Adversary = (*TargetedLate)(nil)
+
+// Next implements sim.Adversary.
+func (a *TargetedLate) Next(v *sim.View) sim.Choice {
+	if a.ordinal == nil {
+		a.ordinal = make([]map[int]int, len(a.Plan))
+		for i := range a.ordinal {
+			a.ordinal[i] = make(map[int]int)
+		}
+		a.counts = make([]int, len(a.Plan))
+	}
+	c := a.Inner.Next(v)
+	if c.Crash {
+		return c
+	}
+	pending := v.Pending(c.Proc)
+	// Assign ordinals to newly observed flow messages (Pending is sorted
+	// by seq, i.e. send order).
+	for i, lp := range a.Plan {
+		if lp.To != c.Proc {
+			continue
+		}
+		for _, pm := range pending {
+			if pm.From != lp.From {
+				continue
+			}
+			if _, seen := a.ordinal[i][pm.Seq]; !seen {
+				a.counts[i]++
+				a.ordinal[i][pm.Seq] = a.counts[i]
+			}
+		}
+	}
+	bySeq := make(map[int]sim.PendingMessage, len(pending))
+	for _, pm := range pending {
+		bySeq[pm.Seq] = pm
+	}
+	var filtered []int
+	for _, seq := range c.Deliver {
+		pm, ok := bySeq[seq]
+		if !ok {
+			continue
+		}
+		held := false
+		for i, lp := range a.Plan {
+			if pm.From != lp.From || c.Proc != lp.To {
+				continue
+			}
+			if a.ordinal[i][seq] > lp.SkipFirst && v.Clock(c.Proc) < lp.HoldUntilClock {
+				held = true
+				break
+			}
+		}
+		if !held {
+			filtered = append(filtered, seq)
+		}
+	}
+	c.Deliver = filtered
+	return c
+}

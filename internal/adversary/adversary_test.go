@@ -1,0 +1,344 @@
+package adversary_test
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/agreement"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+func commitMachines(t *testing.T, n, k int, votes []types.Value) []types.Machine {
+	t.Helper()
+	machines := make([]types.Machine, n)
+	for i := 0; i < n; i++ {
+		m, err := core.New(core.Config{
+			ID: types.ProcID(i), N: n, T: (n - 1) / 2, K: k,
+			Vote: votes[i], Gadget: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		machines[i] = m
+	}
+	return machines
+}
+
+func ones(n int) []types.Value {
+	out := make([]types.Value, n)
+	for i := range out {
+		out[i] = types.V1
+	}
+	return out
+}
+
+func TestRoundRobinIsOnTime(t *testing.T) {
+	for _, delay := range []int{1, 2, 3} {
+		n, k := 5, 3
+		res, err := sim.Run(sim.Config{
+			K:         k,
+			Machines:  commitMachines(t, n, k, ones(n)),
+			Adversary: &adversary.RoundRobin{Delay: delay},
+			Seeds:     rng.NewCollection(uint64(delay), n),
+			Record:    true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllNonfaultyDecided() {
+			t.Fatalf("delay=%d: not all decided", delay)
+		}
+		if !res.Trace.OnTime() {
+			t.Errorf("delay=%d <= K: run should be on-time", delay)
+		}
+	}
+}
+
+func TestBoundedDelayBeyondKIsLate(t *testing.T) {
+	n, k := 5, 2
+	res, err := sim.Run(sim.Config{
+		K:         k,
+		Machines:  commitMachines(t, n, k, ones(n)),
+		Adversary: &adversary.BoundedDelay{D: 4 * k},
+		Seeds:     rng.NewCollection(8, n),
+		Record:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllNonfaultyDecided() {
+		t.Fatalf("not all decided under bounded delay")
+	}
+	if res.Trace.OnTime() {
+		t.Errorf("delay 4K run should contain late messages")
+	}
+	if err := trace.CheckAgreement(res.Outcomes()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundedDelayScalesDecisionTime(t *testing.T) {
+	// The Theorem 17 phenomenon: decision clock grows with the delay
+	// bound D (no bounded expected clock-tick termination).
+	n, k := 5, 2
+	prev := 0
+	for _, d := range []int{2, 8, 32} {
+		res, err := sim.Run(sim.Config{
+			K:         k,
+			Machines:  commitMachines(t, n, k, ones(n)),
+			Adversary: &adversary.BoundedDelay{D: d},
+			Seeds:     rng.NewCollection(99, n),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllNonfaultyDecided() {
+			t.Fatalf("d=%d: not all decided", d)
+		}
+		got := res.MaxDecidedClock()
+		if got <= prev {
+			t.Errorf("d=%d: decision clock %d did not grow (prev %d)", d, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestCrashAdversaryDropsVictim(t *testing.T) {
+	n, k := 5, 2
+	adv := &adversary.Crash{
+		Inner: &adversary.RoundRobin{},
+		Plan:  []adversary.CrashPlan{{Proc: 3, AtClock: 2}, {Proc: 4, AtClock: 4}},
+	}
+	res, err := sim.Run(sim.Config{
+		K:         k,
+		Machines:  commitMachines(t, n, k, ones(n)),
+		Adversary: adv,
+		Seeds:     rng.NewCollection(5, n),
+		Record:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Crashed[3] || !res.Crashed[4] {
+		t.Fatalf("crash plan not executed: %v", res.Crashed)
+	}
+	if res.Crashed[0] || res.Crashed[1] || res.Crashed[2] {
+		t.Fatalf("unplanned crash: %v", res.Crashed)
+	}
+	if !res.AllNonfaultyDecided() {
+		t.Fatalf("survivors did not decide")
+	}
+	// Victims' clocks froze at/before their crash points.
+	if res.Clocks[3] > 2 || res.Clocks[4] > 4 {
+		t.Errorf("victim clocks advanced past crash: %v", res.Clocks)
+	}
+}
+
+func TestPartitionBlocksMinorityFromDeciding(t *testing.T) {
+	// Split 5 processors 2|3 and never heal: the protocol needs n-t = 3
+	// messages per wait, so the 2-side cannot finish Protocol 1; the
+	// 3-side can. Nobody may decide conflicting values.
+	n, k := 5, 2
+	adv := &adversary.Partition{
+		Inner:     &adversary.RoundRobin{},
+		GroupOf:   []int{0, 0, 1, 1, 1},
+		HealEvent: -1,
+	}
+	res, err := sim.Run(sim.Config{
+		K:         k,
+		Machines:  commitMachines(t, n, k, ones(n)),
+		Adversary: adv,
+		Seeds:     rng.NewCollection(12, n),
+		MaxSteps:  30_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.CheckAgreement(res.Outcomes()); err != nil {
+		t.Fatal(err)
+	}
+	// The minority side (procs 0,1) cannot decide commit: it never saw
+	// all n votes. With the coordinator on the minority side, the
+	// majority side also aborts (GO timeout happens before votes).
+	for p := 0; p < 2; p++ {
+		if res.Decided[p] && res.Values[p] == types.V1 {
+			t.Errorf("minority proc %d decided commit inside a partition", p)
+		}
+	}
+}
+
+func TestPartitionHealAllowsDecision(t *testing.T) {
+	n, k := 5, 2
+	adv := &adversary.Partition{
+		Inner:     &adversary.RoundRobin{},
+		GroupOf:   []int{0, 0, 1, 1, 1},
+		HealEvent: 200,
+	}
+	res, err := sim.Run(sim.Config{
+		K:         k,
+		Machines:  commitMachines(t, n, k, ones(n)),
+		Adversary: adv,
+		Seeds:     rng.NewCollection(13, n),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllNonfaultyDecided() {
+		t.Fatalf("healed partition should let everyone decide")
+	}
+	if err := trace.CheckAgreement(res.Outcomes()); err != nil {
+		t.Fatal(err)
+	}
+	// Timeouts fired during the partition, so the outcome must be abort.
+	for p := 0; p < n; p++ {
+		if res.Values[p] != types.V0 {
+			t.Errorf("proc %d decided %v, want abort after partition", p, res.Values[p])
+		}
+	}
+}
+
+func TestRandomAdversaryIsFair(t *testing.T) {
+	// Random scheduling must still let everyone decide (MaxAge forces
+	// eventual delivery: t-admissibility).
+	n, k := 7, 2
+	for seed := uint64(1); seed <= 10; seed++ {
+		res, err := sim.Run(sim.Config{
+			K:         k,
+			Machines:  commitMachines(t, n, k, ones(n)),
+			Adversary: &adversary.Random{Rand: rng.NewStream(seed), DeliverProb: 0.3},
+			Seeds:     rng.NewCollection(seed, n),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllNonfaultyDecided() {
+			t.Fatalf("seed=%d: not all decided under random adversary", seed)
+		}
+	}
+}
+
+// benOrMachines builds plain Ben-Or or shared-coin agreement machines with
+// a maximally split input.
+func benOrMachines(t *testing.T, n int, shared bool, seed uint64) ([]types.Machine, []*agreement.Machine) {
+	t.Helper()
+	var coins []types.Value
+	if shared {
+		coins = rng.NewStream(seed).Bits(n)
+	}
+	machines := make([]types.Machine, n)
+	ams := make([]*agreement.Machine, n)
+	for i := 0; i < n; i++ {
+		var src agreement.CoinSource
+		if shared {
+			src = agreement.ListCoin{Coins: coins}
+		} else {
+			src = agreement.LocalCoin{}
+		}
+		m, err := agreement.New(agreement.Config{
+			ID: types.ProcID(i), N: n, T: (n - 1) / 2,
+			Initial: types.Value(i % 2), Coins: src, Gadget: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		machines[i] = m
+		ams[i] = m
+	}
+	return machines, ams
+}
+
+func maxDecidedStage(ams []*agreement.Machine) int {
+	max := 0
+	for _, m := range ams {
+		if s := m.DecidedStage(); s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+func TestSpoilerMakesBenOrSlow(t *testing.T) {
+	// E3's mechanism in miniature: under the value-splitting scheduler,
+	// plain Ben-Or needs many stages (expected 2^(n-1) coin-agreement
+	// trials) while the shared coin list finishes in a couple of stages.
+	n := 7
+	benTotal, sharedTotal := 0, 0
+	const runs = 5
+	for seed := uint64(0); seed < runs; seed++ {
+		machines, ams := benOrMachines(t, n, false, seed)
+		res, err := sim.Run(sim.Config{
+			K: 2, Machines: machines, Adversary: &adversary.BenOrSpoiler{},
+			Seeds: rng.NewCollection(seed, n), MaxSteps: 3_000_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllNonfaultyDecided() {
+			t.Fatalf("ben-or seed=%d: not decided in budget", seed)
+		}
+		benTotal += maxDecidedStage(ams)
+
+		machines, ams = benOrMachines(t, n, true, seed)
+		res, err = sim.Run(sim.Config{
+			K: 2, Machines: machines, Adversary: &adversary.BenOrSpoiler{},
+			Seeds: rng.NewCollection(seed, n), MaxSteps: 3_000_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllNonfaultyDecided() {
+			t.Fatalf("shared seed=%d: not decided in budget", seed)
+		}
+		sharedTotal += maxDecidedStage(ams)
+	}
+	benMean := float64(benTotal) / runs
+	sharedMean := float64(sharedTotal) / runs
+	if sharedMean > 4 {
+		t.Errorf("shared-coin mean stages %.1f, want <= 4", sharedMean)
+	}
+	if benMean < 2*sharedMean {
+		t.Errorf("ben-or mean stages %.1f not clearly worse than shared %.1f", benMean, sharedMean)
+	}
+}
+
+func TestTargetedLateHoldsMessage(t *testing.T) {
+	n, k := 3, 2
+	adv := &adversary.TargetedLate{
+		Inner: &adversary.RoundRobin{},
+		Plan:  []adversary.LatePlan{{From: 0, To: 2, HoldUntilClock: 30}},
+	}
+	res, err := sim.Run(sim.Config{
+		K:         k,
+		Machines:  commitMachines(t, n, k, ones(n)),
+		Adversary: adv,
+		Seeds:     rng.NewCollection(77, n),
+		Record:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllNonfaultyDecided() {
+		t.Fatalf("not all decided")
+	}
+	// Any 0->2 message that was delivered must respect the hold.
+	for _, m := range res.Trace.Msgs {
+		if m.From == 0 && m.To == 2 && m.Delivered() && m.RecvClock < 30 {
+			t.Errorf("message %d from 0 to 2 delivered at clock %d < 30", m.Seq, m.RecvClock)
+		}
+	}
+	// Holding the coordinator's traffic to processor 2 past its timeouts
+	// forces a (safe, unanimous) abort: the paper's protocol converts
+	// lateness into abort, never into inconsistency.
+	if err := trace.CheckAgreement(res.Outcomes()); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < n; p++ {
+		if res.Values[p] != types.V0 {
+			t.Errorf("proc %d decided %v, want abort under targeted lateness", p, res.Values[p])
+		}
+	}
+}

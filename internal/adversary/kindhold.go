@@ -1,0 +1,65 @@
+package adversary
+
+import (
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// KindHold is a CONTENT-AWARE scheduler that withholds every message whose
+// payload kind matches Hold (for the recipient's entire run). Like
+// BenOrSpoiler it exceeds the paper's pattern-only adversary; it exists
+// for ablations that need to suppress one message type — e.g. eating all
+// explicit GO messages to show that the piggybacked GO is load-bearing
+// (without it, a processor that never sees an explicit GO sleeps forever).
+type KindHold struct {
+	Inner sim.Adversary
+	// Hold is the payload kind to withhold (e.g. "tc.go"). Note that a
+	// Piggyback payload reports its inner kind, so holding "tc.go" stops
+	// only the explicit GO messages.
+	Kind string
+	// To restricts the hold to one recipient (negative: all).
+	To types.ProcID
+
+	peek *sim.Peek
+}
+
+var _ sim.ContentAwareScheduler = (*KindHold)(nil)
+
+// Inspect implements sim.ContentAwareScheduler.
+func (a *KindHold) Inspect(pk *sim.Peek) { a.peek = pk }
+
+// Next implements sim.Adversary.
+func (a *KindHold) Next(v *sim.View) sim.Choice {
+	c := a.Inner.Next(v)
+	if c.Crash {
+		return c
+	}
+	restricted := a.To < 0 || c.Proc == a.To
+	if !restricted {
+		return c
+	}
+	var filtered []int
+	for _, seq := range c.Deliver {
+		p := a.peek.PendingPayload(c.Proc, seq)
+		if p != nil && p.Kind() == a.Kind {
+			if _, isPB := extractPiggyback(p); !isPB {
+				continue // hold the explicit message
+			}
+		}
+		filtered = append(filtered, seq)
+	}
+	c.Deliver = filtered
+	return c
+}
+
+// extractPiggyback reports whether p is a piggyback wrapper (which shares
+// its inner kind). The adversary package cannot import core (cycle-free
+// but keeps the content-awareness minimal), so it detects the wrapper
+// structurally.
+func extractPiggyback(p types.Payload) (types.Payload, bool) {
+	type unwrapper interface{ PiggybackInner() types.Payload }
+	if u, ok := p.(unwrapper); ok {
+		return u.PiggybackInner(), true
+	}
+	return p, false
+}

@@ -1,0 +1,124 @@
+package adversary_test
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+func TestKindHoldBlocksExplicitGoOnly(t *testing.T) {
+	// Hold every explicit GO to processor 2 forever: processor 2 never
+	// accumulates n GO senders, so it must time out and vote abort; the
+	// run still decides (piggybacked GO wakes it).
+	n, k := 5, 2
+	adv := &adversary.KindHold{Inner: &adversary.RoundRobin{}, Kind: "tc.go", To: 2}
+	res, err := sim.Run(sim.Config{
+		K: k, Machines: commitMachines(t, n, k, ones(n)), Adversary: adv,
+		Seeds: rng.NewCollection(41, n), Record: true, MaxSteps: 60_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllNonfaultyDecided() {
+		t.Fatal("run blocked under GO-hold with piggybacking on")
+	}
+	// No explicit GO may have been delivered to processor 2.
+	for _, m := range res.Trace.Msgs {
+		if m.To == 2 && m.Kind == "tc.go" && m.Delivered() {
+			t.Fatalf("explicit GO %d delivered to the victim", m.Seq)
+		}
+	}
+	// Everything decided abort (victim's timeout forces input 0 paths).
+	for p := 0; p < n; p++ {
+		if res.Values[p] != types.V0 {
+			t.Errorf("proc %d decided %v, want abort", p, res.Values[p])
+		}
+	}
+}
+
+func TestKindHoldRespectsPiggybackWrapper(t *testing.T) {
+	// With piggybacking ON, every vote rides inside a Piggyback whose
+	// Kind() is also "tc.vote"; the structural wrapper detection must let
+	// those through, so holding "tc.vote" changes nothing: the run still
+	// commits.
+	n, k := 3, 2
+	adv := &adversary.KindHold{Inner: &adversary.RoundRobin{}, Kind: "tc.vote", To: -1}
+	res, err := sim.Run(sim.Config{
+		K: k, Machines: commitMachines(t, n, k, ones(n)), Adversary: adv,
+		Seeds: rng.NewCollection(42, n), Record: true, MaxSteps: 60_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllNonfaultyDecided() {
+		t.Fatal("run blocked")
+	}
+	for p := 0; p < n; p++ {
+		if res.Values[p] != types.V1 {
+			t.Errorf("proc %d decided %v, want commit (piggybacked votes pass)", p, res.Values[p])
+		}
+	}
+}
+
+func TestKindHoldBareVotesForceAbort(t *testing.T) {
+	// With piggybacking disabled, votes travel bare and the hold bites:
+	// every vote wait times out, the inputs are 0, the outcome is abort.
+	n, k := 3, 2
+	machines := make([]types.Machine, n)
+	for i := 0; i < n; i++ {
+		m, err := core.New(core.Config{
+			ID: types.ProcID(i), N: n, T: 1, K: k,
+			Vote: types.V1, Gadget: true, NoPiggyback: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		machines[i] = m
+	}
+	adv := &adversary.KindHold{Inner: &adversary.RoundRobin{}, Kind: "tc.vote", To: -1}
+	res, err := sim.Run(sim.Config{
+		K: k, Machines: machines, Adversary: adv,
+		Seeds: rng.NewCollection(42, n), Record: true, MaxSteps: 60_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllNonfaultyDecided() {
+		t.Fatal("run blocked")
+	}
+	for _, m := range res.Trace.Msgs {
+		if m.Kind == "tc.vote" && m.Delivered() {
+			t.Fatalf("bare vote %d delivered despite the hold", m.Seq)
+		}
+	}
+	for p := 0; p < n; p++ {
+		if res.Values[p] != types.V0 {
+			t.Errorf("proc %d decided %v, want abort", p, res.Values[p])
+		}
+	}
+}
+
+func TestKindHoldPassesCrashesThrough(t *testing.T) {
+	n, k := 3, 2
+	adv := &adversary.KindHold{
+		Inner: &adversary.Crash{
+			Inner: &adversary.RoundRobin{},
+			Plan:  []adversary.CrashPlan{{Proc: 2, AtClock: 0}},
+		},
+		Kind: "tc.go", To: 1,
+	}
+	res, err := sim.Run(sim.Config{
+		K: k, Machines: commitMachines(t, n, k, ones(n)), Adversary: adv,
+		Seeds: rng.NewCollection(43, n), MaxSteps: 60_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Crashed[2] {
+		t.Fatal("crash not passed through the KindHold wrapper")
+	}
+}

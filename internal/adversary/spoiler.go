@@ -1,0 +1,155 @@
+package adversary
+
+import (
+	"repro/internal/agreement"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// BenOrSpoiler is a CONTENT-AWARE scheduler (it reads message payloads and
+// machine state, which the paper's adversary cannot). It exists only to
+// exhibit the exponential expected running time of plain Ben-Or that the
+// shared-coin modification removes (experiment E3).
+//
+// Strategy: keep every processor's report set mixed so that no value ever
+// clears the n/2 threshold. Then every proposal is ⊥ and every processor
+// re-draws its local value from its coin. With local coins the values
+// re-coincide only with probability 2^(1-n) per stage; with the shared
+// coin list they coincide immediately. The spoiler concedes (reverts to
+// prompt round-robin delivery) once the local values are unanimous, after
+// which the protocol decides within two stages.
+//
+// The spoiler drives agreement machines only; it keeps them in lockstep by
+// delivering a stage's messages only when the full complement is pending.
+type BenOrSpoiler struct {
+	peek     *sim.Peek
+	conceded bool
+	next     int
+}
+
+var _ sim.ContentAwareScheduler = (*BenOrSpoiler)(nil)
+
+// Inspect implements sim.ContentAwareScheduler.
+func (a *BenOrSpoiler) Inspect(pk *sim.Peek) { a.peek = pk }
+
+// Conceded reports whether the spoiler has given up (unanimity reached).
+func (a *BenOrSpoiler) Conceded() bool { return a.conceded }
+
+// Next implements sim.Adversary.
+func (a *BenOrSpoiler) Next(v *sim.View) sim.Choice {
+	n := v.N()
+	p := types.ProcID(a.next % n)
+	a.next = (a.next + 1) % n
+	if v.Crashed(p) {
+		// The spoiler never crashes anyone; skip defensively.
+		for v.Crashed(p) {
+			p = types.ProcID(a.next % n)
+			a.next = (a.next + 1) % n
+		}
+	}
+
+	if a.conceded {
+		return a.deliverAll(v, p)
+	}
+
+	mach, ok := a.peek.Machine(p).(*agreement.Machine)
+	if !ok || mach.Halted() {
+		return a.deliverAll(v, p)
+	}
+	if _, decided := mach.Decision(); decided {
+		// Too late to spoil; let the run finish.
+		a.conceded = true
+		return a.deliverAll(v, p)
+	}
+
+	stage, onProposals := mach.Waiting()
+	if !onProposals {
+		return a.spoilReports(v, p, stage)
+	}
+	return a.spoilProposals(v, p, stage)
+}
+
+// spoilReports waits until all n stage-s reports are pending for p, then
+// delivers a mixed n−t subset in which no value exceeds n/2 — or concedes
+// if the reports are unanimous.
+func (a *BenOrSpoiler) spoilReports(v *sim.View, p types.ProcID, stage int) sim.Choice {
+	n := v.N()
+	var zeros, ones []int
+	for _, pm := range v.Pending(p) {
+		r, ok := a.peek.PendingPayload(p, pm.Seq).(agreement.ReportMsg)
+		if !ok || r.Stage != stage {
+			continue
+		}
+		if r.Val == types.V0 {
+			zeros = append(zeros, pm.Seq)
+		} else {
+			ones = append(ones, pm.Seq)
+		}
+	}
+	if len(zeros)+len(ones) < n {
+		// Not all reports have been sent/buffered yet; idle step to keep
+		// the lockstep cycle moving.
+		return sim.Choice{Proc: p}
+	}
+	if len(zeros) == 0 || len(ones) == 0 {
+		// Unanimous local values: the spoiler has lost.
+		a.conceded = true
+		return a.deliverAll(v, p)
+	}
+	// Deliver c0 zeros and c1 ones with c0+c1 = n−t and both <= n/2.
+	t := (n - 1) / 2 // T = floor((n-1)/2), the optimal tolerance
+	need := n - t
+	c0 := len(zeros)
+	if max := n / 2; c0 > max {
+		c0 = max
+	}
+	if c0 > need-1 {
+		c0 = need - 1 // leave room for at least one 1
+	}
+	c1 := need - c0
+	if c1 > len(ones) {
+		c1 = len(ones)
+		c0 = need - c1
+	}
+	deliver := append(append([]int{}, zeros[:c0]...), ones[:c1]...)
+	return sim.Choice{Proc: p, Deliver: deliver}
+}
+
+// spoilProposals waits until all n stage-s proposals are pending for p; if
+// all are ⊥ it delivers n−t of them (forcing a coin flip), otherwise it
+// concedes.
+func (a *BenOrSpoiler) spoilProposals(v *sim.View, p types.ProcID, stage int) sim.Choice {
+	n := v.N()
+	var bots []int
+	sawValue := false
+	count := 0
+	for _, pm := range v.Pending(p) {
+		pr, ok := a.peek.PendingPayload(p, pm.Seq).(agreement.ProposalMsg)
+		if !ok || pr.Stage != stage {
+			continue
+		}
+		count++
+		if pr.Bot {
+			bots = append(bots, pm.Seq)
+		} else {
+			sawValue = true
+		}
+	}
+	if count < n {
+		return sim.Choice{Proc: p}
+	}
+	if sawValue {
+		a.conceded = true
+		return a.deliverAll(v, p)
+	}
+	t := (n - 1) / 2
+	return sim.Choice{Proc: p, Deliver: bots[:n-t]}
+}
+
+func (a *BenOrSpoiler) deliverAll(v *sim.View, p types.ProcID) sim.Choice {
+	var deliver []int
+	for _, pm := range v.Pending(p) {
+		deliver = append(deliver, pm.Seq)
+	}
+	return sim.Choice{Proc: p, Deliver: deliver}
+}

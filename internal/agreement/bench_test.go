@@ -1,0 +1,80 @@
+package agreement_test
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/agreement"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// BenchmarkMachineStep measures the per-step cost of the agreement state
+// machine with a non-trivial bulletin board.
+func BenchmarkMachineStep(b *testing.B) {
+	m, err := agreement.New(agreement.Config{
+		ID: 0, N: 7, T: 3, Initial: types.V1,
+		Coins: agreement.ListCoin{Coins: rng.NewStream(1).Bits(7)}, Gadget: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := rng.NewStream(2)
+	msg := types.Message{From: 1, To: 0, Payload: agreement.ReportMsg{Stage: 1, Val: types.V1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step([]types.Message{msg}, st)
+	}
+}
+
+// BenchmarkFullAgreementRun measures one full simulated agreement from
+// split inputs to unanimous decision.
+func BenchmarkFullAgreementRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n := 7
+		machines := make([]types.Machine, n)
+		for j := 0; j < n; j++ {
+			m, err := agreement.New(agreement.Config{
+				ID: types.ProcID(j), N: n, T: 3,
+				Initial: types.Value(j % 2),
+				Coins:   agreement.ListCoin{Coins: rng.NewStream(uint64(i)).Bits(n)},
+				Gadget:  true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			machines[j] = m
+		}
+		res, err := sim.Run(sim.Config{
+			K: 2, Machines: machines, Adversary: &adversary.RoundRobin{},
+			Seeds: rng.NewCollection(uint64(i), n),
+		})
+		if err != nil || !res.AllNonfaultyDecided() {
+			b.Fatalf("run failed: %v", err)
+		}
+	}
+}
+
+// BenchmarkSnapshot measures the deterministic state encoding used by the
+// lower-bound machinery and the explorer's fingerprints.
+func BenchmarkSnapshot(b *testing.B) {
+	m, err := agreement.New(agreement.Config{
+		ID: 0, N: 7, T: 3, Initial: types.V1,
+		Coins: agreement.ListCoin{Coins: rng.NewStream(1).Bits(7)}, Gadget: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := rng.NewStream(3)
+	for j := 0; j < 7; j++ {
+		m.Step([]types.Message{{From: types.ProcID(j % 7), To: 0,
+			Payload: agreement.ReportMsg{Stage: 1, Val: types.Value(j % 2)}}}, st)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(m.Snapshot()) == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}

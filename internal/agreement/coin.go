@@ -1,0 +1,62 @@
+// Package agreement implements the Ben-Or family of randomized
+// asynchronous binary agreement protocols used by the paper.
+//
+// The protocol structure is exactly Protocol 1 of Coan & Lundelius
+// (PODC '86), which is itself a modification of Ben-Or's protocol [Be]:
+// each stage exchanges a round of reports (1, s, x) and a round of
+// proposals (2, s, v or ⊥); a processor decides v upon seeing n−t
+// proposals for v. The two members of the family differ only in the coin
+// used when no proposal carries a value:
+//
+//   - LocalCoin: each processor flips its own coin — plain Ben-Or, with
+//     exponential expected stages against a value-splitting scheduler.
+//   - ListCoin: all processors consult a pre-distributed list of identical
+//     coin flips — the paper's modification, giving a constant expected
+//     number of stages (Lemma 8). Protocol 2 distributes the list in its
+//     GO messages.
+package agreement
+
+import "repro/internal/types"
+
+// CoinSource supplies the stage-s coin used at line 8 of Protocol 1:
+// "xp <- coins[s] if s <= |coins|, else flip(1)".
+type CoinSource interface {
+	// Coin returns the coin for stage s (1-based), drawing from rnd when
+	// the source needs local randomness.
+	Coin(s int, rnd types.Rand) types.Value
+	// Name identifies the source for tracing and experiment labels.
+	Name() string
+}
+
+// LocalCoin is plain Ben-Or's coin: an independent local flip each stage.
+type LocalCoin struct{}
+
+var _ CoinSource = LocalCoin{}
+
+// Coin implements CoinSource by flipping one local coin.
+func (LocalCoin) Coin(_ int, rnd types.Rand) types.Value { return rnd.Bit() }
+
+// Name implements CoinSource.
+func (LocalCoin) Name() string { return "local" }
+
+// ListCoin is the paper's shared coin: a finite list of pre-distributed
+// identical flips, falling back to a local flip beyond the list (line 8 of
+// Protocol 1). With |coins| >= n the fallback is reached with probability
+// at most (1/2)^n per run prefix, which is what makes Lemma 8's constant
+// bound work.
+type ListCoin struct {
+	Coins []types.Value
+}
+
+var _ CoinSource = ListCoin{}
+
+// Coin implements CoinSource.
+func (c ListCoin) Coin(s int, rnd types.Rand) types.Value {
+	if s >= 1 && s <= len(c.Coins) {
+		return c.Coins[s-1]
+	}
+	return rnd.Bit()
+}
+
+// Name implements CoinSource.
+func (c ListCoin) Name() string { return "shared-list" }

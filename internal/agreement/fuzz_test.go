@@ -1,0 +1,93 @@
+package agreement_test
+
+import (
+	"testing"
+
+	"repro/internal/agreement"
+	"repro/internal/rng"
+	"repro/internal/types"
+)
+
+// FuzzMachineStep feeds an arbitrary byte-script of message events to a
+// single agreement machine and checks structural invariants: no panics,
+// monotone clock, absorbing decisions, well-formed outputs. The fuzzer
+// may synthesize message sequences no fail-stop run could produce; the
+// machine must stay total and sane anyway (recording violations rather
+// than misbehaving).
+func FuzzMachineStep(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x10, 0x91, 0x22}, uint8(1), true)
+	f.Add([]byte{0xFF, 0x00, 0xFF, 0x00}, uint8(0), false)
+	f.Add([]byte{}, uint8(1), true)
+	f.Fuzz(func(t *testing.T, script []byte, initRaw uint8, gadget bool) {
+		m, err := agreement.New(agreement.Config{
+			ID: 0, N: 5, T: 2,
+			Initial: types.Value(initRaw % 2),
+			Coins:   agreement.ListCoin{Coins: []types.Value{1, 0, 1, 0, 1}},
+			Gadget:  gadget,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := rng.NewStream(7)
+		prevClock := 0
+		var decidedVal types.Value
+		decided := false
+
+		for i := 0; i+2 < len(script) && i < 600; i += 3 {
+			msg := decodeFuzzMsg(script[i], script[i+1], script[i+2])
+			out := m.Step([]types.Message{msg}, st)
+			if m.Clock() != prevClock+1 {
+				t.Fatalf("clock jumped: %d -> %d", prevClock, m.Clock())
+			}
+			prevClock = m.Clock()
+			for _, o := range out {
+				if o.From != 0 {
+					t.Fatalf("output message with From=%d", o.From)
+				}
+				if int(o.To) < 0 || int(o.To) >= 5 {
+					t.Fatalf("output message to %d", o.To)
+				}
+				if o.Payload == nil {
+					t.Fatal("nil payload emitted")
+				}
+			}
+			if v, ok := m.Decision(); ok {
+				if decided && v != decidedVal {
+					t.Fatalf("decision flipped %v -> %v", decidedVal, v)
+				}
+				decided, decidedVal = true, v
+			} else if decided {
+				t.Fatal("decision withdrawn")
+			}
+			if m.Halted() && len(out) > 0 && i > 0 {
+				// Halting step may emit its final DECIDED broadcast; any
+				// output after that is a bug.
+				post := m.Step(nil, st)
+				prevClock = m.Clock()
+				if len(post) != 0 {
+					t.Fatal("halted machine kept sending")
+				}
+			}
+		}
+	})
+}
+
+// decodeFuzzMsg maps three fuzz bytes to a protocol message from an
+// arbitrary sender.
+func decodeFuzzMsg(a, b, c byte) types.Message {
+	from := types.ProcID(a % 5)
+	stage := int(b%7) + 1
+	val := types.Value(c % 2)
+	var payload types.Payload
+	switch a % 4 {
+	case 0:
+		payload = agreement.ReportMsg{Stage: stage, Val: val}
+	case 1:
+		payload = agreement.ProposalMsg{Stage: stage, Val: val}
+	case 2:
+		payload = agreement.ProposalMsg{Stage: stage, Bot: true}
+	default:
+		payload = agreement.DecidedMsg{Val: val}
+	}
+	return types.Message{From: from, To: 0, Payload: payload}
+}

@@ -1,0 +1,65 @@
+package agreement
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// ReportMsg is the first exchange of a stage: the paper's (1, s, xp),
+// broadcast at instruction 1 of Protocol 1.
+type ReportMsg struct {
+	Stage int
+	Val   types.Value
+}
+
+// Kind implements types.Payload.
+func (ReportMsg) Kind() string { return "ag.report" }
+
+// String implements fmt.Stringer.
+func (m ReportMsg) String() string { return fmt.Sprintf("(1,%d,%v)", m.Stage, m.Val) }
+
+// SizeBits implements types.Sized: 8-bit tag + 32-bit stage + value bit.
+func (ReportMsg) SizeBits() int { return 8 + 32 + 1 }
+
+// ProposalMsg is the second exchange of a stage: the paper's (2, s, v) —
+// an "S-message" when Bot is false — or (2, s, ⊥) when Bot is true,
+// broadcast at instructions 4–5 of Protocol 1.
+type ProposalMsg struct {
+	Stage int
+	Val   types.Value // meaningful only when !Bot
+	Bot   bool
+}
+
+// Kind implements types.Payload.
+func (ProposalMsg) Kind() string { return "ag.proposal" }
+
+// String implements fmt.Stringer.
+func (m ProposalMsg) String() string {
+	if m.Bot {
+		return fmt.Sprintf("(2,%d,⊥)", m.Stage)
+	}
+	return fmt.Sprintf("(2,%d,%v)", m.Stage, m.Val)
+}
+
+// SizeBits implements types.Sized: tag + stage + value + bot marker.
+func (ProposalMsg) SizeBits() int { return 8 + 32 + 1 + 1 }
+
+// DecidedMsg is the termination gadget (a documented deviation, see
+// DESIGN.md): broadcast once by a processor as it returns from the
+// protocol, it lets processors that would otherwise starve on n−t waits
+// adopt the decided value and return. It is safe because a DecidedMsg is
+// sent only after n−t processors sent S-messages for Val — the same
+// evidence Lemma 3 relies on.
+type DecidedMsg struct {
+	Val types.Value
+}
+
+// Kind implements types.Payload.
+func (DecidedMsg) Kind() string { return "ag.decided" }
+
+// String implements fmt.Stringer.
+func (m DecidedMsg) String() string { return fmt.Sprintf("DECIDED(%v)", m.Val) }
+
+// SizeBits implements types.Sized: tag + value bit.
+func (DecidedMsg) SizeBits() int { return 8 + 1 }

@@ -1,0 +1,74 @@
+package agreement
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/types"
+)
+
+var _ types.Snapshotter = (*Machine)(nil)
+
+// Snapshot implements types.Snapshotter: a deterministic encoding of the
+// machine's complete local state, used by the lower-bound machinery to
+// check Lemma 12 (processors with equal states that see equal event
+// subsequences end in equal states).
+func (m *Machine) Snapshot() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "ag id=%d n=%d t=%d init=%v coin=%s gadget=%t\n",
+		m.cfg.ID, m.cfg.N, m.cfg.T, m.cfg.Initial, m.cfg.Coins.Name(), m.cfg.Gadget)
+	fmt.Fprintf(&b, "x=%v stage=%d ph=%d started=%t clock=%d\n",
+		m.x, m.stage, m.ph, m.started, m.clock)
+	fmt.Fprintf(&b, "decided=%t decision=%v decidedStage=%d halted=%t sentDecided=%t\n",
+		m.decided, m.decision, m.decidedStage, m.halted, m.sentDecided)
+	if m.adoptDecided != nil {
+		fmt.Fprintf(&b, "adopt=%v\n", *m.adoptDecided)
+	}
+	writeStageMapVal(&b, "reports", m.reports)
+	writeStageMapProp(&b, "proposals", m.proposals)
+	return b.Bytes()
+}
+
+func sortedStages[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func sortedSenders[V any](m map[types.ProcID]V) []types.ProcID {
+	keys := make([]types.ProcID, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func writeStageMapVal(b *bytes.Buffer, label string, m map[int]map[types.ProcID]types.Value) {
+	for _, s := range sortedStages(m) {
+		fmt.Fprintf(b, "%s[%d]:", label, s)
+		for _, p := range sortedSenders(m[s]) {
+			fmt.Fprintf(b, " %d=%v", p, m[s][p])
+		}
+		b.WriteByte('\n')
+	}
+}
+
+func writeStageMapProp(b *bytes.Buffer, label string, m map[int]map[types.ProcID]proposal) {
+	for _, s := range sortedStages(m) {
+		fmt.Fprintf(b, "%s[%d]:", label, s)
+		for _, p := range sortedSenders(m[s]) {
+			pr := m[s][p]
+			if pr.bot {
+				fmt.Fprintf(b, " %d=⊥", p)
+			} else {
+				fmt.Fprintf(b, " %d=%v", p, pr.val)
+			}
+		}
+		b.WriteByte('\n')
+	}
+}

@@ -1,0 +1,278 @@
+package agreement_test
+
+import (
+	"testing"
+
+	"repro/internal/agreement"
+	"repro/internal/rng"
+	"repro/internal/types"
+)
+
+// mk builds a 5-processor (t=2) machine with id 0 and the given options.
+func mk(t *testing.T, initial types.Value, coins []types.Value, gadget bool) *agreement.Machine {
+	t.Helper()
+	var src agreement.CoinSource
+	if coins != nil {
+		src = agreement.ListCoin{Coins: coins}
+	} else {
+		src = agreement.LocalCoin{}
+	}
+	m, err := agreement.New(agreement.Config{
+		ID: 0, N: 5, T: 2, Initial: initial, Coins: src, Gadget: gadget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func report(from types.ProcID, stage int, v types.Value) types.Message {
+	return types.Message{From: from, To: 0, Payload: agreement.ReportMsg{Stage: stage, Val: v}}
+}
+
+func propose(from types.ProcID, stage int, v types.Value) types.Message {
+	return types.Message{From: from, To: 0, Payload: agreement.ProposalMsg{Stage: stage, Val: v}}
+}
+
+func proposeBot(from types.ProcID, stage int) types.Message {
+	return types.Message{From: from, To: 0, Payload: agreement.ProposalMsg{Stage: stage, Bot: true}}
+}
+
+// kindsOf tallies payload kinds in a message batch.
+func kindsOf(msgs []types.Message) map[string]int {
+	out := map[string]int{}
+	for _, m := range msgs {
+		out[m.Payload.Kind()]++
+	}
+	return out
+}
+
+func TestFirstStepBroadcastsStageOneReport(t *testing.T) {
+	m := mk(t, types.V1, nil, true)
+	out := m.Step(nil, rng.NewStream(1))
+	k := kindsOf(out)
+	if k["ag.report"] != 5 {
+		t.Fatalf("first step sent %v, want 5 reports", k)
+	}
+	if m.Clock() != 1 {
+		t.Fatalf("clock = %d", m.Clock())
+	}
+	if s, onProps := m.Waiting(); s != 1 || onProps {
+		t.Fatalf("waiting = stage %d proposals=%v", s, onProps)
+	}
+}
+
+func TestReportsWaitNeedsQuorum(t *testing.T) {
+	m := mk(t, types.V1, nil, true)
+	st := rng.NewStream(2)
+	m.Step(nil, st) // broadcast own reports (not delivered to self here)
+	// One foreign report: 1 < n-t=3 distinct senders, no progress.
+	out := m.Step([]types.Message{report(1, 1, types.V1)}, st)
+	if len(out) != 0 {
+		t.Fatalf("sent %d messages before quorum", len(out))
+	}
+	// Own + two foreign = 3 senders: proposal goes out.
+	out = m.Step([]types.Message{report(0, 1, types.V1), report(2, 1, types.V1)}, st)
+	k := kindsOf(out)
+	if k["ag.proposal"] != 5 {
+		t.Fatalf("after quorum sent %v, want 5 proposals", k)
+	}
+}
+
+func TestMajorityYieldsValueProposalMixedYieldsBot(t *testing.T) {
+	cases := []struct {
+		name    string
+		reports []types.Message
+		wantBot bool
+		wantVal types.Value
+	}{
+		{"unanimous-1", []types.Message{report(0, 1, 1), report(1, 1, 1), report(2, 1, 1)}, false, 1},
+		{"majority-0", []types.Message{report(0, 1, 0), report(1, 1, 0), report(2, 1, 0), report(3, 1, 1)}, false, 0},
+		{"split-2-2", []types.Message{report(0, 1, 1), report(1, 1, 1), report(2, 1, 0), report(3, 1, 0)}, true, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := mk(t, types.V1, nil, true)
+			st := rng.NewStream(3)
+			m.Step(nil, st)
+			out := m.Step(c.reports, st)
+			var prop *agreement.ProposalMsg
+			for _, msg := range out {
+				if p, ok := msg.Payload.(agreement.ProposalMsg); ok {
+					prop = &p
+					break
+				}
+			}
+			if prop == nil {
+				t.Fatal("no proposal sent")
+			}
+			if prop.Bot != c.wantBot {
+				t.Fatalf("bot = %v, want %v", prop.Bot, c.wantBot)
+			}
+			if !c.wantBot && prop.Val != c.wantVal {
+				t.Fatalf("val = %v, want %v", prop.Val, c.wantVal)
+			}
+		})
+	}
+}
+
+// advanceToProposals drives the machine through stage 1's report wait.
+func advanceToProposals(t *testing.T, m *agreement.Machine, st types.Rand, v types.Value) {
+	t.Helper()
+	m.Step(nil, st)
+	m.Step([]types.Message{report(0, 1, v), report(1, 1, v), report(2, 1, v)}, st)
+	if s, onProps := m.Waiting(); s != 1 || !onProps {
+		t.Fatalf("not at proposals wait: stage %d props %v", s, onProps)
+	}
+}
+
+func TestQuorumOfSMessagesDecides(t *testing.T) {
+	m := mk(t, types.V1, nil, true)
+	st := rng.NewStream(4)
+	advanceToProposals(t, m, st, types.V1)
+	out := m.Step([]types.Message{propose(0, 1, 1), propose(1, 1, 1), propose(2, 1, 1)}, st)
+	if v, ok := m.Decision(); !ok || v != types.V1 {
+		t.Fatalf("decision = %v %v", v, ok)
+	}
+	if m.DecidedStage() != 1 {
+		t.Fatalf("decided stage = %d", m.DecidedStage())
+	}
+	// Decision != return: stage 2 reports go out.
+	if kindsOf(out)["ag.report"] != 5 {
+		t.Fatalf("post-decision output %v, want stage-2 reports", kindsOf(out))
+	}
+}
+
+func TestSingleSMessageAdoptsValue(t *testing.T) {
+	m := mk(t, types.V0, nil, true)
+	st := rng.NewStream(5)
+	advanceToProposals(t, m, st, types.V0)
+	// 2 bots + 1 S-message for 1: adopt 1, no decision.
+	m.Step([]types.Message{proposeBot(0, 1), proposeBot(1, 1), propose(2, 1, 1)}, st)
+	if _, ok := m.Decision(); ok {
+		t.Fatal("decided from one S-message")
+	}
+	if m.LocalValue() != types.V1 {
+		t.Fatalf("local value = %v, want adopted 1", m.LocalValue())
+	}
+}
+
+func TestAllBotFlipsListCoin(t *testing.T) {
+	m := mk(t, types.V0, []types.Value{1, 0, 1}, true)
+	st := rng.NewStream(6)
+	advanceToProposals(t, m, st, types.V0)
+	m.Step([]types.Message{proposeBot(0, 1), proposeBot(1, 1), proposeBot(2, 1)}, st)
+	if m.LocalValue() != types.V1 {
+		t.Fatalf("local value = %v, want coins[1] = 1", m.LocalValue())
+	}
+	if m.Stage() != 2 {
+		t.Fatalf("stage = %d, want 2", m.Stage())
+	}
+	if m.StageStartClock(2) != m.Clock() {
+		t.Fatalf("stage 2 start = %d, clock %d", m.StageStartClock(2), m.Clock())
+	}
+}
+
+func TestDuplicateSenderIgnored(t *testing.T) {
+	m := mk(t, types.V1, nil, true)
+	st := rng.NewStream(7)
+	m.Step(nil, st)
+	// Same sender 1 reports twice (impossible for fail-stop, defensive):
+	// only 2 distinct senders, no quorum.
+	out := m.Step([]types.Message{
+		report(0, 1, 1), report(1, 1, 1), report(1, 1, 0),
+	}, st)
+	if len(out) != 0 {
+		t.Fatalf("progressed with duplicate senders: %v", kindsOf(out))
+	}
+}
+
+func TestConflictingSMessagesRecordViolation(t *testing.T) {
+	m := mk(t, types.V1, nil, true)
+	st := rng.NewStream(8)
+	advanceToProposals(t, m, st, types.V1)
+	m.Step([]types.Message{propose(0, 1, 1), propose(1, 1, 1), propose(2, 1, 0)}, st)
+	if m.Violation() == nil {
+		t.Fatal("conflicting S-messages not recorded (Lemma 2 premise)")
+	}
+}
+
+func TestFutureStageMessagesBuffered(t *testing.T) {
+	m := mk(t, types.V1, nil, true)
+	st := rng.NewStream(9)
+	m.Step(nil, st)
+	// Stage-2 traffic arrives while still in stage 1: must be held, not
+	// dropped, and used when stage 2 opens.
+	m.Step([]types.Message{report(1, 2, 1), report(2, 2, 1), proposeBot(1, 2)}, st)
+	if m.Stage() != 1 {
+		t.Fatalf("jumped to stage %d", m.Stage())
+	}
+	// Finish stage 1 with all-bot proposals; machine enters stage 2 and
+	// should immediately count the buffered stage-2 reports plus its own.
+	m.Step([]types.Message{report(0, 1, 1), report(1, 1, 1), report(2, 1, 1)}, st)
+	out := m.Step([]types.Message{
+		proposeBot(0, 1), proposeBot(1, 1), proposeBot(2, 1),
+		report(0, 2, m.LocalValue()), // own stage-2 report comes back
+	}, st)
+	// 3 distinct stage-2 report senders (0,1,2) => proposal for stage 2.
+	found := false
+	for _, msg := range out {
+		if p, ok := msg.Payload.(agreement.ProposalMsg); ok && p.Stage == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("buffered stage-2 reports not used; out=%v stage=%d", kindsOf(out), m.Stage())
+	}
+}
+
+func TestGadgetAdoptionAndRelay(t *testing.T) {
+	m := mk(t, types.V0, nil, true)
+	st := rng.NewStream(10)
+	m.Step(nil, st)
+	out := m.Step([]types.Message{{From: 3, To: 0, Payload: agreement.DecidedMsg{Val: types.V1}}}, st)
+	if v, ok := m.Decision(); !ok || v != types.V1 {
+		t.Fatalf("decision = %v %v after DECIDED", v, ok)
+	}
+	if !m.Halted() {
+		t.Fatal("not halted after DECIDED adoption")
+	}
+	if kindsOf(out)["ag.decided"] != 5 {
+		t.Fatalf("DECIDED not relayed: %v", kindsOf(out))
+	}
+	// Halted machine ignores further steps.
+	if more := m.Step([]types.Message{report(1, 1, 1)}, st); len(more) != 0 {
+		t.Fatal("halted machine kept sending")
+	}
+}
+
+func TestStrictModeIgnoresDecidedMsg(t *testing.T) {
+	m := mk(t, types.V0, nil, false /* strict paper */)
+	st := rng.NewStream(11)
+	m.Step(nil, st)
+	m.Step([]types.Message{{From: 3, To: 0, Payload: agreement.DecidedMsg{Val: types.V1}}}, st)
+	if _, ok := m.Decision(); ok {
+		t.Fatal("strict-paper machine adopted a gadget message")
+	}
+	if m.Halted() {
+		t.Fatal("strict-paper machine halted on a gadget message")
+	}
+}
+
+func TestDecisionIsAbsorbing(t *testing.T) {
+	m := mk(t, types.V1, nil, true)
+	st := rng.NewStream(12)
+	advanceToProposals(t, m, st, types.V1)
+	m.Step([]types.Message{propose(0, 1, 1), propose(1, 1, 1), propose(2, 1, 1)}, st)
+	v1, ok1 := m.Decision()
+	// Feed stage-2 traffic that would push toward 0 in a broken machine:
+	// decisions must not change (and conflicting evidence is recorded as
+	// a violation at most).
+	m.Step([]types.Message{
+		report(0, 2, 1), report(1, 2, 0), report(2, 2, 0), report(3, 2, 0),
+	}, st)
+	v2, ok2 := m.Decision()
+	if !ok1 || !ok2 || v1 != v2 {
+		t.Fatalf("decision moved: %v/%v -> %v/%v", v1, ok1, v2, ok2)
+	}
+}

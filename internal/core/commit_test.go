@@ -1,0 +1,245 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// runCommit simulates Protocol 2 with the given votes and adversary.
+func runCommit(t *testing.T, votes []types.Value, k int, adv sim.Adversary, seed uint64, maxSteps int) *sim.Result {
+	t.Helper()
+	res, err := runCommitErr(votes, k, adv, seed, maxSteps)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func runCommitErr(votes []types.Value, k int, adv sim.Adversary, seed uint64, maxSteps int) (*sim.Result, error) {
+	n := len(votes)
+	faults := (n - 1) / 2
+	machines := make([]types.Machine, n)
+	for i := 0; i < n; i++ {
+		m, err := core.New(core.Config{
+			ID: types.ProcID(i), N: n, T: faults, K: k,
+			Vote: votes[i], Gadget: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		machines[i] = m
+	}
+	return sim.Run(sim.Config{
+		K:         k,
+		Machines:  machines,
+		Adversary: adv,
+		Seeds:     rng.NewCollection(seed, n),
+		MaxSteps:  maxSteps,
+		Record:    true,
+	})
+}
+
+func allVotes(n int, v types.Value) []types.Value {
+	out := make([]types.Value, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestCommitAllOnesOnTimeCommits(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 7, 10} {
+		res := runCommit(t, allVotes(n, types.V1), 4, &adversary.RoundRobin{}, 42+uint64(n), 0)
+		if !res.AllNonfaultyDecided() {
+			t.Fatalf("n=%d: not all decided (steps=%d exhausted=%v)", n, res.Steps, res.Exhausted)
+		}
+		for p := 0; p < n; p++ {
+			if res.Values[p] != types.V1 {
+				t.Fatalf("n=%d: processor %d decided %v, want commit", n, p, res.Values[p])
+			}
+		}
+		if !res.Trace.OnTime() {
+			t.Errorf("n=%d: round-robin run should be on-time", n)
+		}
+		if err := trace.CheckAll(allVotes(n, types.V1), res.Outcomes(), res.FailureFree(), res.Trace.OnTime()); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestCommitOneAbortVoteAborts(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 7} {
+		for voter := 0; voter < n; voter++ {
+			votes := allVotes(n, types.V1)
+			votes[voter] = types.V0
+			res := runCommit(t, votes, 4, &adversary.RoundRobin{}, 7+uint64(n*31+voter), 0)
+			if !res.AllNonfaultyDecided() {
+				t.Fatalf("n=%d voter=%d: not all decided", n, voter)
+			}
+			for p := 0; p < n; p++ {
+				if res.Values[p] != types.V0 {
+					t.Fatalf("n=%d voter=%d: processor %d decided %v, want abort",
+						n, voter, p, res.Values[p])
+				}
+			}
+		}
+	}
+}
+
+func TestCommitRemark1Within8K(t *testing.T) {
+	// Remark 1: in a failure-free on-time run all processors decide
+	// within 8K clock ticks.
+	for _, k := range []int{2, 4, 8} {
+		for _, n := range []int{3, 5, 9} {
+			res := runCommit(t, allVotes(n, types.V1), k, &adversary.RoundRobin{}, uint64(100*k+n), 0)
+			if !res.AllNonfaultyDecided() {
+				t.Fatalf("k=%d n=%d: not all decided", k, n)
+			}
+			if got := res.MaxDecidedClock(); got > 8*k {
+				t.Errorf("k=%d n=%d: decided at clock %d > 8K=%d", k, n, got, 8*k)
+			}
+		}
+	}
+}
+
+func TestCommitRandomAdversarySafety(t *testing.T) {
+	// Under chaotic (but fair) scheduling with all-commit votes, the
+	// decision may be abort or commit, but must be unanimous and reached.
+	for seed := uint64(0); seed < 30; seed++ {
+		votes := allVotes(5, types.V1)
+		adv := &adversary.Random{Rand: rng.NewStream(seed * 977)}
+		res := runCommit(t, votes, 3, adv, seed, 0)
+		if !res.AllNonfaultyDecided() {
+			t.Fatalf("seed=%d: not all decided", seed)
+		}
+		if err := trace.CheckAgreement(res.Outcomes()); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+	}
+}
+
+func TestCommitCrashesBelowThresholdStillDecide(t *testing.T) {
+	n := 7 // t = 3
+	for f := 1; f <= 3; f++ {
+		var plan []adversary.CrashPlan
+		for i := 0; i < f; i++ {
+			plan = append(plan, adversary.CrashPlan{Proc: types.ProcID(n - 1 - i), AtClock: 3 + i})
+		}
+		adv := &adversary.Crash{Inner: &adversary.RoundRobin{}, Plan: plan}
+		res := runCommit(t, allVotes(n, types.V1), 4, adv, uint64(900+f), 0)
+		if !res.AllNonfaultyDecided() {
+			t.Fatalf("f=%d: nonfaulty processors did not all decide", f)
+		}
+		if err := trace.CheckAgreement(res.Outcomes()); err != nil {
+			t.Fatalf("f=%d: %v", f, err)
+		}
+	}
+}
+
+func TestCommitCoordinatorCrashEarlyAborts(t *testing.T) {
+	// Coordinator dies immediately after its first step: its GO broadcast
+	// is in flight. Participants either never wake (degenerate) or wake,
+	// time out waiting for n GOs, and abort. With the GO delivered by the
+	// round-robin inner adversary, they wake and abort.
+	n := 5
+	adv := &adversary.Crash{
+		Inner: &adversary.RoundRobin{},
+		Plan:  []adversary.CrashPlan{{Proc: 0, AtClock: 1}},
+	}
+	res := runCommit(t, allVotes(n, types.V1), 4, adv, 31337, 0)
+	if !res.AllNonfaultyDecided() {
+		t.Fatalf("participants did not decide after coordinator crash")
+	}
+	for p := 1; p < n; p++ {
+		if res.Values[p] != types.V0 {
+			t.Errorf("processor %d decided %v, want abort after coordinator crash", p, res.Values[p])
+		}
+	}
+}
+
+func TestCommitGracefulDegradationAboveThreshold(t *testing.T) {
+	// Theorem 11: when more than t processors crash, the protocol must
+	// not produce conflicting decisions — it may simply fail to
+	// terminate.
+	n := 5 // t = 2
+	var plan []adversary.CrashPlan
+	for i := 0; i < 4; i++ {
+		plan = append(plan, adversary.CrashPlan{Proc: types.ProcID(n - 1 - i), AtClock: 2})
+	}
+	adv := &adversary.Crash{Inner: &adversary.RoundRobin{}, Plan: plan}
+	res := runCommit(t, allVotes(n, types.V1), 4, adv, 5150, 20_000)
+	if err := trace.CheckAgreement(res.Outcomes()); err != nil {
+		t.Fatalf("conflicting decisions despite crash overload: %v", err)
+	}
+}
+
+func TestCommitLateMessagesNeverFlipDecision(t *testing.T) {
+	// The paper's selling point versus [S]/[DS]: late messages cannot
+	// cause a wrong answer. Hold the coordinator's GO to processor 1 far
+	// past K; the run must stay unanimous (whatever the outcome).
+	n := 5
+	adv := &adversary.TargetedLate{
+		Inner: &adversary.RoundRobin{},
+		Plan:  []adversary.LatePlan{{From: 0, To: 1, HoldUntilClock: 60}},
+	}
+	res := runCommit(t, allVotes(n, types.V1), 2, adv, 2718, 0)
+	if !res.AllNonfaultyDecided() {
+		t.Fatalf("not all decided under targeted lateness")
+	}
+	if err := trace.CheckAgreement(res.Outcomes()); err != nil {
+		t.Fatalf("%v", err)
+	}
+	if res.Trace.OnTime() {
+		t.Fatalf("expected the run to contain late messages")
+	}
+}
+
+func TestCommitConfigValidation(t *testing.T) {
+	bad := []core.Config{
+		{ID: 0, N: 0, T: 0, K: 1, Vote: types.V1},
+		{ID: 0, N: 4, T: 2, K: 1, Vote: types.V1},  // n <= 2t
+		{ID: 5, N: 5, T: 2, K: 1, Vote: types.V1},  // id out of range
+		{ID: 0, N: 5, T: 2, K: 0, Vote: types.V1},  // bad K
+		{ID: 0, N: 5, T: 2, K: 1, Vote: 7},         // bad vote
+		{ID: -1, N: 5, T: 2, K: 1, Vote: types.V0}, // negative id
+		{ID: 0, N: 5, T: -1, K: 1, Vote: types.V0}, // negative t
+	}
+	for i, cfg := range bad {
+		if _, err := core.New(cfg); err == nil {
+			t.Errorf("config %d: expected validation error", i)
+		}
+	}
+	if _, err := core.New(core.Config{ID: 0, N: 5, T: 2, K: 1, Vote: types.V1}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestCommitEarlyAbortSignal(t *testing.T) {
+	// A processor that times out of the GO wait demotes its vote to 0 and
+	// may begin local abort processing before the global decision.
+	n := 3
+	m, err := core.New(core.Config{ID: 1, N: n, T: 1, K: 2, Vote: types.V1, Gadget: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rng.NewStream(1)
+	// Wake it with a bare GO from the coordinator, then starve it: it
+	// relays GO, waits 2K ticks for the other GOs, then demotes its vote.
+	wake := types.Message{From: 0, To: 1, Payload: core.GoMsg{Coins: []types.Value{0, 1, 0}}}
+	m.Step([]types.Message{wake}, st)
+	if m.CurrentVote() != types.V1 {
+		t.Fatalf("vote demoted too early")
+	}
+	for i := 0; i < 2*2; i++ {
+		m.Step(nil, st)
+	}
+	if m.CurrentVote() != types.V0 {
+		t.Fatalf("vote not demoted after GO timeout; vote=%v clock=%d", m.CurrentVote(), m.Clock())
+	}
+}

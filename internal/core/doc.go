@@ -1,0 +1,66 @@
+package core
+
+// Paper-to-code map
+//
+// Protocol 1 (§3.1, "Asynchronous Agreement Subroutine") lives in
+// internal/agreement; Protocol 2 (§3.2, "Randomized Transaction Commit
+// Protocol") lives in this package. Line numbers refer to the paper's
+// listings.
+//
+// Protocol 1, code for processor p in stage s:
+//
+//	1.  broadcast (1, s, xp)            -> agreement.Machine.Step (first
+//	                                       step) and tryFinishProposals's
+//	                                       stage advance; ReportMsg
+//	2.  wait for n−t messages (1, s, *) -> tryFinishReports quorum check
+//	3.  if more than n/2 are (1, s, v)  -> tryFinishReports majority scan
+//	4.    then broadcast (2, s, v)      -> ProposalMsg{Val: v}
+//	5.    else broadcast (2, s, ⊥)      -> ProposalMsg{Bot: true}
+//	6.  wait for n−t messages (2, s, *) -> tryFinishProposals quorum check
+//	7.  if there are no (2, s, v)       -> sawVal == false branch
+//	8.    then xp <- coins[s] or flip(1)-> CoinSource.Coin (ListCoin is
+//	                                       the paper's shared list;
+//	                                       LocalCoin is plain Ben-Or)
+//	9.  if there is a (2, s, v)         -> sawVal == true branch
+//	10.   then xp <- v                  -> m.x = sVal
+//	11. if at least n−t are (2, s, v)   -> counts[sVal] >= n-t
+//	12.   then if already decided       -> m.decided check
+//	13.     then return(v)              -> Machine.ret (halt; with the
+//	                                       documented gadget, broadcast
+//	                                       DecidedMsg first)
+//	14.     else decide v               -> Machine.decide
+//
+// Protocol 2, code for processor p with initial vote:
+//
+//	1. if id = 0 then flip(n), bcast GO -> Commit.Step stInit coordinator
+//	                                       branch; GoMsg carries the coins
+//	                                       (CoinFactor generalizes to c*n
+//	                                       per Remark 3; Config.Coordinator
+//	                                       generalizes the WLOG id 0)
+//	2. else wait for a GO message       -> stWaitGo (woken by any message:
+//	                                       GO rides piggyback on every
+//	                                       send, see Piggyback)
+//	3. broadcast GO                     -> stWaitGo -> stWaitAllGo relay
+//	4. wait for n GOs or 2K clock ticks -> stWaitAllGo; goSenders set and
+//	                                       clock-based timeout
+//	5-6. if not n GOs then vote <- 0    -> vote demotion in stWaitAllGo
+//	7. broadcast vote                   -> VoteMsg (an abort-voter may
+//	                                       begin local abort processing:
+//	                                       CurrentVote exposes this)
+//	8. wait for n votes or 2K ticks     -> stWaitVotes
+//	9-11. xp <- 1 iff n commit votes    -> input computation in stWaitVotes
+//	12. call Protocol 1(xp, GO)         -> startAgreement (ListCoin from
+//	                                       the GO coins)
+//	13-15. decide COMMIT iff returns 1  -> decision mirrored from the
+//	                                       embedded machine (Protocol 1
+//	                                       only ever returns its decided
+//	                                       value, so mirroring at decide
+//	                                       time is equivalent; see
+//	                                       Commit.Decision)
+//
+// Model correspondences: one Machine.Step call is one event (p, M, f) of
+// §2.1; the clock is the step count; "wait" is the bulletin-board re-check
+// described under Protocol 1 ("each time a processor takes a step it posts
+// the messages received and then checks"); waits cascade within a step per
+// the Lemma 6 proof ("immediately after receiving the last of these (if
+// not before), p sends...").

@@ -1,0 +1,229 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/rounds"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// runCommitMachines runs Protocol 2 and returns the result plus machines.
+func runCommitMachines(t *testing.T, n, k int, votes []types.Value, adv sim.Adversary, seed uint64, gadget, noPiggyback bool, maxSteps int) (*sim.Result, []*core.Commit) {
+	t.Helper()
+	machines := make([]types.Machine, n)
+	commits := make([]*core.Commit, n)
+	for i := 0; i < n; i++ {
+		m, err := core.New(core.Config{
+			ID: types.ProcID(i), N: n, T: (n - 1) / 2, K: k,
+			Vote: votes[i], Gadget: gadget, NoPiggyback: noPiggyback,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		machines[i] = m
+		commits[i] = m
+	}
+	res, err := sim.Run(sim.Config{
+		K: k, Machines: machines, Adversary: adv,
+		Seeds: rng.NewCollection(seed, n), MaxSteps: maxSteps, Record: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, commits
+}
+
+// TestLemma6StageSpansTwoRounds reproduces Lemma 6: if each nonfaulty
+// processor is in at most asynchronous round r when it starts stage s,
+// each is in at most round r+2 when it starts stage s+1.
+func TestLemma6StageSpansTwoRounds(t *testing.T) {
+	for seed := uint64(0); seed < 15; seed++ {
+		n := 5
+		adv := &adversary.Random{Rand: rng.NewStream(seed * 271)}
+		res, commits := runCommitMachines(t, n, 3, allVotes(n, types.V1), adv, seed, true, false, 0)
+		if !res.AllNonfaultyDecided() {
+			t.Fatalf("seed=%d: undecided", seed)
+		}
+		an, err := rounds.Analyze(res.Trace, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Find the maximum stage any machine entered.
+		maxStage := 0
+		for _, c := range commits {
+			if ag := c.Agreement(); ag != nil && ag.Stage() > maxStage {
+				maxStage = ag.Stage()
+			}
+		}
+		for s := 1; s < maxStage; s++ {
+			// r(s) = max round at which any processor started stage s.
+			rs, rs1 := 0, 0
+			complete := true
+			for p, c := range commits {
+				ag := c.Agreement()
+				if ag == nil {
+					complete = false
+					break
+				}
+				start, startNext := ag.StageStartClock(s), ag.StageStartClock(s+1)
+				if start == 0 || startNext == 0 {
+					complete = false
+					break
+				}
+				if r := an.RoundAt(types.ProcID(p), start); r > rs {
+					rs = r
+				}
+				if r := an.RoundAt(types.ProcID(p), startNext); r > rs1 {
+					rs1 = r
+				}
+			}
+			if !complete {
+				continue
+			}
+			if rs1 > rs+2 {
+				t.Errorf("seed=%d stage %d: started in round <= %d but stage %d started in round %d (> r+2)",
+					seed, s, rs, s+1, rs1)
+			}
+		}
+	}
+}
+
+// TestTheorem10Accounting reproduces the proof bookkeeping of Theorem 10:
+// every processor begins Protocol 1 within at most 4K clock ticks of
+// waking up, and in at most asynchronous round 6.
+func TestTheorem10Accounting(t *testing.T) {
+	for seed := uint64(0); seed < 15; seed++ {
+		n := 7
+		adv := &adversary.Random{Rand: rng.NewStream(seed*31 + 5), DeliverProb: 0.8}
+		res, commits := runCommitMachines(t, n, 4, allVotes(n, types.V1), adv, seed, true, false, 0)
+		if !res.AllNonfaultyDecided() {
+			t.Fatalf("seed=%d: undecided", seed)
+		}
+		an, err := rounds.Analyze(res.Trace, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p, c := range commits {
+			start := c.AgreementStartClock()
+			if start == 0 {
+				t.Fatalf("seed=%d: proc %d never started Protocol 1", seed, p)
+			}
+			if r := an.RoundAt(types.ProcID(p), start); r > 6 {
+				t.Errorf("seed=%d: proc %d began Protocol 1 in round %d (> 6)", seed, p, r)
+			}
+		}
+	}
+}
+
+// TestStrictPaperMixedInputsDecide checks Protocol 1 as printed (no
+// gadget) inside Protocol 2: decisions still happen and agree under fair
+// scheduling; only quiescence (the return) is at risk without the gadget,
+// which is exactly why the gadget exists.
+func TestStrictPaperMixedInputsDecide(t *testing.T) {
+	for seed := uint64(0); seed < 15; seed++ {
+		n := 5
+		votes := allVotes(n, types.V1)
+		votes[int(seed)%n] = types.V0
+		res, _ := runCommitMachines(t, n, 3, votes, &adversary.RoundRobin{}, seed, false /* strict */, false, 60_000)
+		if !res.AllNonfaultyDecided() {
+			t.Fatalf("seed=%d: strict-paper run did not reach decisions", seed)
+		}
+		if err := trace.CheckAgreement(res.Outcomes()); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		if err := trace.CheckAbortValidity(votes, res.Outcomes()); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+	}
+}
+
+// TestPiggybackIsLoadBearing is the GO-piggyback ablation: when a
+// content-aware scheduler eats every explicit GO to one processor,
+// piggybacking still wakes it (it decides with everyone else); with
+// piggybacking disabled the processor sleeps forever and t-nonblocking is
+// lost. This reproduces why the paper piggybacks GO "on every message
+// sent, including those of Protocol 1".
+func TestPiggybackIsLoadBearing(t *testing.T) {
+	n, k := 5, 2
+	victim := types.ProcID(3)
+	mkAdv := func() sim.Adversary {
+		return &adversary.KindHold{Inner: &adversary.RoundRobin{}, Kind: "tc.go", To: victim}
+	}
+
+	// With piggybacking (the paper's protocol): everyone decides.
+	res, _ := runCommitMachines(t, n, k, allVotes(n, types.V1), mkAdv(), 3, true, false, 60_000)
+	if !res.AllNonfaultyDecided() {
+		t.Fatalf("with piggyback: victim failed to decide (blocked=%v)", res.Exhausted)
+	}
+	if err := trace.CheckAgreement(res.Outcomes()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without piggybacking (ablation): the victim never wakes.
+	res2, _ := runCommitMachines(t, n, k, allVotes(n, types.V1), mkAdv(), 3, true, true, 30_000)
+	if res2.Decided[victim] {
+		t.Fatalf("without piggyback: victim decided despite never receiving GO")
+	}
+	if err := trace.CheckAgreement(res2.Outcomes()); err != nil {
+		t.Fatal(err) // safety must hold even in the ablation
+	}
+	// The others still decide (they time out waiting for the victim).
+	for p := 0; p < n; p++ {
+		if types.ProcID(p) == victim {
+			continue
+		}
+		if !res2.Decided[p] {
+			t.Errorf("without piggyback: proc %d undecided", p)
+		}
+	}
+}
+
+// TestCommitSnapshotDeterminism: equal configurations and inputs yield
+// equal snapshots; snapshots change with state.
+func TestCommitSnapshotDeterminism(t *testing.T) {
+	mk := func() *core.Commit {
+		m, err := core.New(core.Config{ID: 0, N: 3, T: 1, K: 2, Vote: types.V1, Gadget: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := mk(), mk()
+	if string(a.Snapshot()) != string(b.Snapshot()) {
+		t.Fatal("fresh snapshots differ")
+	}
+	sa, sb := rng.NewStream(4), rng.NewStream(4)
+	a.Step(nil, sa)
+	b.Step(nil, sb)
+	if string(a.Snapshot()) != string(b.Snapshot()) {
+		t.Fatal("identically-stepped snapshots differ")
+	}
+	a.Step(nil, sa)
+	if string(a.Snapshot()) == string(b.Snapshot()) {
+		t.Fatal("different clocks produced equal snapshots")
+	}
+}
+
+// TestRemark2OnTimeConstantTicks reproduces Remark 2: when the run is
+// on-time (but not necessarily failure-free), the expected number of
+// clock ticks to termination is a constant — concretely, decisions land
+// within 8K ticks even with a tolerated crash.
+func TestRemark2OnTimeConstantTicks(t *testing.T) {
+	n, k := 7, 4
+	adv := &adversary.Crash{
+		Inner: &adversary.RoundRobin{},
+		Plan:  []adversary.CrashPlan{{Proc: 6, AtClock: 3}},
+	}
+	res, _ := runCommitMachines(t, n, k, allVotes(n, types.V1), adv, 9, true, false, 0)
+	if !res.AllNonfaultyDecided() {
+		t.Fatal("undecided")
+	}
+	if got := res.MaxDecidedClock(); got > 8*k {
+		t.Errorf("on-time run with one crash decided at clock %d > 8K=%d", got, 8*k)
+	}
+}

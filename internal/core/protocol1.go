@@ -1,0 +1,53 @@
+package core
+
+import (
+	"repro/internal/agreement"
+	"repro/internal/types"
+)
+
+// Protocol1Config parameterizes a standalone Protocol 1 machine (the
+// paper's asynchronous agreement subroutine run outside Protocol 2, as in
+// experiments E2 and E3).
+type Protocol1Config struct {
+	ID      types.ProcID
+	N       int
+	T       int
+	Initial types.Value
+	// Coins is the pre-distributed shared coin list. The paper's analysis
+	// (Lemma 8) assumes |Coins| >= n.
+	Coins []types.Value
+	// Gadget enables the termination gadget; see the agreement package.
+	Gadget bool
+}
+
+// NewProtocol1 builds Protocol 1: the Ben-Or structure with the shared
+// coin list of §3.1.
+func NewProtocol1(cfg Protocol1Config) (*agreement.Machine, error) {
+	return agreement.New(agreement.Config{
+		ID:      cfg.ID,
+		N:       cfg.N,
+		T:       cfg.T,
+		Initial: cfg.Initial,
+		Coins:   agreement.ListCoin{Coins: cfg.Coins},
+		Gadget:  cfg.Gadget,
+	})
+}
+
+// NewBenOr builds the plain Ben-Or baseline: identical structure, but
+// every stage coin is an independent local flip. This is the protocol
+// whose exponential expected running time (against a value-splitting
+// scheduler) motivates the paper's shared-coin modification.
+func NewBenOr(id types.ProcID, n, t int, initial types.Value, gadget bool) (*agreement.Machine, error) {
+	return agreement.New(agreement.Config{
+		ID:      id,
+		N:       n,
+		T:       t,
+		Initial: initial,
+		Coins:   agreement.LocalCoin{},
+		Gadget:  gadget,
+	})
+}
+
+// SharedCoins draws c coin flips for the coordinator (instruction 1 of
+// Protocol 2, generalized per Remark 3 to any count).
+func SharedCoins(rnd types.Rand, c int) []types.Value { return rnd.Bits(c) }

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/types"
+)
+
+var _ types.Snapshotter = (*Commit)(nil)
+
+// Snapshot implements types.Snapshotter: a deterministic encoding of the
+// full Protocol 2 state including the embedded Protocol 1 machine.
+func (c *Commit) Snapshot() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "tc id=%d n=%d t=%d k=%d cf=%d\n",
+		c.cfg.ID, c.cfg.N, c.cfg.T, c.cfg.K, c.cfg.CoinFactor)
+	fmt.Fprintf(&b, "st=%d clock=%d vote=%v waitClock=%d decided=%t decision=%v halted=%t\n",
+		c.st, c.clock, c.vote, c.waitClock, c.decided, c.decision, c.halted)
+	fmt.Fprintf(&b, "coins=%v\n", c.coins)
+	b.WriteString("go:")
+	for _, p := range sortedProcs(c.goSenders) {
+		fmt.Fprintf(&b, " %d", p)
+	}
+	b.WriteString("\nvotes:")
+	for _, p := range sortedProcs(c.votes) {
+		fmt.Fprintf(&b, " %d=%v", p, c.votes[p])
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "preAg=%d\n", len(c.preAgreement))
+	for i := range c.preAgreement {
+		fmt.Fprintf(&b, "  pre from=%d %v\n", c.preAgreement[i].From, c.preAgreement[i].Payload)
+	}
+	if c.sub != nil {
+		b.Write(c.sub.Snapshot())
+	}
+	return b.Bytes()
+}
+
+func sortedProcs[V any](m map[types.ProcID]V) []types.ProcID {
+	keys := make([]types.ProcID, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

@@ -1,0 +1,254 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/agreement"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/types"
+)
+
+// mkCommit builds a 3-processor (t=1, K=2) machine with the given id.
+func mkCommit(t *testing.T, id types.ProcID, vote types.Value) *core.Commit {
+	t.Helper()
+	m, err := core.New(core.Config{
+		ID: id, N: 3, T: 1, K: 2, Vote: vote, Gadget: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func goMsg(from types.ProcID, coins []types.Value) types.Message {
+	return types.Message{From: from, To: 1, Payload: core.GoMsg{Coins: coins}}
+}
+
+func voteMsg(from types.ProcID, v types.Value) types.Message {
+	return types.Message{From: from, To: 1, Payload: core.VoteMsg{Val: v}}
+}
+
+func countKind(msgs []types.Message, kind string) int {
+	c := 0
+	for _, m := range msgs {
+		if m.Payload.Kind() == kind {
+			c++
+		}
+	}
+	return c
+}
+
+func TestCoordinatorFirstStepFlipsAndFloods(t *testing.T) {
+	m := mkCommit(t, types.Coordinator, types.V1)
+	out := m.Step(nil, rng.NewStream(1))
+	if countKind(out, "tc.go") != 3 {
+		t.Fatalf("coordinator first step sent %d GO messages, want 3", countKind(out, "tc.go"))
+	}
+	if len(m.Coins()) != 3 {
+		t.Fatalf("coordinator flipped %d coins, want n=3", len(m.Coins()))
+	}
+}
+
+func TestParticipantSleepsUntilContact(t *testing.T) {
+	m := mkCommit(t, 1, types.V1)
+	st := rng.NewStream(2)
+	for i := 0; i < 10; i++ {
+		if out := m.Step(nil, st); len(out) != 0 {
+			t.Fatalf("sleeping participant sent messages at step %d", i)
+		}
+	}
+	if m.Coins() != nil {
+		t.Fatal("sleeping participant has coins")
+	}
+	// There is NO timeout on instruction 2's wait: the vote stays commit.
+	if m.CurrentVote() != types.V1 {
+		t.Fatal("sleeping participant demoted its vote")
+	}
+}
+
+func TestGoRelayHappensOnce(t *testing.T) {
+	m := mkCommit(t, 1, types.V1)
+	st := rng.NewStream(3)
+	coins := []types.Value{1, 0, 1}
+	out := m.Step([]types.Message{goMsg(0, coins)}, st)
+	if countKind(out, "tc.go") != 3 {
+		t.Fatalf("first GO receipt relayed %d, want 3", countKind(out, "tc.go"))
+	}
+	// A second GO (from another relay) must not trigger a second relay.
+	out = m.Step([]types.Message{goMsg(2, coins)}, st)
+	if countKind(out, "tc.go") != 0 {
+		t.Fatalf("second GO receipt re-relayed")
+	}
+}
+
+func TestPiggybackWakesSleeper(t *testing.T) {
+	m := mkCommit(t, 1, types.V1)
+	st := rng.NewStream(4)
+	coins := []types.Value{0, 1, 1}
+	pb := types.Message{From: 2, To: 1, Payload: core.Piggyback{
+		Inner: core.VoteMsg{Val: types.V1}, Coins: coins,
+	}}
+	out := m.Step([]types.Message{pb}, st)
+	if countKind(out, "tc.go") != 3 {
+		t.Fatalf("piggybacked contact did not trigger a GO relay: %d", countKind(out, "tc.go"))
+	}
+	got := m.Coins()
+	if len(got) != len(coins) || got[0] != coins[0] {
+		t.Fatalf("coins not learned from piggyback: %v", got)
+	}
+}
+
+func TestAllGosThenVotesProduceInputOne(t *testing.T) {
+	m := mkCommit(t, 1, types.V1)
+	st := rng.NewStream(5)
+	coins := []types.Value{1, 1, 0}
+	// Contact + all 3 GOs (own relay echoes back too).
+	m.Step([]types.Message{goMsg(0, coins)}, st)
+	out := m.Step([]types.Message{goMsg(1, coins), goMsg(2, coins)}, st)
+	if countKind(out, "tc.vote") != 3 {
+		t.Fatalf("vote broadcast missing after n GOs: %v", out)
+	}
+	// All commit votes: Protocol 1 starts with input 1.
+	out = m.Step([]types.Message{voteMsg(0, 1), voteMsg(1, 1), voteMsg(2, 1)}, st)
+	if countKind(out, "ag.report") != 3 {
+		t.Fatalf("Protocol 1 did not start: %v", out)
+	}
+	ag := m.Agreement()
+	if ag == nil || ag.LocalValue() != types.V1 {
+		t.Fatalf("agreement input wrong: %+v", ag)
+	}
+	if m.AgreementStartClock() != m.Clock() {
+		t.Fatalf("agreement start clock %d != clock %d", m.AgreementStartClock(), m.Clock())
+	}
+}
+
+func TestGoTimeoutDemotesVoteAtExactly2K(t *testing.T) {
+	m := mkCommit(t, 1, types.V1) // K=2 => timeout after 4 ticks of waiting
+	st := rng.NewStream(6)
+	m.Step([]types.Message{goMsg(0, []types.Value{1, 0, 1})}, st) // wake at clock 1
+	for clock := 2; clock <= 4; clock++ {
+		m.Step(nil, st)
+		if m.CurrentVote() != types.V1 {
+			t.Fatalf("vote demoted early at clock %d", clock)
+		}
+	}
+	out := m.Step(nil, st) // clock 5 = waitClock(1) + 2K(4)
+	if m.CurrentVote() != types.V0 {
+		t.Fatalf("vote not demoted at 2K boundary")
+	}
+	if countKind(out, "tc.vote") != 3 {
+		t.Fatalf("timeout did not broadcast the abort vote")
+	}
+}
+
+func TestAnyAbortVoteForcesInputZero(t *testing.T) {
+	m := mkCommit(t, 1, types.V1)
+	st := rng.NewStream(7)
+	coins := []types.Value{1, 1, 1}
+	m.Step([]types.Message{goMsg(0, coins)}, st)
+	m.Step([]types.Message{goMsg(1, coins), goMsg(2, coins)}, st)
+	m.Step([]types.Message{voteMsg(0, 1), voteMsg(1, 1), voteMsg(2, 0)}, st)
+	ag := m.Agreement()
+	if ag == nil || ag.LocalValue() != types.V0 {
+		t.Fatalf("input with an abort vote = %v, want 0", ag.LocalValue())
+	}
+}
+
+func TestVoteTimeoutForcesInputZero(t *testing.T) {
+	m := mkCommit(t, 1, types.V1)
+	st := rng.NewStream(8)
+	coins := []types.Value{1, 1, 1}
+	m.Step([]types.Message{goMsg(0, coins)}, st)
+	m.Step([]types.Message{goMsg(1, coins), goMsg(2, coins)}, st) // votes broadcast here
+	// Only 2 of 3 votes arrive; wait out the 2K timeout.
+	m.Step([]types.Message{voteMsg(0, 1), voteMsg(1, 1)}, st)
+	for m.Agreement() == nil {
+		m.Step(nil, st)
+		if m.Clock() > 20 {
+			t.Fatal("vote timeout never fired")
+		}
+	}
+	if m.Agreement().LocalValue() != types.V0 {
+		t.Fatalf("input after vote timeout = %v, want 0", m.Agreement().LocalValue())
+	}
+}
+
+func TestEarlyAgreementTrafficIsBuffered(t *testing.T) {
+	m := mkCommit(t, 1, types.V1)
+	st := rng.NewStream(9)
+	coins := []types.Value{1, 1, 1}
+	// Peer 2 races ahead: its stage-1 report arrives while we are still
+	// collecting GOs. It must be buffered and credited once Protocol 1
+	// starts.
+	early := types.Message{From: 2, To: 1, Payload: core.Piggyback{
+		Inner: agreement.ReportMsg{Stage: 1, Val: types.V1}, Coins: coins,
+	}}
+	m.Step([]types.Message{early}, st)
+	m.Step([]types.Message{goMsg(0, coins), goMsg(1, coins), goMsg(2, coins)}, st)
+	m.Step([]types.Message{voteMsg(0, 1), voteMsg(1, 1), voteMsg(2, 1)}, st)
+	ag := m.Agreement()
+	if ag == nil {
+		t.Fatal("Protocol 1 not started")
+	}
+	// Deliver our own report plus one more: with the buffered early
+	// report that is 3 distinct senders => the proposals wait.
+	m.Step([]types.Message{
+		{From: 1, To: 1, Payload: core.Piggyback{Inner: agreement.ReportMsg{Stage: 1, Val: types.V1}, Coins: coins}},
+		{From: 0, To: 1, Payload: core.Piggyback{Inner: agreement.ReportMsg{Stage: 1, Val: types.V1}, Coins: coins}},
+	}, st)
+	if s, onProps := ag.Waiting(); s != 1 || !onProps {
+		t.Fatalf("early report not credited: stage=%d onProposals=%v", s, onProps)
+	}
+}
+
+func TestOutcomeHelper(t *testing.T) {
+	m := mkCommit(t, 0, types.V1)
+	if _, ok := m.Outcome(); ok {
+		t.Fatal("fresh machine has an outcome")
+	}
+	// Single-processor run would decide; emulate with full n=1 machine.
+	one, err := core.New(core.Config{ID: 0, N: 1, T: 0, K: 1, Vote: types.V1, Gadget: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rng.NewStream(10)
+	var pending []types.Message
+	for i := 0; i < 30; i++ {
+		// n=1 loopback: everything broadcast comes back next step.
+		out := one.Step(pending, st)
+		pending = out
+		if _, ok := one.Decision(); ok {
+			break
+		}
+	}
+	d, ok := one.Outcome()
+	if !ok || d != types.DecisionCommit {
+		t.Fatalf("n=1 outcome = %v %v, want COMMIT", d, ok)
+	}
+}
+
+func TestPiggybackKindDelegation(t *testing.T) {
+	pb := core.Piggyback{Inner: core.VoteMsg{Val: 1}, Coins: []types.Value{1}}
+	if pb.Kind() != "tc.vote" {
+		t.Errorf("piggyback kind = %q", pb.Kind())
+	}
+	empty := core.Piggyback{}
+	if empty.Inner != nil {
+		t.Error("zero piggyback has inner")
+	}
+	if empty.Kind() != "tc.piggyback" {
+		t.Errorf("empty piggyback kind = %q", empty.Kind())
+	}
+	inner, coins := core.Unwrap(pb)
+	if _, ok := inner.(core.VoteMsg); !ok || len(coins) != 1 {
+		t.Errorf("unwrap = %#v %v", inner, coins)
+	}
+	plain, coins := core.Unwrap(core.VoteMsg{})
+	if _, ok := plain.(core.VoteMsg); !ok || coins != nil {
+		t.Errorf("unwrap plain = %#v %v", plain, coins)
+	}
+	if pb.PiggybackInner().Kind() != "tc.vote" {
+		t.Error("PiggybackInner wrong")
+	}
+}

@@ -1,0 +1,217 @@
+package explore
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// Action is one scheduler decision in the explored tree: processor Proc
+// steps and receives a canonical slice of its buffer.
+type Action struct {
+	Proc types.ProcID
+	// Mode selects what is delivered.
+	Mode DeliveryMode
+}
+
+// DeliveryMode enumerates the canonical delivery choices the explorer
+// branches over. Delivering arbitrary subsets is exponential; these three
+// modes preserve the interesting behaviours (starvation, batch delivery,
+// one-at-a-time reordering) while keeping the branching factor at 3n.
+type DeliveryMode int
+
+// The canonical delivery modes.
+const (
+	// DeliverNone steps the processor with an empty message set (timeout
+	// progress).
+	DeliverNone DeliveryMode = iota
+	// DeliverAll drains the buffer.
+	DeliverAll
+	// DeliverOldest delivers exactly the oldest buffered message.
+	DeliverOldest
+)
+
+// String implements fmt.Stringer.
+func (m DeliveryMode) String() string {
+	switch m {
+	case DeliverNone:
+		return "none"
+	case DeliverAll:
+		return "all"
+	case DeliverOldest:
+		return "oldest"
+	default:
+		return fmt.Sprintf("DeliveryMode(%d)", int(m))
+	}
+}
+
+// ExploreConfig parameterizes a bounded breadth-first exploration.
+type ExploreConfig struct {
+	Factory Factory
+	N       int
+	K       int
+	Seed    uint64
+	Votes   []types.Value
+	// MaxDepth bounds the action-sequence length explored.
+	MaxDepth int
+	// MaxStates caps distinct configurations visited (0: 20000).
+	MaxStates int
+}
+
+// ExploreResult reports a bounded exploration.
+type ExploreResult struct {
+	StatesVisited int
+	Expanded      int
+	Truncated     bool // hit MaxStates or MaxDepth before exhausting
+	// ViolationPath is the action sequence reaching the first safety
+	// violation (nil if none found within bounds).
+	ViolationPath []Action
+	// Violation describes the violated condition.
+	Violation string
+	// DecidedStates counts visited configurations in which at least one
+	// processor has decided.
+	DecidedStates int
+}
+
+// Explore performs memoized BFS over the canonical scheduler choices,
+// auditing every reachable configuration against the agreement and abort
+// validity conditions. Paths are replayed from the initial configuration
+// (machines are not cloneable), so the cost is O(states × depth).
+func Explore(cfg ExploreConfig) (*ExploreResult, error) {
+	if cfg.MaxStates == 0 {
+		cfg.MaxStates = 20_000
+	}
+	res := &ExploreResult{}
+	type node struct {
+		path []Action
+	}
+	seen := make(map[string]bool)
+
+	root, err := replay(cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	fp, err := root.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	seen[fp] = true
+	res.StatesVisited = 1
+	queue := []node{{path: nil}}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if len(cur.path) >= cfg.MaxDepth {
+			res.Truncated = true
+			continue
+		}
+		res.Expanded++
+		for p := 0; p < cfg.N; p++ {
+			for _, mode := range []DeliveryMode{DeliverNone, DeliverAll, DeliverOldest} {
+				next := append(append([]Action(nil), cur.path...), Action{Proc: types.ProcID(p), Mode: mode})
+				eng, err := replay(cfg, next)
+				if err != nil {
+					// Inapplicable branch (e.g. DeliverOldest on an empty
+					// buffer is folded into DeliverNone and skipped).
+					continue
+				}
+				fp, err := eng.Fingerprint()
+				if err != nil {
+					return nil, err
+				}
+				if seen[fp] {
+					continue
+				}
+				seen[fp] = true
+				res.StatesVisited++
+
+				if v := audit(cfg, eng); v != "" {
+					res.Violation = v
+					res.ViolationPath = next
+					return res, nil
+				}
+				if anyDecided(eng) {
+					res.DecidedStates++
+				}
+				if res.StatesVisited >= cfg.MaxStates {
+					res.Truncated = true
+					return res, nil
+				}
+				queue = append(queue, node{path: next})
+			}
+		}
+	}
+	return res, nil
+}
+
+// replay builds a fresh engine and applies the action path. It returns an
+// error for non-canonical branches so they are skipped.
+func replay(cfg ExploreConfig, path []Action) (*sim.Engine, error) {
+	machines, err := cfg.Factory()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := sim.NewEngine(sim.Config{
+		K: cfg.K, Machines: machines,
+		Adversary: nopAdversary{},
+		Seeds:     rng.NewCollection(cfg.Seed, cfg.N),
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range path {
+		pending := eng.Pending(a.Proc)
+		var deliver []int
+		switch a.Mode {
+		case DeliverAll:
+			if len(pending) == 0 {
+				return nil, errSkipBranch
+			}
+			deliver = pending
+		case DeliverOldest:
+			if len(pending) < 2 {
+				// With 0 pending it duplicates DeliverNone; with exactly 1
+				// it duplicates DeliverAll.
+				return nil, errSkipBranch
+			}
+			deliver = pending[:1]
+		}
+		if err := eng.Apply(sim.Choice{Proc: a.Proc, Deliver: deliver}); err != nil {
+			return nil, err
+		}
+	}
+	return eng, nil
+}
+
+var errSkipBranch = fmt.Errorf("explore: redundant branch")
+
+// nopAdversary satisfies sim.Config; the explorer drives Apply directly.
+type nopAdversary struct{}
+
+func (nopAdversary) Next(*sim.View) sim.Choice { return sim.Choice{Proc: 0} }
+
+// audit checks the safety conditions on the engine's current result.
+func audit(cfg ExploreConfig, eng *sim.Engine) string {
+	outs := eng.Result().Outcomes()
+	if err := trace.CheckAgreement(outs); err != nil {
+		return err.Error()
+	}
+	if err := trace.CheckAbortValidity(cfg.Votes, outs); err != nil {
+		return err.Error()
+	}
+	return ""
+}
+
+func anyDecided(eng *sim.Engine) bool {
+	r := eng.Result()
+	for p := 0; p < r.N; p++ {
+		if r.Decided[p] {
+			return true
+		}
+	}
+	return false
+}

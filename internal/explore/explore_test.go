@@ -1,0 +1,177 @@
+package explore_test
+
+import (
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/types"
+)
+
+func votes(bits ...int) []types.Value {
+	out := make([]types.Value, len(bits))
+	for i, b := range bits {
+		out[i] = types.Value(b)
+	}
+	return out
+}
+
+func TestCrashSweepAllCommit(t *testing.T) {
+	// Exhaustive: every subset of up to 2 of 3 processors, every crash
+	// clock in [0, 6], all-commit votes. Zero conflicts and zero
+	// validity violations required across the whole family.
+	vs := votes(1, 1, 1)
+	res, err := explore.CrashSweep(explore.CrashSweepConfig{
+		Factory:      explore.CommitFactory(3, 1, 2, vs),
+		N:            3,
+		K:            2,
+		Seed:         1,
+		Votes:        vs,
+		MaxCrashed:   2,
+		ClockHorizon: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs < 50 {
+		t.Fatalf("sweep too small: %d runs", res.Runs)
+	}
+	if res.Conflicts != 0 || res.Violations != 0 {
+		t.Fatalf("violations found: %+v (first: %s)", res, res.FirstViolation)
+	}
+	// Every single-crash schedule (f <= t = 1) must decide.
+	if res.Decided == 0 {
+		t.Fatal("no schedule decided")
+	}
+}
+
+func TestCrashSweepWithAbortVote(t *testing.T) {
+	vs := votes(1, 0, 1)
+	res, err := explore.CrashSweep(explore.CrashSweepConfig{
+		Factory:      explore.CommitFactory(3, 1, 2, vs),
+		N:            3,
+		K:            2,
+		Seed:         2,
+		Votes:        vs,
+		MaxCrashed:   1,
+		ClockHorizon: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Conflicts != 0 || res.Violations != 0 {
+		t.Fatalf("violations: %+v (first: %s)", res, res.FirstViolation)
+	}
+}
+
+func TestCrashSweepFiveProcs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("larger sweep")
+	}
+	vs := votes(1, 1, 1, 1, 1)
+	res, err := explore.CrashSweep(explore.CrashSweepConfig{
+		Factory:      explore.CommitFactory(5, 2, 2, vs),
+		N:            5,
+		K:            2,
+		Seed:         3,
+		Votes:        vs,
+		MaxCrashed:   2,
+		ClockHorizon: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Conflicts != 0 || res.Violations != 0 {
+		t.Fatalf("violations: %+v (first: %s)", res, res.FirstViolation)
+	}
+	if res.Runs != 276 { // C(5,0)+C(5,1)*5+C(5,2)*25 schedules
+		t.Fatalf("sweep too small: %d", res.Runs)
+	}
+}
+
+func TestExploreTwoProcessors(t *testing.T) {
+	// Bounded model check of the full two-processor protocol (t = 0):
+	// every canonical interleaving to depth 12. No reachable
+	// configuration may violate agreement or abort validity.
+	vs := votes(1, 1)
+	res, err := explore.Explore(explore.ExploreConfig{
+		Factory:   explore.CommitFactory(2, 0, 1, vs),
+		N:         2,
+		K:         1,
+		Seed:      4,
+		Votes:     vs,
+		MaxDepth:  12,
+		MaxStates: 30_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != "" {
+		t.Fatalf("violation within bounds: %s via %v", res.Violation, res.ViolationPath)
+	}
+	if res.StatesVisited < 100 {
+		t.Fatalf("exploration too small: %d states", res.StatesVisited)
+	}
+	if res.DecidedStates == 0 {
+		t.Fatal("no decided configuration reached within bounds")
+	}
+}
+
+func TestExploreAbortVoteNeverCommits(t *testing.T) {
+	// With an initial abort vote, abort validity is audited in every
+	// reachable configuration: no interleaving may produce a commit.
+	vs := votes(1, 0)
+	res, err := explore.Explore(explore.ExploreConfig{
+		Factory:   explore.CommitFactory(2, 0, 1, vs),
+		N:         2,
+		K:         1,
+		Seed:      5,
+		Votes:     vs,
+		MaxDepth:  12,
+		MaxStates: 30_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != "" {
+		t.Fatalf("violation: %s via %v", res.Violation, res.ViolationPath)
+	}
+	if res.DecidedStates == 0 {
+		t.Fatal("no decided configuration reached")
+	}
+}
+
+func TestExploreThreeProcessorsShallow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wider exploration")
+	}
+	vs := votes(1, 1, 1)
+	res, err := explore.Explore(explore.ExploreConfig{
+		Factory:   explore.CommitFactory(3, 1, 1, vs),
+		N:         3,
+		K:         1,
+		Seed:      6,
+		Votes:     vs,
+		MaxDepth:  9,
+		MaxStates: 40_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != "" {
+		t.Fatalf("violation: %s via %v", res.Violation, res.ViolationPath)
+	}
+	if res.StatesVisited < 500 {
+		t.Fatalf("exploration too small: %d", res.StatesVisited)
+	}
+}
+
+func TestDeliveryModeString(t *testing.T) {
+	if explore.DeliverNone.String() != "none" ||
+		explore.DeliverAll.String() != "all" ||
+		explore.DeliverOldest.String() != "oldest" {
+		t.Error("mode strings changed")
+	}
+	if explore.DeliveryMode(9).String() == "" {
+		t.Error("unknown mode string empty")
+	}
+}

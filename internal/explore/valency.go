@@ -1,0 +1,152 @@
+package explore
+
+import (
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// ValencyResult reports the decision values reachable from the initial
+// configuration within the exploration bounds — the {x, F, V}-valency of
+// §5 made concrete. A configuration is bivalent when both 0 and 1 remain
+// reachable; Lemma 15 proves bivalent configurations exist on the way to
+// commit, which is the engine of the Theorem 17 lower bound.
+type ValencyResult struct {
+	// Reachable0/Reachable1 report whether some explored continuation
+	// decides 0 / 1.
+	Reachable0 bool
+	Reachable1 bool
+	// BivalentStates counts explored configurations from which both
+	// decision values remain reachable (within bounds).
+	BivalentStates int
+	// UnivalentStates counts configurations with exactly one reachable
+	// value.
+	UnivalentStates int
+	StatesVisited   int
+	Truncated       bool
+}
+
+// Bivalent reports whether the initial configuration is bivalent within
+// the explored bounds.
+func (v *ValencyResult) Bivalent() bool { return v.Reachable0 && v.Reachable1 }
+
+// Valency explores the canonical scheduler choices breadth-first (like
+// Explore) while building the reachability DAG, then back-propagates the
+// decided values to classify every configuration's valency. Because every
+// action advances some clock, fingerprints never repeat along a path and
+// the explored graph is a DAG, so a reverse pass over insertion order is
+// a valid topological accumulation.
+//
+// Truncation makes the computed valencies lower bounds: a configuration
+// reported univalent might be bivalent beyond the horizon, but every
+// reported-bivalent configuration genuinely is.
+func Valency(cfg ExploreConfig) (*ValencyResult, error) {
+	if cfg.MaxStates == 0 {
+		cfg.MaxStates = 20_000
+	}
+	type node struct {
+		path     []Action
+		children []int
+		// decided values observed in this configuration (if any).
+		has0, has1 bool
+		depthLimit bool
+	}
+
+	res := &ValencyResult{}
+	var nodes []node
+	index := make(map[string]int)
+
+	root, err := replay(cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	fp, err := root.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	nodes = append(nodes, node{})
+	markDecisions(root, &nodes[0].has0, &nodes[0].has1)
+	index[fp] = 0
+	res.StatesVisited = 1
+	queue := []int{0}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if len(nodes[cur].path) >= cfg.MaxDepth {
+			res.Truncated = true
+			nodes[cur].depthLimit = true
+			continue
+		}
+		for p := 0; p < cfg.N; p++ {
+			for _, mode := range []DeliveryMode{DeliverNone, DeliverAll, DeliverOldest} {
+				next := append(append([]Action(nil), nodes[cur].path...), Action{Proc: types.ProcID(p), Mode: mode})
+				eng, err := replay(cfg, next)
+				if err != nil {
+					continue
+				}
+				fp, err := eng.Fingerprint()
+				if err != nil {
+					return nil, err
+				}
+				if id, seen := index[fp]; seen {
+					nodes[cur].children = append(nodes[cur].children, id)
+					continue
+				}
+				id := len(nodes)
+				nodes = append(nodes, node{path: next})
+				markDecisions(eng, &nodes[id].has0, &nodes[id].has1)
+				index[fp] = id
+				nodes[cur].children = append(nodes[cur].children, id)
+				res.StatesVisited++
+				if res.StatesVisited >= cfg.MaxStates {
+					res.Truncated = true
+					queue = nil
+					break
+				}
+				queue = append(queue, id)
+			}
+			if queue == nil {
+				break
+			}
+		}
+	}
+
+	// Reverse topological accumulation: children always have larger ids
+	// than the first parent that discovered them, and the graph is a DAG
+	// (clocks strictly increase), so a reverse id pass converges.
+	reach0 := make([]bool, len(nodes))
+	reach1 := make([]bool, len(nodes))
+	for i := len(nodes) - 1; i >= 0; i-- {
+		reach0[i] = nodes[i].has0
+		reach1[i] = nodes[i].has1
+		for _, c := range nodes[i].children {
+			reach0[i] = reach0[i] || reach0[c]
+			reach1[i] = reach1[i] || reach1[c]
+		}
+		switch {
+		case reach0[i] && reach1[i]:
+			res.BivalentStates++
+		case reach0[i] || reach1[i]:
+			res.UnivalentStates++
+		}
+	}
+	res.Reachable0 = reach0[0]
+	res.Reachable1 = reach1[0]
+	return res, nil
+}
+
+// markDecisions records which decision values are present in the
+// engine's current configuration.
+func markDecisions(eng *sim.Engine, has0, has1 *bool) {
+	r := eng.Result()
+	for p := 0; p < r.N; p++ {
+		if !r.Decided[p] {
+			continue
+		}
+		if r.Values[p] == types.V0 {
+			*has0 = true
+		} else {
+			*has1 = true
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package explore_test
+
+import (
+	"testing"
+
+	"repro/internal/explore"
+)
+
+func TestValencyAllCommitIsBivalent(t *testing.T) {
+	// Lemma 15 made concrete: from the all-commit initial configuration,
+	// both outcomes are reachable (commit if the schedule is timely,
+	// abort if the GO/vote waits time out), so the initial configuration
+	// — and many successors — are bivalent.
+	vs := votes(1, 1)
+	res, err := explore.Valency(explore.ExploreConfig{
+		Factory:   explore.CommitFactory(2, 0, 1, vs),
+		N:         2,
+		K:         1,
+		Seed:      11,
+		Votes:     vs,
+		MaxDepth:  14,
+		MaxStates: 40_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reachable1 {
+		t.Fatal("commit unreachable from the all-commit configuration")
+	}
+	if !res.Reachable0 {
+		t.Fatal("abort unreachable: starvation paths must lead to timeout-abort")
+	}
+	if !res.Bivalent() {
+		t.Fatal("initial all-commit configuration must be bivalent (Lemma 15)")
+	}
+	if res.BivalentStates == 0 {
+		t.Fatal("no bivalent configurations counted")
+	}
+	if res.UnivalentStates == 0 {
+		t.Fatal("no univalent configurations counted (decided states are univalent)")
+	}
+}
+
+func TestValencyAbortVoteIsUnivalent(t *testing.T) {
+	// Abort validity as valency: with an initial 0, only abort is
+	// reachable — the configuration is {0}-valent under every explored
+	// schedule.
+	vs := votes(1, 0)
+	res, err := explore.Valency(explore.ExploreConfig{
+		Factory:   explore.CommitFactory(2, 0, 1, vs),
+		N:         2,
+		K:         1,
+		Seed:      12,
+		Votes:     vs,
+		MaxDepth:  14,
+		MaxStates: 40_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reachable1 {
+		t.Fatal("commit reachable despite an initial abort vote")
+	}
+	if !res.Reachable0 {
+		t.Fatal("abort unreachable")
+	}
+	if res.BivalentStates != 0 {
+		t.Fatalf("%d bivalent states in a {0}-valent system", res.BivalentStates)
+	}
+}

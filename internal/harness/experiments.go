@@ -1,0 +1,343 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/rng"
+	"repro/internal/rounds"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// E1ExpectedRounds reproduces Theorem 10: all nonfaulty processors decide
+// in a constant (≤ 14) expected number of asynchronous rounds, independent
+// of n.
+func E1ExpectedRounds(opt Options) (*Report, error) {
+	ns := []int{3, 5, 7, 9, 13, 21}
+	if opt.Quick {
+		ns = []int{3, 7, 13}
+	}
+	runs := opt.runs(50)
+	tbl := stats.NewTable("n", "t", "mean rounds", "p95 rounds", "max rounds", "mean ticks")
+	pass := true
+	for _, n := range ns {
+		var roundSample, tickSample []float64
+		for r := 0; r < runs; r++ {
+			seed := opt.Seed + uint64(r)*7919 + uint64(n)
+			res, _, err := RunCommit(CommitRun{
+				N: n, K: 4, Seed: seed, Record: true,
+				Adversary: &adversary.Random{Rand: rng.NewStream(seed ^ 0xADEBE), DeliverProb: 0.7},
+			})
+			if err != nil {
+				return nil, err
+			}
+			if !res.AllNonfaultyDecided() {
+				return nil, fmt.Errorf("E1: n=%d seed=%d did not decide", n, seed)
+			}
+			an, err := rounds.Analyze(res.Trace, 0)
+			if err != nil {
+				return nil, err
+			}
+			dr, ok := an.DecisionRound(res.DecidedClock)
+			if !ok {
+				return nil, fmt.Errorf("E1: n=%d: undecided processor in round analysis", n)
+			}
+			roundSample = append(roundSample, float64(dr))
+			tickSample = append(tickSample, float64(res.MaxDecidedClock()))
+		}
+		s := stats.Summarize(roundSample)
+		tbl.AddRow(n, (n-1)/2, s.Mean, stats.Percentile(roundSample, 95), s.Max, stats.Mean(tickSample))
+		if s.Mean > 14 {
+			pass = false
+		}
+	}
+	return &Report{
+		ID:    "E1",
+		Title: "Expected asynchronous rounds to decision (Protocol 2)",
+		Claim: "Theorem 10: all nonfaulty processors decide in 14 expected asynchronous rounds",
+		Table: tbl,
+		Pass:  pass,
+	}, nil
+}
+
+// E2AgreementStages reproduces Lemma 8: with |coins| >= n, Protocol 1
+// decides in fewer than 4 expected stages.
+func E2AgreementStages(opt Options) (*Report, error) {
+	ns := []int{3, 5, 9, 15}
+	if opt.Quick {
+		ns = []int{3, 9}
+	}
+	runs := opt.runs(60)
+	tbl := stats.NewTable("n", "inputs", "mean stages", "max stages")
+	pass := true
+	for _, n := range ns {
+		for _, mode := range []string{"unanimous", "split"} {
+			var sample []float64
+			for r := 0; r < runs; r++ {
+				seed := opt.Seed + uint64(r)*131 + uint64(n)
+				initial := AllVotes(n, types.V1)
+				if mode == "split" {
+					initial = SplitVotes(n)
+				}
+				res, ams, err := RunAgreement(AgreementRun{
+					N: n, Initial: initial, Shared: true, Seed: seed,
+					Adversary: &adversary.Random{Rand: rng.NewStream(seed ^ 0xE2)},
+				})
+				if err != nil {
+					return nil, err
+				}
+				if !res.AllNonfaultyDecided() {
+					return nil, fmt.Errorf("E2: n=%d seed=%d did not decide", n, seed)
+				}
+				sample = append(sample, float64(MaxStage(ams)))
+			}
+			s := stats.Summarize(sample)
+			tbl.AddRow(n, mode, s.Mean, s.Max)
+			if s.Mean >= 4 {
+				pass = false
+			}
+		}
+	}
+	return &Report{
+		ID:    "E2",
+		Title: "Expected stages of Protocol 1 (shared coin list)",
+		Claim: "Lemma 8: all nonfaulty processors decide in a constant (< 4) expected number of stages",
+		Table: tbl,
+		Pass:  pass,
+	}, nil
+}
+
+// E3SharedVsLocalCoins reproduces the shared-coin speedup: under a
+// value-splitting scheduler, plain Ben-Or needs exponentially many stages
+// while the shared coin list stays constant.
+func E3SharedVsLocalCoins(opt Options) (*Report, error) {
+	ns := []int{3, 5, 7, 9}
+	if opt.Quick {
+		ns = []int{3, 5}
+	}
+	runs := opt.runs(15)
+	tbl := stats.NewTable("n", "ben-or mean stages", "shared mean stages", "ratio")
+	pass := true
+	var prevBen float64
+	for _, n := range ns {
+		var ben, shared []float64
+		for r := 0; r < runs; r++ {
+			seed := opt.Seed + uint64(r)*17 + uint64(n)*1000
+			for _, isShared := range []bool{false, true} {
+				res, ams, err := RunAgreement(AgreementRun{
+					N: n, Initial: SplitVotes(n), Shared: isShared, Seed: seed,
+					Adversary: &adversary.BenOrSpoiler{}, MaxSteps: 5_000_000,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if !res.AllNonfaultyDecided() {
+					return nil, fmt.Errorf("E3: n=%d shared=%v did not decide in budget", n, isShared)
+				}
+				st := float64(MaxStage(ams))
+				if isShared {
+					shared = append(shared, st)
+				} else {
+					ben = append(ben, st)
+				}
+			}
+		}
+		bm, sm := stats.Mean(ben), stats.Mean(shared)
+		tbl.AddRow(n, bm, sm, bm/sm)
+		if sm > 5 {
+			pass = false
+		}
+		if n > 3 && bm < prevBen {
+			// Exponential growth should be monotone in expectation; allow
+			// sampling noise but flag inversions of more than 2x.
+			if bm*2 < prevBen {
+				pass = false
+			}
+		}
+		prevBen = bm
+	}
+	return &Report{
+		ID:    "E3",
+		Title: "Plain Ben-Or vs shared coin list under a value-splitting scheduler",
+		Claim: "§3.1: the modification lowers the expected running time from exponential to constant",
+		Table: tbl,
+		Notes: []string{"the splitting scheduler is content-aware (lower-bound device); the paper's adversary is pattern-only"},
+		Pass:  pass,
+	}, nil
+}
+
+// E4FaultSweep reproduces Theorem 9 + Theorem 11: for f <= t every
+// nonfaulty processor decides consistently; for f > t the protocol blocks
+// rather than answering wrongly.
+func E4FaultSweep(opt Options) (*Report, error) {
+	n := 7 // t = 3
+	runs := opt.runs(40)
+	tbl := stats.NewTable("f", "decided rate", "conflicts", "blocked rate")
+	pass := true
+	for f := 0; f < n; f++ {
+		var decided, blocked []bool
+		conflicts := 0
+		for r := 0; r < runs; r++ {
+			seed := opt.Seed + uint64(r)*malthus + uint64(f)
+			st := rng.NewStream(seed ^ 0xE4)
+			var plan []adversary.CrashPlan
+			for i := 0; i < f; i++ {
+				plan = append(plan, adversary.CrashPlan{
+					Proc:    types.ProcID(n - 1 - i),
+					AtClock: st.Intn(20),
+				})
+			}
+			res, _, err := RunCommit(CommitRun{
+				N: n, K: 4, Seed: seed, MaxSteps: 60_000,
+				Adversary: &adversary.Crash{Inner: &adversary.RoundRobin{}, Plan: plan},
+			})
+			if err != nil {
+				return nil, err
+			}
+			decided = append(decided, res.AllNonfaultyDecided())
+			blocked = append(blocked, res.Exhausted)
+			if trace.CheckAgreement(res.Outcomes()) != nil {
+				conflicts++
+			}
+		}
+		dr, br := stats.Rate(decided), stats.Rate(blocked)
+		tbl.AddRow(f, dr, conflicts, br)
+		if conflicts > 0 {
+			pass = false
+		}
+		if f <= (n-1)/2 && dr < 1 {
+			pass = false
+		}
+	}
+	return &Report{
+		ID:    "E4",
+		Title: "Fault-tolerance sweep (n=7, t=3)",
+		Claim: "Theorems 9 & 11: f <= t processors crashing never prevents decision; f > t may block but never produces conflicting decisions",
+		Table: tbl,
+		Pass:  pass,
+	}, nil
+}
+
+const malthus = 7919
+
+// E5AbortValidity reproduces the Abort Validity condition: any initial 0
+// forces a unanimous abort regardless of timing behaviour.
+func E5AbortValidity(opt Options) (*Report, error) {
+	n := 7
+	runs := opt.runs(60)
+	tbl := stats.NewTable("adversary", "runs", "violations", "decided rate")
+	pass := true
+	advs := []struct {
+		name string
+		mk   func(seed uint64) CommitRun
+	}{
+		{"round-robin", func(seed uint64) CommitRun {
+			return CommitRun{N: n, Seed: seed}
+		}},
+		{"random", func(seed uint64) CommitRun {
+			return CommitRun{N: n, Seed: seed,
+				Adversary: &adversary.Random{Rand: rng.NewStream(seed ^ 0xE5)}}
+		}},
+		{"bounded-delay-6K", func(seed uint64) CommitRun {
+			return CommitRun{N: n, K: 2, Seed: seed,
+				Adversary: &adversary.BoundedDelay{D: 12}}
+		}},
+	}
+	for _, a := range advs {
+		violations := 0
+		var decided []bool
+		for r := 0; r < runs; r++ {
+			seed := opt.Seed + uint64(r)*37
+			st := rng.NewStream(seed ^ 0xAB027)
+			votes := AllVotes(n, types.V1)
+			// One to all-but-one processors vote abort.
+			zeros := 1 + st.Intn(n-1)
+			for i := 0; i < zeros; i++ {
+				votes[st.Intn(n)] = types.V0
+			}
+			cfg := a.mk(seed)
+			cfg.Votes = votes
+			res, _, err := RunCommit(cfg)
+			if err != nil {
+				return nil, err
+			}
+			decided = append(decided, res.AllNonfaultyDecided())
+			if trace.CheckAbortValidity(votes, res.Outcomes()) != nil ||
+				trace.CheckAgreement(res.Outcomes()) != nil {
+				violations++
+			}
+		}
+		tbl.AddRow(a.name, runs, violations, stats.Rate(decided))
+		if violations > 0 {
+			pass = false
+		}
+	}
+	return &Report{
+		ID:    "E5",
+		Title: "Abort validity under arbitrary timing",
+		Claim: "§1/§2.4: if any processor initially wants to abort, the common decision is abort no matter the timing behaviour",
+		Table: tbl,
+		Pass:  pass,
+	}, nil
+}
+
+// E6CommitValidity8K reproduces Commit Validity plus Remark 1: all-commit
+// failure-free on-time runs commit, within 8K clock ticks.
+func E6CommitValidity8K(opt Options) (*Report, error) {
+	ns := []int{3, 5, 9, 15}
+	ks := []int{2, 4, 8}
+	if opt.Quick {
+		ns, ks = []int{3, 9}, []int{2, 8}
+	}
+	runs := opt.runs(30)
+	tbl := stats.NewTable("n", "K", "commit rate", "on-time rate", "max ticks", "8K bound")
+	pass := true
+	for _, n := range ns {
+		for _, k := range ks {
+			commitAll, onTime := true, true
+			maxTicks := 0
+			for r := 0; r < runs; r++ {
+				seed := opt.Seed + uint64(r)*101 + uint64(n*k)
+				res, _, err := RunCommit(CommitRun{N: n, K: k, Seed: seed, Record: true})
+				if err != nil {
+					return nil, err
+				}
+				if !res.AllNonfaultyDecided() {
+					return nil, fmt.Errorf("E6: n=%d K=%d undecided", n, k)
+				}
+				for p := 0; p < n; p++ {
+					if res.Values[p] != types.V1 {
+						commitAll = false
+					}
+				}
+				if !res.Trace.OnTime() {
+					onTime = false
+				}
+				if c := res.MaxDecidedClock(); c > maxTicks {
+					maxTicks = c
+				}
+			}
+			within := maxTicks <= 8*k
+			tbl.AddRow(n, k, boolRate(commitAll), boolRate(onTime), maxTicks, fmt.Sprintf("%d (%v)", 8*k, within))
+			if !commitAll || !onTime || !within {
+				pass = false
+			}
+		}
+	}
+	return &Report{
+		ID:    "E6",
+		Title: "Commit validity and the 8K-tick bound (failure-free, on-time)",
+		Claim: "Commit Validity + Remark 1: failure-free on-time all-commit runs decide commit within 8K clock ticks",
+		Table: tbl,
+		Pass:  pass,
+	}, nil
+}
+
+func boolRate(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

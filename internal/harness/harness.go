@@ -1,0 +1,247 @@
+// Package harness drives the paper-reproduction experiments E1–E12
+// cataloged in DESIGN.md and renders their tables. Each experiment
+// regenerates one quantitative claim of Coan & Lundelius (PODC '86); the
+// bench targets in bench_test.go and the cmd/experiments binary are thin
+// wrappers over this package.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/agreement"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/threepc"
+	"repro/internal/trace"
+	"repro/internal/twopc"
+	"repro/internal/types"
+)
+
+// Report is one experiment's rendered result.
+type Report struct {
+	ID    string
+	Title string
+	// Claim is the paper statement being reproduced.
+	Claim string
+	Table *stats.Table
+	Notes []string
+	// Pass summarizes whether the measured shape matches the claim.
+	Pass bool
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	s := fmt.Sprintf("%s — %s\nPaper claim: %s\n\n%s", r.ID, r.Title, r.Claim, r.Table)
+	for _, n := range r.Notes {
+		s += "note: " + n + "\n"
+	}
+	if r.Pass {
+		s += "shape: MATCHES paper\n"
+	} else {
+		s += "shape: DOES NOT MATCH paper\n"
+	}
+	return s
+}
+
+// Options tunes experiment size.
+type Options struct {
+	// Runs is the number of seeds per configuration (default 50).
+	Runs int
+	// Seed is the master seed.
+	Seed uint64
+	// Quick shrinks sweeps for fast CI runs.
+	Quick bool
+}
+
+func (o Options) runs(def int) int {
+	if o.Runs > 0 {
+		return o.Runs
+	}
+	if o.Quick {
+		return def / 5
+	}
+	return def
+}
+
+// CommitRun configures one simulated Protocol 2 execution.
+type CommitRun struct {
+	N          int
+	T          int // default (N-1)/2
+	K          int // default 4
+	Votes      []types.Value
+	CoinFactor int
+	Seed       uint64
+	Adversary  sim.Adversary // default RoundRobin
+	MaxSteps   int
+	Record     bool
+	Unsafe     bool
+}
+
+// RunCommit executes Protocol 2 under the simulator and returns the result
+// plus the machines (for stage inspection).
+func RunCommit(cfg CommitRun) (*sim.Result, []*core.Commit, error) {
+	if cfg.K == 0 {
+		cfg.K = 4
+	}
+	if cfg.T == 0 && !cfg.Unsafe {
+		cfg.T = (cfg.N - 1) / 2
+	}
+	votes := cfg.Votes
+	if votes == nil {
+		votes = AllVotes(cfg.N, types.V1)
+	}
+	adv := cfg.Adversary
+	if adv == nil {
+		adv = &adversary.RoundRobin{}
+	}
+	machines := make([]types.Machine, cfg.N)
+	commits := make([]*core.Commit, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		m, err := core.New(core.Config{
+			ID: types.ProcID(i), N: cfg.N, T: cfg.T, K: cfg.K,
+			Vote: votes[i], CoinFactor: cfg.CoinFactor, Gadget: true,
+			Unsafe: cfg.Unsafe,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		machines[i] = m
+		commits[i] = m
+	}
+	res, err := sim.Run(sim.Config{
+		K: cfg.K, Machines: machines, Adversary: adv,
+		Seeds:    rng.NewCollection(cfg.Seed, cfg.N),
+		MaxSteps: cfg.MaxSteps, Record: cfg.Record,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, commits, nil
+}
+
+// AgreementRun configures one simulated agreement execution.
+type AgreementRun struct {
+	N         int
+	T         int // default (N-1)/2
+	Initial   []types.Value
+	Shared    bool // true: Protocol 1 (list coins); false: plain Ben-Or
+	CoinCount int  // default N
+	Seed      uint64
+	Adversary sim.Adversary
+	MaxSteps  int
+	Record    bool
+}
+
+// RunAgreement executes Protocol 1 or Ben-Or under the simulator.
+func RunAgreement(cfg AgreementRun) (*sim.Result, []*agreement.Machine, error) {
+	if cfg.T == 0 {
+		cfg.T = (cfg.N - 1) / 2
+	}
+	if cfg.CoinCount == 0 {
+		cfg.CoinCount = cfg.N
+	}
+	adv := cfg.Adversary
+	if adv == nil {
+		adv = &adversary.RoundRobin{}
+	}
+	var src agreement.CoinSource
+	if cfg.Shared {
+		src = agreement.ListCoin{Coins: rng.NewStream(cfg.Seed ^ 0xC0175).Bits(cfg.CoinCount)}
+	} else {
+		src = agreement.LocalCoin{}
+	}
+	machines := make([]types.Machine, cfg.N)
+	ams := make([]*agreement.Machine, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		m, err := agreement.New(agreement.Config{
+			ID: types.ProcID(i), N: cfg.N, T: cfg.T,
+			Initial: cfg.Initial[i], Coins: src, Gadget: true,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		machines[i] = m
+		ams[i] = m
+	}
+	res, err := sim.Run(sim.Config{
+		K: 2, Machines: machines, Adversary: adv,
+		Seeds:    rng.NewCollection(cfg.Seed, cfg.N),
+		MaxSteps: cfg.MaxSteps, Record: cfg.Record,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, ams, nil
+}
+
+// AllVotes returns n copies of v.
+func AllVotes(n int, v types.Value) []types.Value {
+	out := make([]types.Value, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// SplitVotes returns a maximally split input vector (alternating 1, 0).
+func SplitVotes(n int) []types.Value {
+	out := make([]types.Value, n)
+	for i := range out {
+		out[i] = types.Value((i + 1) % 2)
+	}
+	return out
+}
+
+// MaxStage returns the largest decided stage among the machines.
+func MaxStage(ams []*agreement.Machine) int {
+	max := 0
+	for _, m := range ams {
+		if s := m.DecidedStage(); s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// checkRun audits a finished commit run against every applicable §2.4
+// condition; it returns an error on any violation.
+func checkRun(votes []types.Value, res *sim.Result) error {
+	onTime := false
+	if res.Trace != nil {
+		onTime = res.Trace.OnTime()
+	}
+	return trace.CheckAll(votes, res.Outcomes(), res.FailureFree(), onTime)
+}
+
+// baselineMachines2PC builds a 2PC cluster.
+func baselineMachines2PC(n, k int, votes []types.Value, policy twopc.Policy) ([]types.Machine, error) {
+	out := make([]types.Machine, n)
+	for i := 0; i < n; i++ {
+		m, err := twopc.New(twopc.Config{
+			ID: types.ProcID(i), N: n, K: k, Vote: votes[i], Policy: policy,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// baselineMachines3PC builds a 3PC cluster.
+func baselineMachines3PC(n, k int, votes []types.Value) ([]types.Machine, error) {
+	out := make([]types.Machine, n)
+	for i := 0; i < n; i++ {
+		m, err := threepc.New(threepc.Config{
+			ID: types.ProcID(i), N: n, K: k, Vote: votes[i],
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
+	}
+	return out, nil
+}

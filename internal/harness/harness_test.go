@@ -1,0 +1,101 @@
+package harness_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/types"
+)
+
+func quickOpts() harness.Options {
+	return harness.Options{Quick: true, Seed: 1234, Runs: 6}
+}
+
+func TestRunCommitDefaults(t *testing.T) {
+	res, commits, err := harness.RunCommit(harness.CommitRun{N: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllNonfaultyDecided() {
+		t.Fatal("default run undecided")
+	}
+	if len(commits) != 5 {
+		t.Fatalf("machines = %d", len(commits))
+	}
+	for _, c := range commits {
+		if c.Violation() != nil {
+			t.Fatalf("violation: %v", c.Violation())
+		}
+	}
+}
+
+func TestRunAgreementDefaults(t *testing.T) {
+	res, ams, err := harness.RunAgreement(harness.AgreementRun{
+		N: 5, Initial: harness.SplitVotes(5), Shared: true, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllNonfaultyDecided() {
+		t.Fatal("agreement run undecided")
+	}
+	if harness.MaxStage(ams) < 1 {
+		t.Fatal("no stages recorded")
+	}
+}
+
+func TestVoteHelpers(t *testing.T) {
+	av := harness.AllVotes(4, types.V0)
+	for _, v := range av {
+		if v != types.V0 {
+			t.Fatal("AllVotes wrong")
+		}
+	}
+	sv := harness.SplitVotes(5)
+	ones := 0
+	for _, v := range sv {
+		if v == types.V1 {
+			ones++
+		}
+	}
+	if ones != 3 {
+		t.Fatalf("SplitVotes(5) has %d ones, want 3", ones)
+	}
+}
+
+// TestExperimentsQuick runs every experiment in quick mode; each must
+// complete and match the paper's shape.
+func TestExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are moderately expensive")
+	}
+	reports, err := harness.All(quickOpts())
+	if err != nil {
+		t.Fatalf("experiments failed: %v", err)
+	}
+	if len(reports) != 13 {
+		t.Fatalf("got %d reports, want 13", len(reports))
+	}
+	for _, r := range reports {
+		if !r.Pass {
+			t.Errorf("%s (%s) did not match the paper's shape:\n%s", r.ID, r.Title, r)
+		}
+		out := r.String()
+		if !strings.Contains(out, r.ID) || !strings.Contains(out, "Paper claim") {
+			t.Errorf("%s: malformed report rendering", r.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := harness.ByID("E1"); !ok {
+		t.Error("E1 missing")
+	}
+	if _, ok := harness.ByID("E12"); !ok {
+		t.Error("E12 missing")
+	}
+	if _, ok := harness.ByID("E99"); ok {
+		t.Error("E99 should not exist")
+	}
+}

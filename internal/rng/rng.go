@@ -1,0 +1,126 @@
+// Package rng provides the deterministic per-processor random streams of
+// the formal model. The paper (§2.1) equips each processor with an
+// infinite sequence of reals distributed uniformly over [0, 1); a run is
+// uniquely determined by an adversary, an initial configuration, and a
+// collection F of n such sequences (§2.3). This package is that F: a
+// Collection of n independently seeded Streams, reproducible from a single
+// master seed.
+//
+// The generator is SplitMix64, a small, fast, well-distributed stdlib-free
+// PRNG with a full 2^64 period per stream. Streams for distinct processors
+// are decorrelated by hashing (master seed, processor id) through the same
+// mixer.
+package rng
+
+import "repro/internal/types"
+
+// splitmix64 advances a SplitMix64 state and returns the next output.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Stream is one processor's infinite sequence of uniform random numbers.
+// It implements types.Rand. The zero value is a valid stream seeded with 0;
+// prefer NewStream for explicit seeding.
+type Stream struct {
+	state uint64
+	draws int
+}
+
+var _ types.Rand = (*Stream)(nil)
+
+// NewStream returns a stream seeded with seed.
+func NewStream(seed uint64) *Stream {
+	return &Stream{state: seed}
+}
+
+// Uint64 returns the next raw 64-bit output.
+func (s *Stream) Uint64() uint64 {
+	s.draws++
+	return splitmix64(&s.state)
+}
+
+// Float64 returns the next uniform variate in [0, 1) using the top 53 bits.
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bit returns one unbiased random bit.
+func (s *Stream) Bit() types.Value {
+	return types.Value(s.Uint64() >> 63)
+}
+
+// Bits returns i unbiased random bits (the paper's flip(i)).
+func (s *Stream) Bits(i int) []types.Value {
+	out := make([]types.Value, i)
+	var word uint64
+	for k := 0; k < i; k++ {
+		if k%64 == 0 {
+			word = s.Uint64()
+		}
+		out[k] = types.Value((word >> (uint(k) % 64)) & 1)
+	}
+	return out
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire-style rejection-free enough for simulation purposes: modulo
+	// bias is below 2^-32 for all n used here (n << 2^32).
+	return int(s.Uint64() % uint64(n))
+}
+
+// Draws returns the number of raw draws consumed so far. The lower-bound
+// replay machinery uses this to confirm that replays consume randomness
+// identically.
+func (s *Stream) Draws() int { return s.draws }
+
+// Clone returns an independent copy of the stream at its current position.
+func (s *Stream) Clone() *Stream {
+	cp := *s
+	return &cp
+}
+
+// Collection is the paper's F: one stream per processor.
+type Collection struct {
+	streams []*Stream
+}
+
+// NewCollection derives n decorrelated streams from a master seed.
+func NewCollection(master uint64, n int) *Collection {
+	c := &Collection{streams: make([]*Stream, n)}
+	for i := 0; i < n; i++ {
+		// Mix the processor id into the master seed through the same
+		// mixer so adjacent ids do not yield correlated streams.
+		st := master
+		_ = splitmix64(&st)
+		st ^= uint64(i+1) * 0x9e3779b97f4a7c15
+		_ = splitmix64(&st)
+		c.streams[i] = NewStream(st)
+	}
+	return c
+}
+
+// N returns the number of streams.
+func (c *Collection) N() int { return len(c.streams) }
+
+// Stream returns processor p's stream.
+func (c *Collection) Stream(p types.ProcID) *Stream {
+	return c.streams[p]
+}
+
+// Clone deep-copies the collection at its current position.
+func (c *Collection) Clone() *Collection {
+	cp := &Collection{streams: make([]*Stream, len(c.streams))}
+	for i, s := range c.streams {
+		cp.streams[i] = s.Clone()
+	}
+	return cp
+}

@@ -1,0 +1,170 @@
+package rng_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/types"
+)
+
+func TestStreamDeterminism(t *testing.T) {
+	a, b := rng.NewStream(42), rng.NewStream(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at draw %d", i)
+		}
+	}
+	c := rng.NewStream(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if rng.NewStream(42).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d equal draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := rng.NewStream(7)
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+		sum += f
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("Float64 mean %.4f far from 0.5", mean)
+	}
+}
+
+func TestBitsUnbiasedAndValid(t *testing.T) {
+	s := rng.NewStream(11)
+	counts := [2]int{}
+	for i := 0; i < 200; i++ {
+		bits := s.Bits(100)
+		if len(bits) != 100 {
+			t.Fatalf("Bits(100) returned %d", len(bits))
+		}
+		for _, b := range bits {
+			if !b.Valid() {
+				t.Fatalf("invalid bit %v", b)
+			}
+			counts[b]++
+		}
+	}
+	total := counts[0] + counts[1]
+	frac := float64(counts[1]) / float64(total)
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("bit bias: %d zeros vs %d ones", counts[0], counts[1])
+	}
+}
+
+func TestBitsZeroAndSingle(t *testing.T) {
+	s := rng.NewStream(1)
+	if got := s.Bits(0); len(got) != 0 {
+		t.Errorf("Bits(0) returned %d bits", len(got))
+	}
+	if got := s.Bit(); !got.Valid() {
+		t.Errorf("Bit() invalid: %v", got)
+	}
+}
+
+func TestIntnBoundsAndPanic(t *testing.T) {
+	s := rng.NewStream(3)
+	for i := 0; i < 1000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	s.Intn(0)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := rng.NewStream(5)
+	s.Uint64()
+	c := s.Clone()
+	if s.Uint64() != c.Uint64() {
+		t.Fatal("clone diverged immediately")
+	}
+	// Advancing the clone must not affect the original.
+	c.Uint64()
+	c2 := s.Clone()
+	if got, want := s.Draws(), c2.Draws(); got != want {
+		t.Fatalf("draw counts differ: %d vs %d", got, want)
+	}
+}
+
+func TestCollectionStreamsAreDecorrelated(t *testing.T) {
+	c := rng.NewCollection(99, 8)
+	if c.N() != 8 {
+		t.Fatalf("N = %d", c.N())
+	}
+	matches := 0
+	const draws = 500
+	for p := 1; p < 8; p++ {
+		a := c.Stream(0).Clone()
+		b := c.Stream(types.ProcID(p)).Clone()
+		for i := 0; i < draws; i++ {
+			if a.Uint64() == b.Uint64() {
+				matches++
+			}
+		}
+	}
+	if matches > 2 {
+		t.Errorf("streams share %d draws", matches)
+	}
+}
+
+func TestCollectionCloneIsDeep(t *testing.T) {
+	c := rng.NewCollection(1, 3)
+	c.Stream(0).Uint64()
+	cp := c.Clone()
+	want := cp.Stream(0).Clone().Uint64()
+	// Drawing from the original must not move the clone.
+	c.Stream(0).Uint64()
+	if got := cp.Stream(0).Uint64(); got != want {
+		t.Fatalf("clone advanced with original")
+	}
+}
+
+func TestQuickBitsLength(t *testing.T) {
+	s := rng.NewStream(17)
+	f := func(k uint8) bool {
+		n := int(k % 130)
+		return len(s.Bits(n)) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDrawsCount(t *testing.T) {
+	s := rng.NewStream(2)
+	if s.Draws() != 0 {
+		t.Fatalf("fresh stream has %d draws", s.Draws())
+	}
+	s.Uint64()
+	s.Float64()
+	s.Bit()
+	if s.Draws() != 3 {
+		t.Fatalf("Draws = %d, want 3", s.Draws())
+	}
+	s.Bits(65) // needs two words
+	if s.Draws() != 5 {
+		t.Fatalf("Draws after Bits(65) = %d, want 5", s.Draws())
+	}
+}

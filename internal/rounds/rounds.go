@@ -1,0 +1,144 @@
+// Package rounds implements the paper's asynchronous round measure
+// (§2.2), the time complexity notion under which Protocol 2 decides in a
+// small constant expected number of rounds (Theorem 10).
+//
+// Definition (per processor p, inductively): asynchronous round 1 begins
+// when p first takes a step and ends when p's clock reads K. Round r > 1
+// begins at the end of p's round r−1 and ends either K clock ticks after
+// the end of round r−1, or K clock ticks after p receives the last message
+// sent by a nonfaulty processor q in q's round r−1 — whichever is later.
+//
+// The definition is inherently retrospective ("the last message ... in q's
+// round r−1" is known only once the whole run is in hand), so the analyzer
+// operates on recorded traces. Rounds are computed level by level: the
+// boundaries of everyone's round r−1 determine which messages belong to
+// round r−1, which in turn determine everyone's round r.
+package rounds
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// Analysis holds the computed round structure of one run.
+type Analysis struct {
+	K int
+	N int
+	// EndClock[p][r-1] is the clock value at which p's round r ends.
+	EndClock [][]int
+	// Faulty[p] marks processors whose messages do not extend rounds
+	// (crashed processors are the faulty ones in a finite trace).
+	Faulty []bool
+	maxR   int
+}
+
+// Analyze computes round boundaries for every processor from a recorded
+// trace, up to maxRounds levels (enough levels to classify every event in
+// the trace are computed when maxRounds <= 0).
+func Analyze(tr *trace.Trace, maxRounds int) (*Analysis, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("rounds: nil trace")
+	}
+	if tr.K < 1 {
+		return nil, fmt.Errorf("rounds: trace has invalid K=%d", tr.K)
+	}
+	n := tr.N
+	a := &Analysis{K: tr.K, N: n, Faulty: make([]bool, n)}
+	crashed := tr.CrashedSet()
+	for p := range a.Faulty {
+		a.Faulty[p] = crashed[types.ProcID(p)]
+	}
+
+	// Highest clock any processor reaches bounds the number of rounds:
+	// each round spans at least K ticks.
+	maxClock := 0
+	for p := 0; p < n; p++ {
+		if c := len(tr.ProcEvents(types.ProcID(p))); c > maxClock {
+			maxClock = c
+		}
+	}
+	levels := maxClock/tr.K + 2
+	if maxRounds > 0 && maxRounds < levels {
+		levels = maxRounds
+	}
+	a.maxR = levels
+
+	a.EndClock = make([][]int, n)
+	for p := 0; p < n; p++ {
+		a.EndClock[p] = make([]int, levels)
+		a.EndClock[p][0] = tr.K // round 1 ends when the clock reads K
+	}
+
+	// inRound reports whether sender q's clock value c falls in q's round
+	// r (1-based), given boundaries computed so far.
+	inRound := func(q types.ProcID, c, r int) bool {
+		lo := 0
+		if r >= 2 {
+			lo = a.EndClock[q][r-2]
+		}
+		return c > lo && c <= a.EndClock[q][r-1]
+	}
+
+	for r := 2; r <= levels; r++ {
+		// lastRecv[p] = p's clock at the latest receipt of a message sent
+		// by a nonfaulty q during q's round r−1.
+		lastRecv := make([]int, n)
+		for i := range tr.Msgs {
+			m := &tr.Msgs[i]
+			if !m.Delivered() || a.Faulty[m.From] {
+				continue
+			}
+			if !inRound(m.From, m.SentClock, r-1) {
+				continue
+			}
+			if m.RecvClock > lastRecv[m.To] {
+				lastRecv[m.To] = m.RecvClock
+			}
+		}
+		for p := 0; p < n; p++ {
+			end := a.EndClock[p][r-2] + tr.K
+			if alt := lastRecv[p] + tr.K; alt > end {
+				end = alt
+			}
+			a.EndClock[p][r-1] = end
+		}
+	}
+	return a, nil
+}
+
+// RoundAt returns the asynchronous round processor p is in at clock value
+// c (c >= 1). If c lies beyond the computed levels, the final level+1 is
+// returned.
+func (a *Analysis) RoundAt(p types.ProcID, c int) int {
+	if c <= 0 {
+		return 0
+	}
+	for r := 1; r <= a.maxR; r++ {
+		if c <= a.EndClock[p][r-1] {
+			return r
+		}
+	}
+	return a.maxR + 1
+}
+
+// DecisionRound returns the largest round in which any non-crashed
+// processor decided, given the per-processor decision clocks (-1 for
+// undecided). This is the r of the paper's DONE(R, r). The second return
+// is false if some non-crashed processor never decided.
+func (a *Analysis) DecisionRound(decidedClock []int) (int, bool) {
+	maxR := 0
+	for p := 0; p < a.N; p++ {
+		if a.Faulty[p] {
+			continue
+		}
+		if decidedClock[p] < 0 {
+			return 0, false
+		}
+		if r := a.RoundAt(types.ProcID(p), decidedClock[p]); r > maxR {
+			maxR = r
+		}
+	}
+	return maxR, true
+}

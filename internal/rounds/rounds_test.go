@@ -1,0 +1,205 @@
+package rounds_test
+
+import (
+	"testing"
+
+	"repro/internal/rounds"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// buildLockstep constructs a synthetic lockstep trace: n processors step
+// in cycles; at the first tick of each synchronous round (clock 1, K+1,
+// 2K+1, ...) every processor broadcasts; each message is received exactly
+// at the receiving processor's round-end tick (clock rK), i.e. with delay
+// K−1 recipient ticks — "all message delays are exactly K" in the paper's
+// inclusive counting. Returns the trace.
+func buildLockstep(n, k, numRounds int) *trace.Trace {
+	tr := trace.New(n, k)
+	totalTicks := numRounds * k
+	seq := 0
+	// Route every broadcast message to every processor; track per
+	// (recvClock, to) the seq list.
+	recvAt := make(map[[2]int][]int) // {recvClock, to} -> seqs
+
+	for tick := 1; tick <= totalTicks; tick++ {
+		for p := 0; p < n; p++ {
+			eventIdx := (tick-1)*n + p
+			var sent []int
+			if (tick-1)%k == 0 {
+				for to := 0; to < n; to++ {
+					tr.AddMsg(trace.MsgRecord{
+						Seq: seq, From: types.ProcID(p), To: types.ProcID(to),
+						Kind: "beacon", SentEvent: eventIdx, SentClock: tick,
+					})
+					rc := tick + k - 1
+					recvAt[[2]int{rc, to}] = append(recvAt[[2]int{rc, to}], seq)
+					sent = append(sent, seq)
+					seq++
+				}
+			}
+			delivered := recvAt[[2]int{tick, p}]
+			tr.AddEvent(trace.Event{
+				Proc: types.ProcID(p), ClockAfter: tick,
+				Delivered: delivered, Sent: sent,
+			})
+			for _, s := range delivered {
+				tr.MarkDelivered(s, eventIdx, tick)
+			}
+		}
+	}
+	return tr
+}
+
+func TestLockstepRoundsMatchSynchronousRounds(t *testing.T) {
+	// §2.2: under lockstep synchrony, round-start sends, and delays
+	// exactly K, asynchronous rounds coincide with synchronous rounds
+	// (round r ends at clock rK).
+	for _, k := range []int{1, 2, 3, 5} {
+		for _, n := range []int{2, 4, 7} {
+			tr := buildLockstep(n, k, 6)
+			a, err := rounds.Analyze(tr, 0)
+			if err != nil {
+				t.Fatalf("k=%d n=%d: %v", k, n, err)
+			}
+			for p := 0; p < n; p++ {
+				for r := 1; r <= 6; r++ {
+					if got := a.EndClock[p][r-1]; got != r*k {
+						t.Fatalf("k=%d n=%d: proc %d round %d ends at %d, want %d",
+							k, n, p, r, got, r*k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLockstepTraceIsOnTime(t *testing.T) {
+	tr := buildLockstep(3, 4, 3)
+	if !tr.OnTime() {
+		t.Fatalf("lockstep delay-K trace should be on-time, late=%v", tr.LateMessages())
+	}
+}
+
+// buildLateMessage constructs a two-processor trace where q=1 sends one
+// message to p=0 at clock 1 and p receives it at clock recvClock; both
+// processors otherwise just tick.
+func buildLateMessage(k, totalTicks, recvClock int, senderCrashAt int) *trace.Trace {
+	tr := trace.New(2, k)
+	tr.AddMsg(trace.MsgRecord{Seq: 0, From: 1, To: 0, Kind: "x", SentEvent: 1, SentClock: 1})
+	for tick := 1; tick <= totalTicks; tick++ {
+		// p = 0 then q = 1 each cycle.
+		var del []int
+		if tick == recvClock {
+			del = []int{0}
+		}
+		ev0 := (tick - 1) * 2
+		tr.AddEvent(trace.Event{Proc: 0, ClockAfter: tick, Delivered: del})
+		if len(del) > 0 {
+			tr.MarkDelivered(0, ev0, tick)
+		}
+		if senderCrashAt > 0 && tick == senderCrashAt {
+			tr.AddEvent(trace.Event{Proc: 1, Crash: true, ClockAfter: tick - 1})
+			senderCrashAt = -1 // only once; q stops stepping
+			continue
+		}
+		if senderCrashAt != -1 {
+			var sent []int
+			if tick == 1 {
+				sent = []int{0}
+			}
+			tr.AddEvent(trace.Event{Proc: 1, ClockAfter: tick, Sent: sent})
+		}
+	}
+	return tr
+}
+
+func TestLateMessageExtendsRound(t *testing.T) {
+	// q sends in its round 1 (clock 1); p receives it at clock 3K. Then
+	// p's round 2 must end at 3K+K (the "whichever happens later" arm).
+	k := 4
+	tr := buildLateMessage(k, 6*k, 3*k, 0)
+	a, err := rounds.Analyze(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.EndClock[0][1], 4*k; got != want {
+		t.Fatalf("p round 2 ends at %d, want %d", got, want)
+	}
+	// And round 3 follows K ticks later (no further round-2 messages).
+	if got, want := a.EndClock[0][2], 5*k; got != want {
+		t.Fatalf("p round 3 ends at %d, want %d", got, want)
+	}
+	if tr.OnTime() {
+		t.Fatalf("trace with 3K-delayed message must not be on-time")
+	}
+}
+
+func TestFaultySenderDoesNotExtendRound(t *testing.T) {
+	// Same shape, but q crashes: q is faulty, so its late message does
+	// not extend p's round 2 (the definition quantifies over nonfaulty
+	// senders only).
+	k := 4
+	tr := buildLateMessage(k, 6*k, 3*k, 2 /* q crashes at its 2nd cycle */)
+	a, err := rounds.Analyze(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Faulty[1] {
+		t.Fatalf("q should be marked faulty")
+	}
+	if got, want := a.EndClock[0][1], 2*k; got != want {
+		t.Fatalf("p round 2 ends at %d, want %d (faulty sender must not extend)", got, want)
+	}
+}
+
+func TestRoundAtAndDecisionRound(t *testing.T) {
+	k := 3
+	tr := buildLockstep(2, k, 4)
+	a, err := rounds.Analyze(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ clock, want int }{
+		{0, 0}, {1, 1}, {k, 1}, {k + 1, 2}, {2 * k, 2}, {2*k + 1, 3},
+	}
+	for _, c := range cases {
+		if got := a.RoundAt(0, c.clock); got != c.want {
+			t.Errorf("RoundAt(0, %d) = %d, want %d", c.clock, got, c.want)
+		}
+	}
+	if r, ok := a.DecisionRound([]int{k + 1, 2 * k}); !ok || r != 2 {
+		t.Errorf("DecisionRound = %d,%v, want 2,true", r, ok)
+	}
+	if _, ok := a.DecisionRound([]int{k + 1, -1}); ok {
+		t.Errorf("DecisionRound should report failure when a processor is undecided")
+	}
+}
+
+func TestAnalyzeRejectsBadInput(t *testing.T) {
+	if _, err := rounds.Analyze(nil, 0); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, err := rounds.Analyze(trace.New(2, 0), 0); err == nil {
+		t.Error("K=0 trace accepted")
+	}
+}
+
+func TestRoundsAreMonotoneAndSpaced(t *testing.T) {
+	// Structural invariant: round ends strictly increase by at least K.
+	tr := buildLateMessage(2, 40, 12, 0)
+	a, err := rounds.Analyze(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < a.N; p++ {
+		prev := 0
+		for r := 1; r <= len(a.EndClock[p]); r++ {
+			end := a.EndClock[p][r-1]
+			if end < prev+a.K {
+				t.Fatalf("proc %d round %d ends at %d < %d+K", p, r, end, prev)
+			}
+			prev = end
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package runtime executes protocol machines live: one goroutine per
+// processor, a tick clock driving Step calls, and a Transport carrying
+// messages. It is the deployment-shaped counterpart of the simulator —
+// the same machines, driven by wall-clock time instead of an adversary.
+//
+// A clock tick in the formal model is "one step of the processor"; here a
+// node takes one step every TickEvery, consuming whatever messages arrived
+// since the previous tick. The timing constant K of the protocol configs
+// therefore corresponds to K*TickEvery of wall time.
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// NodeConfig configures one live node.
+type NodeConfig struct {
+	Machine   types.Machine
+	Transport transport.Transport
+	Rand      types.Rand
+	// TickEvery is the step period (default 2ms).
+	TickEvery time.Duration
+	// MaxTicks bounds the node's lifetime (default 10000 ticks); the
+	// paper's protocol may legitimately never decide when too many peers
+	// crash, and a live node must not spin forever.
+	MaxTicks int
+	// LingerTicks keeps a decided-and-halted node stepping a little
+	// longer so its final broadcasts drain (default 8).
+	LingerTicks int
+	// OnDecision, if non-nil, is invoked exactly once, from the node's
+	// goroutine, when the machine first decides.
+	OnDecision func(p types.ProcID, v types.Value)
+}
+
+// Node runs one machine.
+type Node struct {
+	cfg  NodeConfig
+	done chan struct{}
+	stop chan struct{}
+
+	mu       sync.Mutex
+	err      error
+	stopOnce sync.Once
+}
+
+// NewNode validates the configuration and prepares a node.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Machine == nil {
+		return nil, errors.New("runtime: nil machine")
+	}
+	if cfg.Transport == nil {
+		return nil, errors.New("runtime: nil transport")
+	}
+	if cfg.Rand == nil {
+		return nil, errors.New("runtime: nil rand")
+	}
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 2 * time.Millisecond
+	}
+	if cfg.MaxTicks <= 0 {
+		cfg.MaxTicks = 10_000
+	}
+	if cfg.LingerTicks <= 0 {
+		cfg.LingerTicks = 8
+	}
+	return &Node{cfg: cfg, done: make(chan struct{}), stop: make(chan struct{})}, nil
+}
+
+// Start launches the node's goroutine. Call Wait (or receive on Done) to
+// join it.
+func (n *Node) Start(ctx context.Context) {
+	go n.run(ctx)
+}
+
+// Done returns a channel closed when the node has stopped.
+func (n *Node) Done() <-chan struct{} { return n.done }
+
+// Stop asks the node to stop after its current tick.
+func (n *Node) Stop() { n.stopOnce.Do(func() { close(n.stop) }) }
+
+// Wait blocks until the node stops and returns its terminal error, if any.
+func (n *Node) Wait() error {
+	<-n.done
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.err
+}
+
+// Machine returns the underlying machine (read its Decision after Wait).
+func (n *Node) Machine() types.Machine { return n.cfg.Machine }
+
+func (n *Node) run(ctx context.Context) {
+	defer close(n.done)
+	ticker := time.NewTicker(n.cfg.TickEvery)
+	defer ticker.Stop()
+
+	linger := -1
+	notified := false
+	for tick := 0; tick < n.cfg.MaxTicks; tick++ {
+		select {
+		case <-ctx.Done():
+			n.setErr(ctx.Err())
+			return
+		case <-n.stop:
+			return
+		case <-ticker.C:
+		}
+		received := n.drain()
+		out := n.cfg.Machine.Step(received, n.cfg.Rand)
+		for i := range out {
+			if err := n.cfg.Transport.Send(out[i]); err != nil {
+				n.setErr(fmt.Errorf("runtime: node %d send: %w", n.cfg.Machine.ID(), err))
+				return
+			}
+		}
+		if !notified && n.cfg.OnDecision != nil {
+			if v, ok := n.cfg.Machine.Decision(); ok {
+				notified = true
+				n.cfg.OnDecision(n.cfg.Machine.ID(), v)
+			}
+		}
+		if n.cfg.Machine.Halted() {
+			if linger < 0 {
+				linger = n.cfg.LingerTicks
+			}
+			linger--
+			if linger <= 0 {
+				return
+			}
+		}
+	}
+}
+
+// drain collects every message currently queued without blocking.
+func (n *Node) drain() []types.Message {
+	var out []types.Message
+	for {
+		select {
+		case m, ok := <-n.cfg.Transport.Recv():
+			if !ok {
+				return out
+			}
+			out = append(out, m)
+		default:
+			return out
+		}
+	}
+}
+
+func (n *Node) setErr(err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.err == nil {
+		n.err = err
+	}
+}
+
+// ClusterResult is the outcome of one cluster run.
+type ClusterResult struct {
+	// Decided[p]/Values[p] report each machine's final decision state.
+	Decided []bool
+	Values  []types.Value
+}
+
+// Decisions renders the outcome as commit-problem decisions.
+func (r *ClusterResult) Decisions() []types.Decision {
+	out := make([]types.Decision, len(r.Decided))
+	for i := range out {
+		if r.Decided[i] {
+			out[i] = types.DecisionOf(r.Values[i])
+		}
+	}
+	return out
+}
+
+// Unanimous returns the common decision if every machine decided the same
+// value, else (DecisionNone, false).
+func (r *ClusterResult) Unanimous() (types.Decision, bool) {
+	if len(r.Decided) == 0 {
+		return types.DecisionNone, false
+	}
+	var v types.Value
+	seen := false
+	for i := range r.Decided {
+		if !r.Decided[i] {
+			return types.DecisionNone, false
+		}
+		if !seen {
+			v, seen = r.Values[i], true
+		} else if r.Values[i] != v {
+			return types.DecisionNone, false
+		}
+	}
+	return types.DecisionOf(v), true
+}
+
+// Cluster runs a set of machines over an in-memory hub.
+type Cluster struct {
+	hub   *transport.Hub
+	nodes []*Node
+}
+
+// ClusterOptions configures NewLocalCluster.
+type ClusterOptions struct {
+	TickEvery time.Duration
+	MaxTicks  int
+	Seed      uint64
+	Hub       transport.HubOptions
+	// OnDecision, if non-nil, is invoked once per node as it decides
+	// (from that node's goroutine; synchronize externally).
+	OnDecision func(p types.ProcID, v types.Value)
+}
+
+// NewLocalCluster wires one node per machine through a fresh hub.
+func NewLocalCluster(machines []types.Machine, opts ClusterOptions) (*Cluster, error) {
+	if len(machines) == 0 {
+		return nil, errors.New("runtime: no machines")
+	}
+	hub := transport.NewHub(len(machines), opts.Hub)
+	seeds := rng.NewCollection(opts.Seed, len(machines))
+	c := &Cluster{hub: hub}
+	for i, m := range machines {
+		node, err := NewNode(NodeConfig{
+			Machine:    m,
+			Transport:  hub.Endpoint(types.ProcID(i)),
+			Rand:       seeds.Stream(types.ProcID(i)),
+			TickEvery:  opts.TickEvery,
+			MaxTicks:   opts.MaxTicks,
+			OnDecision: opts.OnDecision,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.nodes = append(c.nodes, node)
+	}
+	return c, nil
+}
+
+// Hub exposes the cluster's hub for fault injection.
+func (c *Cluster) Hub() *transport.Hub { return c.hub }
+
+// Node returns node p.
+func (c *Cluster) Node(p types.ProcID) *Node { return c.nodes[p] }
+
+// Run starts every node, waits for all to stop (or ctx to end), and
+// collects decisions.
+func (c *Cluster) Run(ctx context.Context) (*ClusterResult, error) {
+	for _, n := range c.nodes {
+		n.Start(ctx)
+	}
+	var firstErr error
+	for _, n := range c.nodes {
+		if err := n.Wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := c.hub.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	res := &ClusterResult{
+		Decided: make([]bool, len(c.nodes)),
+		Values:  make([]types.Value, len(c.nodes)),
+	}
+	for i, n := range c.nodes {
+		if v, ok := n.Machine().Decision(); ok {
+			res.Decided[i] = true
+			res.Values[i] = v
+		}
+	}
+	return res, firstErr
+}
+
+// CrashAfter schedules node p to stop and disconnect after d. It models a
+// crash: the node's goroutine halts and the hub drops its traffic.
+func (c *Cluster) CrashAfter(p types.ProcID, d time.Duration) {
+	time.AfterFunc(d, func() {
+		c.hub.Crash(p)
+		c.nodes[p].Stop()
+	})
+}

@@ -1,0 +1,81 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// commitSetB builds n commit machines for benchmarks.
+func commitSetB(b *testing.B, n int) []types.Machine {
+	b.Helper()
+	out := make([]types.Machine, n)
+	for i := 0; i < n; i++ {
+		m, err := core.New(core.Config{
+			ID: types.ProcID(i), N: n, T: (n - 1) / 2, K: 3,
+			Vote: types.V1, Gadget: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// BenchmarkEngineCommitRun measures full simulated commit runs and
+// reports the engine's event throughput.
+func BenchmarkEngineCommitRun(b *testing.B) {
+	totalSteps := 0
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			K: 3, Machines: commitSetB(b, 7), Adversary: &adversary.RoundRobin{},
+			Seeds: rng.NewCollection(uint64(i), 7),
+		})
+		if err != nil || !res.AllNonfaultyDecided() {
+			b.Fatalf("run failed: %v", err)
+		}
+		totalSteps += res.Steps
+	}
+	b.ReportMetric(float64(totalSteps)/float64(b.N), "events/run")
+}
+
+// BenchmarkEngineRecorded measures the trace-recording overhead.
+func BenchmarkEngineRecorded(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			K: 3, Machines: commitSetB(b, 7), Adversary: &adversary.RoundRobin{},
+			Seeds: rng.NewCollection(uint64(i), 7), Record: true,
+		})
+		if err != nil || res.Trace == nil {
+			b.Fatalf("run failed: %v", err)
+		}
+	}
+}
+
+// BenchmarkFingerprint measures configuration fingerprinting (the
+// explorer's hot path).
+func BenchmarkFingerprint(b *testing.B) {
+	eng, err := sim.NewEngine(sim.Config{
+		K: 3, Machines: commitSetB(b, 5), Adversary: &adversary.RoundRobin{},
+		Seeds: rng.NewCollection(1, 5),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for p := 0; p < 5; p++ {
+		if err := eng.Apply(sim.Choice{Proc: types.ProcID(p)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Fingerprint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/types"
+)
+
+// Fingerprint returns a deterministic encoding of the engine's complete
+// global configuration: every machine's state (via types.Snapshotter),
+// every buffered message, crash flags, clocks, and each processor's
+// randomness position. Two engines with equal fingerprints behave
+// identically under identical future choices, which is what lets the
+// explorer (internal/explore) memoize visited configurations.
+//
+// Fingerprint returns an error if any machine does not implement
+// types.Snapshotter.
+func (eng *Engine) Fingerprint() (string, error) {
+	var b bytes.Buffer
+	for p, m := range eng.machines {
+		s, ok := m.(types.Snapshotter)
+		if !ok {
+			return "", fmt.Errorf("sim: machine %d does not implement Snapshotter", p)
+		}
+		fmt.Fprintf(&b, "m%d draws=%d crashed=%t clock=%d\n",
+			p, eng.seeds.Stream(types.ProcID(p)).Draws(), eng.crashed[p], eng.clocks[p])
+		b.Write(s.Snapshot())
+	}
+	for p := range eng.buffers {
+		seqs := make([]int, 0, len(eng.buffers[p]))
+		for seq := range eng.buffers[p] {
+			seqs = append(seqs, seq)
+		}
+		sort.Ints(seqs)
+		fmt.Fprintf(&b, "buf%d:", p)
+		for _, seq := range seqs {
+			m := eng.buffers[p][seq].msg
+			// Seq numbers differ across interleavings that reach the same
+			// logical configuration, so identify buffered messages by
+			// sender and payload, not by seq.
+			fmt.Fprintf(&b, " <%d:%#v>", m.From, m.Payload)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// Pending returns the seqs currently buffered for p, sorted. Exported for
+// the explorer, which needs to construct delivery choices directly.
+func (eng *Engine) Pending(p types.ProcID) []int {
+	seqs := make([]int, 0, len(eng.buffers[p]))
+	for seq := range eng.buffers[p] {
+		seqs = append(seqs, seq)
+	}
+	sort.Ints(seqs)
+	return seqs
+}

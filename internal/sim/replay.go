@@ -1,0 +1,70 @@
+package sim
+
+import "fmt"
+
+// Recorder wraps an adversary and captures the choice sequence it makes.
+// Because a run is uniquely determined by (adversary, initial
+// configuration, seeds) — the paper's run(A, I, F) — a captured sequence
+// replayed against identically-configured machines reproduces the run
+// exactly. Use it to turn a failing randomized run into a deterministic
+// regression test.
+type Recorder struct {
+	Inner   Adversary
+	Choices []Choice
+}
+
+var _ Adversary = (*Recorder)(nil)
+
+// Next implements Adversary.
+func (r *Recorder) Next(v *View) Choice {
+	c := r.Inner.Next(v)
+	// Copy the deliver slice: inner adversaries may reuse buffers.
+	cp := Choice{Proc: c.Proc, Crash: c.Crash}
+	if len(c.Deliver) > 0 {
+		cp.Deliver = append([]int(nil), c.Deliver...)
+	}
+	r.Choices = append(r.Choices, cp)
+	return c
+}
+
+// Replayer replays a recorded choice sequence verbatim. Once the script
+// is exhausted it keeps idle-stepping processor 0 (reaching that point
+// means the stop condition differed between recording and replay).
+type Replayer struct {
+	Choices []Choice
+	next    int
+}
+
+var _ Adversary = (*Replayer)(nil)
+
+// Next implements Adversary.
+func (r *Replayer) Next(v *View) Choice {
+	if r.next >= len(r.Choices) {
+		return Choice{Proc: 0}
+	}
+	c := r.Choices[r.next]
+	r.next++
+	return c
+}
+
+// Exhausted reports whether the script was fully consumed.
+func (r *Replayer) Exhausted() bool { return r.next >= len(r.Choices) }
+
+// Replay re-executes a recorded run against a fresh machine set. cfg must
+// be identical to the recording configuration except for the adversary,
+// which Replay installs.
+func Replay(cfg Config, choices []Choice) (*Result, error) {
+	if len(choices) == 0 {
+		return nil, fmt.Errorf("sim: empty choice script")
+	}
+	rep := &Replayer{Choices: choices}
+	cfg.Adversary = rep
+	cfg.MaxSteps = len(choices)
+	cfg.Stop = StopNever // run the script to its end
+	res, err := Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Exhausted = false // scripted length is intentional
+	return res, nil
+}

@@ -1,0 +1,174 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+func commitSet(t *testing.T, n int) []types.Machine {
+	t.Helper()
+	out := make([]types.Machine, n)
+	for i := 0; i < n; i++ {
+		m, err := core.New(core.Config{
+			ID: types.ProcID(i), N: n, T: (n - 1) / 2, K: 3,
+			Vote: types.V1, Gadget: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = m
+	}
+	return out
+}
+
+func TestRecordThenReplayReproducesRun(t *testing.T) {
+	n := 5
+	rec := &sim.Recorder{Inner: &adversary.Random{Rand: rng.NewStream(321)}}
+	orig, err := sim.Run(sim.Config{
+		K: 3, Machines: commitSet(t, n), Adversary: rec,
+		Seeds: rng.NewCollection(55, n), Record: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !orig.AllNonfaultyDecided() {
+		t.Fatal("original run undecided")
+	}
+	if len(rec.Choices) != orig.Steps {
+		t.Fatalf("recorded %d choices for %d steps", len(rec.Choices), orig.Steps)
+	}
+
+	replayed, err := sim.Replay(sim.Config{
+		K: 3, Machines: commitSet(t, n),
+		Seeds: rng.NewCollection(55, n), Record: true,
+	}, rec.Choices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.Steps != orig.Steps {
+		t.Fatalf("steps: %d vs %d", replayed.Steps, orig.Steps)
+	}
+	for p := 0; p < n; p++ {
+		if replayed.Decided[p] != orig.Decided[p] || replayed.Values[p] != orig.Values[p] {
+			t.Fatalf("proc %d: decision diverged (%v/%v vs %v/%v)",
+				p, replayed.Decided[p], replayed.Values[p], orig.Decided[p], orig.Values[p])
+		}
+		if replayed.Clocks[p] != orig.Clocks[p] {
+			t.Fatalf("proc %d: clock diverged (%d vs %d)", p, replayed.Clocks[p], orig.Clocks[p])
+		}
+		if replayed.DecidedClock[p] != orig.DecidedClock[p] {
+			t.Fatalf("proc %d: decision clock diverged", p)
+		}
+	}
+	if got, want := len(replayed.Trace.Msgs), len(orig.Trace.Msgs); got != want {
+		t.Fatalf("message count diverged: %d vs %d", got, want)
+	}
+}
+
+func TestReplayWithCrashes(t *testing.T) {
+	n := 5
+	rec := &sim.Recorder{Inner: &adversary.Crash{
+		Inner: &adversary.RoundRobin{},
+		Plan:  []adversary.CrashPlan{{Proc: 4, AtClock: 2}},
+	}}
+	orig, err := sim.Run(sim.Config{
+		K: 3, Machines: commitSet(t, n), Adversary: rec,
+		Seeds: rng.NewCollection(77, n),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := sim.Replay(sim.Config{
+		K: 3, Machines: commitSet(t, n), Seeds: rng.NewCollection(77, n),
+	}, rec.Choices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replayed.Crashed[4] || replayed.Crashed[4] != orig.Crashed[4] {
+		t.Fatalf("crash not replayed: %v vs %v", replayed.Crashed, orig.Crashed)
+	}
+}
+
+func TestReplayRejectsEmptyScript(t *testing.T) {
+	if _, err := sim.Replay(sim.Config{}, nil); err == nil {
+		t.Fatal("empty script accepted")
+	}
+}
+
+func TestReplayerExhaustion(t *testing.T) {
+	r := &sim.Replayer{Choices: []sim.Choice{{Proc: 1}}}
+	if r.Exhausted() {
+		t.Fatal("fresh replayer exhausted")
+	}
+	if c := r.Next(nil); c.Proc != 1 {
+		t.Fatalf("choice = %+v", c)
+	}
+	if !r.Exhausted() {
+		t.Fatal("consumed replayer not exhausted")
+	}
+	// Past the script: idle choice.
+	if c := r.Next(nil); c.Proc != 0 || c.Crash || len(c.Deliver) != 0 {
+		t.Fatalf("post-script choice = %+v", c)
+	}
+}
+
+func TestFingerprintDeterminismAndSensitivity(t *testing.T) {
+	mk := func() (*sim.Engine, error) {
+		return sim.NewEngine(sim.Config{
+			K: 3, Machines: commitSet(t, 3),
+			Adversary: &adversary.RoundRobin{},
+			Seeds:     rng.NewCollection(9, 3),
+		})
+	}
+	a, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := a.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := b.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa != fb {
+		t.Fatal("fresh engines fingerprint differently")
+	}
+	// Apply the same event to both: still equal.
+	if err := a.Apply(sim.Choice{Proc: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Apply(sim.Choice{Proc: 0}); err != nil {
+		t.Fatal(err)
+	}
+	fa, _ = a.Fingerprint()
+	fb, _ = b.Fingerprint()
+	if fa != fb {
+		t.Fatal("identically-evolved engines diverged")
+	}
+	// Divergent event: different fingerprints.
+	if err := a.Apply(sim.Choice{Proc: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Apply(sim.Choice{Proc: 2}); err != nil {
+		t.Fatal(err)
+	}
+	fa, _ = a.Fingerprint()
+	fb, _ = b.Fingerprint()
+	if fa == fb {
+		t.Fatal("different evolutions share a fingerprint")
+	}
+	if got := a.Pending(0); len(got) == 0 {
+		t.Fatal("Pending(0) empty after coordinator broadcast")
+	}
+}

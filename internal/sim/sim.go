@@ -1,0 +1,375 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// StopMode selects when a run ends (finite prefixes of the paper's
+// infinite runs; the budget guards against non-terminating executions,
+// which Theorem 11 makes an expected behaviour when > t processors crash).
+type StopMode int
+
+const (
+	// StopWhenDecided ends the run once every non-crashed machine has
+	// decided. The default: matches the DONE(R, r) event of §2.4.
+	StopWhenDecided StopMode = iota
+	// StopWhenHalted ends the run once every non-crashed machine has both
+	// decided and returned from its protocol (quiescence).
+	StopWhenHalted
+	// StopNever runs until the step budget is exhausted.
+	StopNever
+)
+
+// Config parameterizes one simulated run.
+type Config struct {
+	// K is the timing constant: messages delivered within K clock ticks
+	// are on time (§2.2). Must be >= 1.
+	K int
+	// Machines are the n processors, indexed by ProcID.
+	Machines []types.Machine
+	// Adversary schedules the run.
+	Adversary Adversary
+	// Seeds is the collection F of per-processor random sequences.
+	Seeds *rng.Collection
+	// MaxSteps bounds the run length. Zero selects a generous default.
+	MaxSteps int
+	// Stop selects the termination condition.
+	Stop StopMode
+	// StopWhen, if non-nil, overrides Stop with a custom predicate run
+	// after every event.
+	StopWhen func(*Result) bool
+	// Record enables full trace recording (required by the round analyzer
+	// and the on-time checker).
+	Record bool
+}
+
+// DefaultMaxSteps is the per-run step budget when Config.MaxSteps is zero.
+const DefaultMaxSteps = 200_000
+
+// Result is the outcome of a run.
+type Result struct {
+	N int
+	K int
+
+	// Decided[p] and Values[p] report p's decision status and value.
+	Decided []bool
+	Values  []types.Value
+	// DecidedClock[p] is p's clock when it decided (-1 if undecided).
+	DecidedClock []int
+	// DecidedEvent[p] is the global event index at which p decided (-1 if
+	// undecided).
+	DecidedEvent []int
+	// Crashed[p] reports whether p took a failure step.
+	Crashed []bool
+	// Clocks[p] is p's final clock.
+	Clocks []int
+	// Steps is the total number of events in the run.
+	Steps int
+	// Exhausted reports that the run hit MaxSteps before its stop
+	// condition (how graceful non-termination manifests in finite runs).
+	Exhausted bool
+	// Trace is the recorded run, or nil if Config.Record was false.
+	Trace *trace.Trace
+}
+
+// Outcomes converts the result into per-processor outcome records for the
+// trace checkers.
+func (r *Result) Outcomes() []trace.Outcome {
+	out := make([]trace.Outcome, r.N)
+	for p := 0; p < r.N; p++ {
+		out[p] = trace.Outcome{Decided: r.Decided[p], Value: r.Values[p], Crashed: r.Crashed[p]}
+	}
+	return out
+}
+
+// AllNonfaultyDecided reports whether every non-crashed processor decided.
+func (r *Result) AllNonfaultyDecided() bool {
+	for p := 0; p < r.N; p++ {
+		if !r.Crashed[p] && !r.Decided[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// FailureFree reports whether no processor crashed.
+func (r *Result) FailureFree() bool {
+	for _, c := range r.Crashed {
+		if c {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxDecidedClock returns the largest clock at which any non-crashed
+// processor decided, or -1 if none decided.
+func (r *Result) MaxDecidedClock() int {
+	max := -1
+	for p := 0; p < r.N; p++ {
+		if r.Crashed[p] || !r.Decided[p] {
+			continue
+		}
+		if r.DecidedClock[p] > max {
+			max = r.DecidedClock[p]
+		}
+	}
+	return max
+}
+
+// bufMsg is a buffered, undelivered message plus bookkeeping for the
+// pattern view.
+type bufMsg struct {
+	msg              types.Message
+	recipClockAtSend int
+}
+
+// Engine executes one run.
+type Engine struct {
+	n        int
+	k        int
+	machines []types.Machine
+	adv      Adversary
+	seeds    *rng.Collection
+	buffers  []map[int]bufMsg // per-processor buffer: seq -> message
+	crashed  []bool
+	halted   []bool
+	clocks   []int
+	order    []types.ProcID // acting processor per event
+	nextSeq  int
+	res      *Result
+	tr       *trace.Trace
+}
+
+// NewEngine validates the configuration and prepares an engine. Most
+// callers should use Run.
+func NewEngine(cfg Config) (*Engine, error) {
+	n := len(cfg.Machines)
+	if n == 0 {
+		return nil, errors.New("sim: no machines")
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("sim: K must be >= 1, got %d", cfg.K)
+	}
+	if cfg.Adversary == nil {
+		return nil, errors.New("sim: nil adversary")
+	}
+	if cfg.Seeds == nil || cfg.Seeds.N() < n {
+		return nil, errors.New("sim: seed collection missing or too small")
+	}
+	for i, m := range cfg.Machines {
+		if m == nil {
+			return nil, fmt.Errorf("sim: machine %d is nil", i)
+		}
+		if int(m.ID()) != i {
+			return nil, fmt.Errorf("sim: machine at index %d reports id %d", i, m.ID())
+		}
+	}
+	eng := &Engine{
+		n:        n,
+		k:        cfg.K,
+		machines: cfg.Machines,
+		adv:      cfg.Adversary,
+		seeds:    cfg.Seeds,
+		buffers:  make([]map[int]bufMsg, n),
+		crashed:  make([]bool, n),
+		halted:   make([]bool, n),
+		clocks:   make([]int, n),
+	}
+	for i := range eng.buffers {
+		eng.buffers[i] = make(map[int]bufMsg)
+	}
+	eng.res = &Result{
+		N:            n,
+		K:            cfg.K,
+		Decided:      make([]bool, n),
+		Values:       make([]types.Value, n),
+		DecidedClock: make([]int, n),
+		DecidedEvent: make([]int, n),
+		Crashed:      eng.crashed,
+		Clocks:       eng.clocks,
+	}
+	for p := 0; p < n; p++ {
+		eng.res.DecidedClock[p] = -1
+		eng.res.DecidedEvent[p] = -1
+	}
+	if cfg.Record {
+		eng.tr = trace.New(n, cfg.K)
+		eng.res.Trace = eng.tr
+	}
+	return eng, nil
+}
+
+// Run executes a configured run to completion and returns the result.
+func Run(cfg Config) (*Result, error) {
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	view := &View{eng: eng}
+	var peek *Peek
+	cas, contentAware := cfg.Adversary.(ContentAwareScheduler)
+	if contentAware {
+		peek = &Peek{eng: eng}
+	}
+	for len(eng.order) < maxSteps {
+		if eng.stopped(cfg) {
+			eng.res.Steps = len(eng.order)
+			return eng.res, nil
+		}
+		if contentAware {
+			cas.Inspect(peek)
+		}
+		choice := cfg.Adversary.Next(view)
+		if err := eng.Apply(choice); err != nil {
+			return nil, err
+		}
+	}
+	eng.res.Steps = len(eng.order)
+	eng.res.Exhausted = !eng.stopped(cfg)
+	return eng.res, nil
+}
+
+func (eng *Engine) stopped(cfg Config) bool {
+	if cfg.StopWhen != nil {
+		return cfg.StopWhen(eng.res)
+	}
+	switch cfg.Stop {
+	case StopNever:
+		return false
+	case StopWhenHalted:
+		for p := 0; p < eng.n; p++ {
+			if eng.crashed[p] {
+				continue
+			}
+			if !eng.res.Decided[p] || !eng.halted[p] {
+				return false
+			}
+		}
+		return true
+	default: // StopWhenDecided
+		for p := 0; p < eng.n; p++ {
+			if !eng.crashed[p] && !eng.res.Decided[p] {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Apply executes one event chosen by the adversary. Exported so the
+// lower-bound machinery can drive an engine event by event.
+func (eng *Engine) Apply(c Choice) error {
+	p := c.Proc
+	if p < 0 || int(p) >= eng.n {
+		return fmt.Errorf("sim: adversary chose invalid processor %d", p)
+	}
+	if eng.crashed[p] {
+		return fmt.Errorf("sim: adversary stepped crashed processor %d", p)
+	}
+	eventIdx := len(eng.order)
+	eng.order = append(eng.order, p)
+
+	if c.Crash {
+		if len(c.Deliver) != 0 {
+			return fmt.Errorf("sim: crash step for %d may not deliver messages", p)
+		}
+		eng.crashed[p] = true
+		if eng.tr != nil {
+			eng.tr.AddEvent(trace.Event{Proc: p, Crash: true, ClockAfter: eng.clocks[p]})
+		}
+		return nil
+	}
+
+	// Collect the delivered set M from p's buffer.
+	delivered := make([]types.Message, 0, len(c.Deliver))
+	for _, seq := range c.Deliver {
+		bm, ok := eng.buffers[p][seq]
+		if !ok {
+			return fmt.Errorf("sim: adversary delivered absent message %d to processor %d", seq, p)
+		}
+		delivered = append(delivered, bm.msg)
+		delete(eng.buffers[p], seq)
+	}
+	// Deterministic delivery order within the set (buffers are sets; the
+	// machine must not depend on order, but determinism aids replay).
+	sort.Slice(delivered, func(i, j int) bool { return delivered[i].Seq < delivered[j].Seq })
+
+	out := eng.machines[p].Step(delivered, eng.seeds.Stream(p))
+	eng.clocks[p]++
+	eng.halted[p] = eng.machines[p].Halted()
+
+	// Stamp and enqueue outgoing messages.
+	sentSeqs := make([]int, 0, len(out))
+	for i := range out {
+		m := out[i]
+		if m.From != p {
+			return fmt.Errorf("sim: machine %d sent message with From=%d", p, m.From)
+		}
+		if m.To < 0 || int(m.To) >= eng.n {
+			return fmt.Errorf("sim: machine %d sent message to invalid processor %d", p, m.To)
+		}
+		m.Seq = eng.nextSeq
+		eng.nextSeq++
+		m.SentClock = eng.clocks[p]
+		m.SentEvent = eventIdx
+		eng.buffers[m.To][m.Seq] = bufMsg{msg: m, recipClockAtSend: eng.clocks[m.To]}
+		sentSeqs = append(sentSeqs, m.Seq)
+		if eng.tr != nil {
+			kind := ""
+			if m.Payload != nil {
+				kind = m.Payload.Kind()
+			}
+			eng.tr.AddMsg(trace.MsgRecord{
+				Seq: m.Seq, From: m.From, To: m.To, Kind: kind,
+				Bits:      types.SizeOf(m.Payload),
+				SentEvent: eventIdx, SentClock: m.SentClock,
+			})
+		}
+	}
+
+	// Record decision transitions.
+	if !eng.res.Decided[p] {
+		if v, ok := eng.machines[p].Decision(); ok {
+			eng.res.Decided[p] = true
+			eng.res.Values[p] = v
+			eng.res.DecidedClock[p] = eng.clocks[p]
+			eng.res.DecidedEvent[p] = eventIdx
+		}
+	} else if v, ok := eng.machines[p].Decision(); !ok || v != eng.res.Values[p] {
+		return fmt.Errorf("sim: machine %d changed or withdrew its decision", p)
+	}
+
+	if eng.tr != nil {
+		deliveredSeqs := make([]int, len(delivered))
+		for i, m := range delivered {
+			deliveredSeqs[i] = m.Seq
+			eng.tr.MarkDelivered(m.Seq, eventIdx, eng.clocks[p])
+		}
+		eng.tr.AddEvent(trace.Event{
+			Proc: p, ClockAfter: eng.clocks[p],
+			Delivered: deliveredSeqs, Sent: sentSeqs,
+		})
+	}
+	return nil
+}
+
+// Crashed reports whether processor p has crashed.
+func (eng *Engine) Crashed(p types.ProcID) bool { return eng.crashed[p] }
+
+// Result returns the engine's live result record.
+func (eng *Engine) Result() *Result { return eng.res }
+
+// View returns a pattern view over the engine, for adversaries driven
+// manually via Apply.
+func (eng *Engine) View() *View { return &View{eng: eng} }

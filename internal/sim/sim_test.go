@@ -1,0 +1,365 @@
+package sim_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// echoMachine is a minimal machine for engine tests: on its first step it
+// broadcasts one "ping"; it decides 1 once it has received pings from all
+// n processors, then halts.
+type echoMachine struct {
+	id      types.ProcID
+	n       int
+	clock   int
+	started bool
+	got     map[types.ProcID]bool
+	decided bool
+	halted  bool
+}
+
+type ping struct{}
+
+func (ping) Kind() string { return "ping" }
+
+func newEcho(id types.ProcID, n int) *echoMachine {
+	return &echoMachine{id: id, n: n, got: make(map[types.ProcID]bool)}
+}
+
+func (m *echoMachine) ID() types.ProcID { return m.id }
+func (m *echoMachine) Clock() int       { return m.clock }
+func (m *echoMachine) Halted() bool     { return m.halted }
+func (m *echoMachine) Decision() (types.Value, bool) {
+	return types.V1, m.decided
+}
+
+func (m *echoMachine) Step(received []types.Message, _ types.Rand) []types.Message {
+	m.clock++
+	if m.halted {
+		return nil
+	}
+	for _, msg := range received {
+		m.got[msg.From] = true
+	}
+	var out []types.Message
+	if !m.started {
+		m.started = true
+		out = types.Broadcast(m.id, m.n, ping{})
+	}
+	if len(m.got) == m.n {
+		m.decided = true
+		m.halted = true
+	}
+	return out
+}
+
+// deliverAll is a trivial fair adversary.
+type deliverAll struct{ next int }
+
+func (a *deliverAll) Next(v *sim.View) sim.Choice {
+	n := v.N()
+	var p types.ProcID
+	for i := 0; i < n; i++ {
+		p = types.ProcID((a.next + i) % n)
+		if !v.Crashed(p) {
+			a.next = (int(p) + 1) % n
+			break
+		}
+	}
+	var del []int
+	for _, pm := range v.Pending(p) {
+		del = append(del, pm.Seq)
+	}
+	return sim.Choice{Proc: p, Deliver: del}
+}
+
+func machines(n int) []types.Machine {
+	out := make([]types.Machine, n)
+	for i := 0; i < n; i++ {
+		out[i] = newEcho(types.ProcID(i), n)
+	}
+	return out
+}
+
+func TestRunBasic(t *testing.T) {
+	res, err := sim.Run(sim.Config{
+		K: 2, Machines: machines(4), Adversary: &deliverAll{},
+		Seeds: rng.NewCollection(1, 4), Record: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllNonfaultyDecided() || res.Exhausted {
+		t.Fatalf("run did not complete: %+v", res)
+	}
+	if res.Trace == nil || len(res.Trace.Events) != res.Steps {
+		t.Fatalf("trace inconsistent")
+	}
+	// 4 processors broadcast 4 pings each.
+	if got := len(res.Trace.Msgs); got != 16 {
+		t.Fatalf("messages = %d, want 16", got)
+	}
+	st := res.Trace.Stats()
+	if st.Sent != 16 || st.ByKind["ping"] != 16 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if !res.FailureFree() {
+		t.Error("no crashes were scheduled")
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	seeds := rng.NewCollection(1, 2)
+	cases := []sim.Config{
+		{},
+		{K: 1, Machines: machines(2), Seeds: seeds},                                                                // nil adversary
+		{K: 0, Machines: machines(2), Adversary: &deliverAll{}, Seeds: seeds},                                      // bad K
+		{K: 1, Machines: machines(2), Adversary: &deliverAll{}},                                                    // nil seeds
+		{K: 1, Machines: machines(3), Adversary: &deliverAll{}, Seeds: seeds},                                      // seeds too small
+		{K: 1, Machines: []types.Machine{nil, nil}, Adversary: &deliverAll{}, Seeds: seeds},                        // nil machine
+		{K: 1, Machines: []types.Machine{newEcho(1, 1)}, Adversary: &deliverAll{}, Seeds: rng.NewCollection(1, 1)}, // id mismatch
+	}
+	for i, cfg := range cases {
+		if _, err := sim.Run(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+// badChoiceAdversary emits one invalid choice.
+type badChoiceAdversary struct{ choice sim.Choice }
+
+func (a *badChoiceAdversary) Next(*sim.View) sim.Choice { return a.choice }
+
+func TestInvalidChoicesRejected(t *testing.T) {
+	mk := func() sim.Config {
+		return sim.Config{K: 1, Machines: machines(2), Seeds: rng.NewCollection(1, 2)}
+	}
+	bad := []sim.Choice{
+		{Proc: -1},
+		{Proc: 7},
+		{Proc: 0, Deliver: []int{99}}, // absent message
+		{Proc: 0, Crash: true, Deliver: []int{0}}, // crash with delivery
+	}
+	for i, c := range bad {
+		cfg := mk()
+		cfg.Adversary = &badChoiceAdversary{choice: c}
+		if _, err := sim.Run(cfg); err == nil {
+			t.Errorf("bad choice %d accepted", i)
+		}
+	}
+}
+
+func TestSteppingCrashedProcessorRejected(t *testing.T) {
+	// First crash 0, then attempt to step it.
+	calls := 0
+	adv := advFunc(func(v *sim.View) sim.Choice {
+		calls++
+		return sim.Choice{Proc: 0, Crash: calls == 1}
+	})
+	_, err := sim.Run(sim.Config{
+		K: 1, Machines: machines(2), Adversary: adv, Seeds: rng.NewCollection(1, 2),
+	})
+	if err == nil || !strings.Contains(err.Error(), "crashed") {
+		t.Fatalf("err = %v, want crashed-processor rejection", err)
+	}
+}
+
+type advFunc func(v *sim.View) sim.Choice
+
+func (f advFunc) Next(v *sim.View) sim.Choice { return f(v) }
+
+func TestMaxStepsExhaustion(t *testing.T) {
+	// An adversary that starves everyone (steps processor 0 with no
+	// deliveries) forever: the run must stop at MaxSteps, exhausted.
+	adv := advFunc(func(v *sim.View) sim.Choice { return sim.Choice{Proc: 0} })
+	res, err := sim.Run(sim.Config{
+		K: 1, Machines: machines(2), Adversary: adv,
+		Seeds: rng.NewCollection(1, 2), MaxSteps: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted || res.Steps != 500 {
+		t.Fatalf("exhausted=%v steps=%d", res.Exhausted, res.Steps)
+	}
+	if res.AllNonfaultyDecided() {
+		t.Error("starved run should not decide")
+	}
+}
+
+func TestStopWhenPredicate(t *testing.T) {
+	stopped := false
+	res, err := sim.Run(sim.Config{
+		K: 1, Machines: machines(2), Adversary: &deliverAll{},
+		Seeds: rng.NewCollection(1, 2),
+		StopWhen: func(r *sim.Result) bool {
+			stopped = r.Steps >= 0 && r.Clocks[0] >= 3
+			return stopped
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stopped || res.Clocks[0] < 3 {
+		t.Fatalf("custom stop not honored: %+v", res.Clocks)
+	}
+}
+
+func TestViewExposesPatternOnly(t *testing.T) {
+	var sawPending bool
+	adv := advFunc(func(v *sim.View) sim.Choice {
+		if v.N() != 3 || v.K() != 2 {
+			t.Errorf("view basics wrong: n=%d k=%d", v.N(), v.K())
+		}
+		p := types.ProcID(v.Events() % 3)
+		pend := v.Pending(p)
+		if len(pend) > 0 {
+			sawPending = true
+			if v.PendingCount(p) != len(pend) {
+				t.Errorf("PendingCount mismatch")
+			}
+			for i := 1; i < len(pend); i++ {
+				if pend[i].Seq <= pend[i-1].Seq {
+					t.Errorf("Pending not sorted by seq")
+				}
+			}
+			for _, pm := range pend {
+				if pm.AgeSteps < 0 {
+					t.Errorf("negative age")
+				}
+			}
+		}
+		var del []int
+		for _, pm := range pend {
+			del = append(del, pm.Seq)
+		}
+		return sim.Choice{Proc: p, Deliver: del}
+	})
+	_, err := sim.Run(sim.Config{
+		K: 2, Machines: machines(3), Adversary: adv, Seeds: rng.NewCollection(9, 3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawPending {
+		t.Error("adversary never observed pending messages")
+	}
+}
+
+func TestAliveListsUncrashed(t *testing.T) {
+	step := 0
+	adv := advFunc(func(v *sim.View) sim.Choice {
+		step++
+		if step == 1 {
+			return sim.Choice{Proc: 1, Crash: true}
+		}
+		alive := v.Alive()
+		if len(alive) != 2 {
+			t.Errorf("alive = %v, want procs 0 and 2", alive)
+		}
+		for _, p := range alive {
+			if p == 1 {
+				t.Errorf("crashed proc listed alive")
+			}
+		}
+		var del []int
+		p := alive[step%2]
+		for _, pm := range v.Pending(p) {
+			del = append(del, pm.Seq)
+		}
+		return sim.Choice{Proc: p, Deliver: del}
+	})
+	res, err := sim.Run(sim.Config{
+		K: 1, Machines: machines(3), Adversary: adv,
+		Seeds: rng.NewCollection(2, 3), MaxSteps: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Crashed[1] {
+		t.Error("crash not recorded")
+	}
+	// Echo machines need all 3 pings; with proc 1 dead before sending,
+	// survivors cannot decide: the run exhausts.
+	if !res.Exhausted {
+		t.Error("expected exhaustion with a pre-send crash")
+	}
+}
+
+func TestCrashBeforeAnyStepMeansNoMessages(t *testing.T) {
+	// Crash processor 0 before its first step: it never broadcasts; its
+	// buffer may fill but nothing escapes. Guarantees the failure step
+	// (p, ⊥) semantics.
+	step := 0
+	adv := advFunc(func(v *sim.View) sim.Choice {
+		step++
+		if step == 1 {
+			return sim.Choice{Proc: 0, Crash: true}
+		}
+		p := types.ProcID(1 + (step % 2))
+		var del []int
+		for _, pm := range v.Pending(p) {
+			if pm.From == 0 {
+				t.Errorf("message from never-stepped crashed processor")
+			}
+			del = append(del, pm.Seq)
+		}
+		return sim.Choice{Proc: p, Deliver: del}
+	})
+	res, err := sim.Run(sim.Config{
+		K: 1, Machines: machines(3), Adversary: adv,
+		Seeds: rng.NewCollection(3, 3), MaxSteps: 100, Record: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clocks[0] != 0 {
+		t.Errorf("crashed-at-birth processor has clock %d", res.Clocks[0])
+	}
+}
+
+func TestStopWhenHalted(t *testing.T) {
+	res, err := sim.Run(sim.Config{
+		K: 1, Machines: machines(2), Adversary: &deliverAll{},
+		Seeds: rng.NewCollection(4, 2), Stop: sim.StopWhenHalted,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exhausted {
+		t.Fatal("echo machines should quiesce")
+	}
+}
+
+func TestDecisionClockRecorded(t *testing.T) {
+	res, err := sim.Run(sim.Config{
+		K: 1, Machines: machines(3), Adversary: &deliverAll{},
+		Seeds: rng.NewCollection(5, 3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 3; p++ {
+		if !res.Decided[p] {
+			t.Fatalf("proc %d undecided", p)
+		}
+		if res.DecidedClock[p] <= 0 || res.DecidedClock[p] > res.Clocks[p] {
+			t.Errorf("proc %d decided clock %d (final %d)", p, res.DecidedClock[p], res.Clocks[p])
+		}
+		if res.DecidedEvent[p] < 0 || res.DecidedEvent[p] >= res.Steps {
+			t.Errorf("proc %d decided event %d", p, res.DecidedEvent[p])
+		}
+	}
+	if res.MaxDecidedClock() <= 0 {
+		t.Error("MaxDecidedClock not positive")
+	}
+	outs := res.Outcomes()
+	if len(outs) != 3 || !outs[0].Decided {
+		t.Errorf("outcomes = %+v", outs)
+	}
+}

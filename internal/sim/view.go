@@ -1,0 +1,140 @@
+// Package sim executes protocols under the formal model of the paper
+// (§2.1–§2.3): processors are state machines with message buffers modeled
+// as sets; an adversary chooses, event by event, which processor steps,
+// which buffered messages it receives, and which processors crash. Runs
+// are uniquely determined by (adversary, initial configuration, random
+// seed collection), matching the paper's run(A, I, F).
+package sim
+
+import (
+	"sort"
+
+	"repro/internal/types"
+)
+
+// PendingMessage is the adversary-visible description of one undelivered
+// message in a processor's buffer. Only pattern information is exposed —
+// never the payload, per the content-oblivious adversary of §2.3.
+type PendingMessage struct {
+	Seq       int
+	From      types.ProcID
+	SentEvent int
+	// AgeSteps is the number of steps the recipient has taken since the
+	// message was sent. This is deducible from the message pattern (the
+	// adversary scheduled every step itself), so exposing it grants no
+	// extra power; it is the natural quantity for delay-based adversaries.
+	AgeSteps int
+}
+
+// Choice is the adversary's selection of the next event.
+type Choice struct {
+	// Proc is the processor that acts.
+	Proc types.ProcID
+	// Deliver lists buffer seqs to hand to Proc at this step. Empty means
+	// a step with no message receipt (how timeouts make progress).
+	Deliver []int
+	// Crash makes this an explicit failure step (p, ⊥): Proc crashes and
+	// takes no further steps. Deliver must be empty on a crash.
+	Crash bool
+}
+
+// View is the adversary's read-only window onto the execution. It exposes
+// exactly the message pattern of §2.3 — which events sent messages to
+// which processors, and what has been delivered — plus processor clocks
+// and crash status (both functions of the pattern the adversary itself
+// produced). Message contents, machine states, decisions, and coin flips
+// are not reachable through a View.
+type View struct {
+	eng *Engine
+}
+
+// N returns the number of processors.
+func (v *View) N() int { return v.eng.n }
+
+// K returns the timing constant of the model.
+func (v *View) K() int { return v.eng.k }
+
+// Events returns the number of events so far.
+func (v *View) Events() int { return len(v.eng.order) }
+
+// Clock returns processor p's clock (steps taken so far).
+func (v *View) Clock(p types.ProcID) int { return v.eng.clocks[p] }
+
+// Crashed reports whether p has taken a failure step.
+func (v *View) Crashed(p types.ProcID) bool { return v.eng.crashed[p] }
+
+// Alive returns the processors that have not crashed.
+func (v *View) Alive() []types.ProcID {
+	out := make([]types.ProcID, 0, v.eng.n)
+	for p := 0; p < v.eng.n; p++ {
+		if !v.eng.crashed[p] {
+			out = append(out, types.ProcID(p))
+		}
+	}
+	return out
+}
+
+// Pending returns the undelivered messages currently in p's buffer, in
+// send (seq) order.
+func (v *View) Pending(p types.ProcID) []PendingMessage {
+	buf := v.eng.buffers[p]
+	out := make([]PendingMessage, 0, len(buf))
+	for _, bm := range buf {
+		out = append(out, PendingMessage{
+			Seq:       bm.msg.Seq,
+			From:      bm.msg.From,
+			SentEvent: bm.msg.SentEvent,
+			AgeSteps:  v.eng.clocks[p] - bm.recipClockAtSend,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// PendingCount returns the number of undelivered messages in p's buffer
+// without materializing the slice.
+func (v *View) PendingCount(p types.ProcID) int { return len(v.eng.buffers[p]) }
+
+// Adversary decides the order in which processors take steps, when each
+// message is delivered, and which processors fail and when (§2.3). It is a
+// function of the message pattern only.
+type Adversary interface {
+	// Next chooses the next event. It must return a valid Choice: an
+	// uncrashed processor and seqs actually present in its buffer.
+	Next(v *View) Choice
+}
+
+// ContentAwareScheduler is an adversary that additionally sees message
+// payloads and machine decisions. The paper's adversary is NOT content
+// aware; this interface exists solely so the baseline experiments can
+// exhibit plain Ben-Or's exponential worst case (E3), which needs a
+// value-splitting scheduler. Implementations must be clearly labeled.
+type ContentAwareScheduler interface {
+	Adversary
+	// Inspect is called by the engine before each Next with full access
+	// to payloads of pending messages and to machine decision status.
+	Inspect(peek *Peek)
+}
+
+// Peek grants a ContentAwareScheduler its extra visibility.
+type Peek struct {
+	eng *Engine
+}
+
+// PendingPayload returns the payload of buffered message seq in p's
+// buffer, or nil if absent.
+func (pk *Peek) PendingPayload(p types.ProcID, seq int) types.Payload {
+	if bm, ok := pk.eng.buffers[p][seq]; ok {
+		return bm.msg.Payload
+	}
+	return nil
+}
+
+// Decided reports p's decision status.
+func (pk *Peek) Decided(p types.ProcID) (types.Value, bool) {
+	return pk.eng.machines[p].Decision()
+}
+
+// Machine exposes the raw machine (for value-splitting schedulers that
+// need local state). Use only in clearly-labeled lower-bound demos.
+func (pk *Peek) Machine(p types.ProcID) types.Machine { return pk.eng.machines[p] }

@@ -1,0 +1,120 @@
+package stats_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestSummarize(t *testing.T) {
+	s := stats.Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("stddev = %v", s.StdDev)
+	}
+	if s.CI95 <= 0 {
+		t.Errorf("ci95 = %v", s.CI95)
+	}
+	if got := s.String(); !strings.Contains(got, "mean=3.000") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := stats.Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := stats.Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.StdDev != 0 || s.CI95 != 0 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 10}, {50, 5.5}, {25, 3.25}, {-5, 1}, {200, 10},
+	}
+	for _, c := range cases {
+		if got := stats.Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if stats.Percentile(nil, 50) != 0 {
+		t.Error("empty percentile not 0")
+	}
+	// Percentile must not mutate its input.
+	ys := []float64{3, 1, 2}
+	stats.Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Errorf("input mutated: %v", ys)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := stats.Histogram([]float64{0.1, 0.9, 1.5, 2.0, 2.9}, 1)
+	if h[0] != 2 || h[1] != 1 || h[2] != 2 {
+		t.Errorf("histogram = %v", h)
+	}
+	if len(stats.Histogram([]float64{1}, 0)) != 0 {
+		t.Error("zero-width histogram should be empty")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := stats.NewTable("n", "mean", "label")
+	tb.AddRow(3, 1.23456, "abc")
+	tb.AddRow(21, 0.5, "longer-label")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "mean") || !strings.Contains(lines[2], "1.23") {
+		t.Errorf("table contents wrong:\n%s", out)
+	}
+	// All rows align to the same width.
+	if len(lines[2]) != len(lines[3]) && !strings.Contains(lines[2], "abc") {
+		t.Errorf("row widths differ:\n%s", out)
+	}
+}
+
+func TestIntsAndRate(t *testing.T) {
+	fs := stats.Ints([]int{1, 2, 3})
+	if len(fs) != 3 || fs[2] != 3.0 {
+		t.Errorf("Ints = %v", fs)
+	}
+	if got := stats.Rate([]bool{true, false, true, true}); got != 0.75 {
+		t.Errorf("Rate = %v", got)
+	}
+	if stats.Rate(nil) != 0 {
+		t.Error("empty rate not 0")
+	}
+	if stats.Mean([]float64{2, 4}) != 3 {
+		t.Error("Mean wrong")
+	}
+}
+
+func TestQuickSummaryBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		s := stats.Summarize(xs)
+		if s.N == 0 {
+			return true
+		}
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 && s.StdDev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

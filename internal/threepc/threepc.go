@@ -1,0 +1,337 @@
+// Package threepc implements three-phase commit (Skeen), the nonblocking
+// synchronous commit protocol referenced by the paper's comparison with
+// [S] and [DS].
+//
+// 3PC inserts a PRECOMMIT buffer phase between voting and committing so
+// that, under synchrony and crash faults only, no operational participant
+// is ever uncertain together with a committed one: a participant that
+// times out while merely WAITing aborts, while one that times out after
+// PRECOMMIT commits. Those timeout rules are what make 3PC nonblocking —
+// and exactly what makes it unsafe when messages are merely late rather
+// than lost: a late PRECOMMIT strands one participant in WAIT (→ abort)
+// while another has already reached PRECOMMIT (→ commit). Experiment E7
+// measures that inconsistency under the same adversaries Protocol 2
+// survives.
+package threepc
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// CanCommitMsg is the coordinator's phase-1 vote request.
+type CanCommitMsg struct{}
+
+// Kind implements types.Payload.
+func (CanCommitMsg) Kind() string { return "3pc.cancommit" }
+
+// SizeBits implements types.Sized.
+func (CanCommitMsg) SizeBits() int { return 8 }
+
+// VoteMsg is a participant's vote.
+type VoteMsg struct {
+	Val types.Value
+}
+
+// Kind implements types.Payload.
+func (VoteMsg) Kind() string { return "3pc.vote" }
+
+// SizeBits implements types.Sized.
+func (VoteMsg) SizeBits() int { return 8 + 1 }
+
+// PreCommitMsg is the coordinator's phase-2 buffer message.
+type PreCommitMsg struct{}
+
+// Kind implements types.Payload.
+func (PreCommitMsg) Kind() string { return "3pc.precommit" }
+
+// SizeBits implements types.Sized.
+func (PreCommitMsg) SizeBits() int { return 8 }
+
+// AckMsg acknowledges a PreCommitMsg.
+type AckMsg struct{}
+
+// Kind implements types.Payload.
+func (AckMsg) Kind() string { return "3pc.ack" }
+
+// SizeBits implements types.Sized.
+func (AckMsg) SizeBits() int { return 8 }
+
+// DoCommitMsg is the coordinator's phase-3 commit order.
+type DoCommitMsg struct{}
+
+// Kind implements types.Payload.
+func (DoCommitMsg) Kind() string { return "3pc.docommit" }
+
+// SizeBits implements types.Sized.
+func (DoCommitMsg) SizeBits() int { return 8 }
+
+// AbortMsg is the coordinator's abort order.
+type AbortMsg struct{}
+
+// Kind implements types.Payload.
+func (AbortMsg) Kind() string { return "3pc.abort" }
+
+// SizeBits implements types.Sized.
+func (AbortMsg) SizeBits() int { return 8 }
+
+// Config parameterizes a 3PC machine.
+type Config struct {
+	ID   types.ProcID
+	N    int
+	K    int
+	Vote types.Value
+	// Timeout is the per-phase wait in clock ticks (zero: 4K). Both the
+	// coordinator's collection waits and the participants' progression
+	// waits use it.
+	Timeout int
+}
+
+func (c Config) validate() error {
+	if c.N <= 0 {
+		return fmt.Errorf("threepc: N must be positive, got %d", c.N)
+	}
+	if int(c.ID) < 0 || int(c.ID) >= c.N {
+		return fmt.Errorf("threepc: id %d out of range [0,%d)", c.ID, c.N)
+	}
+	if c.K < 1 {
+		return fmt.Errorf("threepc: K must be >= 1, got %d", c.K)
+	}
+	if !c.Vote.Valid() {
+		return fmt.Errorf("threepc: invalid vote %d", c.Vote)
+	}
+	return nil
+}
+
+type phase int
+
+const (
+	phStart phase = iota
+	// Coordinator phases.
+	phCollectVotes
+	phCollectAcks
+	// Participant phases.
+	phVoted     // sent yes, waiting for PRECOMMIT (timeout => abort)
+	phPrecommit // acked PRECOMMIT, waiting for DOCOMMIT (timeout => commit)
+	phDone
+)
+
+// Machine is one 3PC processor; processor 0 coordinates.
+type Machine struct {
+	cfg   Config
+	ph    phase
+	clock int
+
+	votes     map[types.ProcID]types.Value
+	acks      map[types.ProcID]bool
+	waitStart int
+
+	decided  bool
+	decision types.Value
+	halted   bool
+	// timedOutIn records the phase a participant decided from on timeout
+	// (for experiment diagnostics).
+	timedOutIn phase
+}
+
+var _ types.Machine = (*Machine)(nil)
+
+// New builds a 3PC machine.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 4 * cfg.K
+	}
+	return &Machine{
+		cfg:   cfg,
+		votes: make(map[types.ProcID]types.Value),
+		acks:  make(map[types.ProcID]bool),
+	}, nil
+}
+
+// ID implements types.Machine.
+func (m *Machine) ID() types.ProcID { return m.cfg.ID }
+
+// Clock implements types.Machine.
+func (m *Machine) Clock() int { return m.clock }
+
+// Decision implements types.Machine.
+func (m *Machine) Decision() (types.Value, bool) { return m.decision, m.decided }
+
+// Halted implements types.Machine.
+func (m *Machine) Halted() bool { return m.halted }
+
+// TimedOut reports whether the machine decided by timeout rule rather than
+// by coordinator order.
+func (m *Machine) TimedOut() bool { return m.timedOutIn != phStart }
+
+func (m *Machine) isCoordinator() bool { return m.cfg.ID == types.Coordinator }
+
+// Step implements types.Machine.
+func (m *Machine) Step(received []types.Message, _ types.Rand) []types.Message {
+	m.clock++
+	if m.halted {
+		return nil
+	}
+	var out []types.Message
+	for i := range received {
+		out = append(out, m.handle(received[i])...)
+	}
+	out = append(out, m.tick()...)
+	return out
+}
+
+func (m *Machine) handle(msg types.Message) []types.Message {
+	switch msg.Payload.(type) {
+	case CanCommitMsg:
+		if m.isCoordinator() || m.ph != phStart {
+			return nil
+		}
+		vote := m.cfg.Vote
+		reply := []types.Message{{From: m.cfg.ID, To: types.Coordinator, Payload: VoteMsg{Val: vote}}}
+		if vote == types.V0 {
+			m.finish(types.V0)
+		} else {
+			m.ph = phVoted
+			m.waitStart = m.clock
+		}
+		return reply
+	case VoteMsg:
+		if !m.isCoordinator() || m.ph != phCollectVotes {
+			return nil
+		}
+		p := msg.Payload.(VoteMsg)
+		if _, dup := m.votes[msg.From]; !dup {
+			m.votes[msg.From] = p.Val
+		}
+		return m.maybeFinishVotes(false)
+	case PreCommitMsg:
+		if m.ph != phVoted {
+			return nil
+		}
+		m.ph = phPrecommit
+		m.waitStart = m.clock
+		return []types.Message{{From: m.cfg.ID, To: types.Coordinator, Payload: AckMsg{}}}
+	case AckMsg:
+		if !m.isCoordinator() || m.ph != phCollectAcks {
+			return nil
+		}
+		m.acks[msg.From] = true
+		return m.maybeFinishAcks(false)
+	case DoCommitMsg:
+		if m.decided && m.decision != types.V1 {
+			return nil // already aborted by timeout; inconsistency stands
+		}
+		m.finish(types.V1)
+		return nil
+	case AbortMsg:
+		if m.decided && m.decision != types.V0 {
+			return nil
+		}
+		m.finish(types.V0)
+		return nil
+	default:
+		return nil
+	}
+}
+
+func (m *Machine) tick() []types.Message {
+	timeout := m.clock-m.waitStart >= m.cfg.Timeout
+	switch m.ph {
+	case phStart:
+		if !m.isCoordinator() {
+			return nil
+		}
+		m.ph = phCollectVotes
+		m.waitStart = m.clock
+		m.votes[m.cfg.ID] = m.cfg.Vote
+		out := m.toOthers(CanCommitMsg{})
+		return append(out, m.maybeFinishVotes(false)...)
+	case phCollectVotes:
+		return m.maybeFinishVotes(timeout)
+	case phCollectAcks:
+		return m.maybeFinishAcks(timeout)
+	case phVoted:
+		if timeout {
+			// Timeout in WAIT: abort (the participant cannot be sure
+			// anyone reached PRECOMMIT).
+			m.timedOutIn = phVoted
+			m.finish(types.V0)
+		}
+		return nil
+	case phPrecommit:
+		if timeout {
+			// Timeout in PRECOMMIT: commit (under the synchronous fault
+			// assumptions everyone reached PRECOMMIT; under mere lateness
+			// this is the unsafe branch).
+			m.timedOutIn = phPrecommit
+			m.finish(types.V1)
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+func (m *Machine) maybeFinishVotes(timedOut bool) []types.Message {
+	if m.ph != phCollectVotes {
+		return nil
+	}
+	anyNo := false
+	for _, v := range m.votes {
+		if v == types.V0 {
+			anyNo = true
+		}
+	}
+	allIn := len(m.votes) == m.cfg.N
+	if anyNo || (timedOut && !allIn) {
+		m.finish(types.V0)
+		return m.toOthers(AbortMsg{})
+	}
+	if !allIn {
+		return nil
+	}
+	// All yes: move to the buffer phase.
+	m.ph = phCollectAcks
+	m.waitStart = m.clock
+	m.acks[m.cfg.ID] = true
+	return append(m.toOthers(PreCommitMsg{}), m.maybeFinishAcks(false)...)
+}
+
+func (m *Machine) maybeFinishAcks(timedOut bool) []types.Message {
+	if m.ph != phCollectAcks {
+		return nil
+	}
+	if len(m.acks) != m.cfg.N && !timedOut {
+		return nil
+	}
+	// All acks (or timeout: unacked participants are presumed crashed and
+	// will commit via their own PRECOMMIT timeout rule).
+	m.finish(types.V1)
+	return m.toOthers(DoCommitMsg{})
+}
+
+// finish decides v and halts.
+func (m *Machine) finish(v types.Value) {
+	if !m.decided {
+		m.decided = true
+		m.decision = v
+	}
+	m.ph = phDone
+	m.halted = true
+}
+
+// toOthers builds one message to every other processor.
+func (m *Machine) toOthers(p types.Payload) []types.Message {
+	out := make([]types.Message, 0, m.cfg.N-1)
+	for q := 0; q < m.cfg.N; q++ {
+		if types.ProcID(q) == m.cfg.ID {
+			continue
+		}
+		out = append(out, types.Message{From: m.cfg.ID, To: types.ProcID(q), Payload: p})
+	}
+	return out
+}

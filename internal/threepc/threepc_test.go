@@ -1,0 +1,177 @@
+package threepc_test
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/threepc"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+func machines(t *testing.T, n, k int, votes []types.Value) ([]types.Machine, []*threepc.Machine) {
+	t.Helper()
+	out := make([]types.Machine, n)
+	tms := make([]*threepc.Machine, n)
+	for i := 0; i < n; i++ {
+		m, err := threepc.New(threepc.Config{
+			ID: types.ProcID(i), N: n, K: k, Vote: votes[i],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = m
+		tms[i] = m
+	}
+	return out, tms
+}
+
+func ones(n int) []types.Value {
+	out := make([]types.Value, n)
+	for i := range out {
+		out[i] = types.V1
+	}
+	return out
+}
+
+func TestThreePCHappyPathCommits(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		ms, _ := machines(t, n, 2, ones(n))
+		res, err := sim.Run(sim.Config{
+			K: 2, Machines: ms, Adversary: &adversary.RoundRobin{},
+			Seeds: rng.NewCollection(uint64(n), n),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllNonfaultyDecided() {
+			t.Fatalf("n=%d: not all decided", n)
+		}
+		for p := 0; p < n; p++ {
+			if res.Values[p] != types.V1 {
+				t.Fatalf("n=%d: proc %d decided %v, want commit", n, p, res.Values[p])
+			}
+		}
+	}
+}
+
+func TestThreePCNoVoteAborts(t *testing.T) {
+	n := 5
+	for voter := 0; voter < n; voter++ {
+		votes := ones(n)
+		votes[voter] = types.V0
+		ms, _ := machines(t, n, 2, votes)
+		res, err := sim.Run(sim.Config{
+			K: 2, Machines: ms, Adversary: &adversary.RoundRobin{},
+			Seeds: rng.NewCollection(uint64(voter), n),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllNonfaultyDecided() {
+			t.Fatalf("voter=%d: not all decided", voter)
+		}
+		for p := 0; p < n; p++ {
+			if res.Values[p] != types.V0 {
+				t.Fatalf("voter=%d: proc %d decided %v, want abort", voter, p, res.Values[p])
+			}
+		}
+	}
+}
+
+func TestThreePCNonblockingUnderCoordinatorCrash(t *testing.T) {
+	// 3PC's selling point (and why Dwork–Skeen studied its cost): under
+	// timely crashes, participants decide via timeout rules instead of
+	// blocking. Crash the coordinator before it can send PRECOMMIT:
+	// everyone times out in WAIT and aborts, consistently.
+	n, k := 5, 2
+	ms, tms := machines(t, n, k, ones(n))
+	adv := &adversary.Crash{
+		Inner: &adversary.RoundRobin{},
+		Plan:  []adversary.CrashPlan{{Proc: 0, AtClock: 1}},
+	}
+	res, err := sim.Run(sim.Config{
+		K: k, Machines: ms, Adversary: adv, Seeds: rng.NewCollection(2, n),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllNonfaultyDecided() {
+		t.Fatalf("3PC blocked under coordinator crash")
+	}
+	if err := trace.CheckAgreement(res.Outcomes()); err != nil {
+		t.Fatal(err)
+	}
+	timedOut := 0
+	for p := 1; p < n; p++ {
+		if tms[p].TimedOut() {
+			timedOut++
+		}
+	}
+	if timedOut == 0 {
+		t.Errorf("no participant decided via a timeout rule")
+	}
+}
+
+func TestThreePCLatePrecommitCausesInconsistency(t *testing.T) {
+	// Hold the coordinator's second message to processor 2 (its
+	// PRECOMMIT) past the timeout: 2 times out in WAIT and aborts while
+	// the rest reach PRECOMMIT and commit. One late message, wrong
+	// answer — the paper's critique applied to 3PC.
+	n, k := 5, 2
+	ms, _ := machines(t, n, k, ones(n))
+	adv := &adversary.TargetedLate{
+		Inner: &adversary.RoundRobin{},
+		Plan:  []adversary.LatePlan{{From: 0, To: 2, SkipFirst: 1, HoldUntilClock: 200}},
+	}
+	res, err := sim.Run(sim.Config{
+		K: k, Machines: ms, Adversary: adv, Seeds: rng.NewCollection(5, n), Record: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllNonfaultyDecided() {
+		t.Fatalf("not all decided: %v", res.Decided)
+	}
+	if err := trace.CheckAgreement(res.Outcomes()); err == nil {
+		t.Fatalf("expected 3PC inconsistency under late PRECOMMIT; got %v", res.Values)
+	}
+	if res.Values[2] != types.V0 {
+		t.Errorf("victim decided %v, want timeout-abort", res.Values[2])
+	}
+	if res.Values[0] != types.V1 {
+		t.Errorf("coordinator decided %v, want commit", res.Values[0])
+	}
+}
+
+func TestThreePCConfigValidation(t *testing.T) {
+	bad := []threepc.Config{
+		{ID: 0, N: 0, K: 1, Vote: types.V1},
+		{ID: 9, N: 3, K: 1, Vote: types.V1},
+		{ID: 0, N: 3, K: 0, Vote: types.V1},
+		{ID: 0, N: 3, K: 1, Vote: 9},
+	}
+	for i, cfg := range bad {
+		if _, err := threepc.New(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestThreePCPayloadKinds(t *testing.T) {
+	kinds := map[string]types.Payload{
+		"3pc.cancommit": threepc.CanCommitMsg{},
+		"3pc.vote":      threepc.VoteMsg{},
+		"3pc.precommit": threepc.PreCommitMsg{},
+		"3pc.ack":       threepc.AckMsg{},
+		"3pc.docommit":  threepc.DoCommitMsg{},
+		"3pc.abort":     threepc.AbortMsg{},
+	}
+	for want, p := range kinds {
+		if p.Kind() != want {
+			t.Errorf("kind %q != %q", p.Kind(), want)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package threepc_test
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/threepc"
+	"repro/internal/types"
+)
+
+func mk(t *testing.T, id types.ProcID, vote types.Value, timeout int) *threepc.Machine {
+	t.Helper()
+	m, err := threepc.New(threepc.Config{ID: id, N: 3, K: 2, Vote: vote, Timeout: timeout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func kindCount(msgs []types.Message, kind string) int {
+	c := 0
+	for _, m := range msgs {
+		if m.Payload.Kind() == kind {
+			c++
+		}
+	}
+	return c
+}
+
+func TestCoordinatorPhases(t *testing.T) {
+	m := mk(t, 0, types.V1, 0)
+	st := rng.NewStream(1)
+	out := m.Step(nil, st)
+	if kindCount(out, "3pc.cancommit") != 2 {
+		t.Fatalf("cancommit = %v", out)
+	}
+	out = m.Step([]types.Message{
+		{From: 1, To: 0, Payload: threepc.VoteMsg{Val: types.V1}},
+		{From: 2, To: 0, Payload: threepc.VoteMsg{Val: types.V1}},
+	}, st)
+	if kindCount(out, "3pc.precommit") != 2 {
+		t.Fatalf("precommit = %v", out)
+	}
+	if _, ok := m.Decision(); ok {
+		t.Fatal("coordinator decided before acks")
+	}
+	out = m.Step([]types.Message{
+		{From: 1, To: 0, Payload: threepc.AckMsg{}},
+		{From: 2, To: 0, Payload: threepc.AckMsg{}},
+	}, st)
+	if kindCount(out, "3pc.docommit") != 2 {
+		t.Fatalf("docommit = %v", out)
+	}
+	if v, ok := m.Decision(); !ok || v != types.V1 {
+		t.Fatalf("decision = %v %v", v, ok)
+	}
+}
+
+func TestParticipantProgression(t *testing.T) {
+	m := mk(t, 1, types.V1, 0)
+	st := rng.NewStream(2)
+	out := m.Step([]types.Message{{From: 0, To: 1, Payload: threepc.CanCommitMsg{}}}, st)
+	if kindCount(out, "3pc.vote") != 1 {
+		t.Fatal("vote missing")
+	}
+	out = m.Step([]types.Message{{From: 0, To: 1, Payload: threepc.PreCommitMsg{}}}, st)
+	if kindCount(out, "3pc.ack") != 1 {
+		t.Fatal("ack missing")
+	}
+	m.Step([]types.Message{{From: 0, To: 1, Payload: threepc.DoCommitMsg{}}}, st)
+	if v, ok := m.Decision(); !ok || v != types.V1 {
+		t.Fatalf("decision = %v %v", v, ok)
+	}
+	if m.TimedOut() {
+		t.Fatal("ordered decision flagged as timeout")
+	}
+}
+
+func TestWaitTimeoutAborts(t *testing.T) {
+	m := mk(t, 1, types.V1, 5)
+	st := rng.NewStream(3)
+	m.Step([]types.Message{{From: 0, To: 1, Payload: threepc.CanCommitMsg{}}}, st)
+	for i := 0; i < 5; i++ {
+		m.Step(nil, st)
+	}
+	if v, ok := m.Decision(); !ok || v != types.V0 {
+		t.Fatalf("decision = %v %v, want WAIT-timeout abort", v, ok)
+	}
+	if !m.TimedOut() {
+		t.Fatal("timeout not flagged")
+	}
+}
+
+func TestPrecommitTimeoutCommits(t *testing.T) {
+	m := mk(t, 1, types.V1, 5)
+	st := rng.NewStream(4)
+	m.Step([]types.Message{{From: 0, To: 1, Payload: threepc.CanCommitMsg{}}}, st)
+	m.Step([]types.Message{{From: 0, To: 1, Payload: threepc.PreCommitMsg{}}}, st)
+	for i := 0; i < 5; i++ {
+		m.Step(nil, st)
+	}
+	if v, ok := m.Decision(); !ok || v != types.V1 {
+		t.Fatalf("decision = %v %v, want PRECOMMIT-timeout commit", v, ok)
+	}
+	if !m.TimedOut() {
+		t.Fatal("timeout not flagged")
+	}
+}
+
+func TestNoVoterAbortsAndCoordinatorBroadcastsAbort(t *testing.T) {
+	p := mk(t, 2, types.V0, 0)
+	st := rng.NewStream(5)
+	p.Step([]types.Message{{From: 0, To: 2, Payload: threepc.CanCommitMsg{}}}, st)
+	if v, ok := p.Decision(); !ok || v != types.V0 {
+		t.Fatalf("no-voter decision = %v %v", v, ok)
+	}
+
+	c := mk(t, 0, types.V1, 0)
+	c.Step(nil, st)
+	out := c.Step([]types.Message{{From: 2, To: 0, Payload: threepc.VoteMsg{Val: types.V0}}}, st)
+	if kindCount(out, "3pc.abort") != 2 {
+		t.Fatalf("abort broadcast = %v", out)
+	}
+	if v, ok := c.Decision(); !ok || v != types.V0 {
+		t.Fatalf("coordinator decision = %v %v", v, ok)
+	}
+}
+
+func TestAckTimeoutStillCommits(t *testing.T) {
+	m, err := threepc.New(threepc.Config{ID: 0, N: 3, K: 2, Vote: types.V1, Timeout: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rng.NewStream(6)
+	m.Step(nil, st)
+	m.Step([]types.Message{
+		{From: 1, To: 0, Payload: threepc.VoteMsg{Val: types.V1}},
+		{From: 2, To: 0, Payload: threepc.VoteMsg{Val: types.V1}},
+	}, st)
+	// Only one ack; the other participant is presumed crashed (it will
+	// commit via its own PRECOMMIT timeout).
+	m.Step([]types.Message{{From: 1, To: 0, Payload: threepc.AckMsg{}}}, st)
+	for i := 0; i < 4; i++ {
+		m.Step(nil, st)
+	}
+	if v, ok := m.Decision(); !ok || v != types.V1 {
+		t.Fatalf("decision = %v %v, want commit despite missing ack", v, ok)
+	}
+}
+
+func TestStaleOrdersIgnoredAfterTimeoutDecision(t *testing.T) {
+	m := mk(t, 1, types.V1, 3)
+	st := rng.NewStream(7)
+	m.Step([]types.Message{{From: 0, To: 1, Payload: threepc.CanCommitMsg{}}}, st)
+	for i := 0; i < 3; i++ {
+		m.Step(nil, st)
+	}
+	// Timed out in WAIT => aborted. A late DOCOMMIT must not flip it.
+	m.Step([]types.Message{{From: 0, To: 1, Payload: threepc.DoCommitMsg{}}}, st)
+	if v, _ := m.Decision(); v != types.V0 {
+		t.Fatalf("decision flipped to %v", v)
+	}
+}
+
+func TestSizeBits(t *testing.T) {
+	if types.SizeOf(threepc.CanCommitMsg{}) != 8 || types.SizeOf(threepc.VoteMsg{}) != 9 {
+		t.Error("3pc payload sizes changed")
+	}
+}

@@ -1,0 +1,125 @@
+package trace_test
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+func commitRun(t *testing.T, n int, adv sim.Adversary, stop sim.StopMode, maxSteps int) *sim.Result {
+	t.Helper()
+	machines := make([]types.Machine, n)
+	for i := 0; i < n; i++ {
+		m, err := core.New(core.Config{
+			ID: types.ProcID(i), N: n, T: (n - 1) / 2, K: 3,
+			Vote: types.V1, Gadget: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		machines[i] = m
+	}
+	res, err := sim.Run(sim.Config{
+		K: 3, Machines: machines, Adversary: adv,
+		Seeds: rng.NewCollection(77, n), Record: true,
+		Stop: stop, MaxSteps: maxSteps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAdmissibilityFailureFreeRun(t *testing.T) {
+	// Run to quiescence so every guaranteed message has been delivered
+	// or belongs to a halted machine's final DECIDED flush. Round-robin
+	// delivers everything, so no pending guaranteed messages remain once
+	// we keep stepping a little past halting.
+	res := commitRun(t, 5, &adversary.RoundRobin{}, sim.StopWhenHalted, 0)
+	rep, err := res.Trace.CheckAdmissibility(2)
+	if err != nil {
+		t.Fatalf("admissibility: %v (report %+v)", err, rep)
+	}
+	if rep.Crashed != 0 || rep.UnguaranteedDropped != 0 {
+		t.Errorf("report = %+v", rep)
+	}
+	// Stop-at-halt leaves the final DECIDED broadcasts undelivered in
+	// buffers; those are guaranteed-but-pending, which the report must
+	// surface rather than hide.
+	t.Logf("pending at quiescence: %d", len(rep.PendingGuaranteed))
+}
+
+func TestAdmissibilityCrashBudget(t *testing.T) {
+	adv := &adversary.Crash{
+		Inner: &adversary.RoundRobin{},
+		Plan: []adversary.CrashPlan{
+			{Proc: 3, AtClock: 2}, {Proc: 4, AtClock: 2},
+		},
+	}
+	res := commitRun(t, 5, adv, sim.StopWhenDecided, 0)
+	if _, err := res.Trace.CheckAdmissibility(2); err != nil {
+		t.Fatalf("within budget rejected: %v", err)
+	}
+	if _, err := res.Trace.CheckAdmissibility(1); err == nil {
+		t.Fatal("over-budget crash count accepted")
+	}
+}
+
+func TestAdmissibilityMidBroadcastCrash(t *testing.T) {
+	// Crash processor 4 right after its first step (its GO relay is in
+	// flight): sends from that final step are unguaranteed — the report
+	// must classify any that stay undelivered as legal drops.
+	adv := &adversary.Crash{
+		Inner: &adversary.RoundRobin{Delay: 2},
+		Plan:  []adversary.CrashPlan{{Proc: 4, AtClock: 1}},
+	}
+	res := commitRun(t, 5, adv, sim.StopWhenDecided, 0)
+	rep, err := res.Trace.CheckAdmissibility(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashed != 1 {
+		t.Fatalf("crashed = %d", rep.Crashed)
+	}
+	// Messages to the crashed processor never need delivery; messages
+	// from its final step may legally drop. Anything else pending is
+	// from the early stop, not a model violation.
+	t.Logf("report: %+v", rep)
+}
+
+func TestAdmissibilitySyntheticGuaranteedDrop(t *testing.T) {
+	// Hand-build a trace where a NONfaulty sender's message is never
+	// delivered: it must be reported as pending-guaranteed.
+	tr := trace.New(2, 2)
+	tr.AddMsg(trace.MsgRecord{Seq: 0, From: 1, To: 0, SentEvent: 1, SentClock: 1})
+	tr.AddEvent(trace.Event{Proc: 0, ClockAfter: 1})
+	tr.AddEvent(trace.Event{Proc: 1, ClockAfter: 1, Sent: []int{0}})
+	tr.AddEvent(trace.Event{Proc: 1, ClockAfter: 2}) // sender keeps stepping
+	rep, err := tr.CheckAdmissibility(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PendingGuaranteed) != 1 || rep.PendingGuaranteed[0] != 0 {
+		t.Fatalf("report = %+v, want pending guaranteed [0]", rep)
+	}
+
+	// Same shape but the sender crashes right after sending: the drop
+	// becomes legal (unguaranteed).
+	tr2 := trace.New(2, 2)
+	tr2.AddMsg(trace.MsgRecord{Seq: 0, From: 1, To: 0, SentEvent: 1, SentClock: 1})
+	tr2.AddEvent(trace.Event{Proc: 0, ClockAfter: 1})
+	tr2.AddEvent(trace.Event{Proc: 1, ClockAfter: 1, Sent: []int{0}})
+	tr2.AddEvent(trace.Event{Proc: 1, Crash: true, ClockAfter: 1})
+	rep2, err := tr2.CheckAdmissibility(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.PendingGuaranteed) != 0 || rep2.UnguaranteedDropped != 1 {
+		t.Fatalf("report = %+v, want one legal drop", rep2)
+	}
+}

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Outcome is the per-processor end state of a run, as observed by the
+// execution engine: the decided value (if any) and whether the processor
+// crashed.
+type Outcome struct {
+	Decided bool
+	Value   types.Value
+	Crashed bool
+}
+
+// Violation describes a failed correctness condition.
+type Violation struct {
+	Condition string
+	Detail    string
+}
+
+// Error implements the error interface.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("%s violated: %s", v.Condition, v.Detail)
+}
+
+// CheckAgreement verifies the Agreement Condition of §2.4: every
+// configuration of the run has at most one decision value — operationally,
+// no two processors (faulty or not: a crash after deciding still counts)
+// decide different values.
+func CheckAgreement(outcomes []Outcome) error {
+	seen := false
+	var val types.Value
+	var first int
+	for p, o := range outcomes {
+		if !o.Decided {
+			continue
+		}
+		if !seen {
+			seen, val, first = true, o.Value, p
+			continue
+		}
+		if o.Value != val {
+			return &Violation{
+				Condition: "agreement",
+				Detail: fmt.Sprintf("processor %d decided %v but processor %d decided %v",
+					first, val, p, o.Value),
+			}
+		}
+	}
+	return nil
+}
+
+// CheckAbortValidity verifies the Abort Validity Condition: if the run is
+// deciding and any processor's initial value is 0, the nonfaulty
+// processors decide 0 — no matter what the timing behaviour was.
+func CheckAbortValidity(initial []types.Value, outcomes []Outcome) error {
+	anyAbort := false
+	for _, v := range initial {
+		if v == types.V0 {
+			anyAbort = true
+			break
+		}
+	}
+	if !anyAbort {
+		return nil
+	}
+	for p, o := range outcomes {
+		if o.Crashed || !o.Decided {
+			continue
+		}
+		if o.Value != types.V0 {
+			return &Violation{
+				Condition: "abort validity",
+				Detail: fmt.Sprintf("some initial value was 0 but processor %d decided %v",
+					p, o.Value),
+			}
+		}
+	}
+	return nil
+}
+
+// CheckCommitValidity verifies the Commit Validity Condition: if the run is
+// deciding, all initial values are 1, and the run is failure-free and
+// on-time, the nonfaulty processors decide 1.
+func CheckCommitValidity(initial []types.Value, outcomes []Outcome, failureFree, onTime bool) error {
+	if !failureFree || !onTime {
+		return nil
+	}
+	for _, v := range initial {
+		if v != types.V1 {
+			return nil
+		}
+	}
+	for p, o := range outcomes {
+		if !o.Decided {
+			continue
+		}
+		if o.Value != types.V1 {
+			return &Violation{
+				Condition: "commit validity",
+				Detail: fmt.Sprintf("all-1 failure-free on-time run but processor %d decided %v",
+					p, o.Value),
+			}
+		}
+	}
+	return nil
+}
+
+// CheckAgreementValidity verifies the Validity Condition of the agreement
+// problem (§2.4): if all initial values are equal, deciders must decide
+// that value.
+func CheckAgreementValidity(initial []types.Value, outcomes []Outcome) error {
+	if len(initial) == 0 {
+		return nil
+	}
+	v0 := initial[0]
+	for _, v := range initial[1:] {
+		if v != v0 {
+			return nil
+		}
+	}
+	for p, o := range outcomes {
+		if !o.Decided {
+			continue
+		}
+		if o.Value != v0 {
+			return &Violation{
+				Condition: "agreement validity",
+				Detail: fmt.Sprintf("unanimous initial value %v but processor %d decided %v",
+					v0, p, o.Value),
+			}
+		}
+	}
+	return nil
+}
+
+// CheckAll runs every transaction-commit condition applicable to the run
+// and returns the first violation, if any.
+func CheckAll(initial []types.Value, outcomes []Outcome, failureFree, onTime bool) error {
+	if err := CheckAgreement(outcomes); err != nil {
+		return err
+	}
+	if err := CheckAbortValidity(initial, outcomes); err != nil {
+		return err
+	}
+	return CheckCommitValidity(initial, outcomes, failureFree, onTime)
+}

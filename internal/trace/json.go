@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/types"
+)
+
+// jsonTrace is the serialized form of a Trace.
+type jsonTrace struct {
+	N      int         `json:"n"`
+	K      int         `json:"k"`
+	Events []jsonEvent `json:"events"`
+	Msgs   []jsonMsg   `json:"msgs"`
+}
+
+type jsonEvent struct {
+	Proc       int   `json:"proc"`
+	Crash      bool  `json:"crash,omitempty"`
+	ClockAfter int   `json:"clock"`
+	Delivered  []int `json:"recv,omitempty"`
+	Sent       []int `json:"sent,omitempty"`
+}
+
+type jsonMsg struct {
+	Seq       int    `json:"seq"`
+	From      int    `json:"from"`
+	To        int    `json:"to"`
+	Kind      string `json:"kind,omitempty"`
+	Bits      int    `json:"bits,omitempty"`
+	SentEvent int    `json:"sentEvent"`
+	SentClock int    `json:"sentClock"`
+	RecvEvent int    `json:"recvEvent"`
+	RecvClock int    `json:"recvClock"`
+}
+
+// WriteJSON serializes the trace.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	jt := jsonTrace{N: t.N, K: t.K}
+	for i := range t.Events {
+		e := &t.Events[i]
+		jt.Events = append(jt.Events, jsonEvent{
+			Proc: int(e.Proc), Crash: e.Crash, ClockAfter: e.ClockAfter,
+			Delivered: e.Delivered, Sent: e.Sent,
+		})
+	}
+	for i := range t.Msgs {
+		m := &t.Msgs[i]
+		jt.Msgs = append(jt.Msgs, jsonMsg{
+			Seq: m.Seq, From: int(m.From), To: int(m.To), Kind: m.Kind, Bits: m.Bits,
+			SentEvent: m.SentEvent, SentClock: m.SentClock,
+			RecvEvent: m.RecvEvent, RecvClock: m.RecvClock,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(jt)
+}
+
+// ReadJSON deserializes a trace written by WriteJSON.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var jt jsonTrace
+	if err := json.NewDecoder(r).Decode(&jt); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if jt.N <= 0 || jt.K <= 0 {
+		return nil, fmt.Errorf("trace: invalid header n=%d k=%d", jt.N, jt.K)
+	}
+	t := New(jt.N, jt.K)
+	for _, m := range jt.Msgs {
+		t.AddMsg(MsgRecord{
+			Seq: m.Seq, From: types.ProcID(m.From), To: types.ProcID(m.To),
+			Kind: m.Kind, Bits: m.Bits, SentEvent: m.SentEvent, SentClock: m.SentClock,
+		})
+		if m.RecvEvent >= 0 {
+			t.Msgs[m.Seq].RecvEvent = m.RecvEvent
+			t.Msgs[m.Seq].RecvClock = m.RecvClock
+		}
+	}
+	for _, e := range jt.Events {
+		t.AddEvent(Event{
+			Proc: types.ProcID(e.Proc), Crash: e.Crash, ClockAfter: e.ClockAfter,
+			Delivered: e.Delivered, Sent: e.Sent,
+		})
+	}
+	return t, nil
+}

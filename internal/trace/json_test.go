@@ -1,0 +1,66 @@
+package trace_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := tinyTrace(3, 8, 6)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != tr.N || got.K != tr.K {
+		t.Fatalf("header: n=%d k=%d", got.N, got.K)
+	}
+	if len(got.Events) != len(tr.Events) || len(got.Msgs) != len(tr.Msgs) {
+		t.Fatalf("sizes: %d events %d msgs", len(got.Events), len(got.Msgs))
+	}
+	for i := range tr.Msgs {
+		a, b := tr.Msgs[i], got.Msgs[i]
+		if a.From != b.From || a.To != b.To || a.Kind != b.Kind ||
+			a.SentEvent != b.SentEvent || a.RecvEvent != b.RecvEvent ||
+			a.SentClock != b.SentClock || a.RecvClock != b.RecvClock {
+			t.Errorf("msg %d: %+v != %+v", i, a, b)
+		}
+	}
+	// Derived analyses agree.
+	if got.OnTime() != tr.OnTime() {
+		t.Error("on-time divergence after round trip")
+	}
+	if got.Stats().Sent != tr.Stats().Sent {
+		t.Error("stats divergence after round trip")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := trace.ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := trace.ReadJSON(strings.NewReader(`{"n":0,"k":0}`)); err == nil {
+		t.Error("invalid header accepted")
+	}
+}
+
+func TestJSONUndeliveredMessagePreserved(t *testing.T) {
+	tr := tinyTrace(3, 4, 0 /* never delivered */)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Msgs[0].Delivered() {
+		t.Error("undelivered message became delivered after round trip")
+	}
+}

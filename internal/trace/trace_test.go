@@ -1,0 +1,201 @@
+package trace_test
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// tinyTrace builds: 2 processors, p1 sends one message to p0 at its first
+// step, p0 receives it at clock recvClock; run lasts `ticks` cycles.
+func tinyTrace(k, ticks, recvClock int) *trace.Trace {
+	tr := trace.New(2, k)
+	tr.AddMsg(trace.MsgRecord{Seq: 0, From: 1, To: 0, Kind: "t", SentEvent: 1, SentClock: 1})
+	for tick := 1; tick <= ticks; tick++ {
+		ev0 := (tick - 1) * 2
+		var del []int
+		if tick == recvClock {
+			del = []int{0}
+		}
+		tr.AddEvent(trace.Event{Proc: 0, ClockAfter: tick, Delivered: del})
+		if len(del) > 0 {
+			tr.MarkDelivered(0, ev0, tick)
+		}
+		var sent []int
+		if tick == 1 {
+			sent = []int{0}
+		}
+		tr.AddEvent(trace.Event{Proc: 1, ClockAfter: tick, Sent: sent})
+	}
+	return tr
+}
+
+func TestStepsBetweenAndClockAt(t *testing.T) {
+	tr := tinyTrace(3, 5, 2)
+	// p0's events are at indices 0,2,4,6,8.
+	if got := tr.StepsBetween(0, 0, 8); got != 4 {
+		t.Errorf("StepsBetween(0,0,8) = %d, want 4", got)
+	}
+	if got := tr.StepsBetween(0, 3, 4); got != 1 {
+		t.Errorf("StepsBetween(0,3,4) = %d, want 1", got)
+	}
+	if got := tr.ClockAt(0, 5); got != 3 {
+		t.Errorf("ClockAt(0,5) = %d, want 3", got)
+	}
+	if got := tr.ClockAt(1, 0); got != 0 {
+		t.Errorf("ClockAt(1,0) = %d, want 0", got)
+	}
+	if got := tr.EventOfClock(1, 2); got != 3 {
+		t.Errorf("EventOfClock(1,2) = %d, want 3", got)
+	}
+	if got := tr.EventOfClock(1, 99); got != -1 {
+		t.Errorf("EventOfClock(1,99) = %d, want -1", got)
+	}
+}
+
+func TestLateDetection(t *testing.T) {
+	// K=3: delivery at recipient clock 2 means at most 2 steps between —
+	// on time. Delivery at clock 6 means 5-6 steps — late.
+	if tr := tinyTrace(3, 8, 2); tr.IsLate(0) {
+		t.Error("prompt delivery flagged late")
+	}
+	if tr := tinyTrace(3, 8, 6); !tr.IsLate(0) {
+		t.Error("slow delivery not flagged late")
+	}
+}
+
+func TestUndeliveredMessageLateness(t *testing.T) {
+	// Never delivered: late once someone has taken > K steps since send.
+	tr := tinyTrace(3, 8, 0 /* never */)
+	if !tr.IsLate(0) {
+		t.Error("undelivered message in long run should be late")
+	}
+	short := tinyTrace(3, 2, 0)
+	if short.IsLate(0) {
+		t.Error("undelivered message in short run should not yet be late")
+	}
+}
+
+func TestOnTimeAndLateMessages(t *testing.T) {
+	tr := tinyTrace(3, 8, 6)
+	if tr.OnTime() {
+		t.Error("trace with late message reported on-time")
+	}
+	if got := tr.LateMessages(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("LateMessages = %v", got)
+	}
+}
+
+func TestCrashedSet(t *testing.T) {
+	tr := trace.New(2, 1)
+	tr.AddEvent(trace.Event{Proc: 0, ClockAfter: 1})
+	tr.AddEvent(trace.Event{Proc: 1, Crash: true, ClockAfter: 0})
+	set := tr.CrashedSet()
+	if set[0] || !set[1] {
+		t.Errorf("CrashedSet = %v", set)
+	}
+}
+
+func TestStats(t *testing.T) {
+	tr := tinyTrace(3, 4, 2)
+	s := tr.Stats()
+	if s.Sent != 1 || s.Delivered != 1 || s.ByKind["t"] != 1 {
+		t.Errorf("Stats = %+v", s)
+	}
+}
+
+func TestAddMsgSeqDiscipline(t *testing.T) {
+	tr := trace.New(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order AddMsg did not panic")
+		}
+	}()
+	tr.AddMsg(trace.MsgRecord{Seq: 5})
+}
+
+func outcome(decided bool, v types.Value, crashed bool) trace.Outcome {
+	return trace.Outcome{Decided: decided, Value: v, Crashed: crashed}
+}
+
+func TestCheckAgreement(t *testing.T) {
+	ok := []trace.Outcome{outcome(true, 1, false), outcome(true, 1, false), outcome(false, 0, false)}
+	if err := trace.CheckAgreement(ok); err != nil {
+		t.Errorf("unexpected violation: %v", err)
+	}
+	bad := []trace.Outcome{outcome(true, 1, false), outcome(true, 0, true)}
+	err := trace.CheckAgreement(bad)
+	if err == nil {
+		t.Fatal("conflicting decisions not caught (crashed deciders count too)")
+	}
+	if _, isViolation := err.(*trace.Violation); !isViolation {
+		t.Errorf("error type %T, want *trace.Violation", err)
+	}
+}
+
+func TestCheckAbortValidity(t *testing.T) {
+	initial := []types.Value{types.V1, types.V0}
+	bad := []trace.Outcome{outcome(true, 1, false), outcome(true, 1, false)}
+	if trace.CheckAbortValidity(initial, bad) == nil {
+		t.Error("commit with an initial 0 not caught")
+	}
+	good := []trace.Outcome{outcome(true, 0, false), outcome(true, 0, false)}
+	if err := trace.CheckAbortValidity(initial, good); err != nil {
+		t.Errorf("%v", err)
+	}
+	// No initial zeros: vacuous.
+	if err := trace.CheckAbortValidity([]types.Value{1, 1}, bad); err != nil {
+		t.Errorf("%v", err)
+	}
+	// A crashed processor that decided wrongly is excluded (only
+	// nonfaulty processors are constrained by validity).
+	crashedWrong := []trace.Outcome{outcome(true, 0, false), outcome(true, 1, true)}
+	if err := trace.CheckAbortValidity(initial, crashedWrong); err != nil {
+		t.Errorf("%v", err)
+	}
+}
+
+func TestCheckCommitValidity(t *testing.T) {
+	initial := []types.Value{types.V1, types.V1}
+	abortAll := []trace.Outcome{outcome(true, 0, false), outcome(true, 0, false)}
+	if trace.CheckCommitValidity(initial, abortAll, true, true) == nil {
+		t.Error("all-1 failure-free on-time abort not caught")
+	}
+	// Not on-time: vacuous.
+	if err := trace.CheckCommitValidity(initial, abortAll, true, false); err != nil {
+		t.Errorf("%v", err)
+	}
+	// Not failure-free: vacuous.
+	if err := trace.CheckCommitValidity(initial, abortAll, false, true); err != nil {
+		t.Errorf("%v", err)
+	}
+	// Mixed initial: vacuous.
+	if err := trace.CheckCommitValidity([]types.Value{1, 0}, abortAll, true, true); err != nil {
+		t.Errorf("%v", err)
+	}
+}
+
+func TestCheckAgreementValidity(t *testing.T) {
+	if trace.CheckAgreementValidity([]types.Value{1, 1}, []trace.Outcome{outcome(true, 0, false)}) == nil {
+		t.Error("unanimous-1 deciding 0 not caught")
+	}
+	if err := trace.CheckAgreementValidity([]types.Value{1, 0}, []trace.Outcome{outcome(true, 0, false)}); err != nil {
+		t.Errorf("%v", err)
+	}
+	if err := trace.CheckAgreementValidity(nil, nil); err != nil {
+		t.Errorf("%v", err)
+	}
+}
+
+func TestCheckAll(t *testing.T) {
+	initial := []types.Value{types.V1, types.V1}
+	good := []trace.Outcome{outcome(true, 1, false), outcome(true, 1, false)}
+	if err := trace.CheckAll(initial, good, true, true); err != nil {
+		t.Errorf("%v", err)
+	}
+	conflict := []trace.Outcome{outcome(true, 1, false), outcome(true, 0, false)}
+	if trace.CheckAll(initial, conflict, true, true) == nil {
+		t.Error("conflict not caught by CheckAll")
+	}
+}

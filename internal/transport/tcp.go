@@ -1,0 +1,212 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// frame is the wire representation of one message.
+type frame struct {
+	Msg types.Message
+}
+
+// TCPNode is a Transport backed by stdlib TCP with gob framing. Every node
+// listens on one address and lazily dials its peers. Connection failures
+// and encode errors drop the message (crash semantics: an unreachable peer
+// is indistinguishable from a crashed one, which is exactly the model).
+type TCPNode struct {
+	id types.ProcID
+	ln net.Listener
+
+	mu       sync.Mutex
+	peers    map[types.ProcID]string
+	conns    map[types.ProcID]*outConn
+	accepted map[net.Conn]bool
+	closed   bool
+
+	recv chan types.Message
+	wg   sync.WaitGroup
+}
+
+type outConn struct {
+	c   net.Conn
+	enc *gob.Encoder
+}
+
+var _ Transport = (*TCPNode)(nil)
+
+// ListenTCP starts a node listening on addr ("127.0.0.1:0" for an
+// ephemeral port). Call Addr to learn the bound address and SetPeers to
+// install the peer directory before sending. RegisterWirePayloads must
+// have been called once per process.
+func ListenTCP(id types.ProcID, addr string) (*TCPNode, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	n := &TCPNode{
+		id:       id,
+		ln:       ln,
+		peers:    make(map[types.ProcID]string),
+		conns:    make(map[types.ProcID]*outConn),
+		accepted: make(map[net.Conn]bool),
+		recv:     make(chan types.Message, 4096),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the bound listen address.
+func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
+
+// ID returns the node's processor id.
+func (n *TCPNode) ID() types.ProcID { return n.id }
+
+// SetPeers installs the directory mapping processor ids to addresses.
+func (n *TCPNode) SetPeers(peers map[types.ProcID]string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for p, a := range peers {
+		n.peers[p] = a
+	}
+}
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			c.Close() //nolint:errcheck
+			return
+		}
+		n.accepted[c] = true
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(c)
+	}
+}
+
+func (n *TCPNode) readLoop(c net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		n.mu.Lock()
+		delete(n.accepted, c)
+		n.mu.Unlock()
+		c.Close() //nolint:errcheck // best-effort close on a read path
+	}()
+	dec := gob.NewDecoder(c)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			return
+		}
+		n.mu.Lock()
+		closed := n.closed
+		n.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case n.recv <- f.Msg:
+		default:
+			// Inbound overflow: drop (lossy network semantics).
+		}
+	}
+}
+
+// Send implements Transport.
+func (n *TCPNode) Send(msg types.Message) error {
+	msg.From = n.id
+	if msg.To == n.id {
+		// Loopback without touching the network.
+		n.mu.Lock()
+		closed := n.closed
+		n.mu.Unlock()
+		if closed {
+			return ErrClosed
+		}
+		select {
+		case n.recv <- msg:
+		default:
+		}
+		return nil
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	oc := n.conns[msg.To]
+	addr, known := n.peers[msg.To]
+	n.mu.Unlock()
+	if oc == nil {
+		if !known {
+			return nil // unknown peer: drop
+		}
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil // unreachable peer: drop (crash semantics)
+		}
+		oc = &outConn{c: c, enc: gob.NewEncoder(c)}
+		n.mu.Lock()
+		if existing := n.conns[msg.To]; existing != nil {
+			// Lost the race; keep the existing connection.
+			c.Close() //nolint:errcheck
+			oc = existing
+		} else {
+			n.conns[msg.To] = oc
+		}
+		n.mu.Unlock()
+	}
+	if err := oc.enc.Encode(frame{Msg: msg}); err != nil {
+		// Broken pipe: forget the connection; the next send re-dials.
+		n.mu.Lock()
+		if n.conns[msg.To] == oc {
+			delete(n.conns, msg.To)
+		}
+		n.mu.Unlock()
+		oc.c.Close() //nolint:errcheck
+	}
+	return nil
+}
+
+// Recv implements Transport.
+func (n *TCPNode) Recv() <-chan types.Message { return n.recv }
+
+// Close implements Transport.
+func (n *TCPNode) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	conns := n.conns
+	n.conns = map[types.ProcID]*outConn{}
+	inbound := make([]net.Conn, 0, len(n.accepted))
+	for c := range n.accepted {
+		inbound = append(inbound, c)
+	}
+	n.mu.Unlock()
+
+	err := n.ln.Close()
+	for _, oc := range conns {
+		oc.c.Close() //nolint:errcheck
+	}
+	for _, c := range inbound {
+		c.Close() //nolint:errcheck
+	}
+	n.wg.Wait()
+	close(n.recv)
+	return err
+}

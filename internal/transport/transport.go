@@ -1,0 +1,167 @@
+// Package transport provides message transports for the live (goroutine)
+// runtime: an in-memory hub with latency, loss, and crash injection, and a
+// TCP transport over stdlib net with gob framing.
+//
+// Transports are intentionally weaker than the simulator's adversary: they
+// model the paper's network (messages usually arrive promptly, sometimes
+// late, never corrupted) rather than a worst-case scheduler. The protocol
+// machines are identical in both environments.
+package transport
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/types"
+)
+
+// ErrClosed is returned by operations on a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// Transport moves messages for one node.
+type Transport interface {
+	// Send dispatches one message toward its To processor. Send never
+	// blocks on slow receivers; messages to unreachable nodes are
+	// dropped, matching crash semantics.
+	Send(msg types.Message) error
+	// Recv returns the channel of inbound messages. It is closed when
+	// the transport closes.
+	Recv() <-chan types.Message
+	// Close releases resources; subsequent Sends fail with ErrClosed.
+	Close() error
+}
+
+// HubOptions configures fault injection on an in-memory hub.
+type HubOptions struct {
+	// Delay, if non-nil, returns the artificial latency for a message.
+	Delay func(msg types.Message) time.Duration
+	// Drop, if non-nil, returns true to silently discard a message.
+	Drop func(msg types.Message) bool
+	// QueueSize is the per-node inbound buffer (default 4096).
+	QueueSize int
+}
+
+// Hub is an in-memory message switch connecting n endpoints.
+type Hub struct {
+	opts HubOptions
+
+	mu      sync.Mutex
+	queues  []chan types.Message
+	crashed []bool
+	closed  bool
+	timers  sync.WaitGroup
+}
+
+// NewHub creates a hub for n nodes.
+func NewHub(n int, opts HubOptions) *Hub {
+	if opts.QueueSize <= 0 {
+		opts.QueueSize = 4096
+	}
+	h := &Hub{opts: opts, queues: make([]chan types.Message, n), crashed: make([]bool, n)}
+	for i := range h.queues {
+		h.queues[i] = make(chan types.Message, opts.QueueSize)
+	}
+	return h
+}
+
+// Endpoint returns node p's transport.
+func (h *Hub) Endpoint(p types.ProcID) Transport {
+	return &hubEndpoint{hub: h, id: p}
+}
+
+// Crash disconnects node p: all of its future inbound and outbound
+// messages are dropped.
+func (h *Hub) Crash(p types.ProcID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.crashed[p] = true
+}
+
+// Close shuts the hub down, closing all inbound channels after in-flight
+// delayed messages settle.
+func (h *Hub) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	h.mu.Unlock()
+	h.timers.Wait()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, q := range h.queues {
+		close(q)
+	}
+	return nil
+}
+
+// deliver enqueues a message subject to crash/drop/delay rules.
+func (h *Hub) deliver(msg types.Message) error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return ErrClosed
+	}
+	if h.crashed[msg.From] || h.crashed[msg.To] {
+		h.mu.Unlock()
+		return nil
+	}
+	h.mu.Unlock()
+
+	if h.opts.Drop != nil && h.opts.Drop(msg) {
+		return nil
+	}
+	var delay time.Duration
+	if h.opts.Delay != nil {
+		delay = h.opts.Delay(msg)
+	}
+	if delay <= 0 {
+		h.enqueue(msg)
+		return nil
+	}
+	h.timers.Add(1)
+	time.AfterFunc(delay, func() {
+		defer h.timers.Done()
+		h.enqueue(msg)
+	})
+	return nil
+}
+
+func (h *Hub) enqueue(msg types.Message) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed || h.crashed[msg.To] {
+		return
+	}
+	select {
+	case h.queues[msg.To] <- msg:
+	default:
+		// Queue overflow: drop, as a lossy network would. The protocols
+		// tolerate loss exactly like lateness (timeout then abort).
+	}
+}
+
+type hubEndpoint struct {
+	hub *Hub
+	id  types.ProcID
+}
+
+var _ Transport = (*hubEndpoint)(nil)
+
+// Send implements Transport.
+func (e *hubEndpoint) Send(msg types.Message) error {
+	msg.From = e.id
+	return e.hub.deliver(msg)
+}
+
+// Recv implements Transport.
+func (e *hubEndpoint) Recv() <-chan types.Message { return e.hub.queues[e.id] }
+
+// Close implements Transport. Hub endpoints are closed collectively via
+// Hub.Close; closing one endpoint only marks it crashed.
+func (e *hubEndpoint) Close() error {
+	e.hub.Crash(e.id)
+	return nil
+}

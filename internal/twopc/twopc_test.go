@@ -1,0 +1,193 @@
+package twopc_test
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/twopc"
+	"repro/internal/types"
+)
+
+func machines(t *testing.T, n, k int, votes []types.Value, policy twopc.Policy) []types.Machine {
+	t.Helper()
+	out := make([]types.Machine, n)
+	for i := 0; i < n; i++ {
+		m, err := twopc.New(twopc.Config{
+			ID: types.ProcID(i), N: n, K: k, Vote: votes[i], Policy: policy,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = m
+	}
+	return out
+}
+
+func ones(n int) []types.Value {
+	out := make([]types.Value, n)
+	for i := range out {
+		out[i] = types.V1
+	}
+	return out
+}
+
+func TestTwoPCHappyPathCommits(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 9} {
+		res, err := sim.Run(sim.Config{
+			K: 2, Machines: machines(t, n, 2, ones(n), twopc.PolicyBlock),
+			Adversary: &adversary.RoundRobin{}, Seeds: rng.NewCollection(uint64(n), n),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllNonfaultyDecided() {
+			t.Fatalf("n=%d: not all decided", n)
+		}
+		for p := 0; p < n; p++ {
+			if res.Values[p] != types.V1 {
+				t.Fatalf("n=%d: proc %d decided %v, want commit", n, p, res.Values[p])
+			}
+		}
+	}
+}
+
+func TestTwoPCNoVoteAborts(t *testing.T) {
+	n := 5
+	for voter := 0; voter < n; voter++ {
+		votes := ones(n)
+		votes[voter] = types.V0
+		res, err := sim.Run(sim.Config{
+			K: 2, Machines: machines(t, n, 2, votes, twopc.PolicyBlock),
+			Adversary: &adversary.RoundRobin{}, Seeds: rng.NewCollection(uint64(voter), n),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllNonfaultyDecided() {
+			t.Fatalf("voter=%d: not all decided", voter)
+		}
+		for p := 0; p < n; p++ {
+			if res.Values[p] != types.V0 {
+				t.Fatalf("voter=%d: proc %d decided %v, want abort", voter, p, res.Values[p])
+			}
+		}
+	}
+}
+
+func TestTwoPCLateOutcomeCausesInconsistency(t *testing.T) {
+	// The paper's headline critique: with the timeout-abort policy, one
+	// late message (the coordinator's outcome to processor 2 — its second
+	// message to 2, after PREPARE) makes processor 2 presume abort while
+	// everyone else commits.
+	n, k := 5, 2
+	adv := &adversary.TargetedLate{
+		Inner: &adversary.RoundRobin{},
+		Plan:  []adversary.LatePlan{{From: 0, To: 2, SkipFirst: 1, HoldUntilClock: 100}},
+	}
+	res, err := sim.Run(sim.Config{
+		K: k, Machines: machines(t, n, k, ones(n), twopc.PolicyTimeoutAbort),
+		Adversary: adv, Seeds: rng.NewCollection(7, n), Record: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllNonfaultyDecided() {
+		t.Fatalf("not all decided")
+	}
+	if err := trace.CheckAgreement(res.Outcomes()); err == nil {
+		t.Fatalf("expected 2PC to produce inconsistent decisions under a late outcome; got %v", res.Values)
+	}
+	if res.Values[2] != types.V0 {
+		t.Errorf("victim decided %v, want presumed abort", res.Values[2])
+	}
+	if res.Values[0] != types.V1 || res.Values[1] != types.V1 {
+		t.Errorf("others decided %v, want commit", res.Values)
+	}
+}
+
+func TestTwoPCBlockingOnCoordinatorCrash(t *testing.T) {
+	// With the safe (blocking) policy, the coordinator crashing right
+	// after collecting votes leaves yes-voters blocked forever: the run
+	// exhausts its budget with undecided participants — but stays
+	// consistent.
+	n, k := 5, 2
+	adv := &adversary.Crash{
+		Inner: &adversary.RoundRobin{},
+		// The coordinator broadcasts PREPARE at its first step; crash it
+		// before its second step, i.e. before it can process votes and
+		// broadcast the outcome.
+		Plan: []adversary.CrashPlan{{Proc: 0, AtClock: 1}},
+	}
+	res, err := sim.Run(sim.Config{
+		K: k, Machines: machines(t, n, k, ones(n), twopc.PolicyBlock),
+		Adversary: adv, Seeds: rng.NewCollection(3, n), MaxSteps: 5_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted {
+		t.Fatalf("expected blocking (exhausted run); decisions: %v", res.Values)
+	}
+	if err := trace.CheckAgreement(res.Outcomes()); err != nil {
+		t.Fatalf("blocking policy must stay consistent: %v", err)
+	}
+	blocked := 0
+	for p := 1; p < n; p++ {
+		if !res.Decided[p] {
+			blocked++
+		}
+	}
+	if blocked == 0 {
+		t.Errorf("no participant blocked")
+	}
+}
+
+func TestTwoPCCoordinatorTimeoutWithSilentParticipantAborts(t *testing.T) {
+	// A participant that never answers (crashed before voting) forces the
+	// coordinator's vote-collection timeout: global abort.
+	n, k := 4, 2
+	adv := &adversary.Crash{
+		Inner: &adversary.RoundRobin{},
+		Plan:  []adversary.CrashPlan{{Proc: 3, AtClock: 0}},
+	}
+	res, err := sim.Run(sim.Config{
+		K: k, Machines: machines(t, n, k, ones(n), twopc.PolicyTimeoutAbort),
+		Adversary: adv, Seeds: rng.NewCollection(4, n),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllNonfaultyDecided() {
+		t.Fatalf("not all survivors decided")
+	}
+	for p := 0; p < 3; p++ {
+		if res.Values[p] != types.V0 {
+			t.Errorf("proc %d decided %v, want abort", p, res.Values[p])
+		}
+	}
+}
+
+func TestTwoPCConfigValidation(t *testing.T) {
+	bad := []twopc.Config{
+		{ID: 0, N: 0, K: 1, Vote: types.V1},
+		{ID: 3, N: 3, K: 1, Vote: types.V1},
+		{ID: 0, N: 3, K: 0, Vote: types.V1},
+		{ID: 0, N: 3, K: 1, Vote: 5},
+	}
+	for i, cfg := range bad {
+		if _, err := twopc.New(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestTwoPCPayloadKinds(t *testing.T) {
+	if (twopc.PrepareMsg{}).Kind() != "2pc.prepare" ||
+		(twopc.VoteMsg{}).Kind() != "2pc.vote" ||
+		(twopc.OutcomeMsg{}).Kind() != "2pc.outcome" {
+		t.Error("payload kinds changed")
+	}
+}

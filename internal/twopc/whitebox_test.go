@@ -1,0 +1,163 @@
+package twopc_test
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/twopc"
+	"repro/internal/types"
+)
+
+func mk(t *testing.T, id types.ProcID, vote types.Value, policy twopc.Policy) *twopc.Machine {
+	t.Helper()
+	m, err := twopc.New(twopc.Config{ID: id, N: 3, K: 2, Vote: vote, Policy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func payloadCount(msgs []types.Message, kind string) int {
+	c := 0
+	for _, m := range msgs {
+		if m.Payload.Kind() == kind {
+			c++
+		}
+	}
+	return c
+}
+
+func TestCoordinatorBroadcastsPrepare(t *testing.T) {
+	m := mk(t, 0, types.V1, twopc.PolicyBlock)
+	out := m.Step(nil, rng.NewStream(1))
+	if payloadCount(out, "2pc.prepare") != 2 {
+		t.Fatalf("prepare count = %d, want 2 (participants only)", payloadCount(out, "2pc.prepare"))
+	}
+}
+
+func TestParticipantVotesYesAndWaits(t *testing.T) {
+	m := mk(t, 1, types.V1, twopc.PolicyBlock)
+	st := rng.NewStream(2)
+	out := m.Step([]types.Message{{From: 0, To: 1, Payload: twopc.PrepareMsg{}}}, st)
+	if payloadCount(out, "2pc.vote") != 1 || out[0].To != 0 {
+		t.Fatalf("vote not sent to coordinator: %v", out)
+	}
+	if _, ok := m.Decision(); ok {
+		t.Fatal("yes-voter decided early")
+	}
+	if !m.Blocked() {
+		t.Fatal("yes-voter should report blocked while waiting")
+	}
+	// Blocking policy: starve it for a long time; it must not decide.
+	for i := 0; i < 50; i++ {
+		m.Step(nil, st)
+	}
+	if _, ok := m.Decision(); ok {
+		t.Fatal("blocking participant decided on its own")
+	}
+}
+
+func TestParticipantNoVoteAbortsUnilaterally(t *testing.T) {
+	m := mk(t, 2, types.V0, twopc.PolicyBlock)
+	st := rng.NewStream(3)
+	out := m.Step([]types.Message{{From: 0, To: 2, Payload: twopc.PrepareMsg{}}}, st)
+	if payloadCount(out, "2pc.vote") != 1 {
+		t.Fatal("no-vote not sent")
+	}
+	if v, ok := m.Decision(); !ok || v != types.V0 {
+		t.Fatalf("no-voter decision = %v %v, want immediate abort", v, ok)
+	}
+	if !m.Halted() {
+		t.Fatal("no-voter should halt")
+	}
+}
+
+func TestTimeoutAbortPolicyPresumesAbort(t *testing.T) {
+	m, err := twopc.New(twopc.Config{
+		ID: 1, N: 3, K: 2, Vote: types.V1,
+		Policy: twopc.PolicyTimeoutAbort, DecisionTimeout: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rng.NewStream(4)
+	m.Step([]types.Message{{From: 0, To: 1, Payload: twopc.PrepareMsg{}}}, st)
+	for i := 0; i < 5; i++ {
+		m.Step(nil, st)
+	}
+	if v, ok := m.Decision(); !ok || v != types.V0 {
+		t.Fatalf("decision = %v %v, want presumed abort", v, ok)
+	}
+}
+
+func TestLateOutcomeAfterPresumedAbortIsIgnored(t *testing.T) {
+	m, err := twopc.New(twopc.Config{
+		ID: 1, N: 3, K: 2, Vote: types.V1,
+		Policy: twopc.PolicyTimeoutAbort, DecisionTimeout: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rng.NewStream(5)
+	m.Step([]types.Message{{From: 0, To: 1, Payload: twopc.PrepareMsg{}}}, st)
+	for i := 0; i < 3; i++ {
+		m.Step(nil, st)
+	}
+	// The late COMMIT arrives: the decision must stay abort (absorbing) —
+	// this is the run-level inconsistency E7 measures.
+	m.Step([]types.Message{{From: 0, To: 1, Payload: twopc.OutcomeMsg{Val: types.V1}}}, st)
+	if v, _ := m.Decision(); v != types.V0 {
+		t.Fatalf("decision flipped to %v after late outcome", v)
+	}
+}
+
+func TestCoordinatorAllYesCommits(t *testing.T) {
+	m := mk(t, 0, types.V1, twopc.PolicyBlock)
+	st := rng.NewStream(6)
+	m.Step(nil, st)
+	out := m.Step([]types.Message{
+		{From: 1, To: 0, Payload: twopc.VoteMsg{Val: types.V1}},
+		{From: 2, To: 0, Payload: twopc.VoteMsg{Val: types.V1}},
+	}, st)
+	if v, ok := m.Decision(); !ok || v != types.V1 {
+		t.Fatalf("decision = %v %v", v, ok)
+	}
+	if payloadCount(out, "2pc.outcome") != 2 {
+		t.Fatalf("outcome broadcast = %v", out)
+	}
+}
+
+func TestCoordinatorAnyNoAbortsImmediately(t *testing.T) {
+	m := mk(t, 0, types.V1, twopc.PolicyBlock)
+	st := rng.NewStream(7)
+	m.Step(nil, st)
+	// A single no vote decides abort without waiting for the third vote.
+	m.Step([]types.Message{{From: 1, To: 0, Payload: twopc.VoteMsg{Val: types.V0}}}, st)
+	if v, ok := m.Decision(); !ok || v != types.V0 {
+		t.Fatalf("decision = %v %v", v, ok)
+	}
+}
+
+func TestCoordinatorVoteTimeoutAborts(t *testing.T) {
+	m, err := twopc.New(twopc.Config{ID: 0, N: 3, K: 2, Vote: types.V1, VoteTimeout: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rng.NewStream(8)
+	m.Step(nil, st)
+	m.Step([]types.Message{{From: 1, To: 0, Payload: twopc.VoteMsg{Val: types.V1}}}, st)
+	for i := 0; i < 4; i++ {
+		m.Step(nil, st)
+	}
+	if v, ok := m.Decision(); !ok || v != types.V0 {
+		t.Fatalf("decision = %v %v, want timeout abort", v, ok)
+	}
+}
+
+func TestSizeBits(t *testing.T) {
+	if types.SizeOf(twopc.PrepareMsg{}) != 8 ||
+		types.SizeOf(twopc.VoteMsg{}) != 9 ||
+		types.SizeOf(twopc.OutcomeMsg{}) != 9 {
+		t.Error("2pc payload sizes changed")
+	}
+}

@@ -1,0 +1,253 @@
+// Package txn multiplexes many concurrent transaction commit instances
+// over one set of processors — the distributed database setting the paper
+// opens with ("a transaction may be processed concurrently at several
+// different processors").
+//
+// Each node runs one Manager, itself a types.Machine, so the same
+// simulator and live runtimes drive it. The Manager demultiplexes
+// envelope-wrapped protocol messages to per-transaction Protocol 2
+// machines, creating participant instances on demand (the first envelope
+// for an unknown transaction reaches the node's VoteFunc to obtain its
+// vote) and advancing every active instance one step per Manager step.
+// Any node may coordinate a transaction (the paper fixes processor 0
+// without loss of generality; core.Config.Coordinator generalizes it).
+package txn
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+// ID names a transaction.
+type ID string
+
+// Envelope wraps a Protocol 2 payload with its transaction id.
+type Envelope struct {
+	Txn   ID
+	Inner types.Payload
+}
+
+// Kind implements types.Payload.
+func (e Envelope) Kind() string {
+	if e.Inner == nil {
+		return "txn.envelope"
+	}
+	return "txn:" + e.Inner.Kind()
+}
+
+// SizeBits implements types.Sized: inner payload + a 64-bit id hash.
+func (e Envelope) SizeBits() int { return types.SizeOf(e.Inner) + 64 }
+
+// VoteFunc supplies this node's vote when it first hears about a
+// transaction it did not originate (true = commit).
+type VoteFunc func(txn ID) bool
+
+// Outcome is a finished transaction at this node.
+type Outcome struct {
+	Txn      ID
+	Decision types.Decision
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	ID types.ProcID
+	N  int
+	T  int // default (N-1)/2
+	K  int // default 4
+	// Vote is consulted for transactions this node participates in but
+	// did not begin. Nil votes commit.
+	Vote VoteFunc
+	// CoinFactor is forwarded to each commit instance.
+	CoinFactor int
+}
+
+// Manager runs all of one node's commit instances.
+type Manager struct {
+	cfg   Config
+	clock int
+
+	mu        sync.Mutex
+	instances map[ID]*core.Commit
+	// order keeps deterministic iteration for simulation replay.
+	order    []ID
+	pending  []Outcome
+	reported map[ID]bool
+}
+
+var _ types.Machine = (*Manager)(nil)
+
+// NewManager validates the configuration and builds a Manager.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("txn: N must be positive, got %d", cfg.N)
+	}
+	if int(cfg.ID) < 0 || int(cfg.ID) >= cfg.N {
+		return nil, fmt.Errorf("txn: id %d out of range [0,%d)", cfg.ID, cfg.N)
+	}
+	if cfg.T == 0 {
+		cfg.T = (cfg.N - 1) / 2
+	}
+	if cfg.T < 0 || cfg.N <= 2*cfg.T {
+		return nil, fmt.Errorf("txn: need N > 2T, got N=%d T=%d", cfg.N, cfg.T)
+	}
+	if cfg.K == 0 {
+		cfg.K = 4
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("txn: K must be >= 1, got %d", cfg.K)
+	}
+	return &Manager{
+		cfg:       cfg,
+		instances: make(map[ID]*core.Commit),
+		reported:  make(map[ID]bool),
+	}, nil
+}
+
+// Begin starts a transaction with this node as coordinator. Call before
+// (or while) the manager is being stepped. vote is this node's own vote.
+func (m *Manager) Begin(txn ID, vote bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, exists := m.instances[txn]; exists {
+		return fmt.Errorf("txn: transaction %q already known", txn)
+	}
+	return m.spawnLocked(txn, m.cfg.ID, vote)
+}
+
+// spawnLocked creates the commit instance for txn with the given
+// coordinator. Caller holds mu.
+func (m *Manager) spawnLocked(txn ID, coordinator types.ProcID, vote bool) error {
+	v := types.V0
+	if vote {
+		v = types.V1
+	}
+	inst, err := core.New(core.Config{
+		ID: m.cfg.ID, N: m.cfg.N, T: m.cfg.T, K: m.cfg.K,
+		Vote: v, CoinFactor: m.cfg.CoinFactor, Gadget: true,
+		Coordinator: coordinator,
+	})
+	if err != nil {
+		return err
+	}
+	m.instances[txn] = inst
+	m.order = append(m.order, txn)
+	return nil
+}
+
+// ID implements types.Machine.
+func (m *Manager) ID() types.ProcID { return m.cfg.ID }
+
+// Clock implements types.Machine.
+func (m *Manager) Clock() int { return m.clock }
+
+// Decision implements types.Machine. A manager reports no aggregate
+// decision; per-transaction outcomes come from Outcomes. (It reports
+// decided only so engines with decision-based stop conditions are not
+// used with managers by accident — use custom StopWhen predicates.)
+func (m *Manager) Decision() (types.Value, bool) { return 0, false }
+
+// Halted implements types.Machine: a manager halts only when every known
+// instance has halted and at least one instance exists.
+func (m *Manager) Halted() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.order) == 0 {
+		return false
+	}
+	for _, txn := range m.order {
+		if !m.instances[txn].Halted() {
+			return false
+		}
+	}
+	return true
+}
+
+// Outcomes drains the transactions decided since the last call.
+func (m *Manager) Outcomes() []Outcome {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := m.pending
+	m.pending = nil
+	return out
+}
+
+// DecisionOf reports a transaction's decision at this node.
+func (m *Manager) DecisionOf(txn ID) (types.Decision, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	inst, ok := m.instances[txn]
+	if !ok {
+		return types.DecisionNone, false
+	}
+	return inst.Outcome()
+}
+
+// Transactions lists the transactions this node knows, sorted.
+func (m *Manager) Transactions() []ID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := append([]ID(nil), m.order...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Step implements types.Machine: demultiplex, spawn participants for new
+// transactions, advance every instance one tick, wrap outputs.
+func (m *Manager) Step(received []types.Message, rnd types.Rand) []types.Message {
+	m.clock++
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	byTxn := make(map[ID][]types.Message)
+	for i := range received {
+		env, ok := received[i].Payload.(Envelope)
+		if !ok {
+			continue // foreign payloads are not the manager's business
+		}
+		if _, known := m.instances[env.Txn]; !known {
+			// First contact with this transaction: join as a participant.
+			// Only the coordinator's GO names it, but any protocol message
+			// carries the piggybacked GO, so the vote is computable now.
+			vote := true
+			if m.cfg.Vote != nil {
+				vote = m.cfg.Vote(env.Txn)
+			}
+			// The coordinator is unknown at join time and irrelevant for
+			// a participant: the instance never enters the coordinator
+			// branch unless Coordinator == own id, so point it at the
+			// sender's id when it differs from ours, else processor 0.
+			coord := received[i].From
+			if coord == m.cfg.ID {
+				coord = types.ProcID((int(m.cfg.ID) + 1) % m.cfg.N)
+			}
+			if err := m.spawnLocked(env.Txn, coord, vote); err != nil {
+				continue
+			}
+		}
+		inner := received[i]
+		inner.Payload = env.Inner
+		byTxn[env.Txn] = append(byTxn[env.Txn], inner)
+	}
+
+	var out []types.Message
+	for _, txn := range m.order {
+		inst := m.instances[txn]
+		if inst.Halted() {
+			continue
+		}
+		sub := inst.Step(byTxn[txn], rnd)
+		for j := range sub {
+			sub[j].Payload = Envelope{Txn: txn, Inner: sub[j].Payload}
+		}
+		out = append(out, sub...)
+		if d, ok := inst.Outcome(); ok && !m.reported[txn] {
+			m.reported[txn] = true
+			m.pending = append(m.pending, Outcome{Txn: txn, Decision: d})
+		}
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package txn_test
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/txn"
+	"repro/internal/types"
+)
+
+// buildManagers wires n managers with the given per-node, per-transaction
+// votes.
+func buildManagers(t *testing.T, n int, votes map[txn.ID][]bool) ([]*txn.Manager, []types.Machine) {
+	t.Helper()
+	managers := make([]*txn.Manager, n)
+	machines := make([]types.Machine, n)
+	for p := 0; p < n; p++ {
+		p := p
+		mgr, err := txn.NewManager(txn.Config{
+			ID: types.ProcID(p), N: n, K: 3,
+			Vote: func(id txn.ID) bool {
+				vs, ok := votes[id]
+				return ok && vs[p]
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		managers[p] = mgr
+		machines[p] = mgr
+	}
+	return managers, machines
+}
+
+// runManagers drives the cluster until every listed transaction decided
+// everywhere (or the budget expires).
+func runManagers(t *testing.T, managers []*txn.Manager, machines []types.Machine, ids []txn.ID, adv sim.Adversary, seed uint64) *sim.Result {
+	t.Helper()
+	res, err := sim.Run(sim.Config{
+		K: 3, Machines: machines, Adversary: adv,
+		Seeds:    rng.NewCollection(seed, len(machines)),
+		MaxSteps: 100_000,
+		StopWhen: func(r *sim.Result) bool {
+			for _, mgr := range managers {
+				if mgrCrashed(r, mgr) {
+					continue
+				}
+				for _, id := range ids {
+					if _, ok := mgr.DecisionOf(id); !ok {
+						return false
+					}
+				}
+			}
+			return true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func mgrCrashed(r *sim.Result, mgr *txn.Manager) bool {
+	return r.Crashed[mgr.ID()]
+}
+
+func TestConcurrentTransactionsIndependentOutcomes(t *testing.T) {
+	n := 5
+	votes := map[txn.ID][]bool{
+		"tx-commit": {true, true, true, true, true},
+		"tx-abort":  {true, true, false, true, true},
+		"tx-third":  {true, true, true, true, true},
+	}
+	managers, machines := buildManagers(t, n, votes)
+	// Different coordinators for different transactions.
+	if err := managers[0].Begin("tx-commit", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := managers[2].Begin("tx-abort", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := managers[4].Begin("tx-third", true); err != nil {
+		t.Fatal(err)
+	}
+	ids := []txn.ID{"tx-commit", "tx-abort", "tx-third"}
+	res := runManagers(t, managers, machines, ids, &adversary.RoundRobin{}, 1)
+	if res.Exhausted {
+		t.Fatal("transactions did not all decide")
+	}
+	want := map[txn.ID]types.Decision{
+		"tx-commit": types.DecisionCommit,
+		"tx-abort":  types.DecisionAbort,
+		"tx-third":  types.DecisionCommit,
+	}
+	for _, id := range ids {
+		for p, mgr := range managers {
+			d, ok := mgr.DecisionOf(id)
+			if !ok {
+				t.Fatalf("node %d has no decision for %s", p, id)
+			}
+			if d != want[id] {
+				t.Fatalf("node %d decided %v for %s, want %v", p, d, id, want[id])
+			}
+		}
+	}
+}
+
+func TestTransactionsSurviveCrash(t *testing.T) {
+	n := 5 // t = 2
+	votes := map[txn.ID][]bool{
+		"a": {true, true, true, true, true},
+		"b": {true, true, true, true, true},
+	}
+	managers, machines := buildManagers(t, n, votes)
+	if err := managers[0].Begin("a", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := managers[1].Begin("b", true); err != nil {
+		t.Fatal(err)
+	}
+	adv := &adversary.Crash{
+		Inner: &adversary.RoundRobin{},
+		Plan:  []adversary.CrashPlan{{Proc: 4, AtClock: 5}},
+	}
+	res := runManagers(t, managers, machines, []txn.ID{"a", "b"}, adv, 2)
+	if res.Exhausted {
+		t.Fatal("crash within tolerance blocked the batch")
+	}
+	// Survivors must agree per transaction (either outcome is legal once
+	// a crash perturbs timing).
+	for _, id := range []txn.ID{"a", "b"} {
+		var seen *types.Decision
+		for p := 0; p < 4; p++ {
+			d, ok := managers[p].DecisionOf(id)
+			if !ok {
+				t.Fatalf("survivor %d undecided on %s", p, id)
+			}
+			if seen == nil {
+				seen = &d
+			} else if *seen != d {
+				t.Fatalf("split decision on %s", id)
+			}
+		}
+	}
+}
+
+func TestManagerValidation(t *testing.T) {
+	bad := []txn.Config{
+		{ID: 0, N: 0},
+		{ID: 9, N: 3},
+		{ID: 0, N: 4, T: 2},
+		{ID: 0, N: 3, K: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := txn.NewManager(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	mgr, err := txn.NewManager(txn.Config{ID: 0, N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Begin("x", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Begin("x", true); err == nil {
+		t.Error("duplicate Begin accepted")
+	}
+	if _, ok := mgr.DecisionOf("unknown"); ok {
+		t.Error("unknown transaction has a decision")
+	}
+	if got := mgr.Transactions(); len(got) != 1 || got[0] != "x" {
+		t.Errorf("transactions = %v", got)
+	}
+}
+
+func TestEnvelopeKindAndSize(t *testing.T) {
+	e := txn.Envelope{Txn: "t1", Inner: nil}
+	if e.Kind() != "txn.envelope" {
+		t.Errorf("empty envelope kind = %q", e.Kind())
+	}
+	e2 := txn.Envelope{Txn: "t1", Inner: fakeInner{}}
+	if e2.Kind() != "txn:fake" {
+		t.Errorf("kind = %q", e2.Kind())
+	}
+	if types.SizeOf(e2) != types.DefaultPayloadBits+64 {
+		t.Errorf("size = %d", types.SizeOf(e2))
+	}
+}
+
+type fakeInner struct{}
+
+func (fakeInner) Kind() string { return "fake" }
+
+func TestManagerIgnoresForeignPayloads(t *testing.T) {
+	mgr, err := txn.NewManager(txn.Config{ID: 0, N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rng.NewStream(1)
+	out := mgr.Step([]types.Message{{From: 1, To: 0, Payload: fakeInner{}}}, st)
+	if len(out) != 0 {
+		t.Fatalf("manager reacted to a foreign payload: %v", out)
+	}
+	if len(mgr.Transactions()) != 0 {
+		t.Fatal("foreign payload spawned a transaction")
+	}
+}
+
+func TestOutcomesDrain(t *testing.T) {
+	n := 3
+	votes := map[txn.ID][]bool{"solo": {true, true, true}}
+	managers, machines := buildManagers(t, n, votes)
+	if err := managers[0].Begin("solo", true); err != nil {
+		t.Fatal(err)
+	}
+	runManagers(t, managers, machines, []txn.ID{"solo"}, &adversary.RoundRobin{}, 3)
+	got := managers[0].Outcomes()
+	if len(got) != 1 || got[0].Txn != "solo" || got[0].Decision != types.DecisionCommit {
+		t.Fatalf("outcomes = %v", got)
+	}
+	if len(managers[0].Outcomes()) != 0 {
+		t.Fatal("outcomes not drained")
+	}
+}

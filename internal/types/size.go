@@ -1,0 +1,26 @@
+package types
+
+// Sized is an optional Payload extension reporting the payload's wire
+// size in bits. The paper's model is bit-agnostic, but two of its design
+// points are about size: §2.4 forbids flooding the message system, and
+// Remark 3 trades longer coin lists (bigger GO messages) for fewer
+// stages. Experiment E11 uses these sizes to quantify both.
+type Sized interface {
+	SizeBits() int
+}
+
+// DefaultPayloadBits is charged for payloads that do not implement Sized.
+const DefaultPayloadBits = 64
+
+// SizeOf returns the payload's wire size in bits, falling back to
+// DefaultPayloadBits, plus nothing for framing (framing is transport
+// specific and identical across protocols, so it cancels in comparisons).
+func SizeOf(p Payload) int {
+	if p == nil {
+		return 0
+	}
+	if s, ok := p.(Sized); ok {
+		return s.SizeBits()
+	}
+	return DefaultPayloadBits
+}

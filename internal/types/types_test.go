@@ -1,0 +1,95 @@
+package types_test
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestValueString(t *testing.T) {
+	if types.V0.String() != "0" || types.V1.String() != "1" {
+		t.Errorf("value strings: %q %q", types.V0, types.V1)
+	}
+	if s := types.Value(9).String(); s != "Value(9)" {
+		t.Errorf("invalid value string: %q", s)
+	}
+}
+
+func TestValueValid(t *testing.T) {
+	if !types.V0.Valid() || !types.V1.Valid() {
+		t.Error("V0/V1 must be valid")
+	}
+	if types.Value(2).Valid() {
+		t.Error("2 must be invalid")
+	}
+}
+
+func TestDecisionOf(t *testing.T) {
+	if types.DecisionOf(types.V0) != types.DecisionAbort {
+		t.Error("0 must map to abort")
+	}
+	if types.DecisionOf(types.V1) != types.DecisionCommit {
+		t.Error("1 must map to commit")
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	cases := map[types.Decision]string{
+		types.DecisionNone:   "none",
+		types.DecisionAbort:  "ABORT",
+		types.DecisionCommit: "COMMIT",
+		types.Decision(42):   "Decision(42)",
+	}
+	for d, want := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", int(d), got, want)
+		}
+	}
+}
+
+type fakePayload struct{}
+
+func (fakePayload) Kind() string { return "fake" }
+
+func TestBroadcast(t *testing.T) {
+	msgs := types.Broadcast(2, 4, fakePayload{})
+	if len(msgs) != 4 {
+		t.Fatalf("broadcast produced %d messages, want 4", len(msgs))
+	}
+	seen := make(map[types.ProcID]bool)
+	for _, m := range msgs {
+		if m.From != 2 {
+			t.Errorf("message from %d, want 2", m.From)
+		}
+		if m.Payload.Kind() != "fake" {
+			t.Errorf("payload kind %q", m.Payload.Kind())
+		}
+		seen[m.To] = true
+	}
+	for p := types.ProcID(0); p < 4; p++ {
+		if !seen[p] {
+			t.Errorf("no message to %d (broadcast must include self)", p)
+		}
+	}
+}
+
+type unsizedPayload struct{}
+
+func (unsizedPayload) Kind() string { return "unsized" }
+
+type sizedPayload struct{}
+
+func (sizedPayload) Kind() string  { return "sized" }
+func (sizedPayload) SizeBits() int { return 123 }
+
+func TestSizeOf(t *testing.T) {
+	if got := types.SizeOf(nil); got != 0 {
+		t.Errorf("SizeOf(nil) = %d", got)
+	}
+	if got := types.SizeOf(unsizedPayload{}); got != types.DefaultPayloadBits {
+		t.Errorf("SizeOf(unsized) = %d", got)
+	}
+	if got := types.SizeOf(sizedPayload{}); got != 123 {
+		t.Errorf("SizeOf(sized) = %d", got)
+	}
+}

@@ -1,0 +1,250 @@
+// Package wal provides the write-ahead log that makes the paper's
+// recovery story concrete. The protocol's graceful degradation ("instead
+// of producing a wrong answer, the protocol simply fails to terminate...
+// by not producing a wrong answer, we leave open the opportunity to
+// recover", §1) is only useful if a crashed processor can come back,
+// re-learn where it was, and find out the outcome. This package persists
+// the protocol-relevant transitions — the vote, the shared coin list, the
+// agreement input, and the decision — in an append-only, checksummed,
+// torn-tail-tolerant log.
+//
+// Record layout (little endian):
+//
+//	[u32 payloadLen][u32 crc32(payload)][payload]
+//
+// payload:
+//
+//	[u8 type][u8 value][u16 coinCount][coinCount bytes of coin bits]
+//
+// Replay stops cleanly at a truncated tail (the crash-during-append
+// case) and rejects corrupted records (checksum mismatch).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// RecordType tags a logged transition.
+type RecordType uint8
+
+// The logged transition kinds.
+const (
+	// RecordVote logs the processor's (possibly demoted) vote.
+	RecordVote RecordType = iota + 1
+	// RecordCoins logs the shared coin list learned from GO.
+	RecordCoins
+	// RecordInput logs the input handed to Protocol 1.
+	RecordInput
+	// RecordDecision logs the final decision value. A log containing a
+	// RecordDecision is terminal: recovery needs nothing else.
+	RecordDecision
+)
+
+// String implements fmt.Stringer.
+func (t RecordType) String() string {
+	switch t {
+	case RecordVote:
+		return "vote"
+	case RecordCoins:
+		return "coins"
+	case RecordInput:
+		return "input"
+	case RecordDecision:
+		return "decision"
+	default:
+		return fmt.Sprintf("RecordType(%d)", uint8(t))
+	}
+}
+
+// Record is one logged transition.
+type Record struct {
+	Type  RecordType
+	Value types.Value
+	Coins []types.Value
+}
+
+// ErrCorrupt is returned when a record fails its checksum.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+const headerSize = 8
+
+// encode serializes a record payload.
+func encode(r Record) ([]byte, error) {
+	if len(r.Coins) > 1<<16-1 {
+		return nil, fmt.Errorf("wal: too many coins (%d)", len(r.Coins))
+	}
+	payload := make([]byte, 4+len(r.Coins))
+	payload[0] = byte(r.Type)
+	payload[1] = byte(r.Value)
+	binary.LittleEndian.PutUint16(payload[2:4], uint16(len(r.Coins)))
+	for i, c := range r.Coins {
+		payload[4+i] = byte(c)
+	}
+	buf := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[headerSize:], payload)
+	return buf, nil
+}
+
+// decodePayload parses a checksum-verified payload.
+func decodePayload(payload []byte) (Record, error) {
+	if len(payload) < 4 {
+		return Record{}, ErrCorrupt
+	}
+	r := Record{Type: RecordType(payload[0]), Value: types.Value(payload[1])}
+	count := int(binary.LittleEndian.Uint16(payload[2:4]))
+	if len(payload) != 4+count {
+		return Record{}, ErrCorrupt
+	}
+	if count > 0 {
+		r.Coins = make([]types.Value, count)
+		for i := 0; i < count; i++ {
+			r.Coins[i] = types.Value(payload[4+i])
+		}
+	}
+	return r, nil
+}
+
+// Log is an append-only record log over any writer. Appends are
+// serialized; a Log is safe for concurrent use.
+type Log struct {
+	mu sync.Mutex
+	w  io.Writer
+	// sync, if non-nil, is invoked after decision records (fsync).
+	sync func() error
+}
+
+// New creates a log over w.
+func New(w io.Writer) *Log { return &Log{w: w} }
+
+// Append writes one record, syncing after decisions when supported.
+func (l *Log) Append(r Record) error {
+	buf, err := encode(r)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.w.Write(buf); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if r.Type == RecordDecision && l.sync != nil {
+		if err := l.sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// FileLog is a Log backed by an O_APPEND file.
+type FileLog struct {
+	*Log
+	f *os.File
+}
+
+// OpenFile opens (creating if needed) an append-only file log.
+func OpenFile(path string) (*FileLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	l := New(f)
+	l.sync = f.Sync
+	return &FileLog{Log: l, f: f}, nil
+}
+
+// Close syncs and closes the file.
+func (l *FileLog) Close() error {
+	if err := l.f.Sync(); err != nil {
+		l.f.Close() //nolint:errcheck
+		return err
+	}
+	return l.f.Close()
+}
+
+// Replay reads records until EOF. A cleanly truncated tail (torn final
+// record) ends replay without error; a checksum mismatch returns
+// ErrCorrupt with the records read so far.
+func Replay(r io.Reader) ([]Record, error) {
+	var out []Record
+	header := make([]byte, headerSize)
+	for {
+		if _, err := io.ReadFull(r, header); err != nil {
+			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+				return out, nil // torn header: stop
+			}
+			return out, err
+		}
+		payloadLen := binary.LittleEndian.Uint32(header[0:4])
+		wantCRC := binary.LittleEndian.Uint32(header[4:8])
+		if payloadLen > 1<<20 {
+			return out, fmt.Errorf("%w: implausible payload length %d", ErrCorrupt, payloadLen)
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+				return out, nil // torn payload: stop
+			}
+			return out, err
+		}
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			return out, ErrCorrupt
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// ReplayFile replays a file log (a missing file yields an empty state).
+func ReplayFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close() //nolint:errcheck // read-only
+	return Replay(f)
+}
+
+// State is the protocol state reconstructed from a log.
+type State struct {
+	HasVote  bool
+	Vote     types.Value
+	Coins    []types.Value
+	HasInput bool
+	Input    types.Value
+	Decided  bool
+	Decision types.Value
+}
+
+// Reconstruct folds records into the latest state.
+func Reconstruct(records []Record) State {
+	var s State
+	for _, r := range records {
+		switch r.Type {
+		case RecordVote:
+			s.HasVote, s.Vote = true, r.Value
+		case RecordCoins:
+			s.Coins = r.Coins
+		case RecordInput:
+			s.HasInput, s.Input = true, r.Value
+		case RecordDecision:
+			s.Decided, s.Decision = true, r.Value
+		}
+	}
+	return s
+}

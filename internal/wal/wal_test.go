@@ -1,0 +1,294 @@
+package wal_test
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	log := wal.New(&buf)
+	records := []wal.Record{
+		{Type: wal.RecordVote, Value: types.V1},
+		{Type: wal.RecordCoins, Coins: []types.Value{1, 0, 1, 1, 0}},
+		{Type: wal.RecordInput, Value: types.V1},
+		{Type: wal.RecordVote, Value: types.V0},
+		{Type: wal.RecordDecision, Value: types.V0},
+	}
+	for _, r := range records {
+		if err := log.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := wal.Replay(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(records))
+	}
+	for i := range records {
+		if got[i].Type != records[i].Type || got[i].Value != records[i].Value {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], records[i])
+		}
+		if len(got[i].Coins) != len(records[i].Coins) {
+			t.Errorf("record %d coins = %v", i, got[i].Coins)
+		}
+	}
+}
+
+func TestTornTailIsTolerated(t *testing.T) {
+	var buf bytes.Buffer
+	log := wal.New(&buf)
+	if err := log.Append(wal.Record{Type: wal.RecordVote, Value: types.V1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Append(wal.Record{Type: wal.RecordDecision, Value: types.V1}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Chop bytes off the end: replay must never error, and must return
+	// the first record intact once the second is incomplete.
+	for cut := 1; cut < 12; cut++ {
+		got, err := wal.Replay(bytes.NewReader(full[:len(full)-cut]))
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if len(got) != 1 {
+			t.Fatalf("cut=%d: %d records, want 1", cut, len(got))
+		}
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	log := wal.New(&buf)
+	if err := log.Append(wal.Record{Type: wal.RecordDecision, Value: types.V1}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-1] ^= 0xFF // flip a payload bit
+	_, err := wal.Replay(bytes.NewReader(raw))
+	if !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestImplausibleLengthRejected(t *testing.T) {
+	raw := []byte{0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0, 1, 2, 3}
+	_, err := wal.Replay(bytes.NewReader(raw))
+	if !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFileLogLifecycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "proc3.wal")
+	fl, err := wal.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.Append(wal.Record{Type: wal.RecordVote, Value: types.V1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.Append(wal.Record{Type: wal.RecordDecision, Value: types.V1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Append-reopen: records accumulate.
+	fl2, err := wal.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fl2.Append(wal.Record{Type: wal.RecordVote, Value: types.V0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := wal.ReplayFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(got))
+	}
+	// Missing file: empty state, no error.
+	none, err := wal.ReplayFile(filepath.Join(t.TempDir(), "absent.wal"))
+	if err != nil || none != nil {
+		t.Fatalf("missing file: %v %v", none, err)
+	}
+}
+
+func TestReconstruct(t *testing.T) {
+	s := wal.Reconstruct([]wal.Record{
+		{Type: wal.RecordVote, Value: types.V1},
+		{Type: wal.RecordCoins, Coins: []types.Value{1, 0}},
+		{Type: wal.RecordVote, Value: types.V0}, // demotion overwrites
+		{Type: wal.RecordInput, Value: types.V0},
+		{Type: wal.RecordDecision, Value: types.V0},
+	})
+	if !s.HasVote || s.Vote != types.V0 {
+		t.Errorf("vote = %+v", s)
+	}
+	if len(s.Coins) != 2 {
+		t.Errorf("coins = %v", s.Coins)
+	}
+	if !s.HasInput || s.Input != types.V0 {
+		t.Errorf("input = %+v", s)
+	}
+	if !s.Decided || s.Decision != types.V0 {
+		t.Errorf("decision = %+v", s)
+	}
+	if empty := wal.Reconstruct(nil); empty.Decided || empty.HasVote {
+		t.Errorf("empty state = %+v", empty)
+	}
+}
+
+func TestRecordTypeString(t *testing.T) {
+	for rt, want := range map[wal.RecordType]string{
+		wal.RecordVote: "vote", wal.RecordCoins: "coins",
+		wal.RecordInput: "input", wal.RecordDecision: "decision",
+		wal.RecordType(99): "RecordType(99)",
+	} {
+		if rt.String() != want {
+			t.Errorf("%d -> %q, want %q", rt, rt.String(), want)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(typ uint8, val bool, coinBits []bool) bool {
+		r := wal.Record{Type: wal.RecordType(typ%4 + 1)}
+		if val {
+			r.Value = types.V1
+		}
+		for _, b := range coinBits {
+			if b {
+				r.Coins = append(r.Coins, types.V1)
+			} else {
+				r.Coins = append(r.Coins, types.V0)
+			}
+		}
+		var buf bytes.Buffer
+		if err := wal.New(&buf).Append(r); err != nil {
+			return false
+		}
+		got, err := wal.Replay(&buf)
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		if got[0].Type != r.Type || got[0].Value != r.Value || len(got[0].Coins) != len(r.Coins) {
+			return false
+		}
+		for i := range r.Coins {
+			if got[0].Coins[i] != r.Coins[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLoggedCommitJournal runs a full simulated commit with every machine
+// journaled and confirms the logs reconstruct to the protocol outcome.
+func TestLoggedCommitJournal(t *testing.T) {
+	n := 5
+	bufs := make([]*bytes.Buffer, n)
+	machines := make([]types.Machine, n)
+	logged := make([]*wal.LoggedCommit, n)
+	for i := 0; i < n; i++ {
+		m, err := core.New(core.Config{
+			ID: types.ProcID(i), N: n, T: 2, K: 4, Vote: types.V1, Gadget: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufs[i] = &bytes.Buffer{}
+		logged[i] = wal.NewLoggedCommit(m, wal.New(bufs[i]))
+		machines[i] = logged[i]
+	}
+	res, err := sim.Run(sim.Config{
+		K: 4, Machines: machines, Adversary: &adversary.RoundRobin{},
+		Seeds: rng.NewCollection(7, n),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllNonfaultyDecided() {
+		t.Fatal("run undecided")
+	}
+	for p := 0; p < n; p++ {
+		if logged[p].Err() != nil {
+			t.Fatalf("proc %d journal error: %v", p, logged[p].Err())
+		}
+		records, err := wal.Replay(bytes.NewReader(bufs[p].Bytes()))
+		if err != nil {
+			t.Fatalf("proc %d replay: %v", p, err)
+		}
+		s := wal.Reconstruct(records)
+		if !s.Decided || s.Decision != res.Values[p] {
+			t.Errorf("proc %d reconstructed %+v, run decided %v", p, s, res.Values[p])
+		}
+		if !s.HasVote || s.Vote != types.V1 {
+			t.Errorf("proc %d vote not journaled: %+v", p, s)
+		}
+		if len(s.Coins) != n {
+			t.Errorf("proc %d coins not journaled: %v", p, s.Coins)
+		}
+		if !s.HasInput || s.Input != types.V1 {
+			t.Errorf("proc %d input not journaled: %+v", p, s)
+		}
+	}
+}
+
+// TestLoggedCommitJournalsDemotion confirms the 2K-timeout vote demotion
+// is captured (the record a recovering processor needs to know it already
+// promised nothing).
+func TestLoggedCommitJournalsDemotion(t *testing.T) {
+	n := 3
+	var buf bytes.Buffer
+	m, err := core.New(core.Config{ID: 1, N: n, T: 1, K: 2, Vote: types.V1, Gadget: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm := wal.NewLoggedCommit(m, wal.New(&buf))
+	st := rng.NewStream(1)
+	// Wake with a bare GO, then starve through the 2K timeout.
+	lm.Step([]types.Message{{From: 0, To: 1, Payload: core.GoMsg{Coins: []types.Value{0, 1, 0}}}}, st)
+	for i := 0; i < 6; i++ {
+		lm.Step(nil, st)
+	}
+	records, err := wal.Replay(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	votes := 0
+	for _, r := range records {
+		if r.Type == wal.RecordVote {
+			votes++
+		}
+	}
+	if votes < 2 {
+		t.Fatalf("expected initial vote + demotion, got %d vote records", votes)
+	}
+	s := wal.Reconstruct(records)
+	if s.Vote != types.V0 {
+		t.Fatalf("final journaled vote = %v, want demoted 0", s.Vote)
+	}
+}

@@ -1,0 +1,69 @@
+package tcommit_test
+
+import (
+	"testing"
+
+	tcommit "repro"
+)
+
+// TestSoakRandomizedInvariants is a breadth pass: hundreds of seeded
+// configurations across adversaries, vote patterns, crash loads, and
+// system sizes, every run audited for the paper's safety conditions
+// (Simulate itself re-checks agreement and fails hard on violation).
+func TestSoakRandomizedInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	runs := 0
+	for _, n := range []int{2, 3, 5, 7} {
+		faults := (n - 1) / 2
+		for seed := uint64(0); seed < 12; seed++ {
+			for scenario := 0; scenario < 4; scenario++ {
+				votes := make([]bool, n)
+				for i := range votes {
+					votes[i] = (seed+uint64(i*scenario))%4 != 0
+				}
+				var opts []tcommit.SimOption
+				switch scenario {
+				case 0:
+					// On-time round robin.
+				case 1:
+					opts = append(opts, tcommit.WithRandomScheduling(seed*31+uint64(n)))
+				case 2:
+					opts = append(opts, tcommit.WithBoundedDelay(int(seed%10)+1),
+						tcommit.WithStepBudget(400_000))
+				case 3:
+					for f := 0; f < faults; f++ {
+						opts = append(opts, tcommit.WithCrash(
+							tcommit.ProcID(n-1-f), int(seed%7)))
+					}
+				}
+				res, err := tcommit.Simulate(
+					tcommit.Config{N: n, K: 3, Seed: seed*7919 + uint64(n)},
+					votes, opts...)
+				if err != nil {
+					t.Fatalf("n=%d seed=%d scenario=%d: %v", n, seed, scenario, err)
+				}
+				runs++
+				if res.Blocked {
+					t.Fatalf("n=%d seed=%d scenario=%d: blocked within tolerance", n, seed, scenario)
+				}
+				// Abort validity: if any vote was false, outcome is abort.
+				anyNo := false
+				for _, v := range votes {
+					if !v {
+						anyNo = true
+					}
+				}
+				d, unanimous := res.Unanimous()
+				if !unanimous {
+					t.Fatalf("n=%d seed=%d scenario=%d: no unanimous outcome", n, seed, scenario)
+				}
+				if anyNo && d != tcommit.Abort {
+					t.Fatalf("n=%d seed=%d scenario=%d: abort validity violated (%v)", n, seed, scenario, d)
+				}
+			}
+		}
+	}
+	t.Logf("soak: %d runs clean", runs)
+}

@@ -1,0 +1,82 @@
+package tcommit_test
+
+import (
+	"testing"
+	"time"
+
+	tcommit "repro"
+)
+
+func TestRunTransactionsBatch(t *testing.T) {
+	cfg := tcommit.Config{N: 5, K: 12, Seed: 21}
+	specs := []tcommit.TxnSpec{
+		{ID: "order-1", Coordinator: 0, Votes: []bool{true, true, true, true, true}},
+		{ID: "order-2", Coordinator: 2, Votes: []bool{true, true, true, false, true}},
+		{ID: "order-3", Coordinator: 4, Votes: []bool{true, true, true, true, true}},
+	}
+	out, err := tcommit.RunTransactions(cfg, specs,
+		tcommit.WithTick(time.Millisecond), tcommit.WithMaxTicks(4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["order-1"] != tcommit.Commit {
+		t.Errorf("order-1 = %v, want COMMIT", out["order-1"])
+	}
+	if out["order-2"] != tcommit.Abort {
+		t.Errorf("order-2 = %v, want ABORT (node 3 voted no)", out["order-2"])
+	}
+	if out["order-3"] != tcommit.Commit {
+		t.Errorf("order-3 = %v, want COMMIT", out["order-3"])
+	}
+}
+
+func TestRunTransactionsEmptyAndValidation(t *testing.T) {
+	cfg := tcommit.Config{N: 3}
+	if out, err := tcommit.RunTransactions(cfg, nil); err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v %v", out, err)
+	}
+	bad := [][]tcommit.TxnSpec{
+		{{ID: "", Coordinator: 0, Votes: []bool{true, true, true}}},
+		{{ID: "x", Coordinator: 9, Votes: []bool{true, true, true}}},
+		{{ID: "x", Coordinator: 0, Votes: []bool{true}}},
+		{
+			{ID: "dup", Coordinator: 0, Votes: []bool{true, true, true}},
+			{ID: "dup", Coordinator: 1, Votes: []bool{true, true, true}},
+		},
+	}
+	for i, specs := range bad {
+		if _, err := tcommit.RunTransactions(cfg, specs); err == nil {
+			t.Errorf("bad batch %d accepted", i)
+		}
+	}
+}
+
+func TestRunTransactionsManyConcurrent(t *testing.T) {
+	cfg := tcommit.Config{N: 5, K: 15, Seed: 22}
+	var specs []tcommit.TxnSpec
+	for i := 0; i < 12; i++ {
+		votes := []bool{true, true, true, true, true}
+		if i%3 == 2 {
+			votes[i%5] = false
+		}
+		specs = append(specs, tcommit.TxnSpec{
+			ID:          string(rune('a' + i)),
+			Coordinator: tcommit.ProcID(i % 5),
+			Votes:       votes,
+		})
+	}
+	out, err := tcommit.RunTransactions(cfg, specs,
+		tcommit.WithTick(time.Millisecond), tcommit.WithMaxTicks(6000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range specs {
+		want := tcommit.Commit
+		if i%3 == 2 {
+			want = tcommit.Abort
+		}
+		if out[spec.ID] != want {
+			t.Errorf("txn %q = %v, want %v", spec.ID, out[spec.ID], want)
+		}
+	}
+}
