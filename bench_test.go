@@ -12,13 +12,17 @@
 package tcommit_test
 
 import (
+	"context"
 	"testing"
+	"time"
 
+	tcommit "repro"
 	"repro/internal/adversary"
 	"repro/internal/harness"
 	"repro/internal/lowerbound"
 	"repro/internal/rng"
 	"repro/internal/rounds"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/twopc"
@@ -342,6 +346,49 @@ func BenchmarkE12RoundDefinition(b *testing.B) {
 		if an.EndClock[0][7] != 8*4 {
 			b.Fatalf("round boundary wrong: %d", an.EndClock[0][7])
 		}
+	}
+}
+
+// BenchmarkE14ServiceThroughput measures sustained commit throughput of
+// the client-facing service over a live in-process cluster: each
+// iteration submits one transaction through the full admission → batch →
+// dispatch → decide → notify path, with GOMAXPROCS-parallel clients
+// keeping the batcher busy. Reports end-to-end txns/sec.
+func BenchmarkE14ServiceThroughput(b *testing.B) {
+	for _, n := range []int{3, 5} {
+		b.Run(benchName("n", n), func(b *testing.B) {
+			svc, err := tcommit.Serve(tcommit.ServiceConfig{
+				N: n, K: 3, Seed: 0xE14,
+				TickEvery:      200 * time.Microsecond,
+				MaxInFlight:    256,
+				DefaultTimeout: time.Minute,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel()
+				if err := svc.Close(ctx); err != nil {
+					b.Error(err)
+				}
+			}()
+			start := time.Now()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					res, err := svc.Submit(context.Background(), tcommit.CommitRequest{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.State != service.StateCommit {
+						b.Fatalf("resolved %+v", res)
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "txns/sec")
+		})
 	}
 }
 

@@ -1,0 +1,159 @@
+// Command commitd is the transaction-commit daemon: it fronts a live
+// cluster of transaction managers with an HTTP/JSON API (stdlib net/http
+// only) so clients can submit transactions and observe outcomes.
+//
+//	commitd -addr 127.0.0.1:8080 -n 5
+//
+//	POST /commit        {"id":"t1","votes":[true,true,false,true,true]}
+//	GET  /status/{txn}  state of a known transaction
+//	GET  /metrics       counters + latency percentiles (JSON)
+//	GET  /healthz       liveness + cluster size
+//	POST /crash/{node}  fault injection: fail-stop one processor
+//
+// The cluster backend is either the in-process channel hub (default) or
+// real TCP nodes on loopback (-backend tcp) — same machines, same
+// protocol, heavier transport.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "commitd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until SIGINT/SIGTERM, then drains the
+// service before returning. If ready is non-nil it receives the bound
+// address once the server is listening (used by tests, which then signal
+// the process to stop).
+func run(args []string, out io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("commitd", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		n        = fs.Int("n", 5, "number of processors in the fronted cluster")
+		tFaults  = fs.Int("t", 0, "crash tolerance (default (n-1)/2)")
+		k        = fs.Int("k", 4, "protocol timing constant in ticks")
+		tick     = fs.Duration("tick", time.Millisecond, "cluster step period")
+		seed     = fs.Uint64("seed", 0, "randomness seed (0: derived from time)")
+		queue    = fs.Int("queue", 1024, "admission queue depth")
+		inflight = fs.Int("inflight", 128, "max concurrent commit instances")
+		batch    = fs.Int("batch", 64, "max submissions coalesced per dispatch")
+		timeout  = fs.Duration("timeout", 10*time.Second, "default per-request deadline")
+		backend  = fs.String("backend", "channel", "cluster transport: channel or tcp")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *seed == 0 {
+		*seed = uint64(time.Now().UnixNano())
+	}
+
+	cfg := service.Config{
+		N: *n, T: *tFaults, K: *k,
+		TickEvery:      *tick,
+		Seed:           *seed,
+		QueueDepth:     *queue,
+		MaxInFlight:    *inflight,
+		BatchMax:       *batch,
+		DefaultTimeout: *timeout,
+	}
+	switch *backend {
+	case "channel":
+	case "tcp":
+		transports, err := loopbackTCP(*n)
+		if err != nil {
+			return err
+		}
+		cfg.Transports = transports
+	default:
+		return fmt.Errorf("unknown backend %q (want channel or tcp)", *backend)
+	}
+
+	svc, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	server := &http.Server{Handler: service.NewHTTPHandler(svc)}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	fmt.Fprintf(out, "commitd: serving n=%d backend=%s on http://%s\n", *n, *backend, ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.Serve(ln) }()
+
+	var serveErr error
+	select {
+	case s := <-sig:
+		fmt.Fprintf(out, "commitd: %v, draining\n", s)
+	case serveErr = <-errCh:
+		if errors.Is(serveErr, http.ErrServerClosed) {
+			serveErr = nil
+		}
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Close(shutdownCtx); err != nil && serveErr == nil {
+		serveErr = err
+	}
+	if err := server.Shutdown(shutdownCtx); err != nil && serveErr == nil && !errors.Is(err, http.ErrServerClosed) {
+		serveErr = err
+	}
+	m := svc.Metrics()
+	fmt.Fprintf(out, "commitd: drained (submitted=%d committed=%d aborted=%d timed_out=%d violations=%d)\n",
+		m.Submitted, m.Committed, m.Aborted, m.TimedOut, m.SafetyViolations)
+	return serveErr
+}
+
+// loopbackTCP boots n peered TCP nodes on ephemeral loopback ports — the
+// real-sockets cluster backend.
+func loopbackTCP(n int) ([]transport.Transport, error) {
+	transport.RegisterWirePayloads()
+	nodes := make([]*transport.TCPNode, n)
+	peers := make(map[types.ProcID]string, n)
+	for p := 0; p < n; p++ {
+		tn, err := transport.ListenTCP(types.ProcID(p), "127.0.0.1:0")
+		if err != nil {
+			for _, prev := range nodes[:p] {
+				prev.Close() //nolint:errcheck
+			}
+			return nil, err
+		}
+		nodes[p] = tn
+		peers[types.ProcID(p)] = tn.Addr()
+	}
+	out := make([]transport.Transport, n)
+	for p, tn := range nodes {
+		tn.SetPeers(peers)
+		out[p] = tn
+	}
+	return out, nil
+}

@@ -1,0 +1,332 @@
+// Command loadgen drives a commitd daemon with synthetic transaction
+// load and reports throughput and latency percentiles per outcome.
+//
+//	loadgen -addr 127.0.0.1:8080 -mode closed -concurrency 16 -total 2000
+//	loadgen -addr 127.0.0.1:8080 -mode open -rate 500 -duration 10s
+//
+// A fraction of transactions carry one dissenting vote (-abort-fraction)
+// and must resolve ABORT — a COMMIT on such a transaction is counted as
+// a client-observed safety violation. Optionally one node is fail-stopped
+// partway through the run (-crash-node/-crash-after). The exit status is
+// nonzero if either the client or the daemon observed a violation.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// genConfig is the parsed flag set.
+type genConfig struct {
+	addr          string
+	mode          string
+	concurrency   int
+	rate          float64
+	total         int
+	duration      time.Duration
+	abortFraction float64
+	timeout       time.Duration
+	crashNode     int
+	crashAfter    int
+	seed          int64
+}
+
+// genStats accumulates results across workers.
+type genStats struct {
+	mu         sync.Mutex
+	byState    map[service.State]*stats.Recorder
+	violations int
+	errors     int
+	retried429 int
+}
+
+func (g *genStats) record(st service.State, latencyMs float64, violation bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rec := g.byState[st]
+	if rec == nil {
+		rec = stats.NewRecorder(1 << 16)
+		g.byState[st] = rec
+	}
+	rec.Add(latencyMs)
+	if violation {
+		g.violations++
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	cfg := genConfig{}
+	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:8080", "commitd address (host:port)")
+	fs.StringVar(&cfg.mode, "mode", "closed", "load mode: closed (fixed workers) or open (fixed rate)")
+	fs.IntVar(&cfg.concurrency, "concurrency", 8, "closed-loop worker count")
+	fs.Float64Var(&cfg.rate, "rate", 200, "open-loop target submissions/sec")
+	fs.IntVar(&cfg.total, "total", 1000, "stop after this many transactions (0: duration only)")
+	fs.DurationVar(&cfg.duration, "duration", 0, "stop after this long (0: total only)")
+	fs.Float64Var(&cfg.abortFraction, "abort-fraction", 0.2, "fraction of txns with one dissenting vote")
+	fs.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request client timeout")
+	fs.IntVar(&cfg.crashNode, "crash-node", -1, "node to fail-stop mid-run (-1: none)")
+	fs.IntVar(&cfg.crashAfter, "crash-after", 0, "crash after this many completed txns")
+	fs.Int64Var(&cfg.seed, "seed", 1, "client randomness seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if cfg.total <= 0 && cfg.duration <= 0 {
+		return errors.New("need -total or -duration")
+	}
+	if cfg.abortFraction < 0 || cfg.abortFraction > 1 {
+		return errors.New("-abort-fraction must be in [0,1]")
+	}
+	return drive(cfg, out)
+}
+
+// drive runs the configured load against the daemon and prints the
+// report. It is the testable core of the CLI.
+func drive(cfg genConfig, out io.Writer) error {
+	base := "http://" + cfg.addr
+	client := &http.Client{Timeout: cfg.timeout}
+
+	n, err := clusterSize(client, base)
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+
+	g := &genStats{byState: make(map[service.State]*stats.Recorder)}
+	ctx := context.Background()
+	var cancel context.CancelFunc = func() {}
+	if cfg.duration > 0 {
+		ctx, cancel = context.WithTimeout(ctx, cfg.duration)
+	}
+	defer cancel()
+
+	var completed atomic.Int64
+	var launched atomic.Int64
+	crashed := make(chan struct{})
+	var crashOnce sync.Once
+	maybeCrash := func() {
+		if cfg.crashNode < 0 {
+			return
+		}
+		if completed.Load() >= int64(cfg.crashAfter) {
+			crashOnce.Do(func() {
+				resp, err := client.Post(fmt.Sprintf("%s/crash/%d", base, cfg.crashNode), "application/json", nil)
+				if err == nil {
+					resp.Body.Close()
+				}
+				close(crashed)
+			})
+		}
+	}
+
+	// next hands out transaction sequence numbers until the run is over.
+	next := func() (int64, bool) {
+		if ctx.Err() != nil {
+			return 0, false
+		}
+		i := launched.Add(1) - 1
+		if cfg.total > 0 && i >= int64(cfg.total) {
+			return 0, false
+		}
+		return i, true
+	}
+
+	oneTxn := func(rng *rand.Rand, seq int64) {
+		defer completed.Add(1)
+		votes := make([]bool, n)
+		for i := range votes {
+			votes[i] = true
+		}
+		wantAbort := rng.Float64() < cfg.abortFraction
+		if wantAbort {
+			votes[rng.Intn(n)] = false
+		}
+		body, _ := json.Marshal(service.CommitRequestJSON{
+			ID:    fmt.Sprintf("load-%d", seq),
+			Votes: votes,
+		})
+		// Closed-loop clients back off and retry on 429 using the
+		// server's hint; other failures count once and move on.
+		for {
+			resp, err := client.Post(base+"/commit", "application/json", bytes.NewReader(body))
+			if err != nil {
+				g.mu.Lock()
+				g.errors++
+				g.mu.Unlock()
+				return
+			}
+			if resp.StatusCode == http.StatusTooManyRequests {
+				var e service.ErrorJSON
+				json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck
+				resp.Body.Close()
+				g.mu.Lock()
+				g.retried429++
+				g.mu.Unlock()
+				hint := time.Duration(e.RetryAfterMs) * time.Millisecond
+				if hint <= 0 {
+					hint = 50 * time.Millisecond
+				}
+				select {
+				case <-time.After(hint):
+					continue
+				case <-ctx.Done():
+					return
+				}
+			}
+			var cr service.CommitResponseJSON
+			decodeErr := json.NewDecoder(resp.Body).Decode(&cr)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || decodeErr != nil {
+				g.mu.Lock()
+				g.errors++
+				g.mu.Unlock()
+				return
+			}
+			// Client-observed abort validity: a transaction with a NO
+			// vote must never commit, crashes or not.
+			violation := wantAbort && cr.State == service.StateCommit
+			g.record(cr.State, cr.LatencyMs, violation)
+			return
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	switch cfg.mode {
+	case "closed":
+		for w := 0; w < cfg.concurrency; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
+				for {
+					seq, ok := next()
+					if !ok {
+						return
+					}
+					oneTxn(rng, seq)
+					maybeCrash()
+				}
+			}(w)
+		}
+	case "open":
+		if cfg.rate <= 0 {
+			return errors.New("-rate must be positive in open mode")
+		}
+		interval := time.Duration(float64(time.Second) / cfg.rate)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		var seedMu sync.Mutex
+		rngSeed := cfg.seed
+	loop:
+		for {
+			select {
+			case <-ctx.Done():
+				break loop
+			case <-ticker.C:
+				seq, ok := next()
+				if !ok {
+					break loop
+				}
+				wg.Add(1)
+				go func(seq int64) {
+					defer wg.Done()
+					seedMu.Lock()
+					rngSeed++
+					s := rngSeed
+					seedMu.Unlock()
+					oneTxn(rand.New(rand.NewSource(s)), seq)
+					maybeCrash()
+				}(seq)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown mode %q (want closed or open)", cfg.mode)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Pull the daemon's own view: safety violations detected server-side.
+	var m service.Metrics
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+
+	report(out, cfg, g, m, elapsed)
+
+	if g.violations > 0 || m.SafetyViolations > 0 {
+		return fmt.Errorf("safety violations: client=%d daemon=%d", g.violations, m.SafetyViolations)
+	}
+	return nil
+}
+
+func report(out io.Writer, cfg genConfig, g *genStats, m service.Metrics, elapsed time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var done uint64
+	table := stats.NewTable("outcome", "count", "p50 ms", "p95 ms", "p99 ms")
+	states := make([]service.State, 0, len(g.byState))
+	for st := range g.byState {
+		states = append(states, st)
+	}
+	sort.Slice(states, func(i, j int) bool { return states[i] < states[j] })
+	for _, st := range states {
+		rec := g.byState[st]
+		ps := rec.Percentiles(0.50, 0.95, 0.99)
+		table.AddRow(string(st), rec.Total(), fmt.Sprintf("%.2f", ps[0]),
+			fmt.Sprintf("%.2f", ps[1]), fmt.Sprintf("%.2f", ps[2]))
+		done += rec.Total()
+	}
+	fmt.Fprintf(out, "loadgen: mode=%s n=%d elapsed=%v\n", cfg.mode, m.N, elapsed.Round(time.Millisecond))
+	fmt.Fprint(out, table.String())
+	fmt.Fprintf(out, "throughput: %.1f txn/s (%d completed, %d client errors, %d overload retries)\n",
+		float64(done)/elapsed.Seconds(), done, g.errors, g.retried429)
+	fmt.Fprintf(out, "daemon: committed=%d aborted=%d timed_out=%d crashed=%v violations=%d\n",
+		m.Committed, m.Aborted, m.TimedOut, m.Crashed, m.SafetyViolations)
+	if g.violations > 0 {
+		fmt.Fprintf(out, "CLIENT-OBSERVED VIOLATIONS: %d abort-voted txns committed\n", g.violations)
+	}
+}
+
+func clusterSize(client *http.Client, base string) (int, error) {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var h service.HealthJSON
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return 0, err
+	}
+	if h.N <= 0 {
+		return 0, fmt.Errorf("daemon reports cluster size %d", h.N)
+	}
+	return h.N, nil
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// newTarget stands up a real service behind the real HTTP handler and
+// returns a host:port address for loadgen to hit.
+func newTarget(t *testing.T, cfg service.Config) (*service.Service, string) {
+	t.Helper()
+	s, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(service.NewHTTPHandler(s))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return s, strings.TrimPrefix(ts.URL, "http://")
+}
+
+// TestLoadgenE2EClosedLoopWithCrash is the headline end-to-end run: a
+// closed-loop load of 1000+ transactions with mixed commit/abort votes
+// against a live 5-node cluster, with one node fail-stopped partway
+// through. Every request must reach a terminal state (drive returning at
+// all proves no request hung), abort-voted transactions must never
+// commit, and neither client nor daemon may observe a safety violation.
+func TestLoadgenE2EClosedLoopWithCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-txn end-to-end run in -short mode")
+	}
+	// A short service-side deadline bounds the run: a transaction whose
+	// coordinator is the crash victim resolves TIMEOUT instead of
+	// stalling the closed loop for the full client timeout.
+	s, addr := newTarget(t, service.Config{
+		N: 5, K: 3, Seed: 99,
+		TickEvery:      500 * time.Microsecond,
+		DefaultTimeout: 5 * time.Second,
+	})
+	const total = 1000
+	var out bytes.Buffer
+	err := drive(genConfig{
+		addr:          addr,
+		mode:          "closed",
+		concurrency:   32,
+		total:         total,
+		abortFraction: 0.3,
+		timeout:       60 * time.Second,
+		crashNode:     3,
+		crashAfter:    total / 4,
+		seed:          7,
+	}, &out)
+	t.Logf("loadgen output:\n%s", out.String())
+	if err != nil {
+		t.Fatalf("drive: %v", err)
+	}
+
+	m := s.Metrics()
+	if m.Submitted < total {
+		t.Fatalf("only %d submitted", m.Submitted)
+	}
+	if got := m.Committed + m.Aborted + m.TimedOut; got != m.Submitted {
+		t.Fatalf("%d of %d submissions unresolved", m.Submitted-got, m.Submitted)
+	}
+	if m.Committed == 0 || m.Aborted == 0 {
+		t.Fatalf("votes not mixed: %+v", m)
+	}
+	if m.SafetyViolations != 0 {
+		t.Fatalf("daemon safety violations: %d", m.SafetyViolations)
+	}
+	if len(m.Crashed) != 1 || m.Crashed[0] != 3 {
+		t.Fatalf("crash not injected: %v", m.Crashed)
+	}
+	for _, want := range []string{"throughput:", "p50 ms", "crashed=[3]"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+// TestLoadgenOpenLoop exercises the rate-paced mode briefly.
+func TestLoadgenOpenLoop(t *testing.T) {
+	s, addr := newTarget(t, service.Config{N: 3, K: 3, Seed: 11})
+	var out bytes.Buffer
+	err := drive(genConfig{
+		addr:          addr,
+		mode:          "open",
+		rate:          300,
+		total:         60,
+		duration:      20 * time.Second, // backstop; total ends the run first
+		abortFraction: 0.5,
+		timeout:       30 * time.Second,
+		crashNode:     -1,
+		seed:          3,
+	}, &out)
+	if err != nil {
+		t.Fatalf("drive: %v\n%s", err, out.String())
+	}
+	m := s.Metrics()
+	if m.Submitted == 0 || m.Committed == 0 || m.Aborted == 0 {
+		t.Fatalf("open-loop metrics = %+v", m)
+	}
+}
+
+// TestLoadgenRetriesOverload: against a deliberately tiny admission
+// queue, closed-loop workers hit 429s, honor the retry hint, and still
+// finish the run.
+func TestLoadgenRetriesOverload(t *testing.T) {
+	s, addr := newTarget(t, service.Config{
+		N: 3, K: 3, Seed: 13,
+		QueueDepth: 2, MaxInFlight: 2, BatchMax: 1,
+		RetryHint: 5 * time.Millisecond,
+	})
+	var out bytes.Buffer
+	err := drive(genConfig{
+		addr:          addr,
+		mode:          "closed",
+		concurrency:   12,
+		total:         60,
+		abortFraction: 0,
+		timeout:       30 * time.Second,
+		crashNode:     -1,
+		seed:          5,
+	}, &out)
+	if err != nil {
+		t.Fatalf("drive: %v\n%s", err, out.String())
+	}
+	if m := s.Metrics(); m.Committed != 60 {
+		t.Fatalf("metrics = %+v\n%s", m, out.String())
+	}
+	if !strings.Contains(out.String(), "overload retries") {
+		t.Fatalf("report missing retry count:\n%s", out.String())
+	}
+}
+
+func TestLoadgenFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-total", "0"}, &out); err == nil {
+		t.Fatal("no stop condition accepted")
+	}
+	if err := run([]string{"-abort-fraction", "1.5"}, &out); err == nil {
+		t.Fatal("bad abort fraction accepted")
+	}
+	if err := run([]string{"-mode", "sideways", "-total", "1", "-addr", "127.0.0.1:1"}, &out); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}

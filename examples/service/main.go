@@ -1,0 +1,76 @@
+// Service: run the commit protocol as a long-lived request/response
+// service instead of one-shot batches.
+//
+//	go run ./examples/service
+//
+// A five-node cluster serves concurrent transaction submissions through
+// bounded admission and batched dispatch. Clients submit votes and block
+// for a terminal outcome: COMMIT, ABORT, or (past the deadline) TIMEOUT.
+// Midway through, one node is fail-stopped — within the protocol's
+// tolerance, so every request still terminates and no two nodes ever
+// disagree. The same service is what cmd/commitd exposes over HTTP.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	tcommit "repro"
+)
+
+func main() {
+	svc, err := tcommit.Serve(tcommit.ServiceConfig{
+		N:         5,  // five processors, per-transaction coordinators
+		K:         4,  // messages within 4 ticks are "on time"
+		Seed:      42, // reproducible coin flips
+		TickEvery: time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A batch of concurrent clients: transaction 3 carries one NO vote
+	// and must abort; the rest are unanimous and commit.
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := tcommit.CommitRequest{ID: fmt.Sprintf("order-%d", i)}
+			if i == 3 {
+				req.Votes = []bool{true, true, false, true, true}
+			}
+			res, err := svc.Submit(context.Background(), req)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-8s -> %s (coordinator %d, %v)\n",
+				res.ID, res.State, res.Coordinator, res.Latency.Round(time.Millisecond))
+		}(i)
+	}
+	wg.Wait()
+
+	// Fail-stop node 4. Crashed participants stop voting, so new
+	// unanimous-YES transactions can no longer prove commit — but every
+	// request still reaches a terminal state and safety holds.
+	if err := svc.Crash(4); err != nil {
+		log.Fatal(err)
+	}
+	res, err := svc.Submit(context.Background(), tcommit.CommitRequest{ID: "post-crash"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-8s -> %s (after crashing node 4)\n", res.ID, res.State)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := svc.Close(ctx); err != nil {
+		log.Fatal(err)
+	}
+	m := svc.Metrics()
+	fmt.Printf("served %d: %d committed, %d aborted, %d safety violations\n",
+		m.Submitted, m.Committed, m.Aborted, m.SafetyViolations)
+}

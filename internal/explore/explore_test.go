@@ -90,8 +90,12 @@ func TestCrashSweepFiveProcs(t *testing.T) {
 
 func TestExploreTwoProcessors(t *testing.T) {
 	// Bounded model check of the full two-processor protocol (t = 0):
-	// every canonical interleaving to depth 12. No reachable
-	// configuration may violate agreement or abort validity.
+	// every canonical interleaving to depth 12 (10 in -short mode). No
+	// reachable configuration may violate agreement or abort validity.
+	depth, states := 12, 30_000
+	if testing.Short() {
+		depth, states = 10, 10_000
+	}
 	vs := votes(1, 1)
 	res, err := explore.Explore(explore.ExploreConfig{
 		Factory:   explore.CommitFactory(2, 0, 1, vs),
@@ -99,8 +103,8 @@ func TestExploreTwoProcessors(t *testing.T) {
 		K:         1,
 		Seed:      4,
 		Votes:     vs,
-		MaxDepth:  12,
-		MaxStates: 30_000,
+		MaxDepth:  depth,
+		MaxStates: states,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -119,6 +123,10 @@ func TestExploreTwoProcessors(t *testing.T) {
 func TestExploreAbortVoteNeverCommits(t *testing.T) {
 	// With an initial abort vote, abort validity is audited in every
 	// reachable configuration: no interleaving may produce a commit.
+	depth, states := 12, 30_000
+	if testing.Short() {
+		depth, states = 10, 10_000
+	}
 	vs := votes(1, 0)
 	res, err := explore.Explore(explore.ExploreConfig{
 		Factory:   explore.CommitFactory(2, 0, 1, vs),
@@ -126,8 +134,8 @@ func TestExploreAbortVoteNeverCommits(t *testing.T) {
 		K:         1,
 		Seed:      5,
 		Votes:     vs,
-		MaxDepth:  12,
-		MaxStates: 30_000,
+		MaxDepth:  depth,
+		MaxStates: states,
 	})
 	if err != nil {
 		t.Fatal(err)

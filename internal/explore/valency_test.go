@@ -11,6 +11,10 @@ func TestValencyAllCommitIsBivalent(t *testing.T) {
 	// both outcomes are reachable (commit if the schedule is timely,
 	// abort if the GO/vote waits time out), so the initial configuration
 	// — and many successors — are bivalent.
+	depth, states := 14, 40_000
+	if testing.Short() {
+		depth, states = 12, 15_000
+	}
 	vs := votes(1, 1)
 	res, err := explore.Valency(explore.ExploreConfig{
 		Factory:   explore.CommitFactory(2, 0, 1, vs),
@@ -18,8 +22,8 @@ func TestValencyAllCommitIsBivalent(t *testing.T) {
 		K:         1,
 		Seed:      11,
 		Votes:     vs,
-		MaxDepth:  14,
-		MaxStates: 40_000,
+		MaxDepth:  depth,
+		MaxStates: states,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -45,6 +49,10 @@ func TestValencyAbortVoteIsUnivalent(t *testing.T) {
 	// Abort validity as valency: with an initial 0, only abort is
 	// reachable — the configuration is {0}-valent under every explored
 	// schedule.
+	depth, states := 14, 40_000
+	if testing.Short() {
+		depth, states = 12, 15_000
+	}
 	vs := votes(1, 0)
 	res, err := explore.Valency(explore.ExploreConfig{
 		Factory:   explore.CommitFactory(2, 0, 1, vs),
@@ -52,8 +60,8 @@ func TestValencyAbortVoteIsUnivalent(t *testing.T) {
 		K:         1,
 		Seed:      12,
 		Votes:     vs,
-		MaxDepth:  14,
-		MaxStates: 40_000,
+		MaxDepth:  depth,
+		MaxStates: states,
 	})
 	if err != nil {
 		t.Fatal(err)

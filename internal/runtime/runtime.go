@@ -35,6 +35,12 @@ type NodeConfig struct {
 	// LingerTicks keeps a decided-and-halted node stepping a little
 	// longer so its final broadcasts drain (default 8).
 	LingerTicks int
+	// Persistent keeps the node stepping even when its machine reports
+	// Halted — the service mode, where a transaction manager quiesces
+	// between batches but must stay responsive for new work. A
+	// persistent node stops only via Stop, context cancellation, or (if
+	// MaxTicks > 0) the tick budget; MaxTicks <= 0 means unbounded.
+	Persistent bool
 	// OnDecision, if non-nil, is invoked exactly once, from the node's
 	// goroutine, when the machine first decides.
 	OnDecision func(p types.ProcID, v types.Value)
@@ -66,7 +72,11 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		cfg.TickEvery = 2 * time.Millisecond
 	}
 	if cfg.MaxTicks <= 0 {
-		cfg.MaxTicks = 10_000
+		if cfg.Persistent {
+			cfg.MaxTicks = 0 // unbounded
+		} else {
+			cfg.MaxTicks = 10_000
+		}
 	}
 	if cfg.LingerTicks <= 0 {
 		cfg.LingerTicks = 8
@@ -104,7 +114,7 @@ func (n *Node) run(ctx context.Context) {
 
 	linger := -1
 	notified := false
-	for tick := 0; tick < n.cfg.MaxTicks; tick++ {
+	for tick := 0; n.cfg.MaxTicks <= 0 || tick < n.cfg.MaxTicks; tick++ {
 		select {
 		case <-ctx.Done():
 			n.setErr(ctx.Err())
@@ -127,7 +137,7 @@ func (n *Node) run(ctx context.Context) {
 				n.cfg.OnDecision(n.cfg.Machine.ID(), v)
 			}
 		}
-		if n.cfg.Machine.Halted() {
+		if !n.cfg.Persistent && n.cfg.Machine.Halted() {
 			if linger < 0 {
 				linger = n.cfg.LingerTicks
 			}
@@ -217,6 +227,9 @@ type ClusterOptions struct {
 	// OnDecision, if non-nil, is invoked once per node as it decides
 	// (from that node's goroutine; synchronize externally).
 	OnDecision func(p types.ProcID, v types.Value)
+	// Persistent makes every node ignore machine quiescence and step
+	// until stopped — see NodeConfig.Persistent.
+	Persistent bool
 }
 
 // NewLocalCluster wires one node per machine through a fresh hub.
@@ -235,6 +248,7 @@ func NewLocalCluster(machines []types.Machine, opts ClusterOptions) (*Cluster, e
 			TickEvery:  opts.TickEvery,
 			MaxTicks:   opts.MaxTicks,
 			OnDecision: opts.OnDecision,
+			Persistent: opts.Persistent,
 		})
 		if err != nil {
 			return nil, err
@@ -250,12 +264,27 @@ func (c *Cluster) Hub() *transport.Hub { return c.hub }
 // Node returns node p.
 func (c *Cluster) Node(p types.ProcID) *Node { return c.nodes[p] }
 
-// Run starts every node, waits for all to stop (or ctx to end), and
-// collects decisions.
-func (c *Cluster) Run(ctx context.Context) (*ClusterResult, error) {
+// Start launches every node without waiting. Pair with Wait (and,
+// optionally, Stop) — the long-running service lifecycle. Run bundles the
+// three for batch workloads.
+func (c *Cluster) Start(ctx context.Context) {
 	for _, n := range c.nodes {
 		n.Start(ctx)
 	}
+}
+
+// Stop asks every node to stop after its current tick. Wait still must be
+// called to join the goroutines and release the hub.
+func (c *Cluster) Stop() {
+	for _, n := range c.nodes {
+		n.Stop()
+	}
+}
+
+// Wait joins every node goroutine, closes the hub, and returns the first
+// node error. In-flight delayed messages settle before the hub closes, so
+// a Stop/Wait pair is a clean drain.
+func (c *Cluster) Wait() error {
 	var firstErr error
 	for _, n := range c.nodes {
 		if err := n.Wait(); err != nil && firstErr == nil {
@@ -265,6 +294,12 @@ func (c *Cluster) Run(ctx context.Context) (*ClusterResult, error) {
 	if err := c.hub.Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}
+	return firstErr
+}
+
+// Result snapshots every machine's decision state. Meaningful once the
+// nodes have stopped (after Wait) or for machines safe to query live.
+func (c *Cluster) Result() *ClusterResult {
 	res := &ClusterResult{
 		Decided: make([]bool, len(c.nodes)),
 		Values:  make([]types.Value, len(c.nodes)),
@@ -275,14 +310,26 @@ func (c *Cluster) Run(ctx context.Context) (*ClusterResult, error) {
 			res.Values[i] = v
 		}
 	}
-	return res, firstErr
+	return res
+}
+
+// Run starts every node, waits for all to stop (or ctx to end), and
+// collects decisions.
+func (c *Cluster) Run(ctx context.Context) (*ClusterResult, error) {
+	c.Start(ctx)
+	err := c.Wait()
+	return c.Result(), err
+}
+
+// Crash immediately crashes node p: the goroutine stops stepping and the
+// hub drops its traffic — the fail-stop fault model, injectable live.
+func (c *Cluster) Crash(p types.ProcID) {
+	c.hub.Crash(p)
+	c.nodes[p].Stop()
 }
 
 // CrashAfter schedules node p to stop and disconnect after d. It models a
 // crash: the node's goroutine halts and the hub drops its traffic.
 func (c *Cluster) CrashAfter(p types.ProcID, d time.Duration) {
-	time.AfterFunc(d, func() {
-		c.hub.Crash(p)
-		c.nodes[p].Stop()
-	})
+	time.AfterFunc(d, func() { c.Crash(p) })
 }

@@ -290,3 +290,41 @@ func TestOnDecisionCallback(t *testing.T) {
 		}
 	}
 }
+
+// TestPersistentClusterStopDrain: persistent nodes outlive machine
+// quiescence (the service lifecycle) and a Stop/Wait pair drains cleanly.
+func TestPersistentClusterStopDrain(t *testing.T) {
+	n := 3
+	machines := commitMachines(t, n, 6, votesOf(n, types.V1))
+	decided := make(chan types.ProcID, n)
+	c, err := runtime.NewLocalCluster(machines, runtime.ClusterOptions{
+		TickEvery: time.Millisecond, Seed: 4, Persistent: true,
+		OnDecision: func(p types.ProcID, v types.Value) { decided <- p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start(context.Background())
+	// Every machine decides, halts — and the nodes keep running anyway.
+	for i := 0; i < n; i++ {
+		select {
+		case <-decided:
+		case <-time.After(10 * time.Second):
+			t.Fatal("cluster never decided")
+		}
+	}
+	time.Sleep(20 * time.Millisecond) // well past halt+linger
+	select {
+	case <-c.Node(0).Done():
+		t.Fatal("persistent node exited on its own")
+	default:
+	}
+	c.Stop()
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := c.Result().Unanimous()
+	if !ok || d != types.DecisionCommit {
+		t.Fatalf("unanimous = %v %v", d, ok)
+	}
+}

@@ -1,0 +1,140 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/types"
+)
+
+// CommitRequestJSON is the POST /commit body.
+type CommitRequestJSON struct {
+	ID        string `json:"id,omitempty"`
+	Votes     []bool `json:"votes,omitempty"`
+	TimeoutMs int64  `json:"timeout_ms,omitempty"`
+}
+
+// CommitResponseJSON is the POST /commit response body.
+type CommitResponseJSON struct {
+	ID          string  `json:"id"`
+	State       State   `json:"state"`
+	Decision    string  `json:"decision,omitempty"`
+	Coordinator int     `json:"coordinator"`
+	LatencyMs   float64 `json:"latency_ms"`
+}
+
+// ErrorJSON is the error response body.
+type ErrorJSON struct {
+	Error        string `json:"error"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+}
+
+// HealthJSON is the GET /healthz response body.
+type HealthJSON struct {
+	Status string `json:"status"`
+	N      int    `json:"n"`
+}
+
+// NewHTTPHandler exposes a service over HTTP/JSON (stdlib only):
+//
+//	POST /commit        submit a transaction, blocks to its terminal state
+//	GET  /status/{txn}  query a known transaction
+//	GET  /metrics       instrumentation snapshot
+//	GET  /healthz       liveness + cluster size
+//	POST /crash/{node}  fault injection: fail-stop one processor
+func NewHTTPHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /commit", func(w http.ResponseWriter, r *http.Request) {
+		var body CommitRequestJSON
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorJSON{Error: "bad request body: " + err.Error()})
+			return
+		}
+		res, err := s.Submit(r.Context(), Request{
+			ID:      body.ID,
+			Votes:   body.Votes,
+			Timeout: time.Duration(body.TimeoutMs) * time.Millisecond,
+		})
+		if err != nil {
+			writeSubmitError(w, err)
+			return
+		}
+		resp := CommitResponseJSON{
+			ID:          res.ID,
+			State:       res.State,
+			Coordinator: int(res.Coordinator),
+			LatencyMs:   float64(res.Latency) / float64(time.Millisecond),
+		}
+		if res.Decision != types.DecisionNone {
+			resp.Decision = res.Decision.String()
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /status/{txn}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := s.Status(r.PathValue("txn"))
+		if !ok {
+			writeJSON(w, http.StatusNotFound, ErrorJSON{Error: "unknown transaction"})
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		status := "ok"
+		if s.Draining() {
+			status = "draining"
+		}
+		writeJSON(w, http.StatusOK, HealthJSON{Status: status, N: s.N()})
+	})
+	mux.HandleFunc("POST /crash/{node}", func(w http.ResponseWriter, r *http.Request) {
+		node, err := strconv.Atoi(r.PathValue("node"))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorJSON{Error: "bad node id"})
+			return
+		}
+		if err := s.Crash(types.ProcID(node)); err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorJSON{Error: err.Error()})
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+// writeSubmitError maps Submit's typed errors to HTTP statuses: overload
+// is 429 with a Retry-After hint, draining is 503, duplicate ids are 409,
+// context expiry is 499-style client timeout, the rest are 400.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	var oe *OverloadError
+	var de *DuplicateError
+	switch {
+	case errors.As(err, &oe):
+		secs := int64(oe.RetryAfter / time.Second)
+		if oe.RetryAfter%time.Second != 0 {
+			secs++ // Retry-After is whole seconds; round up
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+		writeJSON(w, http.StatusTooManyRequests, ErrorJSON{
+			Error:        err.Error(),
+			RetryAfterMs: oe.RetryAfter.Milliseconds(),
+		})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, ErrorJSON{Error: err.Error()})
+	case errors.As(err, &de):
+		writeJSON(w, http.StatusConflict, ErrorJSON{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, ErrorJSON{Error: err.Error()})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone is fine
+}

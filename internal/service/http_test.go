@@ -1,0 +1,172 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+func newHTTPService(t *testing.T, cfg service.Config) (*service.Service, *httptest.Server) {
+	t.Helper()
+	s := newService(t, cfg)
+	ts := httptest.NewServer(service.NewHTTPHandler(s))
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestHTTPCommitRoundTrip(t *testing.T) {
+	_, ts := newHTTPService(t, service.Config{N: 3, Seed: 21})
+
+	resp := postJSON(t, ts.URL+"/commit", service.CommitRequestJSON{ID: "h1"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	out := decode[service.CommitResponseJSON](t, resp)
+	if out.ID != "h1" || out.State != service.StateCommit || out.LatencyMs <= 0 {
+		t.Fatalf("response = %+v", out)
+	}
+
+	resp = postJSON(t, ts.URL+"/commit", service.CommitRequestJSON{
+		ID: "h2", Votes: []bool{true, false, true},
+	})
+	if out := decode[service.CommitResponseJSON](t, resp); out.State != service.StateAbort {
+		t.Fatalf("abort response = %+v", out)
+	}
+
+	// Status of a finished transaction, then of an unknown one.
+	resp, err := http.Get(ts.URL + "/status/h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := decode[service.TxnStatus](t, resp); st.State != service.StateCommit {
+		t.Fatalf("status = %+v", st)
+	}
+	resp, err = http.Get(ts.URL + "/status/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown status code = %d", resp.StatusCode)
+	}
+
+	// Duplicate id is a conflict.
+	resp = postJSON(t, ts.URL+"/commit", service.CommitRequestJSON{ID: "h1"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate code = %d", resp.StatusCode)
+	}
+
+	// Metrics and health.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := decode[service.Metrics](t, resp); m.Committed != 1 || m.Aborted != 1 || m.N != 3 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := decode[service.HealthJSON](t, resp); h.Status != "ok" || h.N != 3 {
+		t.Fatalf("health = %+v", h)
+	}
+}
+
+func TestHTTPOverloadAndRetryAfter(t *testing.T) {
+	_, ts := newHTTPService(t, service.Config{
+		N: 3, Seed: 22,
+		QueueDepth: 1, MaxInFlight: 1, BatchMax: 1,
+		DefaultTimeout: 400 * time.Millisecond,
+		RetryHint:      30 * time.Millisecond,
+		Hub:            transport.HubOptions{Drop: func(types.Message) bool { return true }},
+	})
+	// Fill slot + dispatcher + queue with doomed submissions.
+	for i := 0; i < 3; i++ {
+		go func() {
+			resp, err := http.Post(ts.URL+"/commit", "application/json", bytes.NewReader([]byte("{}")))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+		time.Sleep(30 * time.Millisecond)
+	}
+	resp := postJSON(t, ts.URL+"/commit", service.CommitRequestJSON{})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload code = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("no Retry-After header")
+	}
+	if e := decode[service.ErrorJSON](t, resp); e.RetryAfterMs != 30 {
+		t.Fatalf("error body = %+v", e)
+	}
+}
+
+func TestHTTPCrashAndDrain(t *testing.T) {
+	s, ts := newHTTPService(t, service.Config{N: 5, Seed: 23})
+	resp := postJSON(t, ts.URL+"/crash/4", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("crash code = %d", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/crash/9", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad crash code = %d", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/commit", service.CommitRequestJSON{ID: "after-crash"})
+	if out := decode[service.CommitResponseJSON](t, resp); !out.State.Terminal() {
+		t.Fatalf("post-crash commit = %+v", out)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp = postJSON(t, ts.URL+"/commit", service.CommitRequestJSON{})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining code = %d", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := decode[service.HealthJSON](t, resp); h.Status != "draining" {
+		t.Fatalf("health = %+v", h)
+	}
+}

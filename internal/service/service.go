@@ -1,0 +1,604 @@
+// Package service turns the transaction-commit library into a running
+// system: a client-facing commit service fronting a live cluster of
+// transaction managers (internal/txn over internal/runtime +
+// internal/transport).
+//
+// The serving discipline is the part the protocol papers leave out:
+//
+//   - Admission control: a bounded queue; a full queue rejects with a
+//     typed OverloadError carrying a retry hint, never unbounded growth.
+//   - Deadlines: every request carries one; a missed deadline surfaces as
+//     an explicit TIMEOUT result, never a hang. (TIMEOUT means unknown —
+//     the cluster may still commit the transaction; Status keeps
+//     answering afterward.)
+//   - Batching: queued submissions are coalesced into concurrent commit
+//     instances, spread across per-transaction coordinators round-robin,
+//     so many protocol instances interleave on the same processors — the
+//     paper's distributed-database setting under real goroutine
+//     concurrency.
+//   - Lifecycle: Close drains gracefully — queued work still dispatches,
+//     in-flight transactions finish or time out, then the cluster stops.
+//   - Instrumentation: counters plus a bounded latency recorder
+//     (internal/stats) exported as one Metrics snapshot; every node's
+//     decisions are cross-checked, so a safety violation (conflicting
+//     decisions for one transaction) would be counted and visible.
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/runtime"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/txn"
+	"repro/internal/types"
+)
+
+// pending is one admitted, unresolved submission.
+type pending struct {
+	id        txn.ID
+	votes     []bool
+	submitted time.Time
+	timer     *time.Timer
+	done      chan Result
+	// dispatched and coordinator are written under Service.mu.
+	dispatched  bool
+	coordinator types.ProcID
+}
+
+// counters aggregates the service's monotone counts (guarded by mu).
+type counters struct {
+	submitted        uint64
+	committed        uint64
+	aborted          uint64
+	timedOut         uint64
+	failed           uint64
+	rejectedFull     uint64
+	rejectedDraining uint64
+	batches          uint64
+	maxBatch         int
+	violations       uint64
+}
+
+// Service is a running commit service. Create with New, submit with
+// Submit, stop with Close.
+type Service struct {
+	cfg      Config
+	managers []*txn.Manager
+	cluster  *runtime.Cluster // channel backend (nil when external)
+	nodes    []*runtime.Node  // external-transport backend
+	exts     []transport.Transport
+
+	queue          chan *pending
+	slots          chan struct{}
+	abort          chan struct{} // closed on hard stop: unresolved → TIMEOUT
+	dispatcherDone chan struct{}
+	outstanding    sync.WaitGroup
+
+	lat *stats.Recorder
+
+	mu       sync.Mutex
+	stopped  bool
+	nextID   uint64
+	rr       int
+	crashed  []bool
+	cnt      counters
+	pendings map[txn.ID]*pending
+	statuses map[string]*status
+	// finished is the FIFO of terminal status ids for bounded retention.
+	finished     []string
+	finishedHead int
+	votesByTxn   map[txn.ID][]bool
+}
+
+// status is the internal mutable record behind TxnStatus.
+type status struct {
+	TxnStatus
+	// first is the first decision any node reported; later conflicting
+	// reports count as safety violations.
+	first types.Decision
+}
+
+// New builds and starts a commit service: the cluster nodes begin
+// ticking and the dispatcher begins draining the admission queue.
+func New(cfg Config) (*Service, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:            cfg,
+		queue:          make(chan *pending, cfg.QueueDepth),
+		slots:          make(chan struct{}, cfg.MaxInFlight),
+		abort:          make(chan struct{}),
+		dispatcherDone: make(chan struct{}),
+		lat:            stats.NewRecorder(cfg.LatencyWindow),
+		crashed:        make([]bool, cfg.N),
+		pendings:       make(map[txn.ID]*pending),
+		statuses:       make(map[string]*status),
+		votesByTxn:     make(map[txn.ID][]bool),
+	}
+
+	s.managers = make([]*txn.Manager, cfg.N)
+	machines := make([]types.Machine, cfg.N)
+	for p := 0; p < cfg.N; p++ {
+		proc := types.ProcID(p)
+		mgr, err := txn.NewManager(txn.Config{
+			ID: proc, N: cfg.N, T: cfg.T, K: cfg.K,
+			CoinFactor:  cfg.CoinFactor,
+			Vote:        func(id txn.ID) bool { return s.voteFor(proc, id) },
+			OnOutcome:   func(o txn.Outcome) { s.onOutcome(proc, o) },
+			RetireAfter: cfg.RetireAfterTicks,
+			MaxAge:      cfg.MaxAgeTicks,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.managers[p] = mgr
+		machines[p] = mgr
+	}
+
+	if cfg.Transports == nil {
+		cluster, err := runtime.NewLocalCluster(machines, runtime.ClusterOptions{
+			TickEvery:  cfg.TickEvery,
+			Seed:       cfg.Seed,
+			Hub:        cfg.Hub,
+			Persistent: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.cluster = cluster
+		cluster.Start(context.Background())
+	} else {
+		s.exts = cfg.Transports
+		seeds := rng.NewCollection(cfg.Seed, cfg.N)
+		s.nodes = make([]*runtime.Node, cfg.N)
+		for p := 0; p < cfg.N; p++ {
+			node, err := runtime.NewNode(runtime.NodeConfig{
+				Machine:    machines[p],
+				Transport:  cfg.Transports[p],
+				Rand:       seeds.Stream(types.ProcID(p)),
+				TickEvery:  cfg.TickEvery,
+				Persistent: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.nodes[p] = node
+		}
+		for _, n := range s.nodes {
+			n.Start(context.Background())
+		}
+	}
+
+	go s.dispatch()
+	return s, nil
+}
+
+// N reports the cluster size.
+func (s *Service) N() int { return s.cfg.N }
+
+// Draining reports whether the service has begun shutting down.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stopped
+}
+
+// voteFor answers a manager's vote query from the submission's vote
+// vector; transactions the service does not know default to commit.
+func (s *Service) voteFor(p types.ProcID, id txn.ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if votes, ok := s.votesByTxn[id]; ok {
+		return votes[p]
+	}
+	return true
+}
+
+// Submit runs one transaction to a terminal result. It blocks until the
+// transaction commits, aborts, or times out — or returns a typed error
+// when the submission is rejected at admission (OverloadError,
+// ErrDraining, DuplicateError, validation). If ctx ends first, Submit
+// returns ctx's error while the transaction continues server-side
+// (query it later via Status).
+func (s *Service) Submit(ctx context.Context, req Request) (Result, error) {
+	if req.Votes != nil && len(req.Votes) != s.cfg.N {
+		return Result{}, fmt.Errorf("service: %d votes for %d processors", len(req.Votes), s.cfg.N)
+	}
+	votes := req.Votes
+	if votes == nil {
+		votes = make([]bool, s.cfg.N)
+		for i := range votes {
+			votes[i] = true
+		}
+	}
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+
+	p := &pending{
+		votes:     votes,
+		submitted: time.Now(),
+		done:      make(chan Result, 1),
+	}
+
+	s.mu.Lock()
+	if s.stopped {
+		s.cnt.rejectedDraining++
+		s.mu.Unlock()
+		return Result{}, ErrDraining
+	}
+	id := req.ID
+	if id == "" {
+		s.nextID++
+		id = fmt.Sprintf("txn-%d", s.nextID)
+	}
+	if _, dup := s.statuses[id]; dup {
+		s.mu.Unlock()
+		return Result{}, &DuplicateError{ID: id}
+	}
+	p.id = txn.ID(id)
+	// Admission: enqueue or reject — never block, never grow unbounded.
+	select {
+	case s.queue <- p:
+	default:
+		s.cnt.rejectedFull++
+		hint := s.cfg.RetryHint
+		s.mu.Unlock()
+		return Result{}, &OverloadError{RetryAfter: hint}
+	}
+	s.cnt.submitted++
+	s.pendings[p.id] = p
+	s.votesByTxn[p.id] = votes
+	s.statuses[id] = &status{TxnStatus: TxnStatus{
+		ID: id, State: StateQueued, Submitted: p.submitted,
+	}}
+	s.outstanding.Add(1)
+	p.timer = time.AfterFunc(timeout, func() {
+		s.resolve(p, StateTimeout, types.DecisionNone)
+	})
+	s.mu.Unlock()
+
+	select {
+	case res := <-p.done:
+		return res, nil
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// dispatch is the admission-queue consumer: it coalesces queued
+// submissions into batches and begins each on the next live coordinator.
+func (s *Service) dispatch() {
+	defer close(s.dispatcherDone)
+	for first := range s.queue {
+		batch := []*pending{first}
+	collect:
+		for len(batch) < s.cfg.BatchMax {
+			select {
+			case p, ok := <-s.queue:
+				if !ok {
+					break collect
+				}
+				batch = append(batch, p)
+			default:
+				break collect
+			}
+		}
+		s.mu.Lock()
+		s.cnt.batches++
+		if len(batch) > s.cnt.maxBatch {
+			s.cnt.maxBatch = len(batch)
+		}
+		s.mu.Unlock()
+		for _, p := range batch {
+			s.dispatchOne(p)
+		}
+	}
+}
+
+// dispatchOne acquires an in-flight slot and begins the instance.
+func (s *Service) dispatchOne(p *pending) {
+	select {
+	case s.slots <- struct{}{}:
+	case <-s.abort:
+		s.resolve(p, StateTimeout, types.DecisionNone)
+		return
+	}
+
+	s.mu.Lock()
+	if _, live := s.pendings[p.id]; !live {
+		// Timed out (or hard-aborted) while queued; the slot was never
+		// really used.
+		s.mu.Unlock()
+		<-s.slots
+		return
+	}
+	coord := s.nextCoordinatorLocked()
+	p.dispatched = true
+	p.coordinator = coord
+	if st := s.statuses[string(p.id)]; st != nil {
+		st.State = StateRunning
+		st.Coordinator = coord
+	}
+	s.mu.Unlock()
+
+	if err := s.managers[coord].Begin(p.id, p.votes[coord]); err != nil {
+		s.mu.Lock()
+		s.cnt.failed++
+		s.mu.Unlock()
+		s.resolve(p, StateFailed, types.DecisionNone)
+	}
+}
+
+// nextCoordinatorLocked picks the next round-robin coordinator, skipping
+// crashed processors (falling back to the raw rotation if all crashed).
+func (s *Service) nextCoordinatorLocked() types.ProcID {
+	for i := 0; i < s.cfg.N; i++ {
+		p := s.rr % s.cfg.N
+		s.rr++
+		if !s.crashed[p] {
+			return types.ProcID(p)
+		}
+	}
+	return types.ProcID(s.rr % s.cfg.N)
+}
+
+// onOutcome receives every node's per-transaction decision: the first
+// report resolves the pending submission; every later report is
+// cross-checked against it (Agreement says they can never differ — the
+// violations counter proves we looked).
+func (s *Service) onOutcome(p types.ProcID, o txn.Outcome) {
+	s.mu.Lock()
+	st := s.statuses[string(o.Txn)]
+	if st == nil {
+		s.mu.Unlock()
+		return
+	}
+	if st.first != types.DecisionNone {
+		if o.Decision != st.first {
+			s.cnt.violations++
+		}
+		s.mu.Unlock()
+		return
+	}
+	st.first = o.Decision
+	pd := s.pendings[o.Txn]
+	s.mu.Unlock()
+	if pd != nil {
+		s.resolve(pd, stateOf(o.Decision), o.Decision)
+	}
+}
+
+// resolve finishes a pending submission exactly once; later callers are
+// no-ops. It updates the status record, records metrics, frees the
+// in-flight slot, and delivers the result.
+func (s *Service) resolve(p *pending, state State, d types.Decision) {
+	s.mu.Lock()
+	if _, live := s.pendings[p.id]; !live {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.pendings, p.id)
+	latency := time.Since(p.submitted)
+	if st := s.statuses[string(p.id)]; st != nil {
+		st.State = state
+		st.Latency = latency
+		if d != types.DecisionNone {
+			st.Decision = d.String()
+		}
+		s.retainLocked(string(p.id))
+	}
+	switch state {
+	case StateCommit:
+		s.cnt.committed++
+	case StateAbort:
+		s.cnt.aborted++
+	case StateTimeout:
+		s.cnt.timedOut++
+	}
+	dispatched := p.dispatched
+	coord := p.coordinator
+	s.mu.Unlock()
+
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+	if state == StateCommit || state == StateAbort {
+		s.lat.Add(float64(latency) / float64(time.Millisecond))
+	}
+	if dispatched {
+		<-s.slots
+	}
+	p.done <- Result{
+		ID:          string(p.id),
+		State:       state,
+		Decision:    d,
+		Coordinator: coord,
+		Latency:     latency,
+	}
+	s.outstanding.Done()
+}
+
+// retainLocked enforces bounded retention of finished statuses. Caller
+// holds mu.
+func (s *Service) retainLocked(id string) {
+	s.finished = append(s.finished, id)
+	for len(s.finished)-s.finishedHead > s.cfg.StatusRetention {
+		old := s.finished[s.finishedHead]
+		s.finished[s.finishedHead] = ""
+		s.finishedHead++
+		delete(s.statuses, old)
+		delete(s.votesByTxn, txn.ID(old))
+	}
+	if s.finishedHead > 0 && s.finishedHead*2 > len(s.finished) {
+		s.finished = append(s.finished[:0:0], s.finished[s.finishedHead:]...)
+		s.finishedHead = 0
+	}
+}
+
+// Status reports a known transaction's state.
+func (s *Service) Status(id string) (TxnStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.statuses[id]
+	if !ok {
+		return TxnStatus{}, false
+	}
+	return st.TxnStatus, true
+}
+
+// Crash fail-stops processor p: its node stops stepping and (on the
+// channel backend) the hub drops its traffic. The dispatcher stops
+// assigning it as coordinator. Within the tolerance T the cluster keeps
+// deciding; beyond it, requests time out rather than hang.
+func (s *Service) Crash(p types.ProcID) error {
+	if int(p) < 0 || int(p) >= s.cfg.N {
+		return fmt.Errorf("service: processor %d out of range [0,%d)", p, s.cfg.N)
+	}
+	s.mu.Lock()
+	already := s.crashed[p]
+	s.crashed[p] = true
+	s.mu.Unlock()
+	if already {
+		return nil
+	}
+	if s.cluster != nil {
+		s.cluster.Crash(p)
+	} else {
+		s.nodes[p].Stop()
+		s.exts[p].Close() //nolint:errcheck // best-effort fail-stop
+	}
+	return nil
+}
+
+// Metrics snapshots the service's instrumentation.
+func (s *Service) Metrics() Metrics {
+	s.mu.Lock()
+	m := Metrics{
+		N:                s.cfg.N,
+		Draining:         s.stopped,
+		Submitted:        s.cnt.submitted,
+		Committed:        s.cnt.committed,
+		Aborted:          s.cnt.aborted,
+		TimedOut:         s.cnt.timedOut,
+		Failed:           s.cnt.failed,
+		RejectedFull:     s.cnt.rejectedFull,
+		RejectedDraining: s.cnt.rejectedDraining,
+		Batches:          s.cnt.batches,
+		MaxBatch:         s.cnt.maxBatch,
+		SafetyViolations: s.cnt.violations,
+		Queued:           len(s.queue),
+		InFlight:         len(s.slots),
+	}
+	for p, c := range s.crashed {
+		if c {
+			m.Crashed = append(m.Crashed, p)
+		}
+	}
+	s.mu.Unlock()
+	for _, mgr := range s.managers {
+		m.ActiveInstances += mgr.Active()
+	}
+	sum := s.lat.Summary()
+	ps := s.lat.Percentiles(50, 95, 99)
+	m.LatencyMeanMs = sum.Mean
+	m.LatencyP50Ms = ps[0]
+	m.LatencyP95Ms = ps[1]
+	m.LatencyP99Ms = ps[2]
+	return m
+}
+
+// Close drains and stops the service. New submissions are rejected with
+// ErrDraining immediately; already-queued submissions still dispatch;
+// in-flight transactions finish or hit their deadlines. If ctx ends
+// before the drain completes, every unresolved submission is resolved as
+// TIMEOUT and the cluster is stopped hard. Close is idempotent; the
+// first call's error (from the cluster teardown) is authoritative.
+func (s *Service) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		<-s.dispatcherDone
+		return nil
+	}
+	s.stopped = true
+	close(s.queue)
+	s.mu.Unlock()
+
+	select {
+	case <-s.dispatcherDone:
+	case <-ctx.Done():
+		s.hardAbort()
+		<-s.dispatcherDone
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		s.outstanding.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		s.hardAbort()
+		<-drained
+	}
+
+	if s.cluster != nil {
+		s.cluster.Stop()
+		return s.cluster.Wait()
+	}
+	s.mu.Lock()
+	crashed := make(map[int]bool, len(s.crashed))
+	for p, c := range s.crashed {
+		if c {
+			crashed[p] = true
+		}
+	}
+	s.mu.Unlock()
+	var firstErr error
+	for _, n := range s.nodes {
+		n.Stop()
+	}
+	// Deliberately crashed processors die mid-send; their transport
+	// errors are the fault model at work, not a shutdown failure.
+	for p, n := range s.nodes {
+		if err := n.Wait(); err != nil && firstErr == nil && !crashed[p] {
+			firstErr = err
+		}
+	}
+	for p, tr := range s.exts {
+		if err := tr.Close(); err != nil && firstErr == nil && !crashed[p] {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// hardAbort resolves every unresolved submission as TIMEOUT (used when a
+// draining deadline expires — nothing may hang).
+func (s *Service) hardAbort() {
+	select {
+	case <-s.abort:
+		return // already aborted
+	default:
+	}
+	close(s.abort)
+	s.mu.Lock()
+	var left []*pending
+	for _, p := range s.pendings {
+		left = append(left, p)
+	}
+	s.mu.Unlock()
+	for _, p := range left {
+		s.resolve(p, StateTimeout, types.DecisionNone)
+	}
+}

@@ -1,0 +1,234 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Config parameterizes a commit service.
+type Config struct {
+	// N is the number of processors in the fronted cluster (required).
+	N int
+	// T is the crash-fault tolerance (default (N-1)/2).
+	T int
+	// K is the protocol timing constant in ticks (default 4).
+	K int
+	// CoinFactor is forwarded to every commit instance.
+	CoinFactor int
+	// Seed makes the cluster's randomness reproducible (0 is a valid
+	// fixed seed; vary it across deployments).
+	Seed uint64
+	// TickEvery is each node's step period (default 1ms). One protocol
+	// tick of the formal model is one wall-clock TickEvery here.
+	TickEvery time.Duration
+	// QueueDepth bounds the admission queue (default 1024). A full
+	// queue rejects new submissions with an OverloadError carrying a
+	// retry hint — the queue never grows without bound.
+	QueueDepth int
+	// MaxInFlight bounds concurrently running commit instances (default
+	// 128). Admitted submissions beyond it wait in the queue.
+	MaxInFlight int
+	// BatchMax bounds how many queued submissions one dispatcher wake
+	// coalesces into concurrent instances (default 64).
+	BatchMax int
+	// DefaultTimeout is the per-request deadline when the request does
+	// not set one (default 10s). A request that misses its deadline
+	// resolves as TIMEOUT; it never hangs.
+	DefaultTimeout time.Duration
+	// RetryHint is the Retry-After suggestion attached to overload
+	// rejections (default 25ms).
+	RetryHint time.Duration
+	// RetireAfterTicks removes a decided instance from its manager that
+	// many ticks after it halts, leaving a decision tombstone (default
+	// 64). Keeps per-tick cost proportional to active transactions.
+	RetireAfterTicks int
+	// MaxAgeTicks abandons an instance still undecided after that many
+	// ticks (default 2 * DefaultTimeout/TickEvery) so nodes do not
+	// accrete blocked instances past the request deadline.
+	MaxAgeTicks int
+	// StatusRetention caps how many finished transactions keep status
+	// entries for GET /status queries (default 65536, FIFO eviction).
+	StatusRetention int
+	// LatencyWindow is the latency recorder's sample capacity (default
+	// 65536 most recent decided transactions).
+	LatencyWindow int
+	// Transports, when non-nil, supplies one external transport per
+	// processor (e.g. TCP nodes already listening and peered) instead of
+	// the default in-process channel hub. len(Transports) must equal N.
+	Transports []transport.Transport
+	// Hub configures fault injection (delay, loss) on the in-process
+	// channel backend. Ignored when Transports is set.
+	Hub transport.HubOptions
+}
+
+// withDefaults validates and fills defaults.
+func (c Config) withDefaults() (Config, error) {
+	if c.N < 1 {
+		return c, fmt.Errorf("service: N must be >= 1, got %d", c.N)
+	}
+	if c.T == 0 {
+		c.T = (c.N - 1) / 2
+	}
+	if c.T < 0 || c.N <= 2*c.T {
+		return c, fmt.Errorf("service: need N > 2T, got N=%d T=%d", c.N, c.T)
+	}
+	if c.K == 0 {
+		c.K = 4
+	}
+	if c.TickEvery <= 0 {
+		c.TickEvery = time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 128
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.RetryHint <= 0 {
+		c.RetryHint = 25 * time.Millisecond
+	}
+	if c.RetireAfterTicks <= 0 {
+		c.RetireAfterTicks = 64
+	}
+	if c.MaxAgeTicks <= 0 {
+		c.MaxAgeTicks = 2 * int(c.DefaultTimeout/c.TickEvery)
+		if c.MaxAgeTicks < 1000 {
+			c.MaxAgeTicks = 1000
+		}
+	}
+	if c.StatusRetention <= 0 {
+		c.StatusRetention = 1 << 16
+	}
+	if c.LatencyWindow <= 0 {
+		c.LatencyWindow = 1 << 16
+	}
+	if c.Transports != nil && len(c.Transports) != c.N {
+		return c, fmt.Errorf("service: %d transports for %d processors", len(c.Transports), c.N)
+	}
+	return c, nil
+}
+
+// State is the lifecycle state of a submitted transaction.
+type State string
+
+// Transaction states. Every submission terminates in COMMIT, ABORT,
+// TIMEOUT, or FAILED (internal dispatch error) — or was rejected with a
+// typed error before entering the queue.
+const (
+	StateQueued  State = "QUEUED"
+	StateRunning State = "RUNNING"
+	StateCommit  State = "COMMIT"
+	StateAbort   State = "ABORT"
+	StateTimeout State = "TIMEOUT"
+	StateFailed  State = "FAILED"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	switch s {
+	case StateCommit, StateAbort, StateTimeout, StateFailed:
+		return true
+	}
+	return false
+}
+
+// stateOf maps a protocol decision to a terminal state.
+func stateOf(d types.Decision) State {
+	if d == types.DecisionCommit {
+		return StateCommit
+	}
+	return StateAbort
+}
+
+// Request is one client submission.
+type Request struct {
+	// ID names the transaction; empty auto-generates a unique id.
+	ID string
+	// Votes[p] is processor p's vote (true = commit). Nil means every
+	// processor votes commit.
+	Votes []bool
+	// Timeout overrides the service's DefaultTimeout when positive.
+	Timeout time.Duration
+}
+
+// Result is the terminal answer for one submission.
+type Result struct {
+	ID string
+	// State is COMMIT, ABORT, TIMEOUT, or FAILED.
+	State State
+	// Decision carries the protocol decision for COMMIT/ABORT results.
+	Decision types.Decision
+	// Coordinator is the processor that coordinated the instance (only
+	// meaningful once dispatched).
+	Coordinator types.ProcID
+	// Latency is submission-to-resolution wall time.
+	Latency time.Duration
+}
+
+// TxnStatus is the queryable status of a known transaction.
+type TxnStatus struct {
+	ID          string        `json:"id"`
+	State       State         `json:"state"`
+	Decision    string        `json:"decision,omitempty"`
+	Coordinator types.ProcID  `json:"coordinator"`
+	Submitted   time.Time     `json:"submitted"`
+	Latency     time.Duration `json:"latency_ns,omitempty"`
+}
+
+// Metrics is one instrumentation snapshot.
+type Metrics struct {
+	N                int     `json:"n"`
+	Draining         bool    `json:"draining"`
+	Submitted        uint64  `json:"submitted"`
+	Committed        uint64  `json:"committed"`
+	Aborted          uint64  `json:"aborted"`
+	TimedOut         uint64  `json:"timed_out"`
+	Failed           uint64  `json:"failed"`
+	RejectedFull     uint64  `json:"rejected_full"`
+	RejectedDraining uint64  `json:"rejected_draining"`
+	Batches          uint64  `json:"batches"`
+	MaxBatch         int     `json:"max_batch"`
+	SafetyViolations uint64  `json:"safety_violations"`
+	Queued           int     `json:"queued"`
+	InFlight         int     `json:"in_flight"`
+	ActiveInstances  int     `json:"active_instances"`
+	Crashed          []int   `json:"crashed,omitempty"`
+	LatencyMeanMs    float64 `json:"latency_mean_ms"`
+	LatencyP50Ms     float64 `json:"latency_p50_ms"`
+	LatencyP95Ms     float64 `json:"latency_p95_ms"`
+	LatencyP99Ms     float64 `json:"latency_p99_ms"`
+}
+
+// ErrDraining rejects submissions while the service shuts down.
+var ErrDraining = errors.New("service: draining, not accepting transactions")
+
+// OverloadError is the typed rejection for a full admission queue. The
+// client should retry after RetryAfter.
+type OverloadError struct {
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("service: admission queue full, retry after %v", e.RetryAfter)
+}
+
+// DuplicateError rejects a submission reusing a known transaction id.
+type DuplicateError struct {
+	ID string
+}
+
+// Error implements error.
+func (e *DuplicateError) Error() string {
+	return fmt.Sprintf("service: transaction %q already known", e.ID)
+}

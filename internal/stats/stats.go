@@ -9,6 +9,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Summary holds the summary statistics of one sample.
@@ -67,20 +68,7 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
-	if p <= 0 {
-		return sorted[0]
-	}
-	if p >= 100 {
-		return sorted[len(sorted)-1]
-	}
-	rank := p / 100 * float64(len(sorted)-1)
-	lo := int(math.Floor(rank))
-	hi := int(math.Ceil(rank))
-	if lo == hi {
-		return sorted[lo]
-	}
-	frac := rank - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac
+	return percentileSorted(sorted, p)
 }
 
 // Histogram counts samples into w-wide buckets starting at 0.
@@ -153,6 +141,91 @@ func (t *Table) String() string {
 		writeRow(row)
 	}
 	return b.String()
+}
+
+// Recorder is a concurrency-safe, bounded sample recorder for live
+// instrumentation (the service's latency histogram). It keeps the most
+// recent capacity samples in a ring, so memory stays constant under
+// unbounded traffic while percentiles track the recent distribution.
+type Recorder struct {
+	mu    sync.Mutex
+	buf   []float64
+	next  int
+	full  bool
+	total uint64
+}
+
+// NewRecorder creates a recorder holding at most capacity samples
+// (default 65536 when capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &Recorder{buf: make([]float64, 0, capacity)}
+}
+
+// Add records one sample.
+func (r *Recorder) Add(x float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, x)
+		return
+	}
+	r.full = true
+	r.buf[r.next] = x
+	r.next = (r.next + 1) % len(r.buf)
+}
+
+// Total reports how many samples were ever added (including evicted ones).
+func (r *Recorder) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Samples copies out the retained window.
+func (r *Recorder) Samples() []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]float64(nil), r.buf...)
+}
+
+// Percentiles evaluates several percentiles over the retained window in
+// one pass (one sort). Empty recorders yield zeros.
+func (r *Recorder) Percentiles(ps ...float64) []float64 {
+	xs := r.Samples()
+	sort.Float64s(xs)
+	out := make([]float64, len(ps))
+	if len(xs) == 0 {
+		return out
+	}
+	for i, p := range ps {
+		out[i] = percentileSorted(xs, p)
+	}
+	return out
+}
+
+// Summary summarizes the retained window.
+func (r *Recorder) Summary() Summary { return Summarize(r.Samples()) }
+
+// percentileSorted is Percentile over an already-sorted sample.
+func percentileSorted(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
 // Mean is a convenience over Summarize for quick aggregates.

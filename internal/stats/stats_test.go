@@ -3,6 +3,7 @@ package stats_test
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -116,5 +117,55 @@ func TestQuickSummaryBounds(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestRecorderRingAndPercentiles(t *testing.T) {
+	r := stats.NewRecorder(4)
+	for i := 1; i <= 10; i++ {
+		r.Add(float64(i))
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	got := r.Samples()
+	if len(got) != 4 {
+		t.Fatalf("retained %d samples", len(got))
+	}
+	// Ring keeps the most recent four: 7..10 in some rotation.
+	sum := 0.0
+	for _, x := range got {
+		sum += x
+	}
+	if sum != 7+8+9+10 {
+		t.Fatalf("retained window = %v", got)
+	}
+	ps := r.Percentiles(0, 50, 100)
+	if ps[0] != 7 || ps[2] != 10 {
+		t.Fatalf("percentiles = %v", ps)
+	}
+	if s := r.Summary(); s.N != 4 || s.Mean != 8.5 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestRecorderEmptyAndConcurrent(t *testing.T) {
+	r := stats.NewRecorder(0)
+	if ps := r.Percentiles(50, 99); ps[0] != 0 || ps[1] != 0 {
+		t.Fatalf("empty percentiles = %v", ps)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 8000 {
+		t.Fatalf("total = %d", r.Total())
 	}
 }

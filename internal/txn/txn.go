@@ -11,6 +11,14 @@
 // vote) and advancing every active instance one step per Manager step.
 // Any node may coordinate a transaction (the paper fixes processor 0
 // without loss of generality; core.Config.Coordinator generalizes it).
+//
+// Long-lived deployments (internal/service) configure RetireAfter so a
+// decided instance is eventually removed from the step loop, leaving only
+// a tombstone with its decision; per-step cost then tracks the number of
+// *active* transactions, not every transaction the node has ever seen.
+// Completion is observable without polling via OnOutcome (a callback
+// invoked from the stepping goroutine) or Watch (a per-transaction
+// channel).
 package txn
 
 import (
@@ -63,19 +71,51 @@ type Config struct {
 	Vote VoteFunc
 	// CoinFactor is forwarded to each commit instance.
 	CoinFactor int
+	// OnOutcome, if non-nil, is invoked once per transaction as it
+	// decides at this node, from the goroutine driving Step and after the
+	// manager's lock is released (so the callback may call back into the
+	// manager).
+	OnOutcome func(Outcome)
+	// RetireAfter, when positive, removes an instance that many ticks
+	// after it halts, keeping only a decision tombstone: later envelopes
+	// for the transaction are dropped instead of respawning a fresh
+	// instance (which could disagree with the recorded decision), and
+	// DecisionOf keeps answering from the tombstone. Zero keeps every
+	// instance forever (the pre-service behavior, right for bounded
+	// batches).
+	RetireAfter int
+	// MaxAge, when positive, abandons an instance that has run that many
+	// ticks without halting — the availability valve for instances that
+	// can never finish (e.g. a transaction joined from a coordinator that
+	// then crashed along with too many peers). An abandoned undecided
+	// instance leaves a DecisionNone tombstone. Zero never abandons.
+	MaxAge int
+}
+
+// instance tracks one commit machine plus the lifecycle metadata the
+// retirement policy needs.
+type instance struct {
+	c        *core.Commit
+	born     int // manager clock at spawn
+	haltedAt int // manager clock when first seen halted; -1 while running
 }
 
 // Manager runs all of one node's commit instances.
 type Manager struct {
-	cfg   Config
-	clock int
+	cfg Config
 
 	mu        sync.Mutex
-	instances map[ID]*core.Commit
+	clock     int
+	instances map[ID]*instance
 	// order keeps deterministic iteration for simulation replay.
 	order    []ID
 	pending  []Outcome
 	reported map[ID]bool
+	// retired maps finished-and-removed transactions to their decision
+	// (DecisionNone for abandoned undecided instances).
+	retired  map[ID]types.Decision
+	watchers map[ID][]chan Outcome
+	spawned  int
 }
 
 var _ types.Machine = (*Manager)(nil)
@@ -100,10 +140,15 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.K < 1 {
 		return nil, fmt.Errorf("txn: K must be >= 1, got %d", cfg.K)
 	}
+	if cfg.RetireAfter < 0 || cfg.MaxAge < 0 {
+		return nil, fmt.Errorf("txn: RetireAfter/MaxAge must be >= 0")
+	}
 	return &Manager{
 		cfg:       cfg,
-		instances: make(map[ID]*core.Commit),
+		instances: make(map[ID]*instance),
 		reported:  make(map[ID]bool),
+		retired:   make(map[ID]types.Decision),
+		watchers:  make(map[ID][]chan Outcome),
 	}, nil
 }
 
@@ -114,6 +159,9 @@ func (m *Manager) Begin(txn ID, vote bool) error {
 	defer m.mu.Unlock()
 	if _, exists := m.instances[txn]; exists {
 		return fmt.Errorf("txn: transaction %q already known", txn)
+	}
+	if _, done := m.retired[txn]; done {
+		return fmt.Errorf("txn: transaction %q already finished", txn)
 	}
 	return m.spawnLocked(txn, m.cfg.ID, vote)
 }
@@ -133,8 +181,9 @@ func (m *Manager) spawnLocked(txn ID, coordinator types.ProcID, vote bool) error
 	if err != nil {
 		return err
 	}
-	m.instances[txn] = inst
+	m.instances[txn] = &instance{c: inst, born: m.clock, haltedAt: -1}
 	m.order = append(m.order, txn)
+	m.spawned++
 	return nil
 }
 
@@ -142,7 +191,11 @@ func (m *Manager) spawnLocked(txn ID, coordinator types.ProcID, vote bool) error
 func (m *Manager) ID() types.ProcID { return m.cfg.ID }
 
 // Clock implements types.Machine.
-func (m *Manager) Clock() int { return m.clock }
+func (m *Manager) Clock() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.clock
+}
 
 // Decision implements types.Machine. A manager reports no aggregate
 // decision; per-transaction outcomes come from Outcomes. (It reports
@@ -150,16 +203,18 @@ func (m *Manager) Clock() int { return m.clock }
 // used with managers by accident — use custom StopWhen predicates.)
 func (m *Manager) Decision() (types.Value, bool) { return 0, false }
 
-// Halted implements types.Machine: a manager halts only when every known
-// instance has halted and at least one instance exists.
+// Halted implements types.Machine: a manager halts only when it has seen
+// at least one transaction and every still-held instance has halted
+// (retired instances count as finished). Persistent service nodes ignore
+// this and keep stepping for new work.
 func (m *Manager) Halted() bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if len(m.order) == 0 {
+	if m.spawned == 0 {
 		return false
 	}
 	for _, txn := range m.order {
-		if !m.instances[txn].Halted() {
+		if !m.instances[txn].c.Halted() {
 			return false
 		}
 	}
@@ -175,18 +230,53 @@ func (m *Manager) Outcomes() []Outcome {
 	return out
 }
 
+// Watch returns a channel that receives this node's outcome for txn
+// exactly once, then is never used again. If the transaction has already
+// decided (or retired with a decision), the outcome is delivered
+// immediately. Watching a transaction the node never hears of yields a
+// channel that never fires.
+func (m *Manager) Watch(txn ID) <-chan Outcome {
+	ch := make(chan Outcome, 1)
+	m.mu.Lock()
+	if inst, ok := m.instances[txn]; ok {
+		if d, decided := inst.c.Outcome(); decided {
+			m.mu.Unlock()
+			ch <- Outcome{Txn: txn, Decision: d}
+			return ch
+		}
+	} else if d, ok := m.retired[txn]; ok && d != types.DecisionNone {
+		m.mu.Unlock()
+		ch <- Outcome{Txn: txn, Decision: d}
+		return ch
+	}
+	m.watchers[txn] = append(m.watchers[txn], ch)
+	m.mu.Unlock()
+	return ch
+}
+
 // DecisionOf reports a transaction's decision at this node.
 func (m *Manager) DecisionOf(txn ID) (types.Decision, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	inst, ok := m.instances[txn]
-	if !ok {
-		return types.DecisionNone, false
+	if inst, ok := m.instances[txn]; ok {
+		return inst.c.Outcome()
 	}
-	return inst.Outcome()
+	if d, ok := m.retired[txn]; ok && d != types.DecisionNone {
+		return d, true
+	}
+	return types.DecisionNone, false
 }
 
-// Transactions lists the transactions this node knows, sorted.
+// Active reports how many instances the manager is still holding (decided
+// instances awaiting retirement included).
+func (m *Manager) Active() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.order)
+}
+
+// Transactions lists the transactions this node currently holds, sorted.
+// Retired transactions no longer appear.
 func (m *Manager) Transactions() []ID {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -196,17 +286,22 @@ func (m *Manager) Transactions() []ID {
 }
 
 // Step implements types.Machine: demultiplex, spawn participants for new
-// transactions, advance every instance one tick, wrap outputs.
+// transactions, advance every instance one tick, wrap outputs, retire
+// finished instances, and notify completion observers.
 func (m *Manager) Step(received []types.Message, rnd types.Rand) []types.Message {
-	m.clock++
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.clock++
 
 	byTxn := make(map[ID][]types.Message)
 	for i := range received {
 		env, ok := received[i].Payload.(Envelope)
 		if !ok {
 			continue // foreign payloads are not the manager's business
+		}
+		if _, done := m.retired[env.Txn]; done {
+			// Straggler for a finished transaction: the tombstone answers
+			// queries; respawning could contradict the recorded decision.
+			continue
 		}
 		if _, known := m.instances[env.Txn]; !known {
 			// First contact with this transaction: join as a participant.
@@ -234,19 +329,69 @@ func (m *Manager) Step(received []types.Message, rnd types.Rand) []types.Message
 	}
 
 	var out []types.Message
+	var decidedNow []Outcome
+	var retire []ID
 	for _, txn := range m.order {
 		inst := m.instances[txn]
-		if inst.Halted() {
+		if inst.c.Halted() {
+			if inst.haltedAt < 0 {
+				inst.haltedAt = m.clock
+			}
+			if m.cfg.RetireAfter > 0 && m.clock-inst.haltedAt >= m.cfg.RetireAfter {
+				retire = append(retire, txn)
+			}
 			continue
 		}
-		sub := inst.Step(byTxn[txn], rnd)
+		sub := inst.c.Step(byTxn[txn], rnd)
 		for j := range sub {
 			sub[j].Payload = Envelope{Txn: txn, Inner: sub[j].Payload}
 		}
 		out = append(out, sub...)
-		if d, ok := inst.Outcome(); ok && !m.reported[txn] {
+		if d, ok := inst.c.Outcome(); ok && !m.reported[txn] {
 			m.reported[txn] = true
-			m.pending = append(m.pending, Outcome{Txn: txn, Decision: d})
+			o := Outcome{Txn: txn, Decision: d}
+			m.pending = append(m.pending, o)
+			decidedNow = append(decidedNow, o)
+		}
+		if m.cfg.MaxAge > 0 && m.clock-inst.born >= m.cfg.MaxAge && !inst.c.Halted() {
+			if _, decided := inst.c.Outcome(); !decided {
+				retire = append(retire, txn)
+			}
+		}
+	}
+	for _, txn := range retire {
+		d, _ := m.instances[txn].c.Outcome()
+		m.retired[txn] = d
+		delete(m.instances, txn)
+		delete(m.reported, txn)
+	}
+	if len(retire) > 0 {
+		kept := m.order[:0]
+		for _, txn := range m.order {
+			if _, ok := m.instances[txn]; ok {
+				kept = append(kept, txn)
+			}
+		}
+		m.order = kept
+	}
+	var fire []chan Outcome
+	var fireWith []Outcome
+	for _, o := range decidedNow {
+		for _, ch := range m.watchers[o.Txn] {
+			fire = append(fire, ch)
+			fireWith = append(fireWith, o)
+		}
+		delete(m.watchers, o.Txn)
+	}
+	cb := m.cfg.OnOutcome
+	m.mu.Unlock()
+
+	for i, ch := range fire {
+		ch <- fireWith[i] // buffered (cap 1), at most one send ever
+	}
+	if cb != nil {
+		for _, o := range decidedNow {
+			cb(o)
 		}
 	}
 	return out

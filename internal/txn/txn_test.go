@@ -1,10 +1,14 @@
 package txn_test
 
 import (
+	"context"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/adversary"
 	"repro/internal/rng"
+	"repro/internal/runtime"
 	"repro/internal/sim"
 	"repro/internal/txn"
 	"repro/internal/types"
@@ -206,6 +210,206 @@ func TestManagerIgnoresForeignPayloads(t *testing.T) {
 	}
 	if len(mgr.Transactions()) != 0 {
 		t.Fatal("foreign payload spawned a transaction")
+	}
+}
+
+// TestWatchAndCallbackConcurrentCoordinators drives a live goroutine
+// cluster of managers while several goroutines concurrently begin
+// transactions on different coordinators and wait for completion through
+// both notification APIs (Watch channels and the OnOutcome callback) —
+// the polling-free path the service subsystem relies on.
+func TestWatchAndCallbackConcurrentCoordinators(t *testing.T) {
+	n := 5
+	var cbMu sync.Mutex
+	cbSeen := make(map[txn.ID]map[types.ProcID]types.Decision)
+	managers := make([]*txn.Manager, n)
+	machines := make([]types.Machine, n)
+	for p := 0; p < n; p++ {
+		p := p
+		mgr, err := txn.NewManager(txn.Config{
+			ID: types.ProcID(p), N: n, K: 3,
+			Vote: func(id txn.ID) bool { return id != "tx-3" },
+			OnOutcome: func(o txn.Outcome) {
+				cbMu.Lock()
+				defer cbMu.Unlock()
+				if cbSeen[o.Txn] == nil {
+					cbSeen[o.Txn] = make(map[types.ProcID]types.Decision)
+				}
+				cbSeen[o.Txn][types.ProcID(p)] = o.Decision
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		managers[p] = mgr
+		machines[p] = mgr
+	}
+	cluster, err := runtime.NewLocalCluster(machines, runtime.ClusterOptions{
+		TickEvery: time.Millisecond, MaxTicks: 30_000, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDone := make(chan error, 1)
+	go func() {
+		_, err := cluster.Run(context.Background())
+		runDone <- err
+	}()
+
+	ids := []txn.ID{"tx-0", "tx-1", "tx-2", "tx-3", "tx-4", "tx-5", "tx-6", "tx-7"}
+	got := make([]types.Decision, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		i, id := i, id
+		coord := managers[i%n]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := coord.Watch(id)
+			if err := coord.Begin(id, id != "tx-3"); err != nil {
+				t.Error(err)
+				return
+			}
+			select {
+			case o := <-w:
+				got[i] = o.Decision
+			case <-time.After(20 * time.Second):
+				t.Errorf("watch for %s never fired", id)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := <-runDone; err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		want := types.DecisionCommit
+		if id == "tx-3" {
+			want = types.DecisionAbort
+		}
+		if got[i] != want {
+			t.Errorf("%s decided %v, want %v", id, got[i], want)
+		}
+		// The callback fired on every node, and all agree.
+		cbMu.Lock()
+		per := cbSeen[id]
+		if len(per) != n {
+			t.Errorf("%s: callback on %d/%d nodes", id, len(per), n)
+		}
+		for p, d := range per {
+			if d != got[i] {
+				t.Errorf("%s: node %d callback %v disagrees with watch %v", id, p, d, got[i])
+			}
+		}
+		cbMu.Unlock()
+	}
+}
+
+// TestWatchAfterDecision delivers immediately for already-finished
+// transactions.
+func TestWatchAfterDecision(t *testing.T) {
+	n := 3
+	votes := map[txn.ID][]bool{"w": {true, true, true}}
+	managers, machines := buildManagers(t, n, votes)
+	if err := managers[0].Begin("w", true); err != nil {
+		t.Fatal(err)
+	}
+	runManagers(t, managers, machines, []txn.ID{"w"}, &adversary.RoundRobin{}, 9)
+	select {
+	case o := <-managers[0].Watch("w"):
+		if o.Decision != types.DecisionCommit {
+			t.Fatalf("decision = %v", o.Decision)
+		}
+	default:
+		t.Fatal("watch on a decided transaction did not fire immediately")
+	}
+}
+
+// TestRetirementTombstones checks that decided instances leave the step
+// loop after RetireAfter ticks, their decisions stay queryable, and
+// straggler envelopes are dropped instead of respawning an instance that
+// could contradict the recorded decision.
+func TestRetirementTombstones(t *testing.T) {
+	n := 3
+	managers := make([]*txn.Manager, n)
+	machines := make([]types.Machine, n)
+	for p := 0; p < n; p++ {
+		mgr, err := txn.NewManager(txn.Config{
+			ID: types.ProcID(p), N: n, K: 3, RetireAfter: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		managers[p] = mgr
+		machines[p] = mgr
+	}
+	if err := managers[0].Begin("r", true); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{
+		K: 3, Machines: machines, Adversary: &adversary.RoundRobin{},
+		Seeds: rng.NewCollection(5, n), MaxSteps: 10_000,
+		StopWhen: func(r *sim.Result) bool {
+			for _, mgr := range managers {
+				if mgr.Active() != 0 {
+					return false
+				}
+			}
+			return true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exhausted {
+		t.Fatal("run exhausted before every instance retired")
+	}
+	st := rng.NewStream(1)
+	for p, mgr := range managers {
+		if got := mgr.Active(); got != 0 {
+			t.Fatalf("node %d still holds %d instances", p, got)
+		}
+		d, ok := mgr.DecisionOf("r")
+		if !ok || d != types.DecisionCommit {
+			t.Fatalf("node %d tombstone decision = %v %v", p, d, ok)
+		}
+	}
+	// A straggler envelope must not respawn the retired transaction.
+	out := managers[1].Step([]types.Message{{
+		From: 0, To: 1, Payload: txn.Envelope{Txn: "r", Inner: fakeInner{}},
+	}}, st)
+	if len(out) != 0 || managers[1].Active() != 0 {
+		t.Fatal("straggler envelope revived a retired transaction")
+	}
+	// Restarting a finished transaction is refused.
+	if err := managers[0].Begin("r", true); err == nil {
+		t.Fatal("Begin accepted a finished transaction id")
+	}
+}
+
+// TestMaxAgeAbandonsBlockedInstance: an instance that can never decide
+// (no quorum reachable) is dropped after MaxAge ticks with a DecisionNone
+// tombstone, so a service node does not accrete blocked instances.
+func TestMaxAgeAbandonsBlockedInstance(t *testing.T) {
+	mgr, err := txn.NewManager(txn.Config{ID: 0, N: 3, K: 2, MaxAge: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Begin("stuck", true); err != nil {
+		t.Fatal(err)
+	}
+	st := rng.NewStream(3)
+	for i := 0; i < 30 && mgr.Active() > 0; i++ {
+		mgr.Step(nil, st) // no peers ever answer
+	}
+	if got := mgr.Active(); got != 0 {
+		t.Fatalf("blocked instance not abandoned (%d active)", got)
+	}
+	if _, ok := mgr.DecisionOf("stuck"); ok {
+		t.Fatal("abandoned instance reports a decision")
+	}
+	if err := mgr.Begin("stuck", true); err == nil {
+		t.Fatal("abandoned id accepted again")
 	}
 }
 

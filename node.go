@@ -3,6 +3,7 @@ package tcommit
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -47,6 +48,9 @@ type Node struct {
 	tn   *transport.TCPNode
 	node *runtime.Node
 	m    types.Machine
+	// jlMu guards jl: Run and Kill may both try to close the journal
+	// (Kill races Run's teardown when a test crashes a running node).
+	jlMu sync.Mutex
 	jl   *wal.FileLog
 	// journalPath lets a recovery-mode node append the adopted decision,
 	// so the next restart short-circuits without any network.
@@ -236,11 +240,13 @@ func appendDecision(path string, v types.Value) error {
 }
 
 func (n *Node) closeJournal() error {
-	if n.jl == nil {
-		return nil
-	}
+	n.jlMu.Lock()
 	jl := n.jl
 	n.jl = nil
+	n.jlMu.Unlock()
+	if jl == nil {
+		return nil
+	}
 	return jl.Close()
 }
 

@@ -1,0 +1,36 @@
+package tcommit
+
+import "repro/internal/service"
+
+// The commit service wraps a live cluster of transaction managers behind
+// a request/response API with bounded admission, per-request deadlines,
+// batched dispatch, and graceful drain — the long-running daemon shape of
+// the paper's database setting. These aliases re-export it at the root so
+// downstream users need only this package:
+//
+//	svc, err := tcommit.Serve(tcommit.ServiceConfig{N: 5})
+//	res, err := svc.Submit(ctx, tcommit.CommitRequest{ID: "txn-1"})
+//	defer svc.Close(ctx)
+//
+// The full surface (HTTP handler, typed errors, metrics) lives in
+// internal/service; cmd/commitd serves it over HTTP and cmd/loadgen
+// drives it.
+type (
+	// Service is a running commit service. Zero value is not usable;
+	// construct with Serve.
+	Service = service.Service
+	// ServiceConfig configures Serve. The zero value of every field but N
+	// is usable: defaults give an in-process channel cluster with a 1ms
+	// tick, a 1024-deep admission queue, and 10s request deadlines.
+	ServiceConfig = service.Config
+	// CommitRequest is one transaction submission: an optional id, an
+	// optional per-processor vote vector (nil means all-commit), and an
+	// optional deadline override.
+	CommitRequest = service.Request
+	// CommitResult is a terminal outcome: COMMIT, ABORT, or TIMEOUT.
+	CommitResult = service.Result
+)
+
+// Serve starts a commit service over a live cluster and returns it
+// running; callers must Close it to drain and stop the cluster.
+func Serve(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }

@@ -20,7 +20,7 @@
 //     processors crash; with more crashes the protocol blocks rather
 //     than answer wrongly.
 //
-// Three ways to use the package:
+// Four ways to use the package:
 //
 //   - Simulate: run the protocol under the paper's formal model with a
 //     chosen adversary (delays, crashes, partitions) and inspect the
@@ -29,6 +29,10 @@
 //     processor, with optional latency/loss/crash injection.
 //   - StartNode: run one processor of a TCP cluster, for multi-process
 //     deployments.
+//   - Serve: run a long-lived commit service over a live cluster —
+//     bounded admission, per-request deadlines, batched dispatch, and
+//     graceful drain. cmd/commitd exposes it over HTTP/JSON and
+//     cmd/loadgen load-tests it.
 //
 // Processor 0 is always the coordinator.
 package tcommit
