@@ -7,12 +7,15 @@
 //	POST /commit        {"id":"t1","votes":[true,true,false,true,true]}
 //	GET  /status/{txn}  state of a known transaction
 //	GET  /metrics       counters + latency percentiles (JSON)
+//	GET  /metrics.prom  every layer's metrics, Prometheus text format
+//	GET  /debug/trace   recent protocol events (?txn=<id>&n=<count>)
 //	GET  /healthz       liveness + cluster size
 //	POST /crash/{node}  fault injection: fail-stop one processor
 //
 // The cluster backend is either the in-process channel hub (default) or
 // real TCP nodes on loopback (-backend tcp) — same machines, same
-// protocol, heavier transport.
+// protocol, heavier transport. -pprof additionally mounts
+// net/http/pprof under /debug/pprof/ (off by default).
 package main
 
 import (
@@ -23,11 +26,13 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/transport"
 	"repro/internal/types"
@@ -47,17 +52,18 @@ func main() {
 func run(args []string, out io.Writer, ready chan<- string) error {
 	fs := flag.NewFlagSet("commitd", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:8080", "HTTP listen address")
-		n        = fs.Int("n", 5, "number of processors in the fronted cluster")
-		tFaults  = fs.Int("t", 0, "crash tolerance (default (n-1)/2)")
-		k        = fs.Int("k", 4, "protocol timing constant in ticks")
-		tick     = fs.Duration("tick", time.Millisecond, "cluster step period")
-		seed     = fs.Uint64("seed", 0, "randomness seed (0: derived from time)")
-		queue    = fs.Int("queue", 1024, "admission queue depth")
-		inflight = fs.Int("inflight", 128, "max concurrent commit instances")
-		batch    = fs.Int("batch", 64, "max submissions coalesced per dispatch")
-		timeout  = fs.Duration("timeout", 10*time.Second, "default per-request deadline")
-		backend  = fs.String("backend", "channel", "cluster transport: channel or tcp")
+		addr      = fs.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		n         = fs.Int("n", 5, "number of processors in the fronted cluster")
+		tFaults   = fs.Int("t", 0, "crash tolerance (default (n-1)/2)")
+		k         = fs.Int("k", 4, "protocol timing constant in ticks")
+		tick      = fs.Duration("tick", time.Millisecond, "cluster step period")
+		seed      = fs.Uint64("seed", 0, "randomness seed (0: derived from time)")
+		queue     = fs.Int("queue", 1024, "admission queue depth")
+		inflight  = fs.Int("inflight", 128, "max concurrent commit instances")
+		batch     = fs.Int("batch", 64, "max submissions coalesced per dispatch")
+		timeout   = fs.Duration("timeout", 10*time.Second, "default per-request deadline")
+		backend   = fs.String("backend", "channel", "cluster transport: channel or tcp")
+		withPprof = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,6 +72,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		*seed = uint64(time.Now().UnixNano())
 	}
 
+	reg := obs.NewRegistry()
 	cfg := service.Config{
 		N: *n, T: *tFaults, K: *k,
 		TickEvery:      *tick,
@@ -74,11 +81,12 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		MaxInFlight:    *inflight,
 		BatchMax:       *batch,
 		DefaultTimeout: *timeout,
+		Registry:       reg,
 	}
 	switch *backend {
 	case "channel":
 	case "tcp":
-		transports, err := loopbackTCP(*n)
+		transports, err := loopbackTCP(*n, reg)
 		if err != nil {
 			return err
 		}
@@ -96,7 +104,18 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
-	server := &http.Server{Handler: service.NewHTTPHandler(svc)}
+	var handler http.Handler = service.NewHTTPHandler(svc)
+	if *withPprof {
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", handler)
+		handler = outer
+	}
+	server := &http.Server{Handler: handler}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
@@ -134,8 +153,8 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 }
 
 // loopbackTCP boots n peered TCP nodes on ephemeral loopback ports — the
-// real-sockets cluster backend.
-func loopbackTCP(n int) ([]transport.Transport, error) {
+// real-sockets cluster backend — instrumented against reg.
+func loopbackTCP(n int, reg *obs.Registry) ([]transport.Transport, error) {
 	transport.RegisterWirePayloads()
 	nodes := make([]*transport.TCPNode, n)
 	peers := make(map[types.ProcID]string, n)
@@ -147,6 +166,7 @@ func loopbackTCP(n int) ([]transport.Transport, error) {
 			}
 			return nil, err
 		}
+		tn.Instrument(reg)
 		nodes[p] = tn
 		peers[types.ProcID(p)] = tn.Addr()
 	}

@@ -3,6 +3,7 @@
 //
 //	loadgen -addr 127.0.0.1:8080 -mode closed -concurrency 16 -total 2000
 //	loadgen -addr 127.0.0.1:8080 -mode open -rate 500 -duration 10s
+//	loadgen -addr 127.0.0.1:8080 -total 2000 -json | jq .throughput_tps
 //
 // A fraction of transactions carry one dissenting vote (-abort-fraction)
 // and must resolve ABORT — a COMMIT on such a transaction is counted as
@@ -51,6 +52,7 @@ type genConfig struct {
 	crashNode     int
 	crashAfter    int
 	seed          int64
+	jsonOut       bool
 }
 
 // genStats accumulates results across workers.
@@ -90,6 +92,7 @@ func run(args []string, out io.Writer) error {
 	fs.IntVar(&cfg.crashNode, "crash-node", -1, "node to fail-stop mid-run (-1: none)")
 	fs.IntVar(&cfg.crashAfter, "crash-after", 0, "crash after this many completed txns")
 	fs.Int64Var(&cfg.seed, "seed", 1, "client randomness seed")
+	fs.BoolVar(&cfg.jsonOut, "json", false, "emit the end-of-run summary as one JSON object")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -279,39 +282,99 @@ func drive(cfg genConfig, out io.Writer) error {
 		return fmt.Errorf("metrics: %w", err)
 	}
 
-	report(out, cfg, g, m, elapsed)
+	s := summarize(cfg, g, m, elapsed)
+	if cfg.jsonOut {
+		enc := json.NewEncoder(out)
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	} else {
+		report(out, cfg, s, elapsed)
+	}
 
-	if g.violations > 0 || m.SafetyViolations > 0 {
-		return fmt.Errorf("safety violations: client=%d daemon=%d", g.violations, m.SafetyViolations)
+	if s.ClientViolations > 0 || m.SafetyViolations > 0 {
+		return fmt.Errorf("safety violations: client=%d daemon=%d", s.ClientViolations, m.SafetyViolations)
 	}
 	return nil
 }
 
-func report(out io.Writer, cfg genConfig, g *genStats, m service.Metrics, elapsed time.Duration) {
+// OutcomeJSON is the per-outcome block of the -json summary.
+type OutcomeJSON struct {
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// SummaryJSON is the single end-of-run object emitted by -json, for
+// scripted sweeps that post-process runs without scraping the table.
+type SummaryJSON struct {
+	Mode             string                 `json:"mode"`
+	N                int                    `json:"n"`
+	ElapsedMs        float64                `json:"elapsed_ms"`
+	Completed        uint64                 `json:"completed"`
+	ThroughputTPS    float64                `json:"throughput_tps"`
+	ClientErrors     int                    `json:"client_errors"`
+	OverloadRetries  int                    `json:"overload_retries"`
+	ClientViolations int                    `json:"client_violations"`
+	Outcomes         map[string]OutcomeJSON `json:"outcomes"`
+	Daemon           service.Metrics        `json:"daemon"`
+}
+
+// summarize folds the client-side stats and the daemon's snapshot into
+// the machine-readable summary; both output paths render from it.
+func summarize(cfg genConfig, g *genStats, m service.Metrics, elapsed time.Duration) SummaryJSON {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	var done uint64
+	s := SummaryJSON{
+		Mode:             cfg.mode,
+		N:                m.N,
+		ElapsedMs:        float64(elapsed) / float64(time.Millisecond),
+		ClientErrors:     g.errors,
+		OverloadRetries:  g.retried429,
+		ClientViolations: g.violations,
+		Outcomes:         make(map[string]OutcomeJSON, len(g.byState)),
+		Daemon:           m,
+	}
+	for st, rec := range g.byState {
+		snap := rec.Snapshot(50, 95, 99)
+		s.Outcomes[string(st)] = OutcomeJSON{
+			Count:  snap.Total,
+			MeanMs: snap.Summary.Mean,
+			P50Ms:  snap.Percentiles[0],
+			P95Ms:  snap.Percentiles[1],
+			P99Ms:  snap.Percentiles[2],
+		}
+		s.Completed += snap.Total
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		s.ThroughputTPS = float64(s.Completed) / secs
+	}
+	return s
+}
+
+func report(out io.Writer, cfg genConfig, s SummaryJSON, elapsed time.Duration) {
 	table := stats.NewTable("outcome", "count", "p50 ms", "p95 ms", "p99 ms")
-	states := make([]service.State, 0, len(g.byState))
-	for st := range g.byState {
+	states := make([]string, 0, len(s.Outcomes))
+	for st := range s.Outcomes {
 		states = append(states, st)
 	}
-	sort.Slice(states, func(i, j int) bool { return states[i] < states[j] })
+	sort.Strings(states)
 	for _, st := range states {
-		rec := g.byState[st]
-		ps := rec.Percentiles(0.50, 0.95, 0.99)
-		table.AddRow(string(st), rec.Total(), fmt.Sprintf("%.2f", ps[0]),
-			fmt.Sprintf("%.2f", ps[1]), fmt.Sprintf("%.2f", ps[2]))
-		done += rec.Total()
+		o := s.Outcomes[st]
+		table.AddRow(st, o.Count, fmt.Sprintf("%.2f", o.P50Ms),
+			fmt.Sprintf("%.2f", o.P95Ms), fmt.Sprintf("%.2f", o.P99Ms))
 	}
+	m := s.Daemon
 	fmt.Fprintf(out, "loadgen: mode=%s n=%d elapsed=%v\n", cfg.mode, m.N, elapsed.Round(time.Millisecond))
 	fmt.Fprint(out, table.String())
 	fmt.Fprintf(out, "throughput: %.1f txn/s (%d completed, %d client errors, %d overload retries)\n",
-		float64(done)/elapsed.Seconds(), done, g.errors, g.retried429)
+		s.ThroughputTPS, s.Completed, s.ClientErrors, s.OverloadRetries)
 	fmt.Fprintf(out, "daemon: committed=%d aborted=%d timed_out=%d crashed=%v violations=%d\n",
 		m.Committed, m.Aborted, m.TimedOut, m.Crashed, m.SafetyViolations)
-	if g.violations > 0 {
-		fmt.Fprintf(out, "CLIENT-OBSERVED VIOLATIONS: %d abort-voted txns committed\n", g.violations)
+	if s.ClientViolations > 0 {
+		fmt.Fprintf(out, "CLIENT-OBSERVED VIOLATIONS: %d abort-voted txns committed\n", s.ClientViolations)
 	}
 }
 

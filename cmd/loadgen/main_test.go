@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -142,6 +143,54 @@ func TestLoadgenRetriesOverload(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "overload retries") {
 		t.Fatalf("report missing retry count:\n%s", out.String())
+	}
+}
+
+// TestLoadgenJSONOutput: -json emits exactly one decodable summary
+// object with consistent counts instead of the table report.
+func TestLoadgenJSONOutput(t *testing.T) {
+	s, addr := newTarget(t, service.Config{N: 3, K: 3, Seed: 17})
+	var out bytes.Buffer
+	err := drive(genConfig{
+		addr:          addr,
+		mode:          "closed",
+		concurrency:   8,
+		total:         40,
+		abortFraction: 0.5,
+		timeout:       30 * time.Second,
+		crashNode:     -1,
+		seed:          9,
+		jsonOut:       true,
+	}, &out)
+	if err != nil {
+		t.Fatalf("drive: %v\n%s", err, out.String())
+	}
+	var sum SummaryJSON
+	dec := json.NewDecoder(bytes.NewReader(out.Bytes()))
+	if err := dec.Decode(&sum); err != nil {
+		t.Fatalf("decode: %v\n%s", err, out.String())
+	}
+	if dec.More() {
+		t.Fatalf("more than one JSON document:\n%s", out.String())
+	}
+	if sum.Completed != 40 || sum.ThroughputTPS <= 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	var fromOutcomes uint64
+	for st, o := range sum.Outcomes {
+		if o.Count > 0 && o.P50Ms <= 0 {
+			t.Errorf("outcome %s has count %d but p50 %v", st, o.Count, o.P50Ms)
+		}
+		if o.P50Ms > o.P99Ms {
+			t.Errorf("outcome %s percentiles not monotone: %+v", st, o)
+		}
+		fromOutcomes += o.Count
+	}
+	if fromOutcomes != sum.Completed {
+		t.Fatalf("outcome counts %d != completed %d", fromOutcomes, sum.Completed)
+	}
+	if m := s.Metrics(); sum.Daemon.Submitted != m.Submitted {
+		t.Fatalf("daemon snapshot stale: %d vs %d", sum.Daemon.Submitted, m.Submitted)
 	}
 }
 

@@ -1,18 +1,29 @@
-// Command tracedump renders a recorded simulator trace (JSON, as written
-// by `commitsim -tracefile`) as a human-readable timeline with message
-// statistics, lateness, and per-processor asynchronous round boundaries.
+// Command tracedump renders a recorded trace (JSON) as a human-readable
+// timeline. It understands two formats:
 //
-//	commitsim -n 5 -tracefile run.json
-//	tracedump run.json
-//	tracedump -rounds -late run.json
+//   - simulator traces written by `commitsim -tracefile`, rendered with
+//     message statistics, lateness, and per-processor asynchronous round
+//     boundaries;
+//
+//   - live traces exported by a running commitd daemon
+//     (`curl http://host/debug/trace > live.json`), rendered as a
+//     per-node protocol event timeline.
+//
+//     commitsim -n 5 -tracefile run.json
+//     tracedump run.json
+//     tracedump -rounds -late run.json
+//     curl -s localhost:8080/debug/trace?n=500 > live.json && tracedump live.json
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/rounds"
 	"repro/internal/trace"
 	"repro/internal/types"
@@ -39,12 +50,14 @@ func run(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: tracedump [flags] <trace.json>")
 	}
-	f, err := os.Open(fs.Arg(0))
+	raw, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	defer f.Close() //nolint:errcheck // read-only
-	tr, err := trace.ReadJSON(f)
+	if isLiveTrace(raw) {
+		return dumpLive(raw, *showEvents, *maxEvents)
+	}
+	tr, err := trace.ReadJSON(bytes.NewReader(raw))
 	if err != nil {
 		return err
 	}
@@ -128,6 +141,65 @@ func run(args []string) error {
 			}
 			fmt.Printf("  ev%-5d p%d clk%-4d %s\n", e.Index, e.Proc, e.ClockAfter, strings.Join(parts, "; "))
 		}
+	}
+	return nil
+}
+
+// isLiveTrace sniffs the top-level "format" field that the obs tracer
+// stamps on its exports, without decoding the whole document.
+func isLiveTrace(raw []byte) bool {
+	var probe struct {
+		Format string `json:"format"`
+	}
+	return json.Unmarshal(raw, &probe) == nil && probe.Format == obs.TraceFormat
+}
+
+// dumpLive renders a live-trace export (GET /debug/trace on a running
+// daemon) as a protocol event timeline.
+func dumpLive(raw []byte, showEvents bool, maxEvents int) error {
+	var exp obs.TraceExport
+	if err := json.Unmarshal(raw, &exp); err != nil {
+		return fmt.Errorf("live trace: %w", err)
+	}
+	fmt.Printf("live trace: events=%d dropped=%d\n", len(exp.Events), exp.Dropped)
+
+	byType := map[obs.EventType]int{}
+	txns := map[string]bool{}
+	for i := range exp.Events {
+		byType[exp.Events[i].Type]++
+		if t := exp.Events[i].Txn; t != "" {
+			txns[t] = true
+		}
+	}
+	fmt.Printf("transactions seen: %d\n", len(txns))
+	for _, t := range []obs.EventType{
+		obs.EventGoSent, obs.EventGoRecv, obs.EventVoteCast, obs.EventStage,
+		obs.EventDecided, obs.EventRetired, obs.EventAbandoned,
+		obs.EventCrash, obs.EventRecover,
+	} {
+		if byType[t] > 0 {
+			fmt.Printf("  %-10s %d\n", t, byType[t])
+		}
+	}
+
+	if !showEvents {
+		return nil
+	}
+	fmt.Println("timeline:")
+	for i := range exp.Events {
+		if maxEvents > 0 && i >= maxEvents {
+			fmt.Printf("  ... %d more events\n", len(exp.Events)-maxEvents)
+			break
+		}
+		e := &exp.Events[i]
+		line := fmt.Sprintf("  seq%-6d n%d tick%-5d %-10s", e.Seq, e.Node, e.Tick, e.Type)
+		if e.Txn != "" {
+			line += " txn=" + e.Txn
+		}
+		if e.Detail != "" {
+			line += " " + e.Detail
+		}
+		fmt.Println(line)
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	tcommit "repro"
+	"repro/internal/obs"
 )
 
 // writeTrace produces a real trace file via the public simulate API.
@@ -40,6 +41,34 @@ func TestRunDump(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := run([]string{"-max-events", "3", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunLiveTrace: a live-trace export (as served by commitd's
+// /debug/trace) is auto-detected by its format stamp and rendered by the
+// live path instead of the simulator one.
+func TestRunLiveTrace(t *testing.T) {
+	tr := obs.NewTracer(16)
+	tr.Record(obs.Event{Node: 0, Txn: "t1", Type: obs.EventGoSent, Tick: 1, Detail: "coins=2 fanout=3"})
+	tr.Record(obs.Event{Node: 1, Txn: "t1", Type: obs.EventGoRecv, Tick: 2, Detail: "from=0"})
+	tr.Record(obs.Event{Node: 1, Txn: "t1", Type: obs.EventVoteCast, Tick: 2, Detail: "vote=true"})
+	tr.Record(obs.Event{Node: 0, Txn: "t1", Type: obs.EventDecided, Tick: 9, Detail: "decision=COMMIT"})
+	path := filepath.Join(t.TempDir(), "live.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSON(f, "", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-events=false", "-max-events", "2", path}); err != nil {
 		t.Fatal(err)
 	}
 }

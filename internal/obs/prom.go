@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the HTTP Content-Type of the exposition written by
+// WritePrometheus (Prometheus text format version 0.0.4).
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus writes every family in the Prometheus text exposition
+// format, version 0.0.4: families sorted by name, children sorted by
+// label values, histograms expanded into cumulative _bucket series plus
+// _sum and _count. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	families := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		families = append(families, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(families, func(i, j int) bool { return families[i].name < families[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range families {
+		f.write(bw)
+	}
+	return bw.Flush()
+}
+
+// write renders one family.
+func (f *family) write(w *bufio.Writer) {
+	f.mu.Lock()
+	children := make([]child, 0, len(f.children))
+	for _, c := range f.children {
+		children = append(children, c)
+	}
+	f.mu.Unlock()
+	sort.Slice(children, func(i, j int) bool {
+		return joinValues(children[i].labelValues) < joinValues(children[j].labelValues)
+	})
+
+	if f.help != "" {
+		w.WriteString("# HELP ")
+		w.WriteString(f.name)
+		w.WriteByte(' ')
+		w.WriteString(escapeHelp(f.help))
+		w.WriteByte('\n')
+	}
+	w.WriteString("# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.typ)
+	w.WriteByte('\n')
+
+	for _, c := range children {
+		switch m := c.metric.(type) {
+		case *Counter:
+			writeSample(w, f.name, f.labels, c.labelValues, "", "", formatUint(m.Value()))
+		case *Gauge:
+			writeSample(w, f.name, f.labels, c.labelValues, "", "", formatFloat(m.Value()))
+		case func() float64:
+			writeSample(w, f.name, f.labels, c.labelValues, "", "", formatFloat(m()))
+		case *Histogram:
+			cum := uint64(0)
+			for i, bound := range m.bounds {
+				cum += m.counts[i].Load()
+				writeSample(w, f.name+"_bucket", f.labels, c.labelValues,
+					"le", formatFloat(bound), formatUint(cum))
+			}
+			cum += m.counts[len(m.bounds)].Load()
+			writeSample(w, f.name+"_bucket", f.labels, c.labelValues, "le", "+Inf", formatUint(cum))
+			writeSample(w, f.name+"_sum", f.labels, c.labelValues, "", "", formatFloat(m.Sum()))
+			writeSample(w, f.name+"_count", f.labels, c.labelValues, "", "", formatUint(m.Count()))
+		}
+	}
+}
+
+// writeSample renders one sample line, appending the optional extra label
+// (the histogram "le") after the family labels.
+func writeSample(w *bufio.Writer, name string, labels, values []string, extraLabel, extraValue, rendered string) {
+	w.WriteString(name)
+	if len(labels) > 0 || extraLabel != "" {
+		w.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(l)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(values[i]))
+			w.WriteByte('"')
+		}
+		if extraLabel != "" {
+			if len(labels) > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(extraLabel)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(extraValue))
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(rendered)
+	w.WriteByte('\n')
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a help string: backslash and newline only.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the exposition golden file")
+
+// goldenRegistry builds a deterministic registry covering every metric
+// shape the writer handles: bare counter, labeled counter, gauge,
+// computed gauge, histogram, labeled histogram, and label escaping.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("commit_submitted_total", "Transactions submitted.").Add(42)
+	sent := reg.CounterVec("transport_messages_sent_total", "Messages sent by transport.", "transport")
+	sent.With("channel").Add(1200)
+	sent.With("tcp").Add(7)
+	reg.Gauge("service_queue_depth", "Current admission queue depth.").Set(3)
+	reg.GaugeFunc("service_in_flight", "Currently running commit instances.", func() float64 { return 5 })
+	h := reg.Histogram("txn_rounds_to_decision_ticks", "Manager ticks from spawn to decision.", []float64{1, 2, 4, 8})
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(3)
+	h.Observe(100)
+	hv := reg.HistogramVec("transport_delay_seconds", "Injected per-link delivery delay.", []float64{0.001, 0.01}, "link")
+	hv.With("0->1").Observe(0.0005)
+	hv.With("0->1").Observe(0.005)
+	esc := reg.CounterVec("odd_labels_total", "Counter with label values needing escaping.", "txn")
+	esc.With(`quote"back\slash`).Inc()
+	esc.With("line\nbreak").Inc()
+	return reg
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusDeterministic guards the sort contract: two writes
+// of the same registry are byte-identical regardless of map iteration.
+func TestWritePrometheusDeterministic(t *testing.T) {
+	reg := goldenRegistry()
+	var a, b strings.Builder
+	if err := reg.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two expositions of one registry differ")
+	}
+}
+
+// TestWritePrometheusValidShape spot-checks structural properties any
+// Prometheus scraper relies on: TYPE precedes samples, histogram buckets
+// are cumulative and end at +Inf.
+func TestWritePrometheusValidShape(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	typeAt := strings.Index(out, "# TYPE txn_rounds_to_decision_ticks histogram")
+	sampleAt := strings.Index(out, "txn_rounds_to_decision_ticks_bucket")
+	if typeAt < 0 || sampleAt < 0 || typeAt > sampleAt {
+		t.Fatalf("TYPE line missing or after samples:\n%s", out)
+	}
+	for _, want := range []string{
+		`txn_rounds_to_decision_ticks_bucket{le="1"} 1`,
+		`txn_rounds_to_decision_ticks_bucket{le="4"} 3`,
+		`txn_rounds_to_decision_ticks_bucket{le="+Inf"} 4`,
+		`txn_rounds_to_decision_ticks_count 4`,
+		`txn_rounds_to_decision_ticks_sum 107`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTracerWraparound(t *testing.T) {
+	tr := NewTracer(8)
+	for i := 0; i < 20; i++ {
+		tr.Record(Event{Node: i, Type: EventStage, Txn: fmt.Sprintf("t%d", i%2)})
+	}
+	if got := tr.Len(); got != 8 {
+		t.Fatalf("Len = %d, want 8", got)
+	}
+	if got := tr.Dropped(); got != 12 {
+		t.Errorf("Dropped = %d, want 12", got)
+	}
+	evs := tr.Recent(0)
+	if len(evs) != 8 {
+		t.Fatalf("Recent(0) = %d events, want 8", len(evs))
+	}
+	// The retained window is the 8 newest, in sequence order.
+	for i, e := range evs {
+		want := uint64(13 + i)
+		if e.Seq != want {
+			t.Errorf("evs[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	if got := tr.Recent(3); len(got) != 3 || got[2].Seq != 20 {
+		t.Errorf("Recent(3) tail = %+v", got)
+	}
+}
+
+func TestTracerByTxn(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{Txn: fmt.Sprintf("t%d", i%2), Type: EventDecided, Tick: i})
+	}
+	evs := tr.ByTxn("t1", 0)
+	if len(evs) != 5 {
+		t.Fatalf("ByTxn(t1) = %d events, want 5", len(evs))
+	}
+	for _, e := range evs {
+		if e.Txn != "t1" {
+			t.Errorf("filter leaked event %+v", e)
+		}
+	}
+	if got := tr.ByTxn("t0", 2); len(got) != 2 || got[1].Tick != 8 {
+		t.Errorf("ByTxn(t0, 2) = %+v", got)
+	}
+	if got := tr.ByTxn("missing", 0); len(got) != 0 {
+		t.Errorf("ByTxn(missing) = %+v", got)
+	}
+}
+
+func TestTracerConcurrentRecord(t *testing.T) {
+	tr := NewTracer(64)
+	const workers, per = 16, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Record(Event{Node: w, Type: EventGoSent, Tick: i})
+				if i%50 == 0 {
+					tr.Recent(10)
+					tr.ByTxn("x", 4)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	evs := tr.Recent(0)
+	if len(evs) != 64 {
+		t.Fatalf("retained %d events, want 64", len(evs))
+	}
+	// Sequence numbers must be strictly increasing and dense at the tail.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("non-dense seq at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	if evs[len(evs)-1].Seq != workers*per {
+		t.Errorf("last seq = %d, want %d", evs[len(evs)-1].Seq, workers*per)
+	}
+	if got := tr.Dropped(); got != workers*per-64 {
+		t.Errorf("Dropped = %d, want %d", got, workers*per-64)
+	}
+}
+
+func TestTracerExportJSON(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(Event{Node: 0, Txn: "t1", Type: EventGoSent, Tick: 3})
+	tr.Record(Event{Node: 1, Txn: "t1", Type: EventDecided, Tick: 9, Detail: "decision=COMMIT"})
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf, "t1", 10); err != nil {
+		t.Fatal(err)
+	}
+	var ex TraceExport
+	if err := json.Unmarshal(buf.Bytes(), &ex); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, buf.String())
+	}
+	if ex.Format != TraceFormat {
+		t.Errorf("format = %q, want %q", ex.Format, TraceFormat)
+	}
+	if len(ex.Events) != 2 || ex.Events[1].Detail != "decision=COMMIT" {
+		t.Errorf("events = %+v", ex.Events)
+	}
+}
+
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	tr.Record(Event{Type: EventCrash})
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Error("nil tracer retained state")
+	}
+	if tr.Recent(5) != nil || tr.ByTxn("x", 5) != nil {
+		t.Error("nil tracer returned events")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf, "", 0); err != nil {
+		t.Fatal(err)
+	}
+	var ex TraceExport
+	if err := json.Unmarshal(buf.Bytes(), &ex); err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Events) != 0 {
+		t.Errorf("nil tracer exported events: %+v", ex.Events)
+	}
+}

@@ -13,9 +13,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/transport"
 	"repro/internal/types"
@@ -44,11 +46,42 @@ type NodeConfig struct {
 	// OnDecision, if non-nil, is invoked exactly once, from the node's
 	// goroutine, when the machine first decides.
 	OnDecision func(p types.ProcID, v types.Value)
+	// Registry, if non-nil, receives the node's runtime metrics (steps
+	// taken, messages consumed and produced, labeled by node id).
+	Registry *obs.Registry
+}
+
+// nodeMetrics bundles one node's handles into the shared registry. All
+// handles are nil no-ops when no registry is configured.
+type nodeMetrics struct {
+	steps   *obs.Counter
+	msgsIn  *obs.Counter
+	msgsOut *obs.Counter
+}
+
+func newNodeMetrics(reg *obs.Registry, p types.ProcID) nodeMetrics {
+	node := strconv.Itoa(int(p))
+	return nodeMetrics{
+		steps: reg.CounterVec("runtime_node_steps_total",
+			"Protocol steps (clock ticks) taken, by node.", "node").With(node),
+		msgsIn: reg.CounterVec("runtime_node_messages_received_total",
+			"Messages consumed by the machine, by node.", "node").With(node),
+		msgsOut: reg.CounterVec("runtime_node_messages_sent_total",
+			"Messages produced by the machine, by node.", "node").With(node),
+	}
+}
+
+// CrashCounter returns the fail-stop crash counter family in reg, shared
+// by Cluster.Crash and the service layer's external-transport backend.
+func CrashCounter(reg *obs.Registry) *obs.CounterVec {
+	return reg.CounterVec("runtime_node_crashes_total",
+		"Fail-stop crashes injected, by node.", "node")
 }
 
 // Node runs one machine.
 type Node struct {
 	cfg  NodeConfig
+	m    nodeMetrics
 	done chan struct{}
 	stop chan struct{}
 
@@ -81,7 +114,8 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.LingerTicks <= 0 {
 		cfg.LingerTicks = 8
 	}
-	return &Node{cfg: cfg, done: make(chan struct{}), stop: make(chan struct{})}, nil
+	return &Node{cfg: cfg, m: newNodeMetrics(cfg.Registry, cfg.Machine.ID()),
+		done: make(chan struct{}), stop: make(chan struct{})}, nil
 }
 
 // Start launches the node's goroutine. Call Wait (or receive on Done) to
@@ -125,6 +159,9 @@ func (n *Node) run(ctx context.Context) {
 		}
 		received := n.drain()
 		out := n.cfg.Machine.Step(received, n.cfg.Rand)
+		n.m.steps.Inc()
+		n.m.msgsIn.Add(uint64(len(received)))
+		n.m.msgsOut.Add(uint64(len(out)))
 		for i := range out {
 			if err := n.cfg.Transport.Send(out[i]); err != nil {
 				n.setErr(fmt.Errorf("runtime: node %d send: %w", n.cfg.Machine.ID(), err))
@@ -214,8 +251,10 @@ func (r *ClusterResult) Unanimous() (types.Decision, bool) {
 
 // Cluster runs a set of machines over an in-memory hub.
 type Cluster struct {
-	hub   *transport.Hub
-	nodes []*Node
+	hub     *transport.Hub
+	nodes   []*Node
+	crashes *obs.CounterVec
+	tracer  *obs.Tracer
 }
 
 // ClusterOptions configures NewLocalCluster.
@@ -230,6 +269,11 @@ type ClusterOptions struct {
 	// Persistent makes every node ignore machine quiescence and step
 	// until stopped — see NodeConfig.Persistent.
 	Persistent bool
+	// Registry, if non-nil, receives every node's runtime metrics and the
+	// hub's transport metrics (unless Hub.Registry is already set).
+	Registry *obs.Registry
+	// Tracer, if non-nil, records crash events injected via Crash.
+	Tracer *obs.Tracer
 }
 
 // NewLocalCluster wires one node per machine through a fresh hub.
@@ -237,9 +281,15 @@ func NewLocalCluster(machines []types.Machine, opts ClusterOptions) (*Cluster, e
 	if len(machines) == 0 {
 		return nil, errors.New("runtime: no machines")
 	}
+	if opts.Hub.Registry == nil {
+		opts.Hub.Registry = opts.Registry
+	}
 	hub := transport.NewHub(len(machines), opts.Hub)
 	seeds := rng.NewCollection(opts.Seed, len(machines))
-	c := &Cluster{hub: hub}
+	c := &Cluster{hub: hub, tracer: opts.Tracer}
+	if opts.Registry != nil {
+		c.crashes = CrashCounter(opts.Registry)
+	}
 	for i, m := range machines {
 		node, err := NewNode(NodeConfig{
 			Machine:    m,
@@ -249,6 +299,7 @@ func NewLocalCluster(machines []types.Machine, opts ClusterOptions) (*Cluster, e
 			MaxTicks:   opts.MaxTicks,
 			OnDecision: opts.OnDecision,
 			Persistent: opts.Persistent,
+			Registry:   opts.Registry,
 		})
 		if err != nil {
 			return nil, err
@@ -326,6 +377,8 @@ func (c *Cluster) Run(ctx context.Context) (*ClusterResult, error) {
 func (c *Cluster) Crash(p types.ProcID) {
 	c.hub.Crash(p)
 	c.nodes[p].Stop()
+	c.crashes.With(strconv.Itoa(int(p))).Inc()
+	c.tracer.Record(obs.Event{Node: int(p), Type: obs.EventCrash})
 }
 
 // CrashAfter schedules node p to stop and disconnect after d. It models a

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/types"
 )
 
@@ -43,7 +44,9 @@ type HealthJSON struct {
 //
 //	POST /commit        submit a transaction, blocks to its terminal state
 //	GET  /status/{txn}  query a known transaction
-//	GET  /metrics       instrumentation snapshot
+//	GET  /metrics       instrumentation snapshot (JSON)
+//	GET  /metrics.prom  full shared registry, Prometheus text format
+//	GET  /debug/trace   recent protocol events (?txn=<id>&n=<count>)
 //	GET  /healthz       liveness + cluster size
 //	POST /crash/{node}  fault injection: fail-stop one processor
 func NewHTTPHandler(s *Service) http.Handler {
@@ -84,6 +87,23 @@ func NewHTTPHandler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	mux.HandleFunc("GET /metrics.prom", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", obs.ContentType)
+		s.Registry().WritePrometheus(w) //nolint:errcheck // client gone is fine
+	})
+	mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		n := 256
+		if raw := r.URL.Query().Get("n"); raw != "" {
+			v, err := strconv.Atoi(raw)
+			if err != nil || v < 0 {
+				writeJSON(w, http.StatusBadRequest, ErrorJSON{Error: "bad n: want a non-negative integer"})
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		s.Tracer().WriteJSON(w, r.URL.Query().Get("txn"), n) //nolint:errcheck // client gone is fine
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		status := "ok"

@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/transport"
 	"repro/internal/types"
@@ -102,6 +105,105 @@ func TestHTTPCommitRoundTrip(t *testing.T) {
 	}
 	if h := decode[service.HealthJSON](t, resp); h.Status != "ok" || h.N != 3 {
 		t.Fatalf("health = %+v", h)
+	}
+}
+
+// TestHTTPMetricsPromAndTrace: after real traffic, /metrics.prom serves
+// every layer's metrics in Prometheus text format and /debug/trace serves
+// the protocol event timeline, filterable by transaction.
+func TestHTTPMetricsPromAndTrace(t *testing.T) {
+	_, ts := newHTTPService(t, service.Config{N: 3, Seed: 31})
+
+	resp := postJSON(t, ts.URL+"/commit", service.CommitRequestJSON{ID: "pm1"})
+	if out := decode[service.CommitResponseJSON](t, resp); out.State != service.StateCommit {
+		t.Fatalf("commit = %+v", out)
+	}
+	resp = postJSON(t, ts.URL+"/commit", service.CommitRequestJSON{
+		ID: "pm2", Votes: []bool{true, false, true},
+	})
+	if out := decode[service.CommitResponseJSON](t, resp); out.State != service.StateAbort {
+		t.Fatalf("abort = %+v", out)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics.prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics.prom status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	text := string(body)
+	// One representative family per instrumented layer must be present:
+	// service admission, txn lifecycle, runtime stepping, transport.
+	for _, want := range []string{
+		"# TYPE service_submitted_total counter",
+		"service_submitted_total 2",
+		`service_outcomes_total{outcome="committed"} 1`,
+		`service_outcomes_total{outcome="aborted"} 1`,
+		"# TYPE txn_instances_started_total counter",
+		"# TYPE txn_rounds_to_decision_ticks histogram",
+		"# TYPE runtime_node_steps_total counter",
+		"# TYPE transport_messages_sent_total counter",
+		"# TYPE service_queue_depth gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Unfiltered trace: events from both transactions.
+	resp, err = http.Get(ts.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := decode[obs.TraceExport](t, resp)
+	if exp.Format != obs.TraceFormat {
+		t.Fatalf("format = %q", exp.Format)
+	}
+	if len(exp.Events) == 0 {
+		t.Fatal("no trace events")
+	}
+	seen := map[obs.EventType]bool{}
+	for _, e := range exp.Events {
+		seen[e.Type] = true
+	}
+	for _, want := range []obs.EventType{obs.EventGoSent, obs.EventGoRecv, obs.EventVoteCast, obs.EventDecided} {
+		if !seen[want] {
+			t.Errorf("trace missing %s event", want)
+		}
+	}
+
+	// Filtered trace: only pm2's events, within the requested cap.
+	resp, err = http.Get(ts.URL + "/debug/trace?txn=pm2&n=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp = decode[obs.TraceExport](t, resp)
+	if len(exp.Events) == 0 || len(exp.Events) > 10 {
+		t.Fatalf("filtered trace has %d events", len(exp.Events))
+	}
+	for _, e := range exp.Events {
+		if e.Txn != "pm2" {
+			t.Fatalf("filter leaked event %+v", e)
+		}
+	}
+
+	// Bad n is a 400, not a panic.
+	resp, err = http.Get(ts.URL + "/debug/trace?n=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad n status = %d", resp.StatusCode)
 	}
 }
 

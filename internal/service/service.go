@@ -27,9 +27,11 @@ package service
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/runtime"
 	"repro/internal/stats"
@@ -50,18 +52,34 @@ type pending struct {
 	coordinator types.ProcID
 }
 
-// counters aggregates the service's monotone counts (guarded by mu).
-type counters struct {
-	submitted        uint64
-	committed        uint64
-	aborted          uint64
-	timedOut         uint64
-	failed           uint64
-	rejectedFull     uint64
-	rejectedDraining uint64
-	batches          uint64
-	maxBatch         int
-	violations       uint64
+// svcMetrics bundles the service's handles into the shared registry.
+// These replaced the original mu-guarded counter struct: the counts are
+// now atomic registry counters so GET /metrics.prom and the JSON
+// GET /metrics read the same underlying numbers.
+type svcMetrics struct {
+	submitted  *obs.Counter
+	outcomes   *obs.CounterVec // label outcome: committed|aborted|timed_out|failed
+	rejected   *obs.CounterVec // label reason: full|draining
+	batches    *obs.Counter
+	violations *obs.Counter
+	latency    *obs.Histogram // seconds, decided (COMMIT/ABORT) submissions
+}
+
+func newSvcMetrics(reg *obs.Registry) svcMetrics {
+	return svcMetrics{
+		submitted: reg.Counter("service_submitted_total",
+			"Transactions admitted into the queue."),
+		outcomes: reg.CounterVec("service_outcomes_total",
+			"Terminal submission outcomes.", "outcome"),
+		rejected: reg.CounterVec("service_rejected_total",
+			"Submissions rejected at admission.", "reason"),
+		batches: reg.Counter("service_batches_total",
+			"Dispatcher wakeups that dispatched at least one submission."),
+		violations: reg.Counter("service_safety_violations_total",
+			"Conflicting decisions observed for one transaction (Agreement violations)."),
+		latency: reg.Histogram("service_latency_seconds",
+			"Submission-to-decision latency of committed/aborted transactions.", obs.DefBuckets),
+	}
 }
 
 // Service is a running commit service. Create with New, submit with
@@ -79,14 +97,16 @@ type Service struct {
 	dispatcherDone chan struct{}
 	outstanding    sync.WaitGroup
 
-	lat *stats.Recorder
+	lat      *stats.Recorder
+	met      svcMetrics
+	crashCtr *obs.CounterVec
 
 	mu       sync.Mutex
 	stopped  bool
 	nextID   uint64
 	rr       int
 	crashed  []bool
-	cnt      counters
+	maxBatch int
 	pendings map[txn.ID]*pending
 	statuses map[string]*status
 	// finished is the FIFO of terminal status ids for bounded retention.
@@ -117,11 +137,28 @@ func New(cfg Config) (*Service, error) {
 		abort:          make(chan struct{}),
 		dispatcherDone: make(chan struct{}),
 		lat:            stats.NewRecorder(cfg.LatencyWindow),
+		met:            newSvcMetrics(cfg.Registry),
+		crashCtr:       runtime.CrashCounter(cfg.Registry),
 		crashed:        make([]bool, cfg.N),
 		pendings:       make(map[txn.ID]*pending),
 		statuses:       make(map[string]*status),
 		votesByTxn:     make(map[txn.ID][]bool),
 	}
+	cfg.Registry.GaugeFunc("service_queue_depth",
+		"Submissions waiting in the admission queue.",
+		func() float64 { return float64(len(s.queue)) })
+	cfg.Registry.GaugeFunc("service_in_flight",
+		"Commit instances currently holding an in-flight slot.",
+		func() float64 { return float64(len(s.slots)) })
+	cfg.Registry.GaugeFunc("service_active_instances",
+		"Instances still held by the transaction managers (all nodes).",
+		func() float64 {
+			total := 0
+			for _, mgr := range s.managers {
+				total += mgr.Active()
+			}
+			return float64(total)
+		})
 
 	s.managers = make([]*txn.Manager, cfg.N)
 	machines := make([]types.Machine, cfg.N)
@@ -134,6 +171,8 @@ func New(cfg Config) (*Service, error) {
 			OnOutcome:   func(o txn.Outcome) { s.onOutcome(proc, o) },
 			RetireAfter: cfg.RetireAfterTicks,
 			MaxAge:      cfg.MaxAgeTicks,
+			Registry:    cfg.Registry,
+			Tracer:      cfg.Tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -148,6 +187,8 @@ func New(cfg Config) (*Service, error) {
 			Seed:       cfg.Seed,
 			Hub:        cfg.Hub,
 			Persistent: true,
+			Registry:   cfg.Registry,
+			Tracer:     cfg.Tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -165,6 +206,7 @@ func New(cfg Config) (*Service, error) {
 				Rand:       seeds.Stream(types.ProcID(p)),
 				TickEvery:  cfg.TickEvery,
 				Persistent: true,
+				Registry:   cfg.Registry,
 			})
 			if err != nil {
 				return nil, err
@@ -179,6 +221,13 @@ func New(cfg Config) (*Service, error) {
 	go s.dispatch()
 	return s, nil
 }
+
+// Registry returns the shared metrics registry every layer of this
+// service emits into (never nil).
+func (s *Service) Registry() *obs.Registry { return s.cfg.Registry }
+
+// Tracer returns the protocol event tracer (never nil).
+func (s *Service) Tracer() *obs.Tracer { return s.cfg.Tracer }
 
 // N reports the cluster size.
 func (s *Service) N() int { return s.cfg.N }
@@ -231,8 +280,8 @@ func (s *Service) Submit(ctx context.Context, req Request) (Result, error) {
 
 	s.mu.Lock()
 	if s.stopped {
-		s.cnt.rejectedDraining++
 		s.mu.Unlock()
+		s.met.rejected.With("draining").Inc()
 		return Result{}, ErrDraining
 	}
 	id := req.ID
@@ -249,12 +298,12 @@ func (s *Service) Submit(ctx context.Context, req Request) (Result, error) {
 	select {
 	case s.queue <- p:
 	default:
-		s.cnt.rejectedFull++
 		hint := s.cfg.RetryHint
 		s.mu.Unlock()
+		s.met.rejected.With("full").Inc()
 		return Result{}, &OverloadError{RetryAfter: hint}
 	}
-	s.cnt.submitted++
+	s.met.submitted.Inc()
 	s.pendings[p.id] = p
 	s.votesByTxn[p.id] = votes
 	s.statuses[id] = &status{TxnStatus: TxnStatus{
@@ -292,10 +341,10 @@ func (s *Service) dispatch() {
 				break collect
 			}
 		}
+		s.met.batches.Inc()
 		s.mu.Lock()
-		s.cnt.batches++
-		if len(batch) > s.cnt.maxBatch {
-			s.cnt.maxBatch = len(batch)
+		if len(batch) > s.maxBatch {
+			s.maxBatch = len(batch)
 		}
 		s.mu.Unlock()
 		for _, p := range batch {
@@ -331,9 +380,6 @@ func (s *Service) dispatchOne(p *pending) {
 	s.mu.Unlock()
 
 	if err := s.managers[coord].Begin(p.id, p.votes[coord]); err != nil {
-		s.mu.Lock()
-		s.cnt.failed++
-		s.mu.Unlock()
 		s.resolve(p, StateFailed, types.DecisionNone)
 	}
 }
@@ -364,7 +410,7 @@ func (s *Service) onOutcome(p types.ProcID, o txn.Outcome) {
 	}
 	if st.first != types.DecisionNone {
 		if o.Decision != st.first {
-			s.cnt.violations++
+			s.met.violations.Inc()
 		}
 		s.mu.Unlock()
 		return
@@ -396,23 +442,26 @@ func (s *Service) resolve(p *pending, state State, d types.Decision) {
 		}
 		s.retainLocked(string(p.id))
 	}
-	switch state {
-	case StateCommit:
-		s.cnt.committed++
-	case StateAbort:
-		s.cnt.aborted++
-	case StateTimeout:
-		s.cnt.timedOut++
-	}
 	dispatched := p.dispatched
 	coord := p.coordinator
 	s.mu.Unlock()
 
+	switch state {
+	case StateCommit:
+		s.met.outcomes.With("committed").Inc()
+	case StateAbort:
+		s.met.outcomes.With("aborted").Inc()
+	case StateTimeout:
+		s.met.outcomes.With("timed_out").Inc()
+	case StateFailed:
+		s.met.outcomes.With("failed").Inc()
+	}
 	if p.timer != nil {
 		p.timer.Stop()
 	}
 	if state == StateCommit || state == StateAbort {
 		s.lat.Add(float64(latency) / float64(time.Millisecond))
+		s.met.latency.Observe(latency.Seconds())
 	}
 	if dispatched {
 		<-s.slots
@@ -471,30 +520,36 @@ func (s *Service) Crash(p types.ProcID) error {
 		return nil
 	}
 	if s.cluster != nil {
-		s.cluster.Crash(p)
+		s.cluster.Crash(p) // counts and traces the crash itself
 	} else {
 		s.nodes[p].Stop()
 		s.exts[p].Close() //nolint:errcheck // best-effort fail-stop
+		s.crashCtr.With(strconv.Itoa(int(p))).Inc()
+		s.cfg.Tracer.Record(obs.Event{
+			Node: int(p), Type: obs.EventCrash, Tick: s.managers[p].Clock(),
+		})
 	}
 	return nil
 }
 
-// Metrics snapshots the service's instrumentation.
+// Metrics snapshots the service's instrumentation. The counts come from
+// the same registry counters GET /metrics.prom exposes, so the JSON and
+// Prometheus surfaces can never disagree.
 func (s *Service) Metrics() Metrics {
 	s.mu.Lock()
 	m := Metrics{
 		N:                s.cfg.N,
 		Draining:         s.stopped,
-		Submitted:        s.cnt.submitted,
-		Committed:        s.cnt.committed,
-		Aborted:          s.cnt.aborted,
-		TimedOut:         s.cnt.timedOut,
-		Failed:           s.cnt.failed,
-		RejectedFull:     s.cnt.rejectedFull,
-		RejectedDraining: s.cnt.rejectedDraining,
-		Batches:          s.cnt.batches,
-		MaxBatch:         s.cnt.maxBatch,
-		SafetyViolations: s.cnt.violations,
+		Submitted:        s.met.submitted.Value(),
+		Committed:        s.met.outcomes.With("committed").Value(),
+		Aborted:          s.met.outcomes.With("aborted").Value(),
+		TimedOut:         s.met.outcomes.With("timed_out").Value(),
+		Failed:           s.met.outcomes.With("failed").Value(),
+		RejectedFull:     s.met.rejected.With("full").Value(),
+		RejectedDraining: s.met.rejected.With("draining").Value(),
+		Batches:          s.met.batches.Value(),
+		MaxBatch:         s.maxBatch,
+		SafetyViolations: s.met.violations.Value(),
 		Queued:           len(s.queue),
 		InFlight:         len(s.slots),
 	}
@@ -507,12 +562,11 @@ func (s *Service) Metrics() Metrics {
 	for _, mgr := range s.managers {
 		m.ActiveInstances += mgr.Active()
 	}
-	sum := s.lat.Summary()
-	ps := s.lat.Percentiles(50, 95, 99)
-	m.LatencyMeanMs = sum.Mean
-	m.LatencyP50Ms = ps[0]
-	m.LatencyP95Ms = ps[1]
-	m.LatencyP99Ms = ps[2]
+	snap := s.lat.Snapshot(50, 95, 99)
+	m.LatencyMeanMs = snap.Summary.Mean
+	m.LatencyP50Ms = snap.Percentiles[0]
+	m.LatencyP95Ms = snap.Percentiles[1]
+	m.LatencyP99Ms = snap.Percentiles[2]
 	return m
 }
 

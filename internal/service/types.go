@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/types"
 )
@@ -63,6 +64,16 @@ type Config struct {
 	// Hub configures fault injection (delay, loss) on the in-process
 	// channel backend. Ignored when Transports is set.
 	Hub transport.HubOptions
+	// Registry is the shared metrics registry every layer of the service
+	// (runtime, transport, txn, service) emits into. Nil creates a fresh
+	// one, exposed via Service.Registry.
+	Registry *obs.Registry
+	// Tracer records per-transaction protocol events. Nil creates one
+	// with TraceCapacity, exposed via Service.Tracer.
+	Tracer *obs.Tracer
+	// TraceCapacity sizes the default tracer's ring buffer (default
+	// 4096 most recent events). Ignored when Tracer is set.
+	TraceCapacity int
 }
 
 // withDefaults validates and fills defaults.
@@ -114,6 +125,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Transports != nil && len(c.Transports) != c.N {
 		return c, fmt.Errorf("service: %d transports for %d processors", len(c.Transports), c.N)
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.NewTracer(c.TraceCapacity)
 	}
 	return c, nil
 }

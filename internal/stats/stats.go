@@ -210,6 +210,41 @@ func (r *Recorder) Percentiles(ps ...float64) []float64 {
 // Summary summarizes the retained window.
 func (r *Recorder) Summary() Summary { return Summarize(r.Samples()) }
 
+// RecorderSnapshot is one consistent view of a Recorder: total samples
+// ever added, summary statistics of the retained window, and the
+// requested percentiles, all taken from the same sample set.
+type RecorderSnapshot struct {
+	Total       uint64
+	Summary     Summary
+	Percentiles []float64
+}
+
+// Snapshot computes count, summary, and percentiles under one lock
+// acquisition — the instrumentation read path (service.Metrics) calls
+// this instead of Total/Summary/Percentiles separately, which would
+// take the lock three times and could interleave with writers between
+// calls, yielding a torn view.
+func (r *Recorder) Snapshot(ps ...float64) RecorderSnapshot {
+	r.mu.Lock()
+	xs := append([]float64(nil), r.buf...)
+	total := r.total
+	r.mu.Unlock()
+
+	snap := RecorderSnapshot{
+		Total:       total,
+		Summary:     Summarize(xs),
+		Percentiles: make([]float64, len(ps)),
+	}
+	if len(xs) == 0 {
+		return snap
+	}
+	sort.Float64s(xs)
+	for i, p := range ps {
+		snap.Percentiles[i] = percentileSorted(xs, p)
+	}
+	return snap
+}
+
 // percentileSorted is Percentile over an already-sorted sample.
 func percentileSorted(sorted []float64, p float64) float64 {
 	if p <= 0 {

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/types"
 )
 
@@ -21,6 +23,7 @@ type frame struct {
 type TCPNode struct {
 	id types.ProcID
 	ln net.Listener
+	m  metrics
 
 	mu       sync.Mutex
 	peers    map[types.ProcID]string
@@ -59,6 +62,16 @@ func ListenTCP(id types.ProcID, addr string) (*TCPNode, error) {
 	n.wg.Add(1)
 	go n.acceptLoop()
 	return n, nil
+}
+
+// Instrument wires the node's transport metrics into reg (messages and
+// bytes sent, delivered, dropped, and a per-link send-path duration
+// histogram). Call before the node starts carrying traffic; handles are
+// installed under the node's lock.
+func (n *TCPNode) Instrument(reg *obs.Registry) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.m = newMetrics(reg, "tcp")
 }
 
 // Addr returns the bound listen address.
@@ -112,14 +125,17 @@ func (n *TCPNode) readLoop(c net.Conn) {
 		}
 		n.mu.Lock()
 		closed := n.closed
+		m := n.m
 		n.mu.Unlock()
 		if closed {
 			return
 		}
 		select {
 		case n.recv <- f.Msg:
+			m.delivered.Inc()
 		default:
 			// Inbound overflow: drop (lossy network semantics).
+			m.dropped.Inc()
 		}
 	}
 }
@@ -131,30 +147,41 @@ func (n *TCPNode) Send(msg types.Message) error {
 		// Loopback without touching the network.
 		n.mu.Lock()
 		closed := n.closed
+		m := n.m
 		n.mu.Unlock()
 		if closed {
 			return ErrClosed
 		}
+		m.sent.Inc()
+		m.bytesSent.Add(payloadBytes(msg))
 		select {
 		case n.recv <- msg:
+			m.delivered.Inc()
 		default:
+			m.dropped.Inc()
 		}
 		return nil
 	}
+	start := time.Now()
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
 		return ErrClosed
 	}
+	m := n.m
 	oc := n.conns[msg.To]
 	addr, known := n.peers[msg.To]
 	n.mu.Unlock()
+	m.sent.Inc()
+	m.bytesSent.Add(payloadBytes(msg))
 	if oc == nil {
 		if !known {
+			m.dropped.Inc()
 			return nil // unknown peer: drop
 		}
 		c, err := net.Dial("tcp", addr)
 		if err != nil {
+			m.dropped.Inc()
 			return nil // unreachable peer: drop (crash semantics)
 		}
 		oc = &outConn{c: c, enc: gob.NewEncoder(c)}
@@ -176,7 +203,10 @@ func (n *TCPNode) Send(msg types.Message) error {
 		}
 		n.mu.Unlock()
 		oc.c.Close() //nolint:errcheck
+		m.dropped.Inc()
+		return nil
 	}
+	m.observeDelay("tcp", n.id, msg.To, time.Since(start).Seconds())
 	return nil
 }
 

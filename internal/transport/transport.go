@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/types"
 )
 
@@ -40,11 +41,15 @@ type HubOptions struct {
 	Drop func(msg types.Message) bool
 	// QueueSize is the per-node inbound buffer (default 4096).
 	QueueSize int
+	// Registry, if non-nil, receives the hub's transport metrics
+	// (messages/bytes sent, delivered, dropped, per-link delay).
+	Registry *obs.Registry
 }
 
 // Hub is an in-memory message switch connecting n endpoints.
 type Hub struct {
 	opts HubOptions
+	m    metrics
 
 	mu      sync.Mutex
 	queues  []chan types.Message
@@ -58,7 +63,8 @@ func NewHub(n int, opts HubOptions) *Hub {
 	if opts.QueueSize <= 0 {
 		opts.QueueSize = 4096
 	}
-	h := &Hub{opts: opts, queues: make([]chan types.Message, n), crashed: make([]bool, n)}
+	h := &Hub{opts: opts, m: newMetrics(opts.Registry, "channel"),
+		queues: make([]chan types.Message, n), crashed: make([]bool, n)}
 	for i := range h.queues {
 		h.queues[i] = make(chan types.Message, opts.QueueSize)
 	}
@@ -99,6 +105,8 @@ func (h *Hub) Close() error {
 
 // deliver enqueues a message subject to crash/drop/delay rules.
 func (h *Hub) deliver(msg types.Message) error {
+	h.m.sent.Inc()
+	h.m.bytesSent.Add(payloadBytes(msg))
 	h.mu.Lock()
 	if h.closed {
 		h.mu.Unlock()
@@ -106,17 +114,20 @@ func (h *Hub) deliver(msg types.Message) error {
 	}
 	if h.crashed[msg.From] || h.crashed[msg.To] {
 		h.mu.Unlock()
+		h.m.dropped.Inc()
 		return nil
 	}
 	h.mu.Unlock()
 
 	if h.opts.Drop != nil && h.opts.Drop(msg) {
+		h.m.dropped.Inc()
 		return nil
 	}
 	var delay time.Duration
 	if h.opts.Delay != nil {
 		delay = h.opts.Delay(msg)
 	}
+	h.m.observeDelay("channel", msg.From, msg.To, delay.Seconds())
 	if delay <= 0 {
 		h.enqueue(msg)
 		return nil
@@ -133,13 +144,16 @@ func (h *Hub) enqueue(msg types.Message) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed || h.crashed[msg.To] {
+		h.m.dropped.Inc()
 		return
 	}
 	select {
 	case h.queues[msg.To] <- msg:
+		h.m.delivered.Inc()
 	default:
 		// Queue overflow: drop, as a lossy network would. The protocols
 		// tolerate loss exactly like lateness (timeout then abort).
+		h.m.dropped.Inc()
 	}
 }
 

@@ -24,9 +24,11 @@ package txn
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/types"
 )
 
@@ -90,19 +92,61 @@ type Config struct {
 	// then crashed along with too many peers). An abandoned undecided
 	// instance leaves a DecisionNone tombstone. Zero never abandons.
 	MaxAge int
+	// Registry, if non-nil, receives the manager's metrics: instances
+	// started/decided/retired/abandoned and a rounds-to-decision
+	// histogram, labeled by node id.
+	Registry *obs.Registry
+	// Tracer, if non-nil, records per-transaction protocol events (GO
+	// sent/received, vote cast, Protocol 1 stage transitions, decision).
+	Tracer *obs.Tracer
+}
+
+// mmetrics bundles one manager's handles into the shared registry. All
+// handles are nil no-ops when no registry is configured.
+type mmetrics struct {
+	started   *obs.Counter
+	decided   *obs.CounterVec // label: decision (COMMIT/ABORT)
+	retired   *obs.Counter
+	abandoned *obs.Counter
+	rounds    *obs.Histogram
+}
+
+func newMMetrics(reg *obs.Registry, p types.ProcID) mmetrics {
+	node := strconv.Itoa(int(p))
+	return mmetrics{
+		started: reg.CounterVec("txn_instances_started_total",
+			"Commit instances spawned (begun or joined), by node.", "node").With(node),
+		decided: reg.CounterVec("txn_instances_decided_total",
+			"Commit instances decided, by node and decision.", "node", "decision"),
+		retired: reg.CounterVec("txn_instances_retired_total",
+			"Decided instances retired to tombstones, by node.", "node").With(node),
+		abandoned: reg.CounterVec("txn_instances_abandoned_total",
+			"Undecided instances abandoned at MaxAge, by node.", "node").With(node),
+		rounds: reg.HistogramVec("txn_rounds_to_decision_ticks",
+			"Manager clock ticks from instance spawn to decision, by node.",
+			obs.TickBuckets, "node").With(node),
+	}
 }
 
 // instance tracks one commit machine plus the lifecycle metadata the
-// retirement policy needs.
+// retirement policy needs and the tracer's edge-detection state (each
+// protocol milestone is recorded once per instance).
 type instance struct {
 	c        *core.Commit
 	born     int // manager clock at spawn
 	haltedAt int // manager clock when first seen halted; -1 while running
+
+	goRecv    bool // explicit GO received (traced)
+	goSent    bool // GO broadcast/relayed (traced)
+	voteSent  bool // vote broadcast (traced)
+	lastStage int  // last Protocol 1 stage seen (stage transitions traced)
 }
 
 // Manager runs all of one node's commit instances.
 type Manager struct {
-	cfg Config
+	cfg  Config
+	met  mmetrics
+	node string // cached label value
 
 	mu        sync.Mutex
 	clock     int
@@ -145,6 +189,8 @@ func NewManager(cfg Config) (*Manager, error) {
 	}
 	return &Manager{
 		cfg:       cfg,
+		met:       newMMetrics(cfg.Registry, cfg.ID),
+		node:      strconv.Itoa(int(cfg.ID)),
 		instances: make(map[ID]*instance),
 		reported:  make(map[ID]bool),
 		retired:   make(map[ID]types.Decision),
@@ -184,7 +230,57 @@ func (m *Manager) spawnLocked(txn ID, coordinator types.ProcID, vote bool) error
 	m.instances[txn] = &instance{c: inst, born: m.clock, haltedAt: -1}
 	m.order = append(m.order, txn)
 	m.spawned++
+	m.met.started.Inc()
 	return nil
+}
+
+// trace records one event for txn at the manager's current clock. The
+// caller holds mu (the clock is read); nil tracers are no-ops.
+func (m *Manager) trace(txn ID, t obs.EventType, detail string) {
+	m.cfg.Tracer.Record(obs.Event{
+		Node: int(m.cfg.ID), Txn: string(txn), Type: t, Tick: m.clock, Detail: detail,
+	})
+}
+
+// traceReceivedLocked records the first explicit GO receipt for txn.
+func (m *Manager) traceReceivedLocked(txn ID, from types.ProcID, payload types.Payload) {
+	inst := m.instances[txn]
+	if inst == nil || inst.goRecv {
+		return
+	}
+	if inner, _ := core.Unwrap(payload); inner != nil {
+		if _, isGo := inner.(core.GoMsg); isGo {
+			inst.goRecv = true
+			m.trace(txn, obs.EventGoRecv, "from="+strconv.Itoa(int(from)))
+		}
+	}
+}
+
+// traceOutputsLocked records protocol milestones visible in an instance's
+// outgoing burst: the GO broadcast/relay and the vote broadcast, each
+// once per instance.
+func (m *Manager) traceOutputsLocked(txn ID, inst *instance, out []types.Message) {
+	if inst.goSent && inst.voteSent {
+		return
+	}
+	for i := range out {
+		inner, _ := core.Unwrap(out[i].Payload)
+		switch p := inner.(type) {
+		case core.GoMsg:
+			if !inst.goSent {
+				inst.goSent = true
+				m.trace(txn, obs.EventGoSent, fmt.Sprintf("coins=%d fanout=%d", len(p.Coins), m.cfg.N))
+			}
+		case core.VoteMsg:
+			if !inst.voteSent {
+				inst.voteSent = true
+				m.trace(txn, obs.EventVoteCast, "vote="+p.Val.String())
+			}
+		}
+		if inst.goSent && inst.voteSent {
+			return
+		}
+	}
 }
 
 // ID implements types.Machine.
@@ -323,6 +419,9 @@ func (m *Manager) Step(received []types.Message, rnd types.Rand) []types.Message
 				continue
 			}
 		}
+		if m.cfg.Tracer != nil {
+			m.traceReceivedLocked(env.Txn, received[i].From, env.Inner)
+		}
 		inner := received[i]
 		inner.Payload = env.Inner
 		byTxn[env.Txn] = append(byTxn[env.Txn], inner)
@@ -343,12 +442,26 @@ func (m *Manager) Step(received []types.Message, rnd types.Rand) []types.Message
 			continue
 		}
 		sub := inst.c.Step(byTxn[txn], rnd)
+		if m.cfg.Tracer != nil {
+			m.traceOutputsLocked(txn, inst, sub)
+			if ag := inst.c.Agreement(); ag != nil {
+				if st := ag.Stage(); st != inst.lastStage {
+					inst.lastStage = st
+					m.trace(txn, obs.EventStage, "stage="+strconv.Itoa(st))
+				}
+			}
+		}
 		for j := range sub {
 			sub[j].Payload = Envelope{Txn: txn, Inner: sub[j].Payload}
 		}
 		out = append(out, sub...)
 		if d, ok := inst.c.Outcome(); ok && !m.reported[txn] {
 			m.reported[txn] = true
+			m.met.decided.With(m.node, d.String()).Inc()
+			m.met.rounds.Observe(float64(m.clock - inst.born))
+			if m.cfg.Tracer != nil {
+				m.trace(txn, obs.EventDecided, "decision="+d.String())
+			}
 			o := Outcome{Txn: txn, Decision: d}
 			m.pending = append(m.pending, o)
 			decidedNow = append(decidedNow, o)
@@ -360,7 +473,18 @@ func (m *Manager) Step(received []types.Message, rnd types.Rand) []types.Message
 		}
 	}
 	for _, txn := range retire {
-		d, _ := m.instances[txn].c.Outcome()
+		d, decided := m.instances[txn].c.Outcome()
+		if decided {
+			m.met.retired.Inc()
+			if m.cfg.Tracer != nil {
+				m.trace(txn, obs.EventRetired, "")
+			}
+		} else {
+			m.met.abandoned.Inc()
+			if m.cfg.Tracer != nil {
+				m.trace(txn, obs.EventAbandoned, "")
+			}
+		}
 		m.retired[txn] = d
 		delete(m.instances, txn)
 		delete(m.reported, txn)
