@@ -1,0 +1,158 @@
+// Command benchjson runs the repository's Go benchmarks and records the
+// results as a machine-readable BENCH_<n>.json snapshot, so the repo
+// accumulates a performance trajectory commit over commit:
+//
+//	benchjson                          # all benchmarks, 1 iteration each
+//	benchjson -bench 'BenchmarkEngine' -packages ./internal/sim/ -benchtime 100x
+//	benchjson -o BENCH_3.json          # explicit output name
+//
+// Without -o the next free index is chosen by scanning BENCH_*.json in
+// the output directory. Each result carries the benchmark name, iteration
+// count, and every reported metric (ns/op, B/op, allocs/op, and custom
+// b.ReportMetric values such as rounds/decision).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int                `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the file format.
+type Snapshot struct {
+	CreatedAt string   `json:"created_at"`
+	GoVersion string   `json:"go_version"`
+	GOARCH    string   `json:"goarch"`
+	BenchArgs []string `json:"bench_args"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	var (
+		bench     = fs.String("bench", ".", "benchmark regexp passed to go test -bench")
+		packages  = fs.String("packages", "./...", "package pattern(s), space-separated")
+		benchtime = fs.String("benchtime", "1x", "go test -benchtime value")
+		count     = fs.Int("count", 1, "go test -count value")
+		timeout   = fs.String("timeout", "20m", "go test -timeout value")
+		out       = fs.String("o", "", "output file (default: next BENCH_<n>.json in -dir)")
+		dir       = fs.String("dir", ".", "directory scanned for existing BENCH_*.json")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	goArgs := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
+		"-benchtime", *benchtime, "-count", strconv.Itoa(*count), "-timeout", *timeout}
+	goArgs = append(goArgs, strings.Fields(*packages)...)
+
+	cmd := exec.Command("go", goArgs...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go %s: %w", strings.Join(goArgs, " "), err)
+	}
+	results, err := parseBench(raw)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results matched %q", *bench)
+	}
+	snap := Snapshot{
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		BenchArgs: goArgs,
+		Results:   results,
+	}
+	path := *out
+	if path == "" {
+		path = filepath.Join(*dir, fmt.Sprintf("BENCH_%d.json", nextIndex(*dir)))
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchjson: %d results -> %s\n", len(results), path)
+	return nil
+}
+
+// benchLine matches "BenchmarkName-P <iters> <metric fields>". The -P
+// GOMAXPROCS suffix is stripped so names are stable across machines.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+
+// parseBench extracts results from `go test -bench` output. Metric fields
+// come tab-separated as "<value> <unit>" pairs (ns/op, B/op, allocs/op,
+// and custom ReportMetric units).
+func parseBench(raw []byte) ([]Result, error) {
+	var results []Result
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		metrics := map[string]float64{}
+		for _, field := range strings.Split(m[3], "\t") {
+			parts := strings.Fields(field)
+			if len(parts) != 2 {
+				continue
+			}
+			v, err := strconv.ParseFloat(parts[0], 64)
+			if err != nil {
+				continue
+			}
+			metrics[parts[1]] = v
+		}
+		if len(metrics) == 0 {
+			continue
+		}
+		results = append(results, Result{Name: m[1], Iterations: iters, Metrics: metrics})
+	}
+	return results, sc.Err()
+}
+
+// nextIndex returns one past the highest existing BENCH_<n>.json index.
+func nextIndex(dir string) int {
+	matches, _ := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	next := 0
+	for _, m := range matches {
+		base := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(m), "BENCH_"), ".json")
+		if n, err := strconv.Atoi(base); err == nil && n >= next {
+			next = n + 1
+		}
+	}
+	return next
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	out := []byte(`goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkE1CommitRounds/n=3-8         	     100	    110220 ns/op	         4.00 rounds/decision	   78056 B/op	     398 allocs/op
+BenchmarkEngineCommitRun 	   15000	     77000 ns/op	   78056 B/op	     398 allocs/op
+PASS
+ok  	repro	1.234s
+`)
+	results, err := parseBench(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	r := results[0]
+	if r.Name != "BenchmarkE1CommitRounds/n=3" {
+		t.Errorf("name = %q (GOMAXPROCS suffix must be stripped)", r.Name)
+	}
+	if r.Iterations != 100 {
+		t.Errorf("iterations = %d", r.Iterations)
+	}
+	if r.Metrics["ns/op"] != 110220 || r.Metrics["allocs/op"] != 398 ||
+		r.Metrics["rounds/decision"] != 4 {
+		t.Errorf("metrics = %v", r.Metrics)
+	}
+	if results[1].Name != "BenchmarkEngineCommitRun" {
+		t.Errorf("unsuffixed name = %q", results[1].Name)
+	}
+}
+
+func TestNextIndex(t *testing.T) {
+	dir := t.TempDir()
+	if got := nextIndex(dir); got != 0 {
+		t.Errorf("empty dir index = %d", got)
+	}
+	for _, name := range []string{"BENCH_0.json", "BENCH_3.json", "BENCH_x.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := nextIndex(dir); got != 4 {
+		t.Errorf("index = %d, want 4", got)
+	}
+}

@@ -46,6 +46,7 @@ func run(args []string) error {
 		horizon    = fs.Int("horizon", 5, "sweep: crash clock horizon")
 		depth      = fs.Int("depth", 10, "bfs/valency: action depth bound")
 		maxStates  = fs.Int("max-states", 20000, "bfs/valency: state cap")
+		workers    = fs.Int("workers", 0, "bfs: goroutines per level (0 = GOMAXPROCS, <0 = serial); result is identical at any setting")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,7 +95,7 @@ func run(args []string) error {
 	case "bfs":
 		res, err := explore.Explore(explore.ExploreConfig{
 			Factory: factory, N: *n, K: *k, Seed: *seed, Votes: votes,
-			MaxDepth: *depth, MaxStates: *maxStates,
+			MaxDepth: *depth, MaxStates: *maxStates, Workers: *workers,
 		})
 		if err != nil {
 			return err

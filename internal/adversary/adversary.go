@@ -25,7 +25,8 @@ type RoundRobin struct {
 	// message is delivered. Zero means 1.
 	Delay int
 
-	next int
+	next    int
+	deliver []int // scratch reused across Next calls
 }
 
 var _ sim.Adversary = (*RoundRobin)(nil)
@@ -37,16 +38,16 @@ func (a *RoundRobin) Next(v *sim.View) sim.Choice {
 		delay = 1
 	}
 	p := a.pick(v)
-	var deliver []int
+	a.deliver = a.deliver[:0]
 	for _, pm := range v.Pending(p) {
 		// AgeSteps counts the recipient's completed steps since the send;
 		// the delivering step is one more, so >= delay-1 delivers at the
 		// recipient's delay-th step.
 		if pm.AgeSteps >= delay-1 {
-			deliver = append(deliver, pm.Seq)
+			a.deliver = append(a.deliver, pm.Seq)
 		}
 	}
-	return sim.Choice{Proc: p, Deliver: deliver}
+	return sim.Choice{Proc: p, Deliver: a.deliver}
 }
 
 // pick returns the next uncrashed processor in cyclic order.
@@ -87,6 +88,8 @@ type Random struct {
 	// MaxAge forces delivery of messages older than this many recipient
 	// steps. Zero means 4*K at first use.
 	MaxAge int
+
+	deliver []int // scratch reused across Next calls
 }
 
 var _ sim.Adversary = (*Random)(nil)
@@ -102,13 +105,13 @@ func (a *Random) Next(v *sim.View) sim.Choice {
 	}
 	alive := v.Alive()
 	p := alive[a.Rand.Intn(len(alive))]
-	var deliver []int
+	a.deliver = a.deliver[:0]
 	for _, pm := range v.Pending(p) {
 		if pm.AgeSteps >= a.MaxAge || a.Rand.Float64() < prob {
-			deliver = append(deliver, pm.Seq)
+			a.deliver = append(a.deliver, pm.Seq)
 		}
 	}
-	return sim.Choice{Proc: p, Deliver: deliver}
+	return sim.Choice{Proc: p, Deliver: a.deliver}
 }
 
 // BoundedDelay steps processors round-robin but withholds every message

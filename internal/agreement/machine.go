@@ -101,6 +101,11 @@ type Machine struct {
 	// conflicting S-messages in one stage, refuting Lemma 2). It indicates
 	// a bug in the harness or a fault model stronger than fail-stop.
 	violation error
+
+	// out is the output buffer reused across Step calls (see the
+	// types.Machine contract: callers consume the slice before the next
+	// Step).
+	out []types.Message
 }
 
 var _ types.Machine = (*Machine)(nil)
@@ -169,14 +174,15 @@ func (m *Machine) Step(received []types.Message, rnd types.Rand) []types.Message
 	}
 	m.post(received)
 
-	var out []types.Message
+	out := m.out[:0]
 	if !m.started {
 		m.started = true
 		// Instruction 1: broadcast (1, 1, xp).
 		m.stageStart[m.stage] = m.clock
-		out = append(out, m.broadcast(ReportMsg{Stage: m.stage, Val: m.x})...)
+		out = m.broadcast(out, ReportMsg{Stage: m.stage, Val: m.x})
 	}
-	out = append(out, m.progress(rnd)...)
+	out = m.progress(out, rnd)
+	m.out = out
 	return out
 }
 
@@ -212,31 +218,25 @@ func (m *Machine) post(received []types.Message) {
 }
 
 // progress cascades through the protocol until a wait is unsatisfied or
-// the machine returns.
-func (m *Machine) progress(rnd types.Rand) []types.Message {
-	var out []types.Message
+// the machine returns. It appends any sends to out and returns it.
+func (m *Machine) progress(out []types.Message, rnd types.Rand) []types.Message {
 	for !m.halted {
 		// Gadget adoption: a received DECIDED(v) is n−t-S-message
 		// evidence for v; adopt, decide, relay, and return.
 		if m.adoptDecided != nil {
 			v := *m.adoptDecided
 			m.decide(v)
-			out = append(out, m.ret(v)...)
-			return out
+			return m.ret(out, v)
 		}
+		var ok bool
 		switch m.ph {
 		case phaseReports:
-			msgs, ok := m.tryFinishReports()
-			if !ok {
-				return out
-			}
-			out = append(out, msgs...)
+			out, ok = m.tryFinishReports(out)
 		case phaseProposals:
-			msgs, ok := m.tryFinishProposals(rnd)
-			if !ok {
-				return out
-			}
-			out = append(out, msgs...)
+			out, ok = m.tryFinishProposals(out, rnd)
+		}
+		if !ok {
+			return out
 		}
 	}
 	return out
@@ -245,10 +245,10 @@ func (m *Machine) progress(rnd types.Rand) []types.Message {
 // tryFinishReports implements instructions 2–5: once n−t messages of the
 // form (1, s, *) arrived, broadcast (2, s, v) if more than n/2 of them
 // carry v, else (2, s, ⊥).
-func (m *Machine) tryFinishReports() ([]types.Message, bool) {
+func (m *Machine) tryFinishReports(out []types.Message) ([]types.Message, bool) {
 	mm := m.reports[m.stage]
 	if len(mm) < m.cfg.N-m.cfg.T {
-		return nil, false
+		return out, false
 	}
 	counts := [2]int{}
 	for _, v := range mm {
@@ -264,17 +264,17 @@ func (m *Machine) tryFinishReports() ([]types.Message, bool) {
 		prop = ProposalMsg{Stage: m.stage, Bot: true}
 	}
 	m.ph = phaseProposals
-	return m.broadcast(prop), true
+	return m.broadcast(out, prop), true
 }
 
 // tryFinishProposals implements instructions 6–14 plus the advance to the
 // next stage: once n−t messages of the form (2, s, *) arrived, update the
 // local value from an S-message or the stage coin, decide (or return) on
 // n−t matching S-messages, and open the next stage.
-func (m *Machine) tryFinishProposals(rnd types.Rand) ([]types.Message, bool) {
+func (m *Machine) tryFinishProposals(out []types.Message, rnd types.Rand) ([]types.Message, bool) {
 	mm := m.proposals[m.stage]
 	if len(mm) < m.cfg.N-m.cfg.T {
-		return nil, false
+		return out, false
 	}
 	counts := [2]int{}
 	sawVal := false
@@ -309,10 +309,9 @@ func (m *Machine) tryFinishProposals(rnd types.Rand) ([]types.Message, bool) {
 	}
 
 	// Instructions 11–14: decide or return on n−t matching S-messages.
-	var out []types.Message
 	if sawVal && counts[sVal] >= m.cfg.N-m.cfg.T {
 		if m.decided {
-			out = append(out, m.ret(sVal)...)
+			out = m.ret(out, sVal)
 			m.stagesCompleted++
 			return out, true
 		}
@@ -324,7 +323,7 @@ func (m *Machine) tryFinishProposals(rnd types.Rand) ([]types.Message, bool) {
 	m.stage++
 	m.ph = phaseReports
 	m.stageStart[m.stage] = m.clock
-	out = append(out, m.broadcast(ReportMsg{Stage: m.stage, Val: m.x})...)
+	out = m.broadcast(out, ReportMsg{Stage: m.stage, Val: m.x})
 	return out, true
 }
 
@@ -344,7 +343,7 @@ func (m *Machine) decide(v types.Value) {
 
 // ret returns from the protocol with value v (instruction 13): the machine
 // halts and, with the gadget enabled, broadcasts DECIDED(v) once.
-func (m *Machine) ret(v types.Value) []types.Message {
+func (m *Machine) ret(out []types.Message, v types.Value) []types.Message {
 	if !m.decided {
 		m.decide(v)
 	} else if m.decision != v {
@@ -354,12 +353,12 @@ func (m *Machine) ret(v types.Value) []types.Message {
 	m.halted = true
 	if m.cfg.Gadget && !m.sentDecided {
 		m.sentDecided = true
-		return m.broadcast(DecidedMsg{Val: v})
+		return m.broadcast(out, DecidedMsg{Val: v})
 	}
-	return nil
+	return out
 }
 
-// broadcast sends p to all n processors (including self).
-func (m *Machine) broadcast(p types.Payload) []types.Message {
-	return types.Broadcast(m.cfg.ID, m.cfg.N, p)
+// broadcast appends a send of p to all n processors (including self).
+func (m *Machine) broadcast(out []types.Message, p types.Payload) []types.Message {
+	return types.AppendBroadcast(out, m.cfg.ID, m.cfg.N, p)
 }

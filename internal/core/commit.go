@@ -100,6 +100,12 @@ type Commit struct {
 	decided  bool
 	decision types.Value
 	halted   bool
+
+	// out and forSub are buffers reused across Step calls (see the
+	// types.Machine contract: callers consume the returned slice before
+	// the next Step).
+	out    []types.Message
+	forSub []types.Message
 }
 
 var _ types.Machine = (*Commit)(nil)
@@ -178,7 +184,7 @@ func (c *Commit) Step(received []types.Message, rnd types.Rand) []types.Message 
 		return nil
 	}
 
-	var forSub []types.Message
+	forSub := c.forSub[:0]
 	for i := range received {
 		inner, pbCoins := Unwrap(received[i].Payload)
 		if pbCoins != nil && c.coins == nil {
@@ -205,7 +211,7 @@ func (c *Commit) Step(received []types.Message, rnd types.Rand) []types.Message 
 		}
 	}
 
-	var out []types.Message
+	out := c.out[:0]
 	// Cascade through control states as far as current knowledge allows.
 	for progress := true; progress; {
 		progress = false
@@ -214,7 +220,7 @@ func (c *Commit) Step(received []types.Message, rnd types.Rand) []types.Message 
 			if c.cfg.ID == c.cfg.Coordinator {
 				// Instruction 1: flip c*n coins, broadcast GO.
 				c.coins = rnd.Bits(c.cfg.CoinFactor * c.cfg.N)
-				out = append(out, c.broadcast(GoMsg{Coins: c.coins}, false)...)
+				out = c.broadcast(out, GoMsg{Coins: c.coins}, false)
 				c.waitClock = c.clock
 				c.st = stWaitAllGo
 			} else {
@@ -224,7 +230,7 @@ func (c *Commit) Step(received []types.Message, rnd types.Rand) []types.Message 
 		case stWaitGo:
 			// Instruction 2–3: on first contact, relay GO.
 			if c.coins != nil {
-				out = append(out, c.broadcast(GoMsg{Coins: c.coins}, false)...)
+				out = c.broadcast(out, GoMsg{Coins: c.coins}, false)
 				c.waitClock = c.clock
 				c.st = stWaitAllGo
 				progress = true
@@ -237,7 +243,7 @@ func (c *Commit) Step(received []types.Message, rnd types.Rand) []types.Message 
 				done = true
 			}
 			if done {
-				out = append(out, c.broadcast(VoteMsg{Val: c.vote}, true)...)
+				out = c.broadcast(out, VoteMsg{Val: c.vote}, true)
 				c.waitClock = c.clock
 				c.st = stWaitVotes
 				progress = true
@@ -263,13 +269,13 @@ func (c *Commit) Step(received []types.Message, rnd types.Rand) []types.Message 
 			if done {
 				// startAgreement performs the sub-machine's first step,
 				// so do not cascade into stAgreement this tick.
-				out = append(out, c.startAgreement(input, rnd)...)
+				out = c.startAgreement(out, input, rnd)
 				c.st = stAgreement
 			}
 		case stAgreement:
 			// Drive the embedded Protocol 1 with this step's messages.
 			subOut := c.sub.Step(forSub, rnd)
-			forSub = nil
+			forSub = forSub[:0]
 			out = append(out, c.wrapAll(subOut)...)
 			if v, ok := c.sub.Decision(); ok && !c.decided {
 				c.decided = true
@@ -281,12 +287,15 @@ func (c *Commit) Step(received []types.Message, rnd types.Rand) []types.Message 
 			// No cascade: one sub-step per clock tick.
 		}
 	}
+	c.out = out
+	c.forSub = forSub[:0]
 	return out
 }
 
 // startAgreement builds the Protocol 1 machine and feeds it any buffered
-// early messages; its first step broadcasts (1, 1, input).
-func (c *Commit) startAgreement(input types.Value, rnd types.Rand) []types.Message {
+// early messages; its first step broadcasts (1, 1, input). Sends are
+// appended to out.
+func (c *Commit) startAgreement(out []types.Message, input types.Value, rnd types.Rand) []types.Message {
 	// A processor reaches this point only after first contact, so c.coins
 	// is set in admissible runs; a nil list degrades ListCoin to local
 	// flips, which is safe.
@@ -303,30 +312,50 @@ func (c *Commit) startAgreement(input types.Value, rnd types.Rand) []types.Messa
 		// Config was validated at New; an error here is a programming
 		// bug, surfaced by halting without deciding (visible to tests).
 		c.halted = true
-		return nil
+		return out
 	}
 	c.sub = sub
 	c.subStartClock = c.clock
 	first := sub.Step(c.preAgreement, rnd)
 	c.preAgreement = nil
-	return c.wrapAll(first)
+	return append(out, c.wrapAll(first)...)
 }
 
-// wrapAll applies GO piggybacking to outgoing protocol messages.
+// wrapAll applies GO piggybacking to outgoing protocol messages. The
+// inputs are Protocol 1 broadcasts, where all n messages of a broadcast
+// share one payload value: wrapping allocates one Piggyback box per
+// distinct payload, not one per message.
 func (c *Commit) wrapAll(msgs []types.Message) []types.Message {
 	if c.cfg.NoPiggyback || c.coins == nil {
 		return msgs
 	}
+	var lastInner, lastWrapped types.Payload
 	for i := range msgs {
-		msgs[i].Payload = Piggyback{Inner: msgs[i].Payload, Coins: c.coins}
+		p := msgs[i].Payload
+		switch p.(type) {
+		case agreement.ReportMsg, agreement.ProposalMsg, agreement.DecidedMsg, VoteMsg:
+			// Comparable payload types: safe to test interface equality
+			// against the previous message (a broadcast repeats the same
+			// boxed value n times).
+			if p == lastInner {
+				msgs[i].Payload = lastWrapped
+				continue
+			}
+			lastInner = p
+			lastWrapped = Piggyback{Inner: p, Coins: c.coins}
+			msgs[i].Payload = lastWrapped
+		default:
+			msgs[i].Payload = Piggyback{Inner: p, Coins: c.coins}
+		}
 	}
 	return msgs
 }
 
-// broadcast sends p to all processors, optionally piggybacking GO.
-func (c *Commit) broadcast(p types.Payload, piggyback bool) []types.Message {
+// broadcast appends a send of p to all processors, optionally
+// piggybacking GO.
+func (c *Commit) broadcast(out []types.Message, p types.Payload, piggyback bool) []types.Message {
 	if piggyback && !c.cfg.NoPiggyback && c.coins != nil {
 		p = Piggyback{Inner: p, Coins: c.coins}
 	}
-	return types.Broadcast(c.cfg.ID, c.cfg.N, p)
+	return types.AppendBroadcast(out, c.cfg.ID, c.cfg.N, p)
 }

@@ -3,6 +3,7 @@ package explore
 import (
 	"fmt"
 
+	"repro/internal/parallel"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -59,6 +60,11 @@ type ExploreConfig struct {
 	MaxDepth int
 	// MaxStates caps distinct configurations visited (0: 20000).
 	MaxStates int
+	// Workers bounds the goroutines used to expand each BFS level: 0
+	// means GOMAXPROCS, negative means serial. The result is identical
+	// at any worker count: candidates are replayed concurrently but
+	// deduplicated and counted in canonical candidate order.
+	Workers int
 }
 
 // ExploreResult reports a bounded exploration.
@@ -76,19 +82,35 @@ type ExploreResult struct {
 	DecidedStates int
 }
 
+// allModes is the canonical branching order of the explorer.
+var allModes = [...]DeliveryMode{DeliverNone, DeliverAll, DeliverOldest}
+
+// expansion is one replayed candidate of a BFS level.
+type expansion struct {
+	skip      bool   // inapplicable branch (replay refused)
+	fp        string // configuration fingerprint
+	violation string // non-empty if the configuration violates safety
+	decided   bool
+}
+
 // Explore performs memoized BFS over the canonical scheduler choices,
 // auditing every reachable configuration against the agreement and abort
 // validity conditions. Paths are replayed from the initial configuration
 // (machines are not cloneable), so the cost is O(states × depth).
+//
+// The search is level-synchronous: all candidates of a BFS level are
+// replayed and fingerprinted across cfg.Workers goroutines (the dominant
+// cost), then merged serially in canonical (parent, processor, mode)
+// order against the deduplication set. Because the merge order is fixed
+// and the set is only read during expansion, the result — including
+// counters, truncation, and the first violation path — is byte-identical
+// at any worker count.
 func Explore(cfg ExploreConfig) (*ExploreResult, error) {
 	if cfg.MaxStates == 0 {
 		cfg.MaxStates = 20_000
 	}
 	res := &ExploreResult{}
-	type node struct {
-		path []Action
-	}
-	seen := make(map[string]bool)
+	seen := parallel.NewStringSet()
 
 	root, err := replay(cfg, nil)
 	if err != nil {
@@ -98,54 +120,75 @@ func Explore(cfg ExploreConfig) (*ExploreResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	seen[fp] = true
+	seen.Add(fp)
 	res.StatesVisited = 1
-	queue := []node{{path: nil}}
+	frontier := [][]Action{nil}
+	branching := cfg.N * len(allModes)
 
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if len(cur.path) >= cfg.MaxDepth {
+	for depth := 0; len(frontier) > 0; depth++ {
+		if depth >= cfg.MaxDepth {
 			res.Truncated = true
-			continue
+			return res, nil
 		}
-		res.Expanded++
-		for p := 0; p < cfg.N; p++ {
-			for _, mode := range []DeliveryMode{DeliverNone, DeliverAll, DeliverOldest} {
-				next := append(append([]Action(nil), cur.path...), Action{Proc: types.ProcID(p), Mode: mode})
-				eng, err := replay(cfg, next)
-				if err != nil {
-					// Inapplicable branch (e.g. DeliverOldest on an empty
-					// buffer is folded into DeliverNone and skipped).
+		// Expand every candidate of this level concurrently. Workers
+		// only read the dedup set (a per-level snapshot: it is mutated
+		// exclusively by the serial merge below), so a candidate already
+		// seen at an earlier level skips its audit; same-level duplicates
+		// are caught by the merge.
+		exps, err := parallel.Map(len(frontier)*branching, cfg.Workers, func(i int) (expansion, error) {
+			parent, act := frontier[i/branching], actionOf(cfg.N, i%branching)
+			eng, err := replay(cfg, append(parent[:len(parent):len(parent)], act))
+			if err != nil {
+				// Inapplicable branch (e.g. DeliverOldest on an empty
+				// buffer is folded into DeliverNone and skipped).
+				return expansion{skip: true}, nil
+			}
+			fp, err := eng.Fingerprint()
+			if err != nil {
+				return expansion{}, err
+			}
+			if seen.Has(fp) {
+				return expansion{fp: fp}, nil
+			}
+			return expansion{fp: fp, violation: audit(cfg, eng), decided: anyDecided(eng)}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Merge in canonical order; this is the only mutation of seen.
+		var next [][]Action
+		for j := range frontier {
+			res.Expanded++
+			for b := 0; b < branching; b++ {
+				e := exps[j*branching+b]
+				if e.skip || !seen.Add(e.fp) {
 					continue
 				}
-				fp, err := eng.Fingerprint()
-				if err != nil {
-					return nil, err
-				}
-				if seen[fp] {
-					continue
-				}
-				seen[fp] = true
 				res.StatesVisited++
-
-				if v := audit(cfg, eng); v != "" {
-					res.Violation = v
-					res.ViolationPath = next
+				if e.violation != "" {
+					res.Violation = e.violation
+					res.ViolationPath = append(append([]Action(nil), frontier[j]...), actionOf(cfg.N, b))
 					return res, nil
 				}
-				if anyDecided(eng) {
+				if e.decided {
 					res.DecidedStates++
 				}
 				if res.StatesVisited >= cfg.MaxStates {
 					res.Truncated = true
 					return res, nil
 				}
-				queue = append(queue, node{path: next})
+				next = append(next, append(append([]Action(nil), frontier[j]...), actionOf(cfg.N, b)))
 			}
 		}
+		frontier = next
 	}
 	return res, nil
+}
+
+// actionOf maps a branch index in [0, n*len(allModes)) to its canonical
+// action: processors in order, each with modes in allModes order.
+func actionOf(n, branch int) Action {
+	return Action{Proc: types.ProcID(branch / len(allModes)), Mode: allModes[branch%len(allModes)]}
 }
 
 // replay builds a fresh engine and applies the action path. It returns an

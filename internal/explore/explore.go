@@ -145,6 +145,7 @@ func runOne(cfg CrashSweepConfig, victims []types.ProcID, clocks []int, res *Swe
 type crashRoundRobin struct {
 	plan map[types.ProcID]int
 	next int
+	del  []int // scratch reused across Next calls
 }
 
 func (a *crashRoundRobin) Next(v *sim.View) sim.Choice {
@@ -159,11 +160,11 @@ func (a *crashRoundRobin) Next(v *sim.View) sim.Choice {
 			delete(a.plan, p)
 			return sim.Choice{Proc: p, Crash: true}
 		}
-		var del []int
+		a.del = a.del[:0]
 		for _, pm := range v.Pending(p) {
-			del = append(del, pm.Seq)
+			a.del = append(a.del, pm.Seq)
 		}
-		return sim.Choice{Proc: p, Deliver: del}
+		return sim.Choice{Proc: p, Deliver: a.del}
 	}
 	return sim.Choice{Proc: 0}
 }

@@ -1,6 +1,7 @@
 package explore_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/explore"
@@ -170,6 +171,44 @@ func TestExploreThreeProcessorsShallow(t *testing.T) {
 	}
 	if res.StatesVisited < 500 {
 		t.Fatalf("exploration too small: %d", res.StatesVisited)
+	}
+}
+
+// TestExploreWorkerCountInvariant checks the parallel-BFS guarantee:
+// the exploration result — every counter, truncation flag, and (when a
+// violation exists) the violation path — is identical at any worker
+// count. Truncation via MaxStates is included because mid-level cutoff
+// is the subtlest case for the deterministic merge.
+func TestExploreWorkerCountInvariant(t *testing.T) {
+	vs := votes(1, 1)
+	run := func(workers, maxStates int) *explore.ExploreResult {
+		res, err := explore.Explore(explore.ExploreConfig{
+			Factory:   explore.CommitFactory(2, 0, 1, vs),
+			N:         2,
+			K:         1,
+			Seed:      7,
+			Votes:     vs,
+			MaxDepth:  9,
+			MaxStates: maxStates,
+			Workers:   workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	for _, maxStates := range []int{20_000, 500} {
+		want := run(-1, maxStates)
+		for _, workers := range []int{2, 8} {
+			got := run(workers, maxStates)
+			if got.StatesVisited != want.StatesVisited ||
+				got.Expanded != want.Expanded || got.Truncated != want.Truncated ||
+				got.DecidedStates != want.DecidedStates || got.Violation != want.Violation ||
+				fmt.Sprint(got.ViolationPath) != fmt.Sprint(want.ViolationPath) {
+				t.Fatalf("maxStates=%d workers=%d: result %+v differs from serial %+v",
+					maxStates, workers, got, want)
+			}
+		}
 	}
 }
 

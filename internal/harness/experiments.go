@@ -23,29 +23,37 @@ func E1ExpectedRounds(opt Options) (*Report, error) {
 	tbl := stats.NewTable("n", "t", "mean rounds", "p95 rounds", "max rounds", "mean ticks")
 	pass := true
 	for _, n := range ns {
-		var roundSample, tickSample []float64
-		for r := 0; r < runs; r++ {
+		n := n
+		type e1out struct{ round, ticks float64 }
+		outs, err := sweep(opt, runs, func(r int) (e1out, error) {
 			seed := opt.Seed + uint64(r)*7919 + uint64(n)
 			res, _, err := RunCommit(CommitRun{
 				N: n, K: 4, Seed: seed, Record: true,
 				Adversary: &adversary.Random{Rand: rng.NewStream(seed ^ 0xADEBE), DeliverProb: 0.7},
 			})
 			if err != nil {
-				return nil, err
+				return e1out{}, err
 			}
 			if !res.AllNonfaultyDecided() {
-				return nil, fmt.Errorf("E1: n=%d seed=%d did not decide", n, seed)
+				return e1out{}, fmt.Errorf("E1: n=%d seed=%d did not decide", n, seed)
 			}
 			an, err := rounds.Analyze(res.Trace, 0)
 			if err != nil {
-				return nil, err
+				return e1out{}, err
 			}
 			dr, ok := an.DecisionRound(res.DecidedClock)
 			if !ok {
-				return nil, fmt.Errorf("E1: n=%d: undecided processor in round analysis", n)
+				return e1out{}, fmt.Errorf("E1: n=%d: undecided processor in round analysis", n)
 			}
-			roundSample = append(roundSample, float64(dr))
-			tickSample = append(tickSample, float64(res.MaxDecidedClock()))
+			return e1out{round: float64(dr), ticks: float64(res.MaxDecidedClock())}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var roundSample, tickSample []float64
+		for _, o := range outs {
+			roundSample = append(roundSample, o.round)
+			tickSample = append(tickSample, o.ticks)
 		}
 		s := stats.Summarize(roundSample)
 		tbl.AddRow(n, (n-1)/2, s.Mean, stats.Percentile(roundSample, 95), s.Max, stats.Mean(tickSample))
@@ -73,9 +81,10 @@ func E2AgreementStages(opt Options) (*Report, error) {
 	tbl := stats.NewTable("n", "inputs", "mean stages", "max stages")
 	pass := true
 	for _, n := range ns {
+		n := n
 		for _, mode := range []string{"unanimous", "split"} {
-			var sample []float64
-			for r := 0; r < runs; r++ {
+			mode := mode
+			sample, err := sweep(opt, runs, func(r int) (float64, error) {
 				seed := opt.Seed + uint64(r)*131 + uint64(n)
 				initial := AllVotes(n, types.V1)
 				if mode == "split" {
@@ -86,12 +95,15 @@ func E2AgreementStages(opt Options) (*Report, error) {
 					Adversary: &adversary.Random{Rand: rng.NewStream(seed ^ 0xE2)},
 				})
 				if err != nil {
-					return nil, err
+					return 0, err
 				}
 				if !res.AllNonfaultyDecided() {
-					return nil, fmt.Errorf("E2: n=%d seed=%d did not decide", n, seed)
+					return 0, fmt.Errorf("E2: n=%d seed=%d did not decide", n, seed)
 				}
-				sample = append(sample, float64(MaxStage(ams)))
+				return float64(MaxStage(ams)), nil
+			})
+			if err != nil {
+				return nil, err
 			}
 			s := stats.Summarize(sample)
 			tbl.AddRow(n, mode, s.Mean, s.Max)
@@ -122,27 +134,38 @@ func E3SharedVsLocalCoins(opt Options) (*Report, error) {
 	pass := true
 	var prevBen float64
 	for _, n := range ns {
-		var ben, shared []float64
-		for r := 0; r < runs; r++ {
+		n := n
+		type e3out struct{ ben, shared float64 }
+		outs, err := sweep(opt, runs, func(r int) (e3out, error) {
 			seed := opt.Seed + uint64(r)*17 + uint64(n)*1000
+			var o e3out
 			for _, isShared := range []bool{false, true} {
 				res, ams, err := RunAgreement(AgreementRun{
 					N: n, Initial: SplitVotes(n), Shared: isShared, Seed: seed,
 					Adversary: &adversary.BenOrSpoiler{}, MaxSteps: 5_000_000,
 				})
 				if err != nil {
-					return nil, err
+					return o, err
 				}
 				if !res.AllNonfaultyDecided() {
-					return nil, fmt.Errorf("E3: n=%d shared=%v did not decide in budget", n, isShared)
+					return o, fmt.Errorf("E3: n=%d shared=%v did not decide in budget", n, isShared)
 				}
 				st := float64(MaxStage(ams))
 				if isShared {
-					shared = append(shared, st)
+					o.shared = st
 				} else {
-					ben = append(ben, st)
+					o.ben = st
 				}
 			}
+			return o, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var ben, shared []float64
+		for _, o := range outs {
+			ben = append(ben, o.ben)
+			shared = append(shared, o.shared)
 		}
 		bm, sm := stats.Mean(ben), stats.Mean(shared)
 		tbl.AddRow(n, bm, sm, bm/sm)
@@ -177,9 +200,9 @@ func E4FaultSweep(opt Options) (*Report, error) {
 	tbl := stats.NewTable("f", "decided rate", "conflicts", "blocked rate")
 	pass := true
 	for f := 0; f < n; f++ {
-		var decided, blocked []bool
-		conflicts := 0
-		for r := 0; r < runs; r++ {
+		f := f
+		type e4out struct{ decided, blocked, conflict bool }
+		outs, err := sweep(opt, runs, func(r int) (e4out, error) {
 			seed := opt.Seed + uint64(r)*malthus + uint64(f)
 			st := rng.NewStream(seed ^ 0xE4)
 			var plan []adversary.CrashPlan
@@ -194,11 +217,23 @@ func E4FaultSweep(opt Options) (*Report, error) {
 				Adversary: &adversary.Crash{Inner: &adversary.RoundRobin{}, Plan: plan},
 			})
 			if err != nil {
-				return nil, err
+				return e4out{}, err
 			}
-			decided = append(decided, res.AllNonfaultyDecided())
-			blocked = append(blocked, res.Exhausted)
-			if trace.CheckAgreement(res.Outcomes()) != nil {
+			return e4out{
+				decided:  res.AllNonfaultyDecided(),
+				blocked:  res.Exhausted,
+				conflict: trace.CheckAgreement(res.Outcomes()) != nil,
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var decided, blocked []bool
+		conflicts := 0
+		for _, o := range outs {
+			decided = append(decided, o.decided)
+			blocked = append(blocked, o.blocked)
+			if o.conflict {
 				conflicts++
 			}
 		}
@@ -246,9 +281,9 @@ func E5AbortValidity(opt Options) (*Report, error) {
 		}},
 	}
 	for _, a := range advs {
-		violations := 0
-		var decided []bool
-		for r := 0; r < runs; r++ {
+		a := a
+		type e5out struct{ decided, violation bool }
+		outs, err := sweep(opt, runs, func(r int) (e5out, error) {
 			seed := opt.Seed + uint64(r)*37
 			st := rng.NewStream(seed ^ 0xAB027)
 			votes := AllVotes(n, types.V1)
@@ -261,11 +296,22 @@ func E5AbortValidity(opt Options) (*Report, error) {
 			cfg.Votes = votes
 			res, _, err := RunCommit(cfg)
 			if err != nil {
-				return nil, err
+				return e5out{}, err
 			}
-			decided = append(decided, res.AllNonfaultyDecided())
-			if trace.CheckAbortValidity(votes, res.Outcomes()) != nil ||
-				trace.CheckAgreement(res.Outcomes()) != nil {
+			return e5out{
+				decided: res.AllNonfaultyDecided(),
+				violation: trace.CheckAbortValidity(votes, res.Outcomes()) != nil ||
+					trace.CheckAgreement(res.Outcomes()) != nil,
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		violations := 0
+		var decided []bool
+		for _, o := range outs {
+			decided = append(decided, o.decided)
+			if o.violation {
 				violations++
 			}
 		}
@@ -296,27 +342,38 @@ func E6CommitValidity8K(opt Options) (*Report, error) {
 	pass := true
 	for _, n := range ns {
 		for _, k := range ks {
-			commitAll, onTime := true, true
-			maxTicks := 0
-			for r := 0; r < runs; r++ {
+			n, k := n, k
+			type e6out struct {
+				commitAll, onTime bool
+				ticks             int
+			}
+			outs, err := sweep(opt, runs, func(r int) (e6out, error) {
 				seed := opt.Seed + uint64(r)*101 + uint64(n*k)
 				res, _, err := RunCommit(CommitRun{N: n, K: k, Seed: seed, Record: true})
 				if err != nil {
-					return nil, err
+					return e6out{}, err
 				}
 				if !res.AllNonfaultyDecided() {
-					return nil, fmt.Errorf("E6: n=%d K=%d undecided", n, k)
+					return e6out{}, fmt.Errorf("E6: n=%d K=%d undecided", n, k)
 				}
+				o := e6out{commitAll: true, onTime: res.Trace.OnTime(), ticks: res.MaxDecidedClock()}
 				for p := 0; p < n; p++ {
 					if res.Values[p] != types.V1 {
-						commitAll = false
+						o.commitAll = false
 					}
 				}
-				if !res.Trace.OnTime() {
-					onTime = false
-				}
-				if c := res.MaxDecidedClock(); c > maxTicks {
-					maxTicks = c
+				return o, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			commitAll, onTime := true, true
+			maxTicks := 0
+			for _, o := range outs {
+				commitAll = commitAll && o.commitAll
+				onTime = onTime && o.onTime
+				if o.ticks > maxTicks {
+					maxTicks = o.ticks
 				}
 			}
 			within := maxTicks <= 8*k

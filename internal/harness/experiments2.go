@@ -79,16 +79,31 @@ func E7BaselineComparison(opt Options) (*Report, error) {
 	}
 
 	for _, sc := range scenarios {
-		inconsistent, blocked, consistent := 0, 0, 0
-		for r := 0; r < runs; r++ {
+		sc := sc
+		// 0 = consistent, 1 = blocked, 2 = inconsistent.
+		verdicts, err := sweep(opt, runs, func(r int) (int, error) {
 			res, err := sc.run(opt.Seed + uint64(r)*53)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			switch {
 			case trace.CheckAgreement(res.Outcomes()) != nil:
-				inconsistent++
+				return 2, nil
 			case !res.AllNonfaultyDecided():
+				return 1, nil
+			default:
+				return 0, nil
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		inconsistent, blocked, consistent := 0, 0, 0
+		for _, v := range verdicts {
+			switch v {
+			case 2:
+				inconsistent++
+			case 1:
 				blocked++
 			default:
 				consistent++
@@ -201,20 +216,23 @@ func E9DelayScaling(opt Options) (*Report, error) {
 	pass := true
 	var prev float64
 	for _, d := range ds {
-		var sample []float64
-		for r := 0; r < runs; r++ {
+		d := d
+		sample, err := sweep(opt, runs, func(r int) (float64, error) {
 			seed := opt.Seed + uint64(r)*29 + uint64(d)
 			res, _, err := RunCommit(CommitRun{
 				N: n, K: k, Seed: seed, MaxSteps: 500_000,
 				Adversary: &adversary.BoundedDelay{D: d},
 			})
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			if !res.AllNonfaultyDecided() {
-				return nil, fmt.Errorf("E9: D=%d undecided", d)
+				return 0, fmt.Errorf("E9: D=%d undecided", d)
 			}
-			sample = append(sample, float64(res.MaxDecidedClock()))
+			return float64(res.MaxDecidedClock()), nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		m := stats.Mean(sample)
 		tbl.AddRow(d, m, m/float64(d))
@@ -244,18 +262,18 @@ func E10ExtraCoins(opt Options) (*Report, error) {
 	tbl := stats.NewTable("coin factor", "coins", "mean stages", "fallback flips possible")
 	pass := true
 	for _, c := range cs {
-		var sample []float64
-		for r := 0; r < runs; r++ {
+		c := c
+		sample, err := sweep(opt, runs, func(r int) (float64, error) {
 			seed := opt.Seed + uint64(r)*997 + uint64(c)
 			res, commits, err := RunCommit(CommitRun{
 				N: n, K: 4, Seed: seed, CoinFactor: c,
 				Adversary: &adversary.Random{Rand: rng.NewStream(seed ^ 0xE10)},
 			})
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			if !res.AllNonfaultyDecided() {
-				return nil, fmt.Errorf("E10: c=%d undecided", c)
+				return 0, fmt.Errorf("E10: c=%d undecided", c)
 			}
 			maxStage := 0
 			for _, cm := range commits {
@@ -263,7 +281,10 @@ func E10ExtraCoins(opt Options) (*Report, error) {
 					maxStage = ag.DecidedStage()
 				}
 			}
-			sample = append(sample, float64(maxStage))
+			return float64(maxStage), nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		s := stats.Summarize(sample)
 		tbl.AddRow(c, c*n, s.Mean, s.Max > float64(c*n))
@@ -290,25 +311,26 @@ func E11MessageComplexity(opt Options) (*Report, error) {
 	runs := opt.runs(20)
 	tbl := stats.NewTable("n", "protocol2", "p2 KiB", "protocol1", "ben-or", "2pc", "3pc")
 	for _, n := range ns {
-		p2 := avgMsgs(runs, func(r int) (*sim.Result, error) {
+		n := n
+		p2 := avgMsgs(opt, runs, func(r int) (*sim.Result, error) {
 			res, _, err := RunCommit(CommitRun{N: n, Seed: opt.Seed + uint64(r), Record: true})
 			return res, err
 		})
-		p2Bits := avgBits(runs, func(r int) (*sim.Result, error) {
+		p2Bits := avgBits(opt, runs, func(r int) (*sim.Result, error) {
 			res, _, err := RunCommit(CommitRun{N: n, Seed: opt.Seed + uint64(r), Record: true})
 			return res, err
 		})
-		p1 := avgMsgs(runs, func(r int) (*sim.Result, error) {
+		p1 := avgMsgs(opt, runs, func(r int) (*sim.Result, error) {
 			res, _, err := RunAgreement(AgreementRun{N: n, Initial: SplitVotes(n), Shared: true,
 				Seed: opt.Seed + uint64(r), Record: true})
 			return res, err
 		})
-		bo := avgMsgs(runs, func(r int) (*sim.Result, error) {
+		bo := avgMsgs(opt, runs, func(r int) (*sim.Result, error) {
 			res, _, err := RunAgreement(AgreementRun{N: n, Initial: SplitVotes(n), Shared: false,
 				Seed: opt.Seed + uint64(r), Record: true})
 			return res, err
 		})
-		twoPC := avgMsgs(runs, func(r int) (*sim.Result, error) {
+		twoPC := avgMsgs(opt, runs, func(r int) (*sim.Result, error) {
 			ms, err := baselineMachines2PC(n, 4, AllVotes(n, types.V1), twopc.PolicyBlock)
 			if err != nil {
 				return nil, err
@@ -316,7 +338,7 @@ func E11MessageComplexity(opt Options) (*Report, error) {
 			return sim.Run(sim.Config{K: 4, Machines: ms, Adversary: &adversary.RoundRobin{},
 				Seeds: rng.NewCollection(opt.Seed+uint64(r), n), Record: true})
 		})
-		threePC := avgMsgs(runs, func(r int) (*sim.Result, error) {
+		threePC := avgMsgs(opt, runs, func(r int) (*sim.Result, error) {
 			ms, err := baselineMachines3PC(n, 4, AllVotes(n, types.V1))
 			if err != nil {
 				return nil, err
@@ -336,26 +358,37 @@ func E11MessageComplexity(opt Options) (*Report, error) {
 	}, nil
 }
 
-func avgMsgs(runs int, f func(r int) (*sim.Result, error)) float64 {
-	var sample []float64
-	for r := 0; r < runs; r++ {
-		res, err := f(r)
-		if err != nil || res.Trace == nil {
-			continue
-		}
-		sample = append(sample, float64(res.Trace.Stats().Sent))
-	}
-	return stats.Mean(sample)
+func avgMsgs(opt Options, runs int, f func(r int) (*sim.Result, error)) float64 {
+	return avgTraceStat(opt, runs, f, func(s trace.MessageStats) float64 { return float64(s.Sent) })
 }
 
-func avgBits(runs int, f func(r int) (*sim.Result, error)) float64 {
-	var sample []float64
-	for r := 0; r < runs; r++ {
+func avgBits(opt Options, runs int, f func(r int) (*sim.Result, error)) float64 {
+	return avgTraceStat(opt, runs, f, func(s trace.MessageStats) float64 { return float64(s.TotalBits) })
+}
+
+// avgTraceStat averages a trace statistic over a seed sweep; failed or
+// traceless runs are dropped from the sample (matching the serial
+// behavior this replaced).
+func avgTraceStat(opt Options, runs int, f func(r int) (*sim.Result, error), pick func(trace.MessageStats) float64) float64 {
+	type point struct {
+		v  float64
+		ok bool
+	}
+	pts, err := sweep(opt, runs, func(r int) (point, error) {
 		res, err := f(r)
 		if err != nil || res.Trace == nil {
-			continue
+			return point{}, nil
 		}
-		sample = append(sample, float64(res.Trace.Stats().TotalBits))
+		return point{v: pick(res.Trace.Stats()), ok: true}, nil
+	})
+	if err != nil {
+		return 0
+	}
+	var sample []float64
+	for _, p := range pts {
+		if p.ok {
+			sample = append(sample, p.v)
+		}
 	}
 	return stats.Mean(sample)
 }

@@ -31,20 +31,28 @@ func E13Recovery(opt Options) (*Report, error) {
 	tbl := stats.NewTable("crashes", "survivors decided", "recovered ok", "mismatches")
 	pass := true
 	for f := 1; f <= 3; f++ {
-		survivorsOK, recoveredOK, mismatches := 0, 0, 0
-		for r := 0; r < runs; r++ {
+		f := f
+		type e13out struct {
+			ok, rec bool
+			mis     int
+		}
+		outs, err := sweep(opt, runs, func(r int) (e13out, error) {
 			seed := opt.Seed + uint64(r)*613 + uint64(f)
 			ok, rec, mis, err := recoveryRound(n, f, seed)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
+			return e13out{ok: ok, rec: rec, mis: mis}, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		survivorsOK, recoveredOK, mismatches := 0, 0, 0
+		for _, o := range outs {
+			if o.ok {
 				survivorsOK++
 			}
-			if rec {
+			if o.rec {
 				recoveredOK++
 			}
-			mismatches += mis
+			mismatches += o.mis
 		}
 		tbl.AddRow(f, fmt.Sprintf("%d/%d", survivorsOK, runs),
 			fmt.Sprintf("%d/%d", recoveredOK, runs), mismatches)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/adversary"
 	"repro/internal/agreement"
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -54,6 +55,11 @@ type Options struct {
 	Seed uint64
 	// Quick shrinks sweeps for fast CI runs.
 	Quick bool
+	// Workers bounds the goroutines used for seed sweeps: 0 means
+	// GOMAXPROCS, negative means serial. Results are identical at any
+	// worker count (each run is a pure function of its seed; outputs
+	// merge in seed order).
+	Workers int
 }
 
 func (o Options) runs(def int) int {
@@ -64,6 +70,15 @@ func (o Options) runs(def int) int {
 		return def / 5
 	}
 	return def
+}
+
+// sweep executes fn for every run index in [0, runs) across the
+// configured workers and returns the per-run results in run order. Every
+// experiment's inner seed loop goes through here: fn must derive all
+// randomness from its run index (seeds), never from shared state, which
+// keeps the sweep's output independent of scheduling.
+func sweep[T any](opt Options, runs int, fn func(r int) (T, error)) ([]T, error) {
+	return parallel.Map(runs, opt.Workers, fn)
 }
 
 // CommitRun configures one simulated Protocol 2 execution.

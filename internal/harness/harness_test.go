@@ -88,6 +88,38 @@ func TestExperimentsQuick(t *testing.T) {
 	}
 }
 
+// TestSweepDeterminism checks the parallel-sweep guarantee: the same
+// experiment renders to byte-identical reports at any worker count,
+// because every run is a pure function of its seed and results merge in
+// seed order.
+func TestSweepDeterminism(t *testing.T) {
+	ids := []string{"E2", "E4", "E7"}
+	for _, id := range ids {
+		f, ok := harness.ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		var want string
+		for _, workers := range []int{-1, 2, 8} {
+			opt := quickOpts()
+			opt.Workers = workers
+			r, err := f(opt)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", id, workers, err)
+			}
+			got := r.String()
+			if workers == -1 {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Fatalf("%s: report differs between serial and %d workers:\nserial:\n%s\nparallel:\n%s",
+					id, workers, want, got)
+			}
+		}
+	}
+}
+
 func TestByID(t *testing.T) {
 	if _, ok := harness.ByID("E1"); !ok {
 		t.Error("E1 missing")

@@ -1,0 +1,165 @@
+// Package parallel provides deterministic fan-out helpers for the
+// experiment harness and the bounded model checker. Work items are
+// identified by index; results are always merged in index order, so a
+// computation whose items are pure functions of their index produces
+// bit-identical output at any worker count — including 1. That property
+// is what lets the seed-sweep experiments and the parallel BFS keep the
+// paper's run(A, I, F) determinism while using every core.
+package parallel
+
+import (
+	"hash/maphash"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: zero means GOMAXPROCS,
+// negative means serial.
+func Workers(requested int) int {
+	if requested < 0 {
+		return 1
+	}
+	if requested == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// Map evaluates fn(0..n-1) on up to workers goroutines and returns the
+// results in index order. The output is independent of scheduling. On
+// error, Map returns the error of the lowest failing index (also
+// schedule-independent: indices are claimed in increasing order and
+// in-flight items always run to completion, so the lowest failing index
+// is always evaluated) and no results.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if err := ForEach(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEach evaluates fn(0..n-1) on up to workers goroutines. Indices are
+// claimed from an atomic counter in increasing order; once an error is
+// observed no further indices are claimed, but claimed items finish.
+// The returned error is the one from the lowest failing index.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		mu     sync.Mutex
+		errIdx = n
+		first  error
+		wg     sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		failed.Store(true)
+		mu.Lock()
+		if i < errIdx {
+			errIdx, first = i, err
+		}
+		mu.Unlock()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					record(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// setShards is the fixed shard count of StringSet. A power of two well
+// above typical core counts keeps lock contention negligible.
+const setShards = 64
+
+var setSeed = maphash.MakeSeed()
+
+// StringSet is a sharded concurrent set of strings. The explorer uses it
+// to deduplicate configuration fingerprints while multiple workers expand
+// a BFS level. Membership is exact (no false positives): shards hold the
+// full keys, the hash only picks the shard.
+type StringSet struct {
+	shards [setShards]stringShard
+}
+
+type stringShard struct {
+	mu sync.Mutex
+	m  map[string]struct{}
+}
+
+// NewStringSet returns an empty set.
+func NewStringSet() *StringSet {
+	s := &StringSet{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]struct{})
+	}
+	return s
+}
+
+// Add inserts key and reports whether it was absent before the call.
+// Concurrent Adds of the same key elect exactly one winner.
+func (s *StringSet) Add(key string) bool {
+	sh := &s.shards[maphash.String(setSeed, key)%setShards]
+	sh.mu.Lock()
+	_, dup := sh.m[key]
+	if !dup {
+		sh.m[key] = struct{}{}
+	}
+	sh.mu.Unlock()
+	return !dup
+}
+
+// Has reports membership.
+func (s *StringSet) Has(key string) bool {
+	sh := &s.shards[maphash.String(setSeed, key)%setShards]
+	sh.mu.Lock()
+	_, ok := sh.m[key]
+	sh.mu.Unlock()
+	return ok
+}
+
+// Len returns the number of distinct keys.
+func (s *StringSet) Len() int {
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		n += len(s.shards[i].m)
+		s.shards[i].mu.Unlock()
+	}
+	return n
+}

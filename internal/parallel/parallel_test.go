@@ -1,0 +1,119 @@
+package parallel_test
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+func TestMapOrderIndependentOfWorkers(t *testing.T) {
+	const n = 500
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		got, err := parallel.Map(n, workers, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: index %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	// Indices 3 and 7 fail; regardless of worker count the reported
+	// error must be index 3's.
+	for _, workers := range []int{1, 2, 4, 16} {
+		for trial := 0; trial < 20; trial++ {
+			_, err := parallel.Map(20, workers, func(i int) (struct{}, error) {
+				if i == 3 || i == 7 {
+					return struct{}{}, fmt.Errorf("fail-%d", i)
+				}
+				return struct{}{}, nil
+			})
+			if err == nil || err.Error() != "fail-3" {
+				t.Fatalf("workers=%d: err = %v, want fail-3", workers, err)
+			}
+		}
+	}
+}
+
+func TestForEachRunsEverythingOnSuccess(t *testing.T) {
+	const n = 1000
+	var hits [n]atomic.Int32
+	if err := parallel.ForEach(n, 8, func(i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if c := hits[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForEachEmptyAndSerial(t *testing.T) {
+	if err := parallel.ForEach(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	if err := parallel.ForEach(5, -1, func(i int) error {
+		if i != ran {
+			t.Fatalf("serial order violated: got %d want %d", i, ran)
+		}
+		ran++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 5 {
+		t.Fatalf("serial ran %d of 5", ran)
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if parallel.Workers(-3) != 1 {
+		t.Fatal("negative must resolve to 1")
+	}
+	if parallel.Workers(7) != 7 {
+		t.Fatal("positive must pass through")
+	}
+	if parallel.Workers(0) < 1 {
+		t.Fatal("zero must resolve to at least 1")
+	}
+}
+
+func TestStringSetConcurrentAdd(t *testing.T) {
+	s := parallel.NewStringSet()
+	const n, dup = 2000, 4
+	var wins atomic.Int64
+	if err := parallel.ForEach(n*dup, 8, func(i int) error {
+		if s.Add(fmt.Sprintf("key-%d", i%n)) {
+			wins.Add(1)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := wins.Load(); got != n {
+		t.Fatalf("distinct insert wins = %d, want %d", got, n)
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	if !s.Has("key-0") || s.Has("absent") {
+		t.Fatal("membership incorrect")
+	}
+}

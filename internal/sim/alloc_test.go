@@ -1,0 +1,118 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// pingMachine sends one message to the next processor on every step. It
+// never halts, giving the engine an unbounded steady-state workload with
+// a constant buffer population.
+type pingMachine struct {
+	id    types.ProcID
+	n     int
+	clock int
+	out   []types.Message
+}
+
+func (m *pingMachine) ID() types.ProcID { return m.id }
+func (m *pingMachine) Clock() int       { return m.clock }
+func (m *pingMachine) Decision() (types.Value, bool) {
+	return types.V0, false
+}
+func (m *pingMachine) Halted() bool { return false }
+
+func (m *pingMachine) Step(received []types.Message, rnd types.Rand) []types.Message {
+	m.clock++
+	m.out = m.out[:0]
+	m.out = append(m.out, types.Message{
+		From: m.id, To: types.ProcID((int(m.id) + 1) % m.n), Payload: pingPayload{},
+	})
+	return m.out
+}
+
+type pingPayload struct{}
+
+func (pingPayload) Kind() string { return "test.ping" }
+
+// TestApplySteadyStateAllocFree guards the tentpole property of the
+// engine refactor: once buffers and scratch slices have grown to their
+// working size, a non-recording Apply allocates nothing. The only
+// allowed residue is the amortized growth of the per-event order log,
+// hence the fractional budget.
+func TestApplySteadyStateAllocFree(t *testing.T) {
+	const n = 5
+	machines := make([]types.Machine, n)
+	for i := 0; i < n; i++ {
+		machines[i] = &pingMachine{id: types.ProcID(i), n: n}
+	}
+	eng, err := sim.NewEngine(sim.Config{
+		K: 3, Machines: machines, Adversary: &adversary.RoundRobin{},
+		Seeds: rng.NewCollection(1, n),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := &adversary.RoundRobin{}
+	view := eng.View()
+	step := func() {
+		if err := eng.Apply(adv.Next(view)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm-up: let buffers, scratch, and the order log reach capacity.
+	for i := 0; i < 2000; i++ {
+		step()
+	}
+	const eventsPerRun = 50
+	avg := testing.AllocsPerRun(20, func() {
+		for i := 0; i < eventsPerRun; i++ {
+			step()
+		}
+	})
+	// Strictly zero would be flaky (order-log doubling lands in some
+	// window eventually); anything near 1 alloc per 50 events means a
+	// per-event allocation crept back in.
+	if avg > 2 {
+		t.Fatalf("steady-state Apply allocates: %.1f allocs per %d events", avg, eventsPerRun)
+	}
+}
+
+// TestCommitRunAllocBudget is a regression guard on whole-run
+// allocations for the benchmark scenario (7 processors, round-robin,
+// full Protocol 2 run). The pre-optimization baseline was 936 allocs
+// per run; the budget holds the optimized engine + machines under half
+// of that with headroom for toolchain variation.
+func TestCommitRunAllocBudget(t *testing.T) {
+	const budget = 550
+	run := func() {
+		n := 7
+		machines := make([]types.Machine, n)
+		for i := 0; i < n; i++ {
+			m, err := core.New(core.Config{
+				ID: types.ProcID(i), N: n, T: (n - 1) / 2, K: 3,
+				Vote: types.V1, Gadget: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			machines[i] = m
+		}
+		res, err := sim.Run(sim.Config{
+			K: 3, Machines: machines, Adversary: &adversary.RoundRobin{},
+			Seeds: rng.NewCollection(42, n),
+		})
+		if err != nil || !res.AllNonfaultyDecided() {
+			t.Fatalf("run failed: %v", err)
+		}
+	}
+	avg := testing.AllocsPerRun(10, run)
+	if avg > budget {
+		t.Fatalf("commit run allocates %.0f, budget %d (baseline before optimization: 936)", avg, budget)
+	}
+}

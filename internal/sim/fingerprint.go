@@ -3,7 +3,6 @@ package sim
 import (
 	"bytes"
 	"fmt"
-	"sort"
 
 	"repro/internal/types"
 )
@@ -29,14 +28,11 @@ func (eng *Engine) Fingerprint() (string, error) {
 		b.Write(s.Snapshot())
 	}
 	for p := range eng.buffers {
-		seqs := make([]int, 0, len(eng.buffers[p]))
-		for seq := range eng.buffers[p] {
-			seqs = append(seqs, seq)
-		}
-		sort.Ints(seqs)
 		fmt.Fprintf(&b, "buf%d:", p)
-		for _, seq := range seqs {
-			m := eng.buffers[p][seq].msg
+		// Buffers are kept in ascending seq (send) order, so iteration is
+		// already deterministic.
+		for i := range eng.buffers[p] {
+			m := eng.buffers[p][i].msg
 			// Seq numbers differ across interleavings that reach the same
 			// logical configuration, so identify buffered messages by
 			// sender and payload, not by seq.
@@ -47,13 +43,15 @@ func (eng *Engine) Fingerprint() (string, error) {
 	return b.String(), nil
 }
 
-// Pending returns the seqs currently buffered for p, sorted. Exported for
-// the explorer, which needs to construct delivery choices directly.
+// Pending returns the seqs currently buffered for p, in ascending order.
+// Exported for the explorer, which needs to construct delivery choices
+// directly. The returned slice is scratch storage reused by the next
+// Pending call; it remains valid through one Apply (which only reads it).
 func (eng *Engine) Pending(p types.ProcID) []int {
-	seqs := make([]int, 0, len(eng.buffers[p]))
-	for seq := range eng.buffers[p] {
-		seqs = append(seqs, seq)
+	seqs := eng.pendingSeqs[:0]
+	for i := range eng.buffers[p] {
+		seqs = append(seqs, eng.buffers[p][i].msg.Seq)
 	}
-	sort.Ints(seqs)
+	eng.pendingSeqs = seqs
 	return seqs
 }

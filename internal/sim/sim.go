@@ -128,16 +128,37 @@ func (r *Result) MaxDecidedClock() int {
 type bufMsg struct {
 	msg              types.Message
 	recipClockAtSend int
+	// delivered marks an entry consumed by the current event; marked
+	// entries are compacted away before the event finishes. Marking keeps
+	// msg.Seq intact, so the buffer stays binary-searchable by seq.
+	delivered bool
+}
+
+// findBySeq binary-searches a buffer (ascending by seq) for seq and
+// returns its index, or -1 if absent.
+func findBySeq(buf []bufMsg, seq int) int {
+	i := sort.Search(len(buf), func(i int) bool { return buf[i].msg.Seq >= seq })
+	if i < len(buf) && buf[i].msg.Seq == seq {
+		return i
+	}
+	return -1
 }
 
 // Engine executes one run.
+//
+// The steady-state event loop is allocation-free: buffers are reusable
+// slice-backed sets (seqs are assigned in increasing order, so each
+// buffer stays sorted without re-sorting), and the delivered set and
+// trace scratch slices are reused across events. Callers must therefore
+// treat slices handed to Machine.Step as valid only for the duration of
+// that call.
 type Engine struct {
 	n        int
 	k        int
 	machines []types.Machine
 	adv      Adversary
 	seeds    *rng.Collection
-	buffers  []map[int]bufMsg // per-processor buffer: seq -> message
+	buffers  [][]bufMsg // per-processor buffer, ascending by seq
 	crashed  []bool
 	halted   []bool
 	clocks   []int
@@ -145,6 +166,14 @@ type Engine struct {
 	nextSeq  int
 	res      *Result
 	tr       *trace.Trace
+
+	// Scratch storage reused across Apply calls (steady-state zero-alloc).
+	delivered    []types.Message  // the event's delivered set M
+	sentSeqs     []int            // seqs sent this event (recording only)
+	deliverSeqs  []int            // seqs delivered this event (recording only)
+	pendingView  []PendingMessage // View.Pending scratch
+	pendingSeqs  []int            // Engine.Pending scratch
+	aliveScratch []types.ProcID   // View.Alive scratch
 }
 
 // NewEngine validates the configuration and prepares an engine. Most
@@ -177,13 +206,10 @@ func NewEngine(cfg Config) (*Engine, error) {
 		machines: cfg.Machines,
 		adv:      cfg.Adversary,
 		seeds:    cfg.Seeds,
-		buffers:  make([]map[int]bufMsg, n),
+		buffers:  make([][]bufMsg, n),
 		crashed:  make([]bool, n),
 		halted:   make([]bool, n),
 		clocks:   make([]int, n),
-	}
-	for i := range eng.buffers {
-		eng.buffers[i] = make(map[int]bufMsg)
 	}
 	eng.res = &Result{
 		N:            n,
@@ -291,26 +317,41 @@ func (eng *Engine) Apply(c Choice) error {
 		return nil
 	}
 
-	// Collect the delivered set M from p's buffer.
-	delivered := make([]types.Message, 0, len(c.Deliver))
+	// Collect the delivered set M from p's buffer into the reusable
+	// scratch slice (valid only for the duration of this event).
+	eng.delivered = eng.delivered[:0]
+	buf := eng.buffers[p]
+	removed := 0
 	for _, seq := range c.Deliver {
-		bm, ok := eng.buffers[p][seq]
-		if !ok {
+		i := findBySeq(buf, seq)
+		if i < 0 || buf[i].delivered {
 			return fmt.Errorf("sim: adversary delivered absent message %d to processor %d", seq, p)
 		}
-		delivered = append(delivered, bm.msg)
-		delete(eng.buffers[p], seq)
+		eng.delivered = append(eng.delivered, buf[i].msg)
+		buf[i].delivered = true
+		removed++
+	}
+	if removed > 0 {
+		kept := buf[:0]
+		for i := range buf {
+			if !buf[i].delivered {
+				kept = append(kept, buf[i])
+			}
+		}
+		eng.buffers[p] = kept
 	}
 	// Deterministic delivery order within the set (buffers are sets; the
 	// machine must not depend on order, but determinism aids replay).
-	sort.Slice(delivered, func(i, j int) bool { return delivered[i].Seq < delivered[j].Seq })
+	// Delivered sets are small, so an insertion sort beats sort.Slice and
+	// allocates nothing.
+	insertionSortBySeq(eng.delivered)
 
-	out := eng.machines[p].Step(delivered, eng.seeds.Stream(p))
+	out := eng.machines[p].Step(eng.delivered, eng.seeds.Stream(p))
 	eng.clocks[p]++
 	eng.halted[p] = eng.machines[p].Halted()
 
 	// Stamp and enqueue outgoing messages.
-	sentSeqs := make([]int, 0, len(out))
+	eng.sentSeqs = eng.sentSeqs[:0]
 	for i := range out {
 		m := out[i]
 		if m.From != p {
@@ -323,9 +364,11 @@ func (eng *Engine) Apply(c Choice) error {
 		eng.nextSeq++
 		m.SentClock = eng.clocks[p]
 		m.SentEvent = eventIdx
-		eng.buffers[m.To][m.Seq] = bufMsg{msg: m, recipClockAtSend: eng.clocks[m.To]}
-		sentSeqs = append(sentSeqs, m.Seq)
+		// Seqs are assigned in increasing order, so appending keeps each
+		// buffer sorted by seq.
+		eng.buffers[m.To] = append(eng.buffers[m.To], bufMsg{msg: m, recipClockAtSend: eng.clocks[m.To]})
 		if eng.tr != nil {
+			eng.sentSeqs = append(eng.sentSeqs, m.Seq)
 			kind := ""
 			if m.Payload != nil {
 				kind = m.Payload.Kind()
@@ -351,17 +394,34 @@ func (eng *Engine) Apply(c Choice) error {
 	}
 
 	if eng.tr != nil {
-		deliveredSeqs := make([]int, len(delivered))
-		for i, m := range delivered {
-			deliveredSeqs[i] = m.Seq
+		eng.deliverSeqs = eng.deliverSeqs[:0]
+		for _, m := range eng.delivered {
+			eng.deliverSeqs = append(eng.deliverSeqs, m.Seq)
 			eng.tr.MarkDelivered(m.Seq, eventIdx, eng.clocks[p])
 		}
+		// AddEvent interns the scratch slices into the trace's arena, so
+		// reusing them next event is safe.
 		eng.tr.AddEvent(trace.Event{
 			Proc: p, ClockAfter: eng.clocks[p],
-			Delivered: deliveredSeqs, Sent: sentSeqs,
+			Delivered: eng.deliverSeqs, Sent: eng.sentSeqs,
 		})
 	}
 	return nil
+}
+
+// insertionSortBySeq sorts msgs ascending by Seq. Delivered sets are tiny
+// (usually < 2n), where insertion sort wins over sort.Slice and avoids the
+// closure/Swapper allocations on the per-event path.
+func insertionSortBySeq(msgs []types.Message) {
+	for i := 1; i < len(msgs); i++ {
+		m := msgs[i]
+		j := i - 1
+		for j >= 0 && msgs[j].Seq > m.Seq {
+			msgs[j+1] = msgs[j]
+			j--
+		}
+		msgs[j+1] = m
+	}
 }
 
 // Crashed reports whether processor p has crashed.

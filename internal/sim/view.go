@@ -7,8 +7,6 @@
 package sim
 
 import (
-	"sort"
-
 	"repro/internal/types"
 )
 
@@ -63,31 +61,36 @@ func (v *View) Clock(p types.ProcID) int { return v.eng.clocks[p] }
 // Crashed reports whether p has taken a failure step.
 func (v *View) Crashed(p types.ProcID) bool { return v.eng.crashed[p] }
 
-// Alive returns the processors that have not crashed.
+// Alive returns the processors that have not crashed. Like Pending, the
+// returned slice is scratch reused by the next Alive call: consume it
+// within one Next invocation.
 func (v *View) Alive() []types.ProcID {
-	out := make([]types.ProcID, 0, v.eng.n)
+	out := v.eng.aliveScratch[:0]
 	for p := 0; p < v.eng.n; p++ {
 		if !v.eng.crashed[p] {
 			out = append(out, types.ProcID(p))
 		}
 	}
+	v.eng.aliveScratch = out
 	return out
 }
 
 // Pending returns the undelivered messages currently in p's buffer, in
-// send (seq) order.
+// send (seq) order. The returned slice is scratch storage reused by the
+// next Pending call on any processor: adversaries must consume it within
+// one Next invocation and must not retain it across events.
 func (v *View) Pending(p types.ProcID) []PendingMessage {
 	buf := v.eng.buffers[p]
-	out := make([]PendingMessage, 0, len(buf))
-	for _, bm := range buf {
+	out := v.eng.pendingView[:0]
+	for i := range buf {
 		out = append(out, PendingMessage{
-			Seq:       bm.msg.Seq,
-			From:      bm.msg.From,
-			SentEvent: bm.msg.SentEvent,
-			AgeSteps:  v.eng.clocks[p] - bm.recipClockAtSend,
+			Seq:       buf[i].msg.Seq,
+			From:      buf[i].msg.From,
+			SentEvent: buf[i].msg.SentEvent,
+			AgeSteps:  v.eng.clocks[p] - buf[i].recipClockAtSend,
 		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	v.eng.pendingView = out
 	return out
 }
 
@@ -122,10 +125,13 @@ type Peek struct {
 }
 
 // PendingPayload returns the payload of buffered message seq in p's
-// buffer, or nil if absent.
+// buffer, or nil if absent. Buffers stay sorted by seq, so this is a
+// binary search: content-aware schedulers probe every pending seq per
+// event, and a linear scan would make long runs quadratic.
 func (pk *Peek) PendingPayload(p types.ProcID, seq int) types.Payload {
-	if bm, ok := pk.eng.buffers[p][seq]; ok {
-		return bm.msg.Payload
+	buf := pk.eng.buffers[p]
+	if i := findBySeq(buf, seq); i >= 0 {
+		return buf[i].msg.Payload
 	}
 	return nil
 }

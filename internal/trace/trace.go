@@ -51,6 +51,9 @@ type Trace struct {
 
 	// procEvents[p] lists the indices of p's events in order; built lazily.
 	procEvents [][]int
+	// arena is chunked backing storage for Event.Delivered/Sent slices, so
+	// recording costs one allocation per chunk rather than two per event.
+	arena []int
 }
 
 // New returns an empty trace for n processors with timing constant k.
@@ -58,11 +61,38 @@ func New(n, k int) *Trace {
 	return &Trace{N: n, K: k}
 }
 
-// AddEvent appends an event record. Events must be appended in order.
+// AddEvent appends an event record, interning its Delivered and Sent
+// slices into the trace's arena — callers may reuse the slices they pass
+// in. Events must be appended in order.
 func (t *Trace) AddEvent(e Event) {
 	e.Index = len(t.Events)
+	e.Delivered = t.internInts(e.Delivered)
+	e.Sent = t.internInts(e.Sent)
 	t.Events = append(t.Events, e)
 	t.procEvents = nil
+}
+
+// arenaChunk is the allocation granularity of the seq-slice arena.
+const arenaChunk = 1024
+
+// internInts copies src into the arena and returns a stable full-capacity
+// slice over the copy (nil for an empty src).
+func (t *Trace) internInts(src []int) []int {
+	if len(src) == 0 {
+		return nil
+	}
+	if cap(t.arena)-len(t.arena) < len(src) {
+		n := arenaChunk
+		if len(src) > n {
+			n = len(src)
+		}
+		// Earlier interned slices keep the old backing array alive; the
+		// arena only ever appends, so they are never overwritten.
+		t.arena = make([]int, 0, n)
+	}
+	start := len(t.arena)
+	t.arena = append(t.arena, src...)
+	return t.arena[start:len(t.arena):len(t.arena)]
 }
 
 // AddMsg registers a newly sent message and returns its record. Seq values

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/obs"
 	"repro/internal/types"
@@ -16,6 +17,8 @@ type metrics struct {
 	dropped   *obs.Counter
 	bytesSent *obs.Counter
 	delay     *obs.HistogramVec
+	kind      string
+	links     *linkCache
 }
 
 // newMetrics builds the transport metric families, labeled by transport
@@ -35,15 +38,49 @@ func newMetrics(reg *obs.Registry, kind string) metrics {
 		delay: reg.HistogramVec("transport_delay_seconds",
 			"Per-link delivery delay: injected latency (channel) or send-path duration (tcp).",
 			obs.DefBuckets, "transport", "link"),
+		kind:  kind,
+		links: &linkCache{},
 	}
 }
 
-// observeDelay records d seconds on the from->to link histogram.
-func (m *metrics) observeDelay(kind string, from, to types.ProcID, d float64) {
+// observeDelay records d seconds on the from->to link histogram. Handles
+// are cached per directed link: the label lookup (a format plus a variadic
+// registry access) runs once per link instead of once per message.
+func (m *metrics) observeDelay(from, to types.ProcID, d float64) {
 	if m.delay == nil {
 		return
 	}
-	m.delay.With(kind, linkLabel(from, to)).Observe(d)
+	m.links.get(m.delay, m.kind, from, to).Observe(d)
+}
+
+// linkCache lazily memoizes per-link histogram handles. It sits behind a
+// pointer so every copy of one metrics value shares the same cache.
+type linkCache struct {
+	mu sync.RWMutex
+	m  map[linkKey]*obs.Histogram
+}
+
+type linkKey struct{ from, to types.ProcID }
+
+func (c *linkCache) get(v *obs.HistogramVec, kind string, from, to types.ProcID) *obs.Histogram {
+	k := linkKey{from, to}
+	c.mu.RLock()
+	h, ok := c.m[k]
+	c.mu.RUnlock()
+	if ok {
+		return h
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if h, ok = c.m[k]; ok {
+		return h
+	}
+	if c.m == nil {
+		c.m = make(map[linkKey]*obs.Histogram)
+	}
+	h = v.With(kind, linkLabel(from, to))
+	c.m[k] = h
+	return h
 }
 
 // linkLabel renders a directed link as "from->to".

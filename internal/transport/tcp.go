@@ -1,25 +1,32 @@
 package transport
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/types"
 )
 
-// frame is the wire representation of one message.
+// frame is the gob representation of one message, used for the fallback
+// 'G' frames carrying payloads outside the binary codec.
 type frame struct {
 	Msg types.Message
 }
 
-// TCPNode is a Transport backed by stdlib TCP with gob framing. Every node
-// listens on one address and lazily dials its peers. Connection failures
-// and encode errors drop the message (crash semantics: an unreachable peer
-// is indistinguishable from a crashed one, which is exactly the model).
+// TCPNode is a Transport backed by stdlib TCP with length-prefixed binary
+// framing (see wire.go) and a per-frame gob fallback. Every node listens
+// on one address and lazily dials its peers. Connection failures and
+// encode errors drop the message (crash semantics: an unreachable peer is
+// indistinguishable from a crashed one, which is exactly the model).
 type TCPNode struct {
 	id types.ProcID
 	ln net.Listener
@@ -35,9 +42,64 @@ type TCPNode struct {
 	wg   sync.WaitGroup
 }
 
+// outConn is one outbound connection. Writes go through a bufio.Writer;
+// flushes coalesce: each sender registers in waiters before taking the
+// write lock, and only the sender that drops waiters back to zero flushes.
+// Under contention a burst of messages rides one syscall; a lone sender
+// flushes immediately, so latency never waits on a timer.
 type outConn struct {
-	c   net.Conn
-	enc *gob.Encoder
+	c net.Conn
+
+	mu      sync.Mutex
+	w       *bufio.Writer
+	scratch []byte // frame assembly buffer, reused across sends
+	gobBuf  bytes.Buffer
+	waiters atomic.Int32
+}
+
+func newOutConn(c net.Conn) *outConn {
+	return &outConn{c: c, w: bufio.NewWriterSize(c, 1<<15)}
+}
+
+// send frames, writes, and (when last in line) flushes one message.
+func (oc *outConn) send(msg types.Message) error {
+	oc.waiters.Add(1)
+	oc.mu.Lock()
+	err := oc.writeLocked(msg)
+	if oc.waiters.Add(-1) == 0 && err == nil {
+		err = oc.w.Flush()
+	}
+	oc.mu.Unlock()
+	return err
+}
+
+func (oc *outConn) writeLocked(msg types.Message) error {
+	// Reserve the 4-byte length and format byte, then try the binary body.
+	buf := append(oc.scratch[:0], 0, 0, 0, 0, fmtBinary)
+	if out, ok := appendMessage(buf, msg); ok {
+		binary.BigEndian.PutUint32(out[:4], uint32(len(out)-4))
+		oc.scratch = out
+		_, err := oc.w.Write(out)
+		return err
+	}
+	oc.scratch = buf[:0]
+	// Fallback: a self-contained gob frame. A fresh encoder re-sends type
+	// descriptors every time, which is fine for the rare exotic payload.
+	oc.gobBuf.Reset()
+	if err := gob.NewEncoder(&oc.gobBuf).Encode(frame{Msg: msg}); err != nil {
+		return err
+	}
+	if 1+oc.gobBuf.Len() > maxFrameBytes {
+		return fmt.Errorf("transport: frame too large (%d bytes)", oc.gobBuf.Len())
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(1+oc.gobBuf.Len()))
+	hdr[4] = fmtGob
+	if _, err := oc.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := oc.w.Write(oc.gobBuf.Bytes())
+	return err
 }
 
 var _ Transport = (*TCPNode)(nil)
@@ -117,10 +179,39 @@ func (n *TCPNode) readLoop(c net.Conn) {
 		n.mu.Unlock()
 		c.Close() //nolint:errcheck // best-effort close on a read path
 	}()
-	dec := gob.NewDecoder(c)
+	br := bufio.NewReaderSize(c, 1<<15)
+	var hdr [4]byte
+	var body []byte // reused across frames; decoded messages never alias it
 	for {
-		var f frame
-		if err := dec.Decode(&f); err != nil {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(hdr[:])
+		if size == 0 || size > maxFrameBytes {
+			return // corrupt stream
+		}
+		if cap(body) < int(size) {
+			body = make([]byte, size)
+		}
+		body = body[:size]
+		if _, err := io.ReadFull(br, body); err != nil {
+			return
+		}
+		var msg types.Message
+		switch body[0] {
+		case fmtBinary:
+			m, err := decodeMessage(body[1:])
+			if err != nil {
+				return
+			}
+			msg = m
+		case fmtGob:
+			var f frame
+			if err := gob.NewDecoder(bytes.NewReader(body[1:])).Decode(&f); err != nil {
+				return
+			}
+			msg = f.Msg
+		default:
 			return
 		}
 		n.mu.Lock()
@@ -131,7 +222,7 @@ func (n *TCPNode) readLoop(c net.Conn) {
 			return
 		}
 		select {
-		case n.recv <- f.Msg:
+		case n.recv <- msg:
 			m.delivered.Inc()
 		default:
 			// Inbound overflow: drop (lossy network semantics).
@@ -184,7 +275,7 @@ func (n *TCPNode) Send(msg types.Message) error {
 			m.dropped.Inc()
 			return nil // unreachable peer: drop (crash semantics)
 		}
-		oc = &outConn{c: c, enc: gob.NewEncoder(c)}
+		oc = newOutConn(c)
 		n.mu.Lock()
 		if existing := n.conns[msg.To]; existing != nil {
 			// Lost the race; keep the existing connection.
@@ -195,7 +286,7 @@ func (n *TCPNode) Send(msg types.Message) error {
 		}
 		n.mu.Unlock()
 	}
-	if err := oc.enc.Encode(frame{Msg: msg}); err != nil {
+	if err := oc.send(msg); err != nil {
 		// Broken pipe: forget the connection; the next send re-dials.
 		n.mu.Lock()
 		if n.conns[msg.To] == oc {
@@ -206,7 +297,7 @@ func (n *TCPNode) Send(msg types.Message) error {
 		m.dropped.Inc()
 		return nil
 	}
-	m.observeDelay("tcp", n.id, msg.To, time.Since(start).Seconds())
+	m.observeDelay(n.id, msg.To, time.Since(start).Seconds())
 	return nil
 }
 

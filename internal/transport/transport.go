@@ -1,6 +1,7 @@
 // Package transport provides message transports for the live (goroutine)
 // runtime: an in-memory hub with latency, loss, and crash injection, and a
-// TCP transport over stdlib net with gob framing.
+// TCP transport over stdlib net with length-prefixed binary framing (gob
+// fallback for payloads outside the binary codec).
 //
 // Transports are intentionally weaker than the simulator's adversary: they
 // model the paper's network (messages usually arrive promptly, sometimes
@@ -11,6 +12,7 @@ package transport
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -47,15 +49,22 @@ type HubOptions struct {
 }
 
 // Hub is an in-memory message switch connecting n endpoints.
+//
+// Crash and close state is kept in atomics so the deliver fast path reads
+// them without taking the hub lock; the mutex only serializes enqueue
+// against channel close (sending on a closed channel panics, so the
+// authoritative closed check stays under the lock).
 type Hub struct {
 	opts HubOptions
 	m    metrics
 
-	mu      sync.Mutex
-	queues  []chan types.Message
-	crashed []bool
-	closed  bool
-	timers  sync.WaitGroup
+	crashed []atomic.Bool
+	closing atomic.Bool
+
+	mu     sync.Mutex
+	queues []chan types.Message
+	closed bool
+	timers sync.WaitGroup
 }
 
 // NewHub creates a hub for n nodes.
@@ -64,7 +73,7 @@ func NewHub(n int, opts HubOptions) *Hub {
 		opts.QueueSize = 4096
 	}
 	h := &Hub{opts: opts, m: newMetrics(opts.Registry, "channel"),
-		queues: make([]chan types.Message, n), crashed: make([]bool, n)}
+		queues: make([]chan types.Message, n), crashed: make([]atomic.Bool, n)}
 	for i := range h.queues {
 		h.queues[i] = make(chan types.Message, opts.QueueSize)
 	}
@@ -79,9 +88,7 @@ func (h *Hub) Endpoint(p types.ProcID) Transport {
 // Crash disconnects node p: all of its future inbound and outbound
 // messages are dropped.
 func (h *Hub) Crash(p types.ProcID) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.crashed[p] = true
+	h.crashed[p].Store(true)
 }
 
 // Close shuts the hub down, closing all inbound channels after in-flight
@@ -93,6 +100,7 @@ func (h *Hub) Close() error {
 		return nil
 	}
 	h.closed = true
+	h.closing.Store(true)
 	h.mu.Unlock()
 	h.timers.Wait()
 	h.mu.Lock()
@@ -107,17 +115,13 @@ func (h *Hub) Close() error {
 func (h *Hub) deliver(msg types.Message) error {
 	h.m.sent.Inc()
 	h.m.bytesSent.Add(payloadBytes(msg))
-	h.mu.Lock()
-	if h.closed {
-		h.mu.Unlock()
+	if h.closing.Load() {
 		return ErrClosed
 	}
-	if h.crashed[msg.From] || h.crashed[msg.To] {
-		h.mu.Unlock()
+	if h.crashed[msg.From].Load() || h.crashed[msg.To].Load() {
 		h.m.dropped.Inc()
 		return nil
 	}
-	h.mu.Unlock()
 
 	if h.opts.Drop != nil && h.opts.Drop(msg) {
 		h.m.dropped.Inc()
@@ -127,7 +131,7 @@ func (h *Hub) deliver(msg types.Message) error {
 	if h.opts.Delay != nil {
 		delay = h.opts.Delay(msg)
 	}
-	h.m.observeDelay("channel", msg.From, msg.To, delay.Seconds())
+	h.m.observeDelay(msg.From, msg.To, delay.Seconds())
 	if delay <= 0 {
 		h.enqueue(msg)
 		return nil
@@ -143,7 +147,7 @@ func (h *Hub) deliver(msg types.Message) error {
 func (h *Hub) enqueue(msg types.Message) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.closed || h.crashed[msg.To] {
+	if h.closed || h.crashed[msg.To].Load() {
 		h.m.dropped.Inc()
 		return
 	}

@@ -1,0 +1,292 @@
+package transport
+
+// Binary wire codec for the TCP transport's hot path.
+//
+// Frames are length-prefixed: a 4-byte big-endian length followed by one
+// format byte and the body. Format 'B' is the hand-rolled binary encoding
+// below, covering every payload type registered in this repository; format
+// 'G' is a self-contained gob stream (fresh encoder per frame), kept as a
+// fallback so exotic payloads registered only with gob keep working.
+//
+// The binary encoding is deliberately simple: zigzag varints for ints, one
+// byte per Value, a one-byte type tag per payload. Piggyback and Envelope
+// encode their inner payload recursively. Compared with streaming gob it
+// avoids per-message reflection and allocation on the send path (the
+// encoder appends into a per-connection scratch buffer) and shrinks the
+// bench message from ~120 to ~30 bytes on the wire.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/agreement"
+	"repro/internal/core"
+	"repro/internal/recovery"
+	"repro/internal/threepc"
+	"repro/internal/twopc"
+	"repro/internal/txn"
+	"repro/internal/types"
+)
+
+// Frame format bytes.
+const (
+	fmtBinary = 'B'
+	fmtGob    = 'G'
+)
+
+// maxFrameBytes bounds a single frame; larger length prefixes indicate a
+// corrupt or hostile stream and tear the connection down.
+const maxFrameBytes = 1 << 24
+
+// maxPayloadDepth bounds recursive payload nesting during decode so a
+// crafted frame cannot exhaust the stack.
+const maxPayloadDepth = 32
+
+// Payload type tags of the binary encoding. Append-only: tags are wire
+// format and must never be renumbered.
+const (
+	tagNil byte = iota
+	tagCoreGo
+	tagCoreVote
+	tagCorePiggyback
+	tagAgReport
+	tagAgProposal
+	tagAgDecided
+	tag2PCPrepare
+	tag2PCVote
+	tag2PCOutcome
+	tag3PCCanCommit
+	tag3PCVote
+	tag3PCPreCommit
+	tag3PCAck
+	tag3PCDoCommit
+	tag3PCAbort
+	tagTxnEnvelope
+	tagRcQuery
+	tagRcReply
+)
+
+// zigzag maps signed to unsigned so small negatives stay short varints.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+func appendInt(dst []byte, v int64) []byte {
+	return binary.AppendUvarint(dst, zigzag(v))
+}
+
+func appendValues(dst []byte, vs []types.Value) []byte {
+	dst = appendInt(dst, int64(len(vs)))
+	for _, v := range vs {
+		dst = append(dst, byte(v))
+	}
+	return dst
+}
+
+// appendMessage appends the binary body of msg (format fmtBinary, without
+// the frame header). ok is false when the payload — or a nested inner
+// payload — has no binary encoding; the caller must then fall back to gob
+// and discard anything appended here.
+func appendMessage(dst []byte, msg types.Message) (_ []byte, ok bool) {
+	dst = appendInt(dst, int64(msg.From))
+	dst = appendInt(dst, int64(msg.To))
+	dst = appendInt(dst, int64(msg.Seq))
+	dst = appendInt(dst, int64(msg.SentClock))
+	dst = appendInt(dst, int64(msg.SentEvent))
+	return appendPayload(dst, msg.Payload)
+}
+
+// appendPayload appends one payload, tag first.
+func appendPayload(dst []byte, p types.Payload) (_ []byte, ok bool) {
+	switch v := p.(type) {
+	case nil:
+		return append(dst, tagNil), true
+	case core.GoMsg:
+		return appendValues(append(dst, tagCoreGo), v.Coins), true
+	case core.VoteMsg:
+		return append(dst, tagCoreVote, byte(v.Val)), true
+	case core.Piggyback:
+		dst, ok = appendPayload(append(dst, tagCorePiggyback), v.Inner)
+		if !ok {
+			return dst, false
+		}
+		return appendValues(dst, v.Coins), true
+	case agreement.ReportMsg:
+		return append(appendInt(append(dst, tagAgReport), int64(v.Stage)), byte(v.Val)), true
+	case agreement.ProposalMsg:
+		bot := byte(0)
+		if v.Bot {
+			bot = 1
+		}
+		return append(appendInt(append(dst, tagAgProposal), int64(v.Stage)), byte(v.Val), bot), true
+	case agreement.DecidedMsg:
+		return append(dst, tagAgDecided, byte(v.Val)), true
+	case twopc.PrepareMsg:
+		return append(dst, tag2PCPrepare), true
+	case twopc.VoteMsg:
+		return append(dst, tag2PCVote, byte(v.Val)), true
+	case twopc.OutcomeMsg:
+		return append(dst, tag2PCOutcome, byte(v.Val)), true
+	case threepc.CanCommitMsg:
+		return append(dst, tag3PCCanCommit), true
+	case threepc.VoteMsg:
+		return append(dst, tag3PCVote, byte(v.Val)), true
+	case threepc.PreCommitMsg:
+		return append(dst, tag3PCPreCommit), true
+	case threepc.AckMsg:
+		return append(dst, tag3PCAck), true
+	case threepc.DoCommitMsg:
+		return append(dst, tag3PCDoCommit), true
+	case threepc.AbortMsg:
+		return append(dst, tag3PCAbort), true
+	case txn.Envelope:
+		dst = appendInt(append(dst, tagTxnEnvelope), int64(len(v.Txn)))
+		dst = append(dst, v.Txn...)
+		return appendPayload(dst, v.Inner)
+	case recovery.QueryMsg:
+		return append(dst, tagRcQuery), true
+	case recovery.ReplyMsg:
+		return append(dst, tagRcReply, byte(v.Val)), true
+	default:
+		return dst, false
+	}
+}
+
+// wireReader is a cursor over one frame body. All read methods are no-ops
+// after the first malformed field; callers check bad once at the end.
+type wireReader struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (r *wireReader) byte() byte {
+	if r.bad || r.off >= len(r.b) {
+		r.bad = true
+		return 0
+	}
+	c := r.b[r.off]
+	r.off++
+	return c
+}
+
+func (r *wireReader) int() int64 {
+	if r.bad {
+		return 0
+	}
+	u, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.bad = true
+		return 0
+	}
+	r.off += n
+	return unzigzag(u)
+}
+
+// count reads a non-negative length and bounds it by the bytes remaining,
+// so a hostile length prefix cannot force a huge allocation.
+func (r *wireReader) count() int {
+	n := r.int()
+	if n < 0 || n > int64(len(r.b)-r.off) {
+		r.bad = true
+		return 0
+	}
+	return int(n)
+}
+
+func (r *wireReader) values() []types.Value {
+	n := r.count()
+	if r.bad || n == 0 {
+		return nil
+	}
+	vs := make([]types.Value, n)
+	for i := range vs {
+		vs[i] = types.Value(r.b[r.off+i])
+	}
+	r.off += n
+	return vs
+}
+
+func (r *wireReader) string() string {
+	n := r.count()
+	if r.bad {
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// errBadFrame reports a malformed binary frame body.
+var errBadFrame = fmt.Errorf("transport: malformed binary frame")
+
+// decodeMessage decodes a format-fmtBinary frame body. Trailing garbage is
+// an error: a valid frame is consumed exactly.
+func decodeMessage(body []byte) (types.Message, error) {
+	r := &wireReader{b: body}
+	var msg types.Message
+	msg.From = types.ProcID(r.int())
+	msg.To = types.ProcID(r.int())
+	msg.Seq = int(r.int())
+	msg.SentClock = int(r.int())
+	msg.SentEvent = int(r.int())
+	msg.Payload = decodePayload(r, 0)
+	if r.bad || r.off != len(r.b) {
+		return types.Message{}, errBadFrame
+	}
+	return msg, nil
+}
+
+// decodePayload decodes one tagged payload.
+func decodePayload(r *wireReader, depth int) types.Payload {
+	if depth > maxPayloadDepth {
+		r.bad = true
+		return nil
+	}
+	switch tag := r.byte(); tag {
+	case tagNil:
+		return nil
+	case tagCoreGo:
+		return core.GoMsg{Coins: r.values()}
+	case tagCoreVote:
+		return core.VoteMsg{Val: types.Value(r.byte())}
+	case tagCorePiggyback:
+		inner := decodePayload(r, depth+1)
+		return core.Piggyback{Inner: inner, Coins: r.values()}
+	case tagAgReport:
+		return agreement.ReportMsg{Stage: int(r.int()), Val: types.Value(r.byte())}
+	case tagAgProposal:
+		return agreement.ProposalMsg{Stage: int(r.int()), Val: types.Value(r.byte()), Bot: r.byte() != 0}
+	case tagAgDecided:
+		return agreement.DecidedMsg{Val: types.Value(r.byte())}
+	case tag2PCPrepare:
+		return twopc.PrepareMsg{}
+	case tag2PCVote:
+		return twopc.VoteMsg{Val: types.Value(r.byte())}
+	case tag2PCOutcome:
+		return twopc.OutcomeMsg{Val: types.Value(r.byte())}
+	case tag3PCCanCommit:
+		return threepc.CanCommitMsg{}
+	case tag3PCVote:
+		return threepc.VoteMsg{Val: types.Value(r.byte())}
+	case tag3PCPreCommit:
+		return threepc.PreCommitMsg{}
+	case tag3PCAck:
+		return threepc.AckMsg{}
+	case tag3PCDoCommit:
+		return threepc.DoCommitMsg{}
+	case tag3PCAbort:
+		return threepc.AbortMsg{}
+	case tagTxnEnvelope:
+		id := txn.ID(r.string())
+		return txn.Envelope{Txn: id, Inner: decodePayload(r, depth+1)}
+	case tagRcQuery:
+		return recovery.QueryMsg{}
+	case tagRcReply:
+		return recovery.ReplyMsg{Val: types.Value(r.byte())}
+	default:
+		r.bad = true
+		return nil
+	}
+}

@@ -136,6 +136,9 @@ type Machine interface {
 	// Step applies one event. received may be empty (a processor may take
 	// a step with no message deliveries, which is how timeouts advance).
 	// The returned messages must have From set to the machine's own ID.
+	// The returned slice is scratch that the machine may overwrite on its
+	// next Step: callers must consume (copy or send) it before stepping
+	// the same machine again, and must not retain it.
 	Step(received []Message, rnd Rand) []Message
 
 	// Clock returns the number of steps taken so far (the paper's clock).
@@ -164,9 +167,15 @@ type Snapshotter interface {
 // (including the sender: the paper's "broadcast" means send to all
 // processors, and processors count their own messages toward thresholds).
 func Broadcast(from ProcID, n int, p Payload) []Message {
-	msgs := make([]Message, 0, n)
+	return AppendBroadcast(make([]Message, 0, n), from, n, p)
+}
+
+// AppendBroadcast appends the broadcast of p to dst and returns the
+// extended slice. Hot paths use it to reuse an output buffer instead of
+// materializing a temporary slice per broadcast.
+func AppendBroadcast(dst []Message, from ProcID, n int, p Payload) []Message {
 	for to := 0; to < n; to++ {
-		msgs = append(msgs, Message{From: from, To: ProcID(to), Payload: p})
+		dst = append(dst, Message{From: from, To: ProcID(to), Payload: p})
 	}
-	return msgs
+	return dst
 }
