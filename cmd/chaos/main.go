@@ -1,0 +1,106 @@
+// Command chaos replays one deterministic fault plan against the live
+// stack and audits it — the repro tool for any failing seed a randomized
+// sweep prints.
+//
+//	chaos -seed 3000523 -shape partition -n 5        # replay a cluster run
+//	chaos -seed 17 -shape lossy -n 5 -mode service   # replay a service run
+//	chaos -seed 42 -n 5 -shape churn -plan           # print the plan only
+//
+// The plan is a pure function of its flags, so the same invocation
+// always exercises the same crash schedule, partition windows, and
+// per-message fault verdicts. On an audit violation the process exits 1
+// after printing the audit log and the failing seed; -trace-out
+// additionally dumps the run's protocol trace as JSON for post-mortem.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seed     = fs.Uint64("seed", 1, "plan seed (the replay key)")
+		n        = fs.Int("n", 5, "processor count")
+		t        = fs.Int("t", 0, "crash budget (default (n-1)/2)")
+		shape    = fs.String("shape", "churn", "fault shape: clean|lossy|churn|partition|crash|crash-restart")
+		mode     = fs.String("mode", "cluster", "what to drive: cluster|service")
+		horizon  = fs.Int("horizon", 0, "fault window in ticks (default 32)")
+		tick     = fs.Duration("tick", time.Millisecond, "protocol tick length")
+		budget   = fs.Int("budget", 0, "run budget in ticks (default 8*horizon+512)")
+		planOnly = fs.Bool("plan", false, "print the canonical plan and exit")
+		traceOut = fs.String("trace-out", "", "write the run's protocol trace JSON to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	plan, err := chaos.NewPlan(chaos.PlanConfig{
+		Seed:    *seed,
+		N:       *n,
+		T:       *t,
+		Shape:   chaos.Shape(*shape),
+		Horizon: *horizon,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if *planOnly {
+		fmt.Fprint(stdout, plan.Canonical())
+		return 0
+	}
+
+	tracer := obs.NewTracer(1 << 14)
+	opts := chaos.RunOptions{TickEvery: *tick, BudgetTicks: *budget, Tracer: tracer}
+
+	var report *chaos.Report
+	switch *mode {
+	case "cluster":
+		report, _, err = chaos.RunCluster(plan, opts)
+	case "service":
+		report, _, err = chaos.RunService(plan, opts)
+	default:
+		fmt.Fprintf(stderr, "unknown -mode %q (want cluster or service)\n", *mode)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "run error: %v\n", err)
+		return 1
+	}
+
+	fmt.Fprint(stdout, report.Log())
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		werr := tracer.WriteJSON(f, "", tracer.Len())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, werr)
+			return 1
+		}
+		fmt.Fprintf(stdout, "trace written to %s\n", *traceOut)
+	}
+	if !report.Pass() {
+		fmt.Fprintf(stderr, "AUDIT FAILED — failing seed: %d (replay: go run ./cmd/chaos -seed %d -shape %s -n %d -mode %s)\n",
+			*seed, *seed, *shape, *n, *mode)
+		return 1
+	}
+	return 0
+}

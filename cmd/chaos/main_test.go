@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs main's run() with stdout redirected to a pipe-backed file.
+func capture(t *testing.T, args []string) (int, string) {
+	t.Helper()
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := run(args, out, out)
+	if _, err := out.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(buf)
+}
+
+func TestPlanOnlyIsDeterministic(t *testing.T) {
+	args := []string{"-seed", "42", "-n", "5", "-shape", "churn", "-plan"}
+	code1, out1 := capture(t, args)
+	code2, out2 := capture(t, args)
+	if code1 != 0 || code2 != 0 {
+		t.Fatalf("exit codes %d/%d", code1, code2)
+	}
+	if out1 != out2 {
+		t.Fatalf("plan not deterministic:\n%s\nvs\n%s", out1, out2)
+	}
+	if !strings.Contains(out1, "plan seed=42 n=5 t=2 shape=churn") {
+		t.Fatalf("unexpected plan header:\n%s", out1)
+	}
+}
+
+func TestReplayClusterSeed(t *testing.T) {
+	code, out := capture(t, []string{"-seed", "7", "-n", "3", "-shape", "crash-restart", "-tick", "500us"})
+	if code != 0 {
+		t.Fatalf("replay exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "audit PASS") {
+		t.Fatalf("missing audit verdict:\n%s", out)
+	}
+}
+
+func TestReplayServiceModeWithTrace(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.json")
+	code, out := capture(t, []string{
+		"-seed", "7", "-n", "3", "-shape", "lossy", "-mode", "service",
+		"-tick", "500us", "-trace-out", trace,
+	})
+	if code != 0 {
+		t.Fatalf("service replay exited %d:\n%s", code, out)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	if !strings.Contains(string(data), "\"events\"") {
+		t.Fatalf("trace JSON missing events:\n%.200s", data)
+	}
+}
+
+func TestBadFlagsRejected(t *testing.T) {
+	if code, _ := capture(t, []string{"-mode", "nonsense"}); code != 2 {
+		t.Fatalf("bad mode exited %d, want 2", code)
+	}
+	if code, _ := capture(t, []string{"-n", "0"}); code != 2 {
+		t.Fatalf("n=0 exited %d, want 2", code)
+	}
+}

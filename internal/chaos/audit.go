@@ -1,0 +1,423 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/types"
+)
+
+// Check is one audited invariant.
+type Check struct {
+	Name   string
+	Pass   bool
+	Detail string // populated only on failure (keeps passing logs byte-stable)
+}
+
+// Report is the auditor's verdict for one run.
+type Report struct {
+	Plan   *Plan
+	Checks []Check
+}
+
+// Pass reports whether every check passed.
+func (r *Report) Pass() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Failures returns the failed checks.
+func (r *Report) Failures() []Check {
+	var out []Check
+	for _, c := range r.Checks {
+		if !c.Pass {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Log renders the canonical audit log: the plan, then one line per check.
+// All content is plan-derived or a verdict, so a passing log is
+// byte-identical across runs of the same seed at any GOMAXPROCS; failure
+// details carry run data (they exist to be replayed, not compared).
+func (r *Report) Log() string {
+	var b strings.Builder
+	b.WriteString(r.Plan.Canonical())
+	for _, c := range r.Checks {
+		if c.Pass {
+			fmt.Fprintf(&b, "check %s PASS\n", c.Name)
+		} else {
+			fmt.Fprintf(&b, "check %s FAIL %s\n", c.Name, c.Detail)
+		}
+	}
+	verdict := "PASS"
+	if !r.Pass() {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "audit %s checks=%d\n", verdict, len(r.Checks))
+	return b.String()
+}
+
+func (r *Report) add(name string, pass bool, detail string) {
+	if pass {
+		detail = ""
+	}
+	r.Checks = append(r.Checks, Check{Name: name, Pass: pass, Detail: detail})
+}
+
+// ClusterRunData is everything a single-instance cluster run hands the
+// auditor.
+type ClusterRunData struct {
+	// Decided/Values snapshot every original machine's final state
+	// (including machines that decided before their crash).
+	Decided []bool
+	Values  []types.Value
+	// Crashed[p] is true if the plan's crash for p actually fired.
+	Crashed []bool
+	// Recovered maps restarted processors to the decision they recovered
+	// (via WAL short-circuit or outcome query).
+	Recovered map[int]types.Value
+	// RecoveredOK[p] is false if a restarted processor failed to learn
+	// any outcome within the budget.
+	RecoveredOK map[int]bool
+	// WALDecided/WALValue report, per processor, a decision found in its
+	// write-ahead log after the run.
+	WALDecided []bool
+	WALValue   []types.Value
+	// Events is the trace export (crash/recover events at minimum).
+	Events []obs.Event
+	// TimedOut is true when the run hit its wall-clock budget before
+	// every live node decided.
+	TimedOut bool
+	// Vacuous is set by the harness when it detected the never-started
+	// degenerate case (coordinator crashed before GO escaped) and
+	// stopped early.
+	Vacuous bool
+}
+
+// AuditCluster checks a cluster run against the paper's invariants.
+func AuditCluster(p *Plan, d *ClusterRunData) *Report {
+	r := &Report{Plan: p}
+
+	// Termination: every never-crashed processor decided within budget.
+	// The crash budget respects t < n/2 and all fault windows close at
+	// the horizon, so the theory promises termination w.p. 1; the budget
+	// is generous enough that hitting it is a liveness bug, not luck.
+	//
+	// One degenerate case is exempt: the coordinator (processor 0)
+	// crashing before its GO flood reaches anyone. The protocol then
+	// never starts — participants wait in instruction 2 forever, which
+	// the paper permits (a transaction nobody heard of never happened).
+	// The run is vacuous exactly when nothing anywhere decided; if even
+	// one processor decided, GO escaped, piggybacking spreads it, and
+	// everyone alive must finish.
+	decidedAny := false
+	for _, dec := range d.Decided {
+		decidedAny = decidedAny || dec
+	}
+	decidedAny = decidedAny || len(d.Recovered) > 0
+	vacuous := d.Vacuous || (len(d.Crashed) > 0 && d.Crashed[0] && !decidedAny)
+	undecided := []int{}
+	for i, dec := range d.Decided {
+		if !dec && !d.Crashed[i] {
+			undecided = append(undecided, i)
+		}
+	}
+	r.add("termination", vacuous || (len(undecided) == 0 && !d.TimedOut),
+		fmt.Sprintf("undecided=%v timed_out=%v", undecided, d.TimedOut))
+
+	// Agreement: all decided values equal — across survivors, crashed
+	// processors that decided before dying, and recovered processors.
+	values := map[types.Value][]int{}
+	for i, dec := range d.Decided {
+		if dec {
+			values[d.Values[i]] = append(values[d.Values[i]], i)
+		}
+	}
+	for pID, v := range d.Recovered {
+		values[v] = append(values[v], pID)
+	}
+	r.add("agreement", len(values) <= 1, fmt.Sprintf("decisions=%v", renderValues(values)))
+
+	// Abort validity: any no-vote forbids COMMIT, under every adversary.
+	anyNo := false
+	for _, v := range p.Votes {
+		if !v {
+			anyNo = true
+		}
+	}
+	abortOK := true
+	for i, dec := range d.Decided {
+		if dec && anyNo && d.Values[i] == types.V1 {
+			abortOK = false
+		}
+		_ = i
+	}
+	r.add("abort-validity", abortOK, "committed despite a no vote")
+
+	// Commit validity: on a fault-free plan with unanimous yes votes the
+	// decision must be COMMIT (the paper guarantees commit only for
+	// on-time, failure-free runs).
+	if p.FaultFree() && !anyNo {
+		commitOK := true
+		for i, dec := range d.Decided {
+			if dec && d.Values[i] != types.V1 {
+				commitOK = false
+			}
+			_ = i
+		}
+		r.add("commit-validity", commitOK, "aborted a clean unanimous-yes run")
+	}
+
+	// Recovery: every restarted processor learned an outcome, it matches
+	// the cluster's decision, and no decision present in a WAL was lost
+	// or contradicted (a decided transaction survives recovery).
+	if len(d.Recovered) > 0 || len(d.RecoveredOK) > 0 {
+		recOK, detail := true, ""
+		for pID, ok := range d.RecoveredOK {
+			if !ok {
+				recOK = false
+				detail = fmt.Sprintf("node %d never recovered an outcome", pID)
+			}
+		}
+		// A vacuous run has no outcome to recover: the pollers correctly
+		// found nobody who decided.
+		r.add("recovery-termination", vacuous || recOK, detail)
+	}
+	walOK, walDetail := true, ""
+	for i, dec := range d.WALDecided {
+		if !dec {
+			continue
+		}
+		if rv, ok := d.Recovered[i]; ok && rv != d.WALValue[i] {
+			walOK = false
+			walDetail = fmt.Sprintf("node %d recovered %v but journaled %v", i, rv, d.WALValue[i])
+		}
+		for v, holders := range values {
+			if v != d.WALValue[i] {
+				walOK = false
+				walDetail = fmt.Sprintf("node %d journaled %v, cluster decided %v (held by %v)",
+					i, d.WALValue[i], v, holders)
+			}
+		}
+	}
+	r.add("wal-consistency", walOK, walDetail)
+
+	// Trace sanity: sequence numbers strictly increase; every fired
+	// crash has a crash event; every restart has a recover event after
+	// its crash event.
+	r.add("trace-sanity", auditTrace(p, d.Crashed, d.Recovered, d.Events) == "",
+		auditTrace(p, d.Crashed, d.Recovered, d.Events))
+	return r
+}
+
+func renderValues(values map[types.Value][]int) string {
+	keys := make([]int, 0, len(values))
+	for v := range values {
+		keys = append(keys, int(v))
+	}
+	sort.Ints(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		holders := values[types.Value(k)]
+		sort.Ints(holders)
+		parts = append(parts, fmt.Sprintf("%d by %v", k, holders))
+	}
+	return strings.Join(parts, "; ")
+}
+
+// auditTrace returns "" when the event stream is causally sane.
+func auditTrace(p *Plan, crashed []bool, recovered map[int]types.Value, events []obs.Event) string {
+	var lastSeq uint64
+	crashSeq := map[int]uint64{}
+	recoverSeq := map[int]uint64{}
+	for _, e := range events {
+		if e.Seq <= lastSeq {
+			return fmt.Sprintf("seq not strictly increasing at %d", e.Seq)
+		}
+		lastSeq = e.Seq
+		switch e.Type {
+		case obs.EventCrash:
+			if _, dup := crashSeq[e.Node]; !dup {
+				crashSeq[e.Node] = e.Seq
+			}
+		case obs.EventRecover:
+			recoverSeq[e.Node] = e.Seq
+		}
+	}
+	for i, c := range crashed {
+		if c {
+			if _, ok := crashSeq[i]; !ok {
+				return fmt.Sprintf("crash of node %d left no trace event", i)
+			}
+		}
+	}
+	for pID := range recovered {
+		rs, ok := recoverSeq[pID]
+		if !ok {
+			return fmt.Sprintf("restart of node %d left no recover event", pID)
+		}
+		if cs, ok := crashSeq[pID]; ok && rs <= cs {
+			return fmt.Sprintf("node %d recover event (seq %d) precedes its crash (seq %d)", pID, rs, cs)
+		}
+	}
+	return ""
+}
+
+// TxnResult is one service submission's terminal answer plus its inputs.
+type TxnResult struct {
+	ID     string
+	Votes  []bool
+	State  service.State
+	Status service.TxnStatus
+	// StatusKnown is false when the service no longer retains the id.
+	StatusKnown bool
+}
+
+// ServiceRunData is everything a service-mode run hands the auditor.
+type ServiceRunData struct {
+	Results []TxnResult
+	Metrics service.Metrics
+	Events  []obs.Event
+	Crashed []bool
+}
+
+// AuditService checks a commit-service run end to end: client responses,
+// status queries, the metrics surface, and the protocol event trace must
+// tell one consistent story.
+func AuditService(p *Plan, d *ServiceRunData) *Report {
+	r := &Report{Plan: p}
+
+	// Response consistency: every submission reached a terminal state;
+	// COMMIT/ABORT answers respect abort validity; the queried status
+	// agrees with the returned result.
+	respOK, respDetail := true, ""
+	var committed, aborted, timedOut, failed uint64
+	for _, res := range d.Results {
+		if !res.State.Terminal() {
+			respOK = false
+			respDetail = fmt.Sprintf("txn %s ended non-terminal (%s)", res.ID, res.State)
+			break
+		}
+		switch res.State {
+		case service.StateCommit:
+			committed++
+			for _, v := range res.Votes {
+				if !v {
+					respOK = false
+					respDetail = fmt.Sprintf("txn %s committed despite a no vote", res.ID)
+				}
+			}
+		case service.StateAbort:
+			aborted++
+		case service.StateTimeout:
+			timedOut++
+		case service.StateFailed:
+			failed++
+		}
+		if res.StatusKnown && res.Status.State != res.State &&
+			!(res.State == service.StateTimeout && res.Status.State.Terminal()) {
+			// TIMEOUT means unknown: the cluster may still decide later,
+			// so a later COMMIT/ABORT status is consistent. Anything else
+			// must match.
+			respOK = false
+			respDetail = fmt.Sprintf("txn %s result %s but status %s", res.ID, res.State, res.Status.State)
+		}
+	}
+	r.add("response-consistency", respOK, respDetail)
+
+	// Agreement at the service: the cross-node decision checker counted
+	// zero conflicts.
+	r.add("agreement", d.Metrics.SafetyViolations == 0,
+		fmt.Sprintf("%d safety violations", d.Metrics.SafetyViolations))
+
+	// Metric consistency: the service's own counters must account for
+	// every admitted submission, and not disagree with the client's
+	// tallies. (TIMEOUT results can later flip the status, but counters
+	// are terminal-once.)
+	m := d.Metrics
+	sumOK := m.Submitted == m.Committed+m.Aborted+m.TimedOut+m.Failed
+	clientOK := m.Committed >= committed && m.Aborted >= aborted && m.Failed >= failed
+	r.add("metric-consistency", sumOK && clientOK,
+		fmt.Sprintf("submitted=%d committed=%d aborted=%d timed_out=%d failed=%d client saw %d/%d/%d",
+			m.Submitted, m.Committed, m.Aborted, m.TimedOut, m.Failed, committed, aborted, failed))
+
+	// Trace causal sanity: seq strictly increasing; per (txn, node) the
+	// protocol milestones appear in causal order with non-decreasing
+	// ticks; decided events for one txn never disagree. The ring buffer
+	// may have evicted early events, so order is only checked among the
+	// events present.
+	r.add("trace-sanity", auditServiceTrace(d.Events) == "", auditServiceTrace(d.Events))
+	return r
+}
+
+// auditServiceTrace checks the causal sanity of a service-mode trace:
+// sequence numbers strictly increase; per (txn, node) the milestone
+// events are recorded at most once each, their ticks never run
+// backwards, and nothing follows retirement/abandonment; decided events
+// for one transaction never disagree across nodes. The ring buffer may
+// have evicted early events, so only the events present are checked —
+// eviction can hide a milestone, never fabricate one.
+func auditServiceTrace(events []obs.Event) string {
+	var lastSeq uint64
+	type key struct {
+		txn  string
+		node int
+	}
+	type txnNodeState struct {
+		seen     map[obs.EventType]bool
+		lastTick int
+		closed   bool // retired or abandoned
+	}
+	states := map[key]*txnNodeState{}
+	decided := map[string]string{}
+	for _, e := range events {
+		if e.Seq <= lastSeq {
+			return fmt.Sprintf("seq not strictly increasing at %d", e.Seq)
+		}
+		lastSeq = e.Seq
+		if e.Txn == "" {
+			continue // crash/recover events carry no txn clock
+		}
+		k := key{e.Txn, e.Node}
+		st := states[k]
+		if st == nil {
+			st = &txnNodeState{seen: map[obs.EventType]bool{}, lastTick: e.Tick}
+			states[k] = st
+		}
+		if e.Tick < st.lastTick {
+			return fmt.Sprintf("txn %s node %d: tick went backwards (%d -> %d)",
+				e.Txn, e.Node, st.lastTick, e.Tick)
+		}
+		st.lastTick = e.Tick
+		switch e.Type {
+		case obs.EventGoSent, obs.EventGoRecv, obs.EventVoteCast,
+			obs.EventDecided, obs.EventRetired, obs.EventAbandoned:
+			if st.seen[e.Type] {
+				return fmt.Sprintf("txn %s node %d: duplicate %s event", e.Txn, e.Node, e.Type)
+			}
+			st.seen[e.Type] = true
+		}
+		if st.closed {
+			return fmt.Sprintf("txn %s node %d: %s after retirement", e.Txn, e.Node, e.Type)
+		}
+		if e.Type == obs.EventRetired || e.Type == obs.EventAbandoned {
+			st.closed = true
+		}
+		if e.Type == obs.EventDecided {
+			if prev, ok := decided[e.Txn]; ok && prev != e.Detail {
+				return fmt.Sprintf("txn %s decided %q on one node, %q on another", e.Txn, prev, e.Detail)
+			}
+			decided[e.Txn] = e.Detail
+		}
+	}
+	return ""
+}

@@ -1,0 +1,129 @@
+package chaos
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+// TestInjectorPerLinkSequence: the k-th message on a link always gets the
+// plan's k-th verdict for that link, independent of the injector
+// instance.
+func TestInjectorPerLinkSequence(t *testing.T) {
+	p, _ := NewPlan(PlanConfig{Seed: 5, N: 3, Shape: ShapeChurn})
+	// A huge tick length pins the clock at tick 0, inside the horizon.
+	a := NewInjector(p, time.Hour)
+	b := NewInjector(p, time.Hour)
+	msg := types.Message{From: 0, To: 1}
+	for k := 0; k < 300; k++ {
+		fa, fb := a.Decide(msg), b.Decide(msg)
+		if fa != fb {
+			t.Fatalf("verdict %d diverged: %+v vs %+v", k, fa, fb)
+		}
+	}
+}
+
+// TestInjectorConcurrentCounters: concurrent Decide calls on one link
+// hand out each per-link verdict exactly once (no verdict skipped or
+// double-issued under racing senders).
+func TestInjectorConcurrentCounters(t *testing.T) {
+	p, _ := NewPlan(PlanConfig{Seed: 11, N: 3, Shape: ShapeLossy})
+	inj := NewInjector(p, time.Hour)
+	const total = 400
+	verdicts := make(chan Fault, total)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < total/4; i++ {
+				verdicts <- inj.Decide(types.Message{From: 0, To: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	close(verdicts)
+
+	got := map[Fault]int{}
+	for v := range verdicts {
+		got[v]++
+	}
+	want := map[Fault]int{}
+	seq := NewInjector(p, time.Hour)
+	for i := 0; i < total; i++ {
+		want[seq.Decide(types.Message{From: 0, To: 1})]++
+	}
+	for f, n := range want {
+		if got[f] != n {
+			t.Fatalf("verdict %+v issued %d times, want %d", f, got[f], n)
+		}
+	}
+}
+
+// TestInjectorHorizon: past the horizon the network is clean.
+func TestInjectorHorizon(t *testing.T) {
+	p, _ := NewPlan(PlanConfig{Seed: 13, N: 3, Shape: ShapeChurn, DropRate: 0.9})
+	// One-nanosecond ticks put the clock far past the horizon instantly.
+	inj := NewInjector(p, time.Nanosecond)
+	inj.Arm()
+	time.Sleep(time.Millisecond)
+	for i := 0; i < 100; i++ {
+		if f := inj.Decide(types.Message{From: 0, To: 1}); f != (Fault{}) {
+			t.Fatalf("fault %+v injected past the horizon", f)
+		}
+	}
+}
+
+// TestInjectorPartitionCut: messages crossing an open cut are withheld
+// until the window heals (eventual delivery), regardless of the
+// per-message verdict stream.
+func TestInjectorPartitionCut(t *testing.T) {
+	p, _ := NewPlan(PlanConfig{Seed: 17, N: 4, Shape: ShapeClean})
+	p.Partitions = []Partition{{Group: 0b0001, Start: 0, End: 32, Symmetric: true}}
+	tick := time.Hour
+	inj := NewInjector(p, tick) // pinned at tick 0: window open
+	f := inj.Decide(types.Message{From: 0, To: 2})
+	if f.Drop {
+		t.Fatal("cut permanently dropped a message (violates eventual delivery)")
+	}
+	if f.Delay < 32*tick {
+		t.Fatalf("cut delay %v does not reach the heal tick", f.Delay)
+	}
+	if f := inj.Decide(types.Message{From: 2, To: 3}); f != (Fault{}) {
+		t.Fatalf("intra-side message faulted: %+v", f)
+	}
+	drops, _, _, _ := inj.Stats()
+	if drops != 1 {
+		t.Fatalf("withheld = %d, want 1", drops)
+	}
+}
+
+// TestInjectorLossIsEventual: a loss verdict withholds until the horizon
+// rather than discarding — no fault the injector emits can permanently
+// lose a message.
+func TestInjectorLossIsEventual(t *testing.T) {
+	p, _ := NewPlan(PlanConfig{Seed: 23, N: 3, Shape: ShapeLossy, DropRate: 1.0})
+	tick := time.Hour
+	inj := NewInjector(p, tick)
+	for i := 0; i < 50; i++ {
+		f := inj.Decide(types.Message{From: 0, To: 1})
+		if f.Drop {
+			t.Fatal("injector emitted a permanent drop")
+		}
+		if f.Delay < time.Duration(p.Cfg.Horizon)*tick {
+			t.Fatalf("loss delay %v lands before the horizon", f.Delay)
+		}
+	}
+}
+
+// TestInjectorOutOfRange: traffic outside the plan's processor set (e.g.
+// an operator tool on a high id) passes clean instead of panicking.
+func TestInjectorOutOfRange(t *testing.T) {
+	p, _ := NewPlan(PlanConfig{Seed: 19, N: 3, Shape: ShapeLossy})
+	inj := NewInjector(p, time.Hour)
+	if f := inj.Decide(types.Message{From: 7, To: 1}); f != (Fault{}) {
+		t.Fatalf("out-of-range sender got fault %+v", f)
+	}
+}

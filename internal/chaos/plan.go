@@ -1,0 +1,426 @@
+// Package chaos puts the live runtime stack — goroutine cluster, hub and
+// TCP transports, transaction managers, commit service, WAL recovery —
+// under the adversary class the paper's theory assumes: crash failures
+// with t < n/2, arbitrary (but finite) message delay, loss, duplication,
+// and reordering, scheduled adversarially but content-obliviously.
+//
+// The lockstep simulator (internal/sim) already enforces this model
+// deterministically; this package brings the same fault envelope to the
+// wall-clock stack. A Plan is a fully deterministic function of its seed:
+// the same seed yields byte-identical crash schedules, partition windows,
+// and per-message fault verdicts, so any failure found by a randomized
+// sweep replays from its seed alone (cmd/chaos -seed N). Runs themselves
+// are wall-clock concurrent and therefore not bit-reproducible — but the
+// plan is, and the auditor's log is normalized to plan-derived data plus
+// verdicts, so a passing audit is byte-identical at any GOMAXPROCS.
+//
+// Fault verdicts respect the model's two promises: the crash budget never
+// exceeds t (so n−t correct processors always remain), and every fault
+// window closes by the plan's horizon (the eventual-delivery guarantee of
+// t-admissible runs — after the horizon the network is clean, so the
+// protocol's termination-with-probability-1 applies). Eventual delivery
+// is why a "drop" verdict is realized as withhold-until-horizon rather
+// than a permanent discard: the paper's protocols carry no transport
+// retransmission (loss is tolerated like lateness), so a permanently
+// dropped message would make the run inadmissible and void the liveness
+// theorems while teaching us nothing about the protocol. Within the
+// fault window a withheld message is indistinguishable from a dropped
+// one; at the horizon it arrives, like a TCP retransmission after the
+// incident ends. Partition cuts withhold crossing messages until the
+// window heals, for the same reason.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rng"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Shape names a pre-baked fault mix for sweeps. Explicit rates in
+// PlanConfig override a shape.
+type Shape string
+
+// The sweep shapes, in escalating hostility.
+const (
+	// ShapeClean has no faults at all: the baseline where commit
+	// validity (all-yes ⇒ COMMIT) must hold.
+	ShapeClean Shape = "clean"
+	// ShapeLossy drops and delays messages during the fault window.
+	ShapeLossy Shape = "lossy"
+	// ShapeChurn adds duplication and single-tick reorder swaps on top
+	// of loss and delay.
+	ShapeChurn Shape = "churn"
+	// ShapePartition opens symmetric/asymmetric partition windows
+	// isolating a minority group, healing before the horizon.
+	ShapePartition Shape = "partition"
+	// ShapeCrash fail-stops up to t processors at seeded ticks.
+	ShapeCrash Shape = "crash"
+	// ShapeCrashRestart crashes and then restarts processors, which must
+	// recover the outcome via WAL replay + outcome queries.
+	ShapeCrashRestart Shape = "crash-restart"
+)
+
+// Shapes lists every sweep shape in canonical order.
+func Shapes() []Shape {
+	return []Shape{ShapeClean, ShapeLossy, ShapeChurn, ShapePartition, ShapeCrash, ShapeCrashRestart}
+}
+
+// PlanConfig parameterizes plan generation. Zero values take seeded
+// defaults from the shape.
+type PlanConfig struct {
+	Seed uint64
+	// N is the processor count (required, >= 2 for any faults).
+	N int
+	// T is the crash budget (default (N-1)/2; capped there too — the
+	// model's t < n/2 is a hard invariant, not a suggestion).
+	T int
+	// Shape picks the fault mix.
+	Shape Shape
+	// Horizon is the fault-active window in protocol ticks (default 32).
+	// All faults — drops, delays, duplicates, partitions — cease at the
+	// horizon; crashes may be scheduled only inside it.
+	Horizon int
+	// DropRate / DupRate / DelayRate / ReorderRate are per-message fault
+	// probabilities inside the horizon. Reorder is realized as a
+	// one-tick hold-back (an adjacent swap with later traffic).
+	DropRate, DupRate, DelayRate, ReorderRate float64
+	// MaxDelayTicks bounds injected delay (default 6).
+	MaxDelayTicks int
+	// Crashes is the number of crash events (capped at T).
+	Crashes int
+	// Restarts schedules a post-horizon restart (WAL replay + outcome
+	// recovery) for every crashed processor.
+	Restarts bool
+	// Partitions is the number of partition windows.
+	Partitions int
+	// Votes fixes the per-processor votes for single-instance (cluster)
+	// runs; nil derives them from the seed with VoteBias.
+	Votes []bool
+	// VoteBias is the probability a seeded vote is commit (default 0.8).
+	VoteBias float64
+	// Txns is the number of transactions a service-mode run submits
+	// (default 2*N); per-transaction vote vectors are seeded.
+	Txns int
+}
+
+// CrashEvent fail-stops one processor at a tick, optionally restarting it
+// later (RestartTick < 0 means never).
+type CrashEvent struct {
+	Node        int
+	Tick        int
+	RestartTick int
+}
+
+// Partition is one window during which messages crossing the cut between
+// Group and its complement are dropped. Asymmetric partitions block only
+// group→rest traffic (rest→group still flows): the paper's adversary may
+// silence a direction without severing it.
+type Partition struct {
+	// Group is a bitmask over processors; it is always a minority
+	// (popcount <= (N-1)/2), so a quorum remains connected.
+	Group     uint64
+	Start     int
+	End       int
+	Symmetric bool
+}
+
+// Plan is a compiled, deterministic fault plan.
+type Plan struct {
+	Cfg        PlanConfig
+	Votes      []bool
+	TxnVotes   [][]bool
+	Crashes    []CrashEvent
+	Partitions []Partition
+}
+
+// shapeDefaults fills rate/count defaults for a shape.
+func shapeDefaults(cfg *PlanConfig) {
+	switch cfg.Shape {
+	case ShapeClean, "":
+		cfg.Shape = ShapeClean
+	case ShapeLossy:
+		if cfg.DropRate == 0 {
+			cfg.DropRate = 0.10
+		}
+		if cfg.DelayRate == 0 {
+			cfg.DelayRate = 0.20
+		}
+	case ShapeChurn:
+		if cfg.DropRate == 0 {
+			cfg.DropRate = 0.08
+		}
+		if cfg.DelayRate == 0 {
+			cfg.DelayRate = 0.15
+		}
+		if cfg.DupRate == 0 {
+			cfg.DupRate = 0.10
+		}
+		if cfg.ReorderRate == 0 {
+			cfg.ReorderRate = 0.15
+		}
+	case ShapePartition:
+		if cfg.Partitions == 0 {
+			cfg.Partitions = 2
+		}
+		if cfg.DropRate == 0 {
+			cfg.DropRate = 0.05
+		}
+	case ShapeCrash:
+		if cfg.Crashes == 0 {
+			cfg.Crashes = cfg.T
+		}
+		if cfg.DelayRate == 0 {
+			cfg.DelayRate = 0.10
+		}
+	case ShapeCrashRestart:
+		if cfg.Crashes == 0 {
+			cfg.Crashes = cfg.T
+		}
+		cfg.Restarts = true
+	}
+}
+
+// NewPlan compiles a deterministic plan from cfg. Identical configs yield
+// byte-identical plans regardless of GOMAXPROCS or host: generation draws
+// from a single seeded stream in a fixed order.
+func NewPlan(cfg PlanConfig) (*Plan, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("chaos: N must be >= 1, got %d", cfg.N)
+	}
+	maxT := (cfg.N - 1) / 2
+	if cfg.T == 0 || cfg.T > maxT {
+		cfg.T = maxT
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 32
+	}
+	if cfg.MaxDelayTicks <= 0 {
+		cfg.MaxDelayTicks = 6
+	}
+	if cfg.VoteBias <= 0 || cfg.VoteBias > 1 {
+		cfg.VoteBias = 0.8
+	}
+	if cfg.Txns <= 0 {
+		cfg.Txns = 2 * cfg.N
+	}
+	shapeDefaults(&cfg)
+	if cfg.Crashes > cfg.T {
+		cfg.Crashes = cfg.T
+	}
+	if cfg.Votes != nil && len(cfg.Votes) != cfg.N {
+		return nil, fmt.Errorf("chaos: %d votes for %d processors", len(cfg.Votes), cfg.N)
+	}
+	if cfg.N < 3 {
+		cfg.Partitions = 0 // no nonempty minority group exists
+	}
+
+	s := rng.NewStream(cfg.Seed ^ 0xc4a05c75bef1d0d7)
+	p := &Plan{Cfg: cfg}
+
+	// Votes for single-instance runs (fixed draw count: N).
+	p.Votes = make([]bool, cfg.N)
+	for i := range p.Votes {
+		p.Votes[i] = s.Float64() < cfg.VoteBias
+	}
+	if cfg.Votes != nil {
+		copy(p.Votes, cfg.Votes)
+	}
+
+	// Per-transaction votes for service runs (fixed draw count: Txns*N).
+	p.TxnVotes = make([][]bool, cfg.Txns)
+	for i := range p.TxnVotes {
+		v := make([]bool, cfg.N)
+		for j := range v {
+			v[j] = s.Float64() < cfg.VoteBias
+		}
+		p.TxnVotes[i] = v
+	}
+
+	// Crash schedule: distinct victims, ticks inside the horizon,
+	// restarts after it (so recovery proceeds over a clean network).
+	if cfg.Crashes > 0 {
+		perm := make([]int, cfg.N)
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := len(perm) - 1; i > 0; i-- {
+			j := s.Intn(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		for i := 0; i < cfg.Crashes; i++ {
+			ev := CrashEvent{
+				Node:        perm[i],
+				Tick:        1 + s.Intn(cfg.Horizon),
+				RestartTick: -1,
+			}
+			if cfg.Restarts {
+				ev.RestartTick = cfg.Horizon + 2 + s.Intn(cfg.Horizon)
+			}
+			p.Crashes = append(p.Crashes, ev)
+		}
+		sort.Slice(p.Crashes, func(i, j int) bool {
+			if p.Crashes[i].Tick != p.Crashes[j].Tick {
+				return p.Crashes[i].Tick < p.Crashes[j].Tick
+			}
+			return p.Crashes[i].Node < p.Crashes[j].Node
+		})
+	}
+
+	// Partition windows: minority groups, healed strictly before the
+	// horizon (the eventual-delivery promise).
+	for i := 0; i < cfg.Partitions; i++ {
+		size := 1 + s.Intn(maxIntn((cfg.N-1)/2))
+		var group uint64
+		for bits := 0; bits < size; {
+			b := s.Intn(cfg.N)
+			if group&(1<<uint(b)) == 0 {
+				group |= 1 << uint(b)
+				bits++
+			}
+		}
+		start := s.Intn(cfg.Horizon * 3 / 4)
+		end := start + 1 + s.Intn(cfg.Horizon-start)
+		if end > cfg.Horizon {
+			end = cfg.Horizon
+		}
+		p.Partitions = append(p.Partitions, Partition{
+			Group:     group,
+			Start:     start,
+			End:       end,
+			Symmetric: s.Float64() < 0.5,
+		})
+	}
+	sort.Slice(p.Partitions, func(i, j int) bool {
+		a, b := p.Partitions[i], p.Partitions[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		return a.Group < b.Group
+	})
+	return p, nil
+}
+
+func maxIntn(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// FaultFree reports whether the plan injects no faults at all (the
+// commit-validity baseline).
+func (p *Plan) FaultFree() bool {
+	c := p.Cfg
+	return c.DropRate == 0 && c.DupRate == 0 && c.DelayRate == 0 &&
+		c.ReorderRate == 0 && len(p.Crashes) == 0 && len(p.Partitions) == 0
+}
+
+// linkFault is the per-message fault verdict: a pure function of (seed,
+// from, to, k) where k is the k-th message the sender pushed onto that
+// link. Delay is returned in ticks.
+func (p *Plan) linkFault(from, to types.ProcID, k uint64) (drop bool, dups int, delayTicks int) {
+	c := p.Cfg
+	h := c.Seed
+	h ^= 0x9e3779b97f4a7c15 * (uint64(from) + 1)
+	h ^= 0x94d049bb133111eb * (uint64(to) + 1)
+	h ^= 0xbf58476d1ce4e5b9 * (k + 1)
+	s := rng.NewStream(h)
+	u := s.Float64()
+	switch {
+	case u < c.DropRate:
+		return true, 0, 0
+	case u < c.DropRate+c.DupRate:
+		return false, 1, 0
+	case u < c.DropRate+c.DupRate+c.DelayRate:
+		return false, 0, 1 + s.Intn(c.MaxDelayTicks)
+	case u < c.DropRate+c.DupRate+c.DelayRate+c.ReorderRate:
+		return false, 0, 1 // adjacent swap with the link's next message
+	default:
+		return false, 0, 0
+	}
+}
+
+// partitionHeal reports whether a message from→to at tick crosses an
+// open partition cut in a blocked direction, and if so the latest heal
+// tick among the blocking windows (when delivery becomes guaranteed).
+func (p *Plan) partitionHeal(from, to types.ProcID, tick int) (blocked bool, heal int) {
+	for _, w := range p.Partitions {
+		if tick < w.Start || tick >= w.End {
+			continue
+		}
+		fromIn := w.Group&(1<<uint(from)) != 0
+		toIn := w.Group&(1<<uint(to)) != 0
+		if fromIn == toIn {
+			continue // same side of the cut
+		}
+		if w.Symmetric || fromIn {
+			blocked = true
+			if w.End > heal {
+				heal = w.End
+			}
+		}
+	}
+	return blocked, heal
+}
+
+// partitioned reports whether a message from→to at tick crosses an open
+// partition cut in a blocked direction.
+func (p *Plan) partitioned(from, to types.ProcID, tick int) bool {
+	blocked, _ := p.partitionHeal(from, to, tick)
+	return blocked
+}
+
+// Canonical renders the plan as a stable, byte-reproducible description.
+// Two plans compare equal iff their canonical forms do.
+func (p *Plan) Canonical() string {
+	var b strings.Builder
+	c := p.Cfg
+	fmt.Fprintf(&b, "plan seed=%d n=%d t=%d shape=%s horizon=%d\n", c.Seed, c.N, c.T, c.Shape, c.Horizon)
+	fmt.Fprintf(&b, "rates drop=%g dup=%g delay=%g reorder=%g max_delay_ticks=%d\n",
+		c.DropRate, c.DupRate, c.DelayRate, c.ReorderRate, c.MaxDelayTicks)
+	b.WriteString("votes ")
+	for _, v := range p.Votes {
+		if v {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "txns %d ", len(p.TxnVotes))
+	for i, votes := range p.TxnVotes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		for _, v := range votes {
+			if v {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+	}
+	b.WriteByte('\n')
+	for _, ev := range p.Crashes {
+		fmt.Fprintf(&b, "crash node=%d tick=%d restart=%d\n", ev.Node, ev.Tick, ev.RestartTick)
+	}
+	for _, w := range p.Partitions {
+		mode := "asym"
+		if w.Symmetric {
+			mode = "sym"
+		}
+		fmt.Fprintf(&b, "partition group=%#x start=%d end=%d %s\n", w.Group, w.Start, w.End, mode)
+	}
+	return b.String()
+}
+
+// Fault re-exports the transport verdict type for callers that only
+// import chaos.
+type Fault = transport.Fault

@@ -1,0 +1,196 @@
+package chaos
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// TestPlanDeterministic: identical configs yield byte-identical canonical
+// plans, including when generated concurrently at different GOMAXPROCS.
+func TestPlanDeterministic(t *testing.T) {
+	cfg := PlanConfig{Seed: 0xfeedface, N: 7, Shape: ShapeChurn}
+	base, err := NewPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base.Canonical()
+
+	old := runtime.GOMAXPROCS(1)
+	p1, err := NewPlan(cfg)
+	runtime.GOMAXPROCS(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p1.Canonical(); got != want {
+		t.Fatalf("GOMAXPROCS=1 plan differs:\n%s\nvs\n%s", got, want)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, err := NewPlan(cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if got := p.Canonical(); got != want {
+				t.Errorf("concurrent plan differs:\n%s", got)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPlanSeedsDiffer: different seeds actually produce different plans.
+func TestPlanSeedsDiffer(t *testing.T) {
+	a, _ := NewPlan(PlanConfig{Seed: 1, N: 5, Shape: ShapeChurn})
+	b, _ := NewPlan(PlanConfig{Seed: 2, N: 5, Shape: ShapeChurn})
+	if a.Canonical() == b.Canonical() {
+		t.Fatal("seeds 1 and 2 produced identical plans")
+	}
+}
+
+// TestPlanRespectsFaultModel sweeps seeds and shapes checking the model's
+// hard invariants: crash budget <= t < n/2, distinct victims, crashes
+// inside the horizon, restarts after it, partitions minority-only and
+// healed by the horizon.
+func TestPlanRespectsFaultModel(t *testing.T) {
+	for _, shape := range Shapes() {
+		for _, n := range []int{1, 2, 3, 4, 5, 7, 9} {
+			for seed := uint64(0); seed < 50; seed++ {
+				p, err := NewPlan(PlanConfig{Seed: seed, N: n, Shape: shape})
+				if err != nil {
+					t.Fatalf("shape=%s n=%d seed=%d: %v", shape, n, seed, err)
+				}
+				tt := p.Cfg.T
+				if 2*tt >= n && n > 1 {
+					t.Fatalf("shape=%s n=%d seed=%d: t=%d violates t < n/2", shape, n, seed, tt)
+				}
+				if len(p.Crashes) > tt {
+					t.Fatalf("shape=%s n=%d seed=%d: %d crashes > budget %d",
+						shape, n, seed, len(p.Crashes), tt)
+				}
+				seen := map[int]bool{}
+				for _, ev := range p.Crashes {
+					if seen[ev.Node] {
+						t.Fatalf("shape=%s n=%d seed=%d: node %d crashes twice", shape, n, seed, ev.Node)
+					}
+					seen[ev.Node] = true
+					if ev.Tick < 1 || ev.Tick > p.Cfg.Horizon {
+						t.Fatalf("crash tick %d outside [1,%d]", ev.Tick, p.Cfg.Horizon)
+					}
+					if ev.RestartTick >= 0 && ev.RestartTick <= p.Cfg.Horizon {
+						t.Fatalf("restart tick %d not after horizon %d", ev.RestartTick, p.Cfg.Horizon)
+					}
+				}
+				for _, w := range p.Partitions {
+					size := 0
+					for b := 0; b < n; b++ {
+						if w.Group&(1<<uint(b)) != 0 {
+							size++
+						}
+					}
+					if size == 0 || size > (n-1)/2 {
+						t.Fatalf("shape=%s n=%d seed=%d: partition group size %d not a minority of %d",
+							shape, n, seed, size, n)
+					}
+					if w.End > p.Cfg.Horizon || w.Start >= w.End {
+						t.Fatalf("partition window [%d,%d) not inside horizon %d", w.Start, w.End, p.Cfg.Horizon)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlanVoteOverride: explicit votes survive planning; wrong length is
+// rejected.
+func TestPlanVoteOverride(t *testing.T) {
+	votes := []bool{true, false, true}
+	p, err := NewPlan(PlanConfig{Seed: 3, N: 3, Votes: votes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range votes {
+		if p.Votes[i] != v {
+			t.Fatalf("vote %d: got %v want %v", i, p.Votes[i], v)
+		}
+	}
+	if _, err := NewPlan(PlanConfig{Seed: 3, N: 4, Votes: votes}); err == nil {
+		t.Fatal("expected error for 3 votes on 4 processors")
+	}
+	if _, err := NewPlan(PlanConfig{Seed: 3, N: 0}); err == nil {
+		t.Fatal("expected error for N=0")
+	}
+}
+
+// TestFaultFree: only the truly clean plan qualifies as the
+// commit-validity baseline.
+func TestFaultFree(t *testing.T) {
+	clean, _ := NewPlan(PlanConfig{Seed: 1, N: 5, Shape: ShapeClean})
+	if !clean.FaultFree() {
+		t.Fatal("clean plan reported faults")
+	}
+	for _, shape := range []Shape{ShapeLossy, ShapeChurn, ShapePartition, ShapeCrash, ShapeCrashRestart} {
+		p, _ := NewPlan(PlanConfig{Seed: 1, N: 5, Shape: shape})
+		if p.FaultFree() {
+			t.Fatalf("%s plan reported fault-free", shape)
+		}
+	}
+}
+
+// TestLinkFaultPure: the per-message verdict is a pure function of
+// (seed, from, to, k) with bounded delay.
+func TestLinkFaultPure(t *testing.T) {
+	p, _ := NewPlan(PlanConfig{Seed: 99, N: 5, Shape: ShapeChurn})
+	for from := types.ProcID(0); from < 5; from++ {
+		for to := types.ProcID(0); to < 5; to++ {
+			for k := uint64(0); k < 200; k++ {
+				d1, u1, t1 := p.linkFault(from, to, k)
+				d2, u2, t2 := p.linkFault(from, to, k)
+				if d1 != d2 || u1 != u2 || t1 != t2 {
+					t.Fatalf("verdict for (%d,%d,%d) not pure", from, to, k)
+				}
+				if t1 > p.Cfg.MaxDelayTicks {
+					t.Fatalf("delay %d exceeds bound %d", t1, p.Cfg.MaxDelayTicks)
+				}
+				if d1 && (u1 != 0 || t1 != 0) {
+					t.Fatal("dropped message also duplicated or delayed")
+				}
+			}
+		}
+	}
+}
+
+// TestPartitioned exercises symmetric and asymmetric cut semantics and
+// window healing.
+func TestPartitioned(t *testing.T) {
+	p := &Plan{Cfg: PlanConfig{N: 4}, Partitions: []Partition{
+		{Group: 0b0001, Start: 10, End: 20, Symmetric: true},
+		{Group: 0b0010, Start: 30, End: 40, Symmetric: false},
+	}}
+	// Symmetric window: both directions across the cut blocked.
+	if !p.partitioned(0, 2, 15) || !p.partitioned(2, 0, 15) {
+		t.Fatal("symmetric cut did not block both directions")
+	}
+	// Same side flows.
+	if p.partitioned(2, 3, 15) {
+		t.Fatal("intra-side traffic blocked")
+	}
+	// Asymmetric: only group->rest blocked.
+	if !p.partitioned(1, 0, 35) {
+		t.Fatal("asymmetric cut did not block group->rest")
+	}
+	if p.partitioned(0, 1, 35) {
+		t.Fatal("asymmetric cut blocked rest->group")
+	}
+	// Healed outside the window.
+	if p.partitioned(0, 2, 25) || p.partitioned(1, 0, 40) {
+		t.Fatal("cut active outside its window")
+	}
+}

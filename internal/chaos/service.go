@@ -1,0 +1,119 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// RunService executes a commit-service workload under the plan's
+// adversary and audits the service's client-visible story.
+//
+// The plan's per-transaction vote vectors become concurrent Submit
+// calls; its crash schedule fires as live Service.Crash fail-stops
+// (restart events are cluster-mode only — the service API has no node
+// resurrection). Because crashes stay within the budget t, every
+// submission must still reach a terminal state; TIMEOUT is a legitimate
+// answer ("unknown", the paper's graceful degradation), never an excuse
+// for a hung request.
+func RunService(p *Plan, o RunOptions) (*Report, *ServiceRunData, error) {
+	o.defaults(p)
+	n := p.Cfg.N
+
+	inj := NewInjector(p, o.TickEvery)
+	svc, err := service.New(service.Config{
+		N:              n,
+		T:              p.Cfg.T,
+		K:              o.K,
+		Seed:           p.Cfg.Seed ^ 0x6c62272e07bb0142,
+		TickEvery:      o.TickEvery,
+		DefaultTimeout: time.Duration(o.BudgetTicks) * o.TickEvery,
+		Hub:            transport.HubOptions{Inject: inj.Decide},
+		Registry:       o.Registry,
+		Tracer:         o.Tracer,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("chaos: build service: %w", err)
+	}
+
+	var mu sync.Mutex
+	crashed := make([]bool, n)
+	stopped := false
+
+	inj.Arm()
+	var crashTimers []*time.Timer
+	for _, ev := range p.Crashes {
+		ev := ev
+		crashTimers = append(crashTimers, time.AfterFunc(
+			time.Duration(ev.Tick)*o.TickEvery, func() {
+				mu.Lock()
+				if stopped {
+					mu.Unlock()
+					return
+				}
+				crashed[ev.Node] = true
+				mu.Unlock()
+				svc.Crash(types.ProcID(ev.Node)) //nolint:errcheck // in-range by construction
+			}))
+	}
+
+	// The workload: every plan transaction submitted concurrently, each
+	// blocking until its terminal state.
+	results := make([]TxnResult, len(p.TxnVotes))
+	var wg sync.WaitGroup
+	for i, votes := range p.TxnVotes {
+		i, votes := i, votes
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := fmt.Sprintf("chaos-%d-%d", p.Cfg.Seed, i)
+			res, err := svc.Submit(context.Background(), service.Request{
+				ID:    id,
+				Votes: votes,
+			})
+			results[i] = TxnResult{ID: id, Votes: votes}
+			if err != nil {
+				// Admission rejections are not protocol outcomes; record
+				// as FAILED only if the service broke its own contract
+				// (the harness never overloads the default queue).
+				results[i].State = service.StateFailed
+				return
+			}
+			results[i].State = res.State
+		}()
+	}
+	wg.Wait()
+
+	mu.Lock()
+	stopped = true
+	mu.Unlock()
+	for _, t := range crashTimers {
+		t.Stop()
+	}
+
+	// Cross-check each result against the status endpoint while the
+	// service still retains the ids, then snapshot metrics.
+	for i := range results {
+		if st, ok := svc.Status(results[i].ID); ok {
+			results[i].Status, results[i].StatusKnown = st, true
+		}
+	}
+	metrics := svc.Metrics()
+
+	closeCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	closeErr := svc.Close(closeCtx)
+
+	data := &ServiceRunData{
+		Results: results,
+		Metrics: metrics,
+		Events:  o.Tracer.Recent(o.Tracer.Len()),
+		Crashed: crashed,
+	}
+	return AuditService(p, data), data, closeErr
+}

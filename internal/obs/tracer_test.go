@@ -134,3 +134,125 @@ func TestNilTracer(t *testing.T) {
 		t.Errorf("nil tracer exported events: %+v", ex.Events)
 	}
 }
+
+// TestTracerWraparoundBoundary pins the exact transition moments: a ring
+// at capacity-1, at capacity, and one past it.
+func TestTracerWraparoundBoundary(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 3; i++ {
+		tr.Record(Event{Type: EventStage})
+	}
+	if tr.Len() != 3 || tr.Dropped() != 0 {
+		t.Fatalf("pre-full: len=%d dropped=%d", tr.Len(), tr.Dropped())
+	}
+	tr.Record(Event{Type: EventStage})
+	if tr.Len() != 4 || tr.Dropped() != 0 {
+		t.Fatalf("at capacity: len=%d dropped=%d (filling the ring is not a drop)", tr.Len(), tr.Dropped())
+	}
+	tr.Record(Event{Type: EventStage})
+	if tr.Len() != 4 || tr.Dropped() != 1 {
+		t.Fatalf("past capacity: len=%d dropped=%d", tr.Len(), tr.Dropped())
+	}
+	evs := tr.Recent(0)
+	if evs[0].Seq != 2 || evs[3].Seq != 5 {
+		t.Fatalf("window = [%d..%d], want [2..5]", evs[0].Seq, evs[3].Seq)
+	}
+}
+
+// TestTracerMultiGenerationWrap: after many full ring generations the
+// snapshot is still the dense newest window, oldest first.
+func TestTracerMultiGenerationWrap(t *testing.T) {
+	const capacity, total = 7, 7*13 + 3
+	tr := NewTracer(capacity)
+	for i := 0; i < total; i++ {
+		tr.Record(Event{Node: i, Type: EventStage})
+	}
+	evs := tr.Recent(0)
+	if len(evs) != capacity {
+		t.Fatalf("len = %d, want %d", len(evs), capacity)
+	}
+	for i, e := range evs {
+		if want := uint64(total - capacity + 1 + i); e.Seq != want {
+			t.Fatalf("evs[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+		if e.Node != total-capacity+i {
+			t.Fatalf("evs[%d].Node = %d: payload did not travel with its slot", i, e.Node)
+		}
+	}
+	if got := tr.Dropped(); got != total-capacity {
+		t.Fatalf("Dropped = %d, want %d", got, total-capacity)
+	}
+}
+
+// TestTracerConcurrentRecordAndExport hammers Record from many writers
+// while readers continuously Export, Recent, ByTxn, and WriteJSON.
+// Run under -race this is the data-race check; the assertions verify
+// every snapshot is internally sane (strictly increasing dense seq,
+// oldest-first) no matter how the ring wraps mid-read.
+func TestTracerConcurrentRecordAndExport(t *testing.T) {
+	tr := NewTracer(32)
+	const writers, per, readers = 8, 400, 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				evs := tr.Export("", 0).Events
+				for i := 1; i < len(evs); i++ {
+					if evs[i].Seq != evs[i-1].Seq+1 {
+						t.Errorf("reader %d: non-dense snapshot: %d then %d", r, evs[i-1].Seq, evs[i].Seq)
+						return
+					}
+				}
+				tr.ByTxn("a", 5)
+				var buf bytes.Buffer
+				if err := tr.WriteJSON(&buf, "", 8); err != nil {
+					t.Errorf("WriteJSON: %v", err)
+					return
+				}
+			}
+		}(r)
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			txns := [2]string{"a", "b"}
+			for i := 0; i < per; i++ {
+				tr.Record(Event{Node: w, Txn: txns[i%2], Type: EventDecided, Tick: i})
+			}
+		}(w)
+	}
+	// Wait for the writers by watching the drop counter reach its final
+	// value, then release the readers.
+	for tr.Dropped() < writers*per-32 {
+		tr.Recent(1)
+	}
+	close(stop)
+	wg.Wait()
+
+	ex := tr.Export("", 0)
+	if len(ex.Events) != 32 {
+		t.Fatalf("retained %d, want 32", len(ex.Events))
+	}
+	if ex.Events[31].Seq != writers*per {
+		t.Fatalf("last seq = %d, want %d", ex.Events[31].Seq, writers*per)
+	}
+	if ex.Dropped != writers*per-32 {
+		t.Fatalf("export dropped = %d, want %d", ex.Dropped, writers*per-32)
+	}
+	// Per-transaction filter respects the same global order.
+	byTxn := tr.ByTxn("a", 0)
+	for i := 1; i < len(byTxn); i++ {
+		if byTxn[i].Seq <= byTxn[i-1].Seq {
+			t.Fatalf("ByTxn out of order: %d then %d", byTxn[i-1].Seq, byTxn[i].Seq)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -255,6 +256,12 @@ type Cluster struct {
 	nodes   []*Node
 	crashes *obs.CounterVec
 	tracer  *obs.Tracer
+
+	// timerMu guards timers; closed gates timer callbacks so a CrashAfter
+	// firing late cannot touch a hub that Wait has already closed.
+	timerMu sync.Mutex
+	timers  []*time.Timer
+	closed  atomic.Bool
 }
 
 // ClusterOptions configures NewLocalCluster.
@@ -334,7 +341,9 @@ func (c *Cluster) Stop() {
 
 // Wait joins every node goroutine, closes the hub, and returns the first
 // node error. In-flight delayed messages settle before the hub closes, so
-// a Stop/Wait pair is a clean drain.
+// a Stop/Wait pair is a clean drain. Pending CrashAfter timers are
+// disarmed first: a crash scheduled for after the cluster's lifetime must
+// not fire into a closed hub.
 func (c *Cluster) Wait() error {
 	var firstErr error
 	for _, n := range c.nodes {
@@ -342,6 +351,13 @@ func (c *Cluster) Wait() error {
 			firstErr = err
 		}
 	}
+	c.closed.Store(true)
+	c.timerMu.Lock()
+	for _, t := range c.timers {
+		t.Stop()
+	}
+	c.timers = nil
+	c.timerMu.Unlock()
 	if err := c.hub.Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}
@@ -374,15 +390,40 @@ func (c *Cluster) Run(ctx context.Context) (*ClusterResult, error) {
 
 // Crash immediately crashes node p: the goroutine stops stepping and the
 // hub drops its traffic — the fail-stop fault model, injectable live.
+// Crashing after Wait has closed the cluster is a no-op (matching
+// Hub.Crash's own atomic closed check).
 func (c *Cluster) Crash(p types.ProcID) {
+	if c.closed.Load() || c.hub.Closed() {
+		return
+	}
 	c.hub.Crash(p)
 	c.nodes[p].Stop()
 	c.crashes.With(strconv.Itoa(int(p))).Inc()
 	c.tracer.Record(obs.Event{Node: int(p), Type: obs.EventCrash})
 }
 
+// Restart reconnects a previously crashed node p's traffic at the hub and
+// records the recovery event. The stopped node goroutine is NOT revived —
+// the caller runs a replacement machine (typically a recovery client) on
+// Endpoint(p); see internal/chaos. No-op after the cluster closed.
+func (c *Cluster) Restart(p types.ProcID) {
+	if c.closed.Load() || c.hub.Closed() {
+		return
+	}
+	c.hub.Restart(p)
+	c.tracer.Record(obs.Event{Node: int(p), Type: obs.EventRecover})
+}
+
 // CrashAfter schedules node p to stop and disconnect after d. It models a
-// crash: the node's goroutine halts and the hub drops its traffic.
+// crash: the node's goroutine halts and the hub drops its traffic. The
+// timer is tracked: if the cluster is waited out first, the pending crash
+// is disarmed and a late firing is a guarded no-op — it can never touch a
+// closed hub.
 func (c *Cluster) CrashAfter(p types.ProcID, d time.Duration) {
-	time.AfterFunc(d, func() { c.Crash(p) })
+	c.timerMu.Lock()
+	defer c.timerMu.Unlock()
+	if c.closed.Load() {
+		return
+	}
+	c.timers = append(c.timers, time.AfterFunc(d, func() { c.Crash(p) }))
 }

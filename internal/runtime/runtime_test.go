@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/runtime"
 	"repro/internal/transport"
@@ -326,5 +327,46 @@ func TestPersistentClusterStopDrain(t *testing.T) {
 	d, ok := c.Result().Unanimous()
 	if !ok || d != types.DecisionCommit {
 		t.Fatalf("unanimous = %v %v", d, ok)
+	}
+}
+
+// TestCrashAfterClusterClose: a CrashAfter whose timer would fire after
+// the cluster has been waited out must be a no-op — no touching the
+// closed hub, no phantom crash metrics or trace events (regression: the
+// timer used to be unguarded).
+func TestCrashAfterClusterClose(t *testing.T) {
+	n := 3
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(64)
+	c, err := runtime.NewLocalCluster(commitMachines(t, n, 6, votesOf(n, types.V1)), runtime.ClusterOptions{
+		TickEvery: time.Millisecond, Seed: 11, Registry: reg, Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Schedule a crash far beyond the run's lifetime, and one as the run
+	// completes (racing Wait) — neither may fire into the closed hub.
+	c.CrashAfter(1, time.Hour)
+	c.CrashAfter(2, 30*time.Millisecond)
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Scheduling after close is likewise inert.
+	c.CrashAfter(0, time.Nanosecond)
+	time.Sleep(50 * time.Millisecond) // let any stray timer fire
+	crashes := runtime.CrashCounter(reg).With("1").Value() +
+		runtime.CrashCounter(reg).With("0").Value()
+	if crashes != 0 {
+		t.Errorf("crash fired after cluster close (count=%d)", crashes)
+	}
+	for _, e := range tr.Recent(0) {
+		if e.Type == obs.EventCrash && (e.Node == 0 || e.Node == 1) {
+			t.Errorf("phantom crash trace event for node %d", e.Node)
+		}
+	}
+	// And a direct Crash after close is a guarded no-op too.
+	c.Crash(0)
+	if got := runtime.CrashCounter(reg).With("0").Value(); got != 0 {
+		t.Errorf("direct crash after close counted (%d)", got)
 	}
 }

@@ -1,0 +1,47 @@
+package service_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/service"
+)
+
+// FuzzDecodeCommitRequest hammers the POST /commit body decoder with
+// arbitrary bytes: it must never panic, and anything it accepts must
+// satisfy the documented contract (bounded printable id, non-negative
+// timeout). Malformed input surfaces as an error the handler maps to a
+// 4xx — never as a crash.
+func FuzzDecodeCommitRequest(f *testing.F) {
+	f.Add([]byte(`{"id":"txn-1","votes":[true,false,true],"timeout_ms":50}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"id":"`))
+	f.Add([]byte(`{"id":"a"}{"id":"b"}`))
+	f.Add([]byte("{\"id\":\"\x00b\"}"))
+	f.Add([]byte(`{"timeout_ms":-1}`))
+	f.Add([]byte(`{"votes":"notanarray"}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"id":"` + strings.Repeat("x", 300) + `"}`))
+	f.Add(bytes.Repeat([]byte(`{"votes":[true,`), 100))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		body, err := service.DecodeCommitRequest(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: the handler answers 4xx
+		}
+		if len(body.ID) > service.MaxTxnIDBytes {
+			t.Fatalf("accepted %d-byte id", len(body.ID))
+		}
+		for _, r := range body.ID {
+			if r < 0x20 || r == 0x7f {
+				t.Fatalf("accepted control character %q in id", r)
+			}
+		}
+		if body.TimeoutMs < 0 {
+			t.Fatalf("accepted negative timeout %d", body.TimeoutMs)
+		}
+	})
+}

@@ -4,13 +4,66 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
+	"unicode/utf8"
 
 	"repro/internal/obs"
 	"repro/internal/types"
 )
+
+// Request-decoding bounds: a commit submission is a few hundred bytes of
+// JSON; anything near these limits is malformed or hostile.
+const (
+	// MaxCommitBodyBytes caps the POST /commit body (1 MiB).
+	MaxCommitBodyBytes = 1 << 20
+	// MaxTxnIDBytes caps a client-chosen transaction id.
+	MaxTxnIDBytes = 256
+)
+
+// DecodeCommitRequest parses and validates one POST /commit body. It
+// rejects syntactically bad JSON, trailing garbage, oversized or
+// non-printable transaction ids, and negative timeouts — the full
+// validation surface, factored out so it can be fuzzed without a
+// listening service.
+func DecodeCommitRequest(r io.Reader) (CommitRequestJSON, error) {
+	var body CommitRequestJSON
+	dec := json.NewDecoder(io.LimitReader(r, MaxCommitBodyBytes+1))
+	if err := dec.Decode(&body); err != nil {
+		return CommitRequestJSON{}, fmt.Errorf("bad request body: %w", err)
+	}
+	// A second document (or any non-EOF token) after the first is a
+	// smuggling attempt or a confused client; either way, reject.
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return CommitRequestJSON{}, errors.New("bad request body: trailing data after JSON document")
+	}
+	if err := validateTxnID(body.ID); err != nil {
+		return CommitRequestJSON{}, err
+	}
+	if body.TimeoutMs < 0 {
+		return CommitRequestJSON{}, fmt.Errorf("bad timeout_ms: must be non-negative, got %d", body.TimeoutMs)
+	}
+	return body, nil
+}
+
+// validateTxnID enforces the id contract: bounded length, valid UTF-8,
+// no control characters (ids echo into logs, traces, and URLs).
+func validateTxnID(id string) error {
+	if len(id) > MaxTxnIDBytes {
+		return fmt.Errorf("bad id: %d bytes exceeds the %d-byte limit", len(id), MaxTxnIDBytes)
+	}
+	if !utf8.ValidString(id) {
+		return errors.New("bad id: not valid UTF-8")
+	}
+	for _, r := range id {
+		if r < 0x20 || r == 0x7f {
+			return fmt.Errorf("bad id: control character %q", r)
+		}
+	}
+	return nil
+}
 
 // CommitRequestJSON is the POST /commit body.
 type CommitRequestJSON struct {
@@ -52,9 +105,15 @@ type HealthJSON struct {
 func NewHTTPHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /commit", func(w http.ResponseWriter, r *http.Request) {
-		var body CommitRequestJSON
-		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-			writeJSON(w, http.StatusBadRequest, ErrorJSON{Error: "bad request body: " + err.Error()})
+		body, err := DecodeCommitRequest(http.MaxBytesReader(w, r.Body, MaxCommitBodyBytes))
+		if err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				writeJSON(w, http.StatusRequestEntityTooLarge, ErrorJSON{
+					Error: fmt.Sprintf("request body exceeds %d bytes", MaxCommitBodyBytes)})
+				return
+			}
+			writeJSON(w, http.StatusBadRequest, ErrorJSON{Error: err.Error()})
 			return
 		}
 		res, err := s.Submit(r.Context(), Request{

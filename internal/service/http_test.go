@@ -272,3 +272,47 @@ func TestHTTPCrashAndDrain(t *testing.T) {
 		t.Fatalf("health = %+v", h)
 	}
 }
+
+// TestHTTPCommitDecodeHardening: malformed, oversized, or hostile bodies
+// answer 4xx without touching the cluster — and never panic the handler.
+func TestHTTPCommitDecodeHardening(t *testing.T) {
+	_, ts := newHTTPService(t, service.Config{})
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/commit", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"malformed json", `{"id":`, http.StatusBadRequest},
+		{"wrong type", `{"votes":"yes"}`, http.StatusBadRequest},
+		{"trailing garbage", `{"id":"a"} {"id":"b"}`, http.StatusBadRequest},
+		{"array body", `[true,false]`, http.StatusBadRequest},
+		{"control char id", "{\"id\":\"a\\u0000b\"}", http.StatusBadRequest},
+		{"oversized id", `{"id":"` + strings.Repeat("x", service.MaxTxnIDBytes+1) + `"}`, http.StatusBadRequest},
+		{"negative timeout", `{"timeout_ms":-5}`, http.StatusBadRequest},
+		{"wrong vote count", `{"votes":[true]}`, http.StatusBadRequest},
+		{"oversized body", `{"id":"` + strings.Repeat("x", service.MaxCommitBodyBytes) + `"}`,
+			http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := post(tc.body)
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.want)
+			}
+			if e := decode[service.ErrorJSON](t, resp); e.Error == "" {
+				t.Fatal("error body missing explanation")
+			}
+		})
+	}
+}

@@ -1,0 +1,75 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/types"
+)
+
+// WithFaults wraps inner so every Send is first judged by decide: dropped
+// messages vanish, duplicated messages are sent multiple times, delayed
+// messages are held on a timer before reaching the inner transport. It is
+// the interceptor for transports with no native fault hooks (the TCP
+// node); the Hub takes the same decide function via HubOptions.Inject.
+//
+// Close waits for in-flight delayed sends to settle, then closes inner. A
+// send whose timer fires after Close began is silently discarded —
+// exactly a message lost in a dying network.
+func WithFaults(inner Transport, decide func(msg types.Message) Fault) Transport {
+	return &faultWrapper{inner: inner, decide: decide}
+}
+
+type faultWrapper struct {
+	inner   Transport
+	decide  func(msg types.Message) Fault
+	timers  sync.WaitGroup
+	closing atomic.Bool
+}
+
+var _ Transport = (*faultWrapper)(nil)
+
+// Send implements Transport.
+func (f *faultWrapper) Send(msg types.Message) error {
+	if f.closing.Load() {
+		return ErrClosed
+	}
+	fault := f.decide(msg)
+	if fault.Drop {
+		return nil
+	}
+	copies := 1 + fault.Duplicates
+	if fault.Delay <= 0 {
+		var firstErr error
+		for i := 0; i < copies; i++ {
+			if err := f.inner.Send(msg); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	f.timers.Add(1)
+	time.AfterFunc(fault.Delay, func() {
+		defer f.timers.Done()
+		if f.closing.Load() {
+			return
+		}
+		for i := 0; i < copies; i++ {
+			if err := f.inner.Send(msg); err != nil {
+				return // closed underneath: the message is lost, as designed
+			}
+		}
+	})
+	return nil
+}
+
+// Recv implements Transport.
+func (f *faultWrapper) Recv() <-chan types.Message { return f.inner.Recv() }
+
+// Close implements Transport.
+func (f *faultWrapper) Close() error {
+	f.closing.Store(true)
+	f.timers.Wait()
+	return f.inner.Close()
+}

@@ -35,12 +35,30 @@ type Transport interface {
 	Close() error
 }
 
+// Fault is an injector's verdict for one message: drop it, deliver extra
+// copies, and/or hold it back. The zero value is "deliver normally".
+// Faults model the paper's adversary at the network layer — loss,
+// duplication, and arbitrary-but-finite delay; payloads are never
+// corrupted.
+type Fault struct {
+	// Drop discards the message (and any duplicates).
+	Drop bool
+	// Duplicates delivers that many extra copies of the message.
+	Duplicates int
+	// Delay postpones delivery of the message and its copies.
+	Delay time.Duration
+}
+
 // HubOptions configures fault injection on an in-memory hub.
 type HubOptions struct {
 	// Delay, if non-nil, returns the artificial latency for a message.
 	Delay func(msg types.Message) time.Duration
 	// Drop, if non-nil, returns true to silently discard a message.
 	Drop func(msg types.Message) bool
+	// Inject, if non-nil, is consulted once per message with the full
+	// fault vocabulary (drop, duplicate, delay). It composes with
+	// Drop/Delay: a message is dropped if either says so, and delays add.
+	Inject func(msg types.Message) Fault
 	// QueueSize is the per-node inbound buffer (default 4096).
 	QueueSize int
 	// Registry, if non-nil, receives the hub's transport metrics
@@ -86,10 +104,28 @@ func (h *Hub) Endpoint(p types.ProcID) Transport {
 }
 
 // Crash disconnects node p: all of its future inbound and outbound
-// messages are dropped.
+// messages are dropped. Crashing a closed (or closing) hub is a no-op —
+// fault injectors firing from timers may race shutdown.
 func (h *Hub) Crash(p types.ProcID) {
+	if h.closing.Load() {
+		return
+	}
 	h.crashed[p].Store(true)
 }
+
+// Restart reconnects a crashed node p: its traffic flows again. The
+// paper's crash-restart story — a recovered processor rejoins the network
+// and re-learns the outcome. Restarting on a closed hub is a no-op.
+func (h *Hub) Restart(p types.ProcID) {
+	if h.closing.Load() {
+		return
+	}
+	h.crashed[p].Store(false)
+}
+
+// Closed reports whether the hub has begun closing. Timer-driven fault
+// injection uses it to avoid touching a hub being torn down.
+func (h *Hub) Closed() bool { return h.closing.Load() }
 
 // Close shuts the hub down, closing all inbound channels after in-flight
 // delayed messages settle.
@@ -123,23 +159,32 @@ func (h *Hub) deliver(msg types.Message) error {
 		return nil
 	}
 
-	if h.opts.Drop != nil && h.opts.Drop(msg) {
+	var fault Fault
+	if h.opts.Inject != nil {
+		fault = h.opts.Inject(msg)
+	}
+	if fault.Drop || (h.opts.Drop != nil && h.opts.Drop(msg)) {
 		h.m.dropped.Inc()
 		return nil
 	}
-	var delay time.Duration
+	delay := fault.Delay
 	if h.opts.Delay != nil {
-		delay = h.opts.Delay(msg)
+		delay += h.opts.Delay(msg)
 	}
 	h.m.observeDelay(msg.From, msg.To, delay.Seconds())
+	copies := 1 + fault.Duplicates
 	if delay <= 0 {
-		h.enqueue(msg)
+		for i := 0; i < copies; i++ {
+			h.enqueue(msg)
+		}
 		return nil
 	}
 	h.timers.Add(1)
 	time.AfterFunc(delay, func() {
 		defer h.timers.Done()
-		h.enqueue(msg)
+		for i := 0; i < copies; i++ {
+			h.enqueue(msg)
+		}
 	})
 	return nil
 }

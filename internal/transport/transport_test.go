@@ -206,3 +206,160 @@ func TestTCPCloseIsIdempotentAndRejectsSends(t *testing.T) {
 		t.Errorf("send after close = %v, want ErrClosed", err)
 	}
 }
+
+func TestHubInjectFaults(t *testing.T) {
+	// Drop everything to node 1, duplicate everything to node 2 once,
+	// delay everything else.
+	hub := transport.NewHub(4, transport.HubOptions{
+		Inject: func(m types.Message) transport.Fault {
+			switch m.To {
+			case 1:
+				return transport.Fault{Drop: true}
+			case 2:
+				return transport.Fault{Duplicates: 1}
+			default:
+				return transport.Fault{Delay: 20 * time.Millisecond}
+			}
+		},
+	})
+	defer hub.Close() //nolint:errcheck
+	a := hub.Endpoint(0)
+	for to := 1; to <= 3; to++ {
+		if err := a.Send(types.Message{To: types.ProcID(to), Payload: core.VoteMsg{}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := recvWithTimeout(t, hub.Endpoint(1), 50*time.Millisecond); ok {
+		t.Error("dropped message was delivered")
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := recvWithTimeout(t, hub.Endpoint(2), time.Second); !ok {
+			t.Fatalf("duplicate copy %d never arrived", i)
+		}
+	}
+	start := time.Now()
+	if _, ok := recvWithTimeout(t, hub.Endpoint(3), 2*time.Second); !ok {
+		t.Fatal("delayed message never arrived")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("delayed message took %v", elapsed)
+	}
+}
+
+func TestHubRestartRestoresTraffic(t *testing.T) {
+	hub := transport.NewHub(2, transport.HubOptions{})
+	defer hub.Close() //nolint:errcheck
+	a, b := hub.Endpoint(0), hub.Endpoint(1)
+	hub.Crash(1)
+	if err := a.Send(types.Message{To: 1, Payload: core.VoteMsg{}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvWithTimeout(t, b, 30*time.Millisecond); ok {
+		t.Fatal("crashed node received a message")
+	}
+	hub.Restart(1)
+	if err := a.Send(types.Message{To: 1, Payload: core.VoteMsg{}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvWithTimeout(t, b, time.Second); !ok {
+		t.Fatal("restarted node never received a message")
+	}
+}
+
+func TestHubCrashAfterCloseIsNoop(t *testing.T) {
+	hub := transport.NewHub(2, transport.HubOptions{})
+	if err := hub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !hub.Closed() {
+		t.Fatal("Closed() false after Close")
+	}
+	hub.Crash(1)   // must not panic or resurrect state
+	hub.Restart(1) // likewise
+}
+
+func TestWithFaultsWrapper(t *testing.T) {
+	hub := transport.NewHub(2, transport.HubOptions{})
+	defer hub.Close() //nolint:errcheck
+	mode := "dup"
+	wrapped := transport.WithFaults(hub.Endpoint(0), func(m types.Message) transport.Fault {
+		switch mode {
+		case "drop":
+			return transport.Fault{Drop: true}
+		case "dup":
+			return transport.Fault{Duplicates: 2}
+		default:
+			return transport.Fault{Delay: 15 * time.Millisecond}
+		}
+	})
+	b := hub.Endpoint(1)
+	if err := wrapped.Send(types.Message{To: 1, Payload: core.VoteMsg{}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := recvWithTimeout(t, b, time.Second); !ok {
+			t.Fatalf("copy %d never arrived", i)
+		}
+	}
+	mode = "drop"
+	if err := wrapped.Send(types.Message{To: 1, Payload: core.VoteMsg{}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvWithTimeout(t, b, 30*time.Millisecond); ok {
+		t.Fatal("dropped message was delivered")
+	}
+	mode = "delay"
+	start := time.Now()
+	if err := wrapped.Send(types.Message{To: 1, Payload: core.VoteMsg{}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvWithTimeout(t, b, 2*time.Second); !ok {
+		t.Fatal("delayed message never arrived")
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Errorf("delayed message arrived after only %v", elapsed)
+	}
+}
+
+func TestWithFaultsOverTCP(t *testing.T) {
+	transport.RegisterWirePayloads()
+	recvNode, err := transport.ListenTCP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recvNode.Close() //nolint:errcheck
+	sendNode, err := transport.ListenTCP(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendNode.SetPeers(map[types.ProcID]string{1: recvNode.Addr()})
+	var drops int
+	wrapped := transport.WithFaults(sendNode, func(m types.Message) transport.Fault {
+		drops++
+		if drops%2 == 1 {
+			return transport.Fault{Drop: true}
+		}
+		return transport.Fault{Delay: 5 * time.Millisecond, Duplicates: 1}
+	})
+	for i := 0; i < 4; i++ {
+		if err := wrapped.Send(types.Message{To: 1, Payload: core.VoteMsg{Val: types.V1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 4 sends: 2 dropped, 2 delivered twice each = 4 arrivals.
+	for i := 0; i < 4; i++ {
+		if _, ok := recvWithTimeout(t, recvNode, 2*time.Second); !ok {
+			t.Fatalf("arrival %d missing", i)
+		}
+	}
+	if _, ok := recvWithTimeout(t, recvNode, 30*time.Millisecond); ok {
+		t.Error("more arrivals than faults allow")
+	}
+	// Close must drain timers without racing delayed sends.
+	if err := wrapped.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wrapped.Send(types.Message{To: 1, Payload: core.VoteMsg{}}); err == nil {
+		t.Error("send after close succeeded")
+	}
+}
