@@ -10,17 +10,23 @@
 // always exercises the same crash schedule, partition windows, and
 // per-message fault verdicts. On an audit violation the process exits 1
 // after printing the audit log and the failing seed; -trace-out
-// additionally dumps the run's protocol trace as JSON for post-mortem.
+// additionally dumps the run's protocol trace as JSON for post-mortem,
+// and -spans-out the run's causal span graph (feed it to `tracedump
+// critpath` or `tracedump chrome`). Service runs also print the
+// critical path of the slowest transaction — after the audit log, so the
+// log itself stays a pure function of the seed.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"repro/internal/chaos"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 )
 
 func main() {
@@ -41,6 +47,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		budget   = fs.Int("budget", 0, "run budget in ticks (default 8*horizon+512)")
 		planOnly = fs.Bool("plan", false, "print the canonical plan and exit")
 		traceOut = fs.String("trace-out", "", "write the run's protocol trace JSON to this file")
+		spansOut = fs.String("spans-out", "", "write the run's causal span graph JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -63,14 +70,16 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	tracer := obs.NewTracer(1 << 14)
-	opts := chaos.RunOptions{TickEvery: *tick, BudgetTicks: *budget, Tracer: tracer}
+	spans := span.NewCollector(1 << 16)
+	opts := chaos.RunOptions{TickEvery: *tick, BudgetTicks: *budget, Tracer: tracer, Spans: spans}
 
 	var report *chaos.Report
+	var svcData *chaos.ServiceRunData
 	switch *mode {
 	case "cluster":
 		report, _, err = chaos.RunCluster(plan, opts)
 	case "service":
-		report, _, err = chaos.RunService(plan, opts)
+		report, svcData, err = chaos.RunService(plan, opts)
 	default:
 		fmt.Fprintf(stderr, "unknown -mode %q (want cluster or service)\n", *mode)
 		return 2
@@ -81,6 +90,12 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	fmt.Fprint(stdout, report.Log())
+	// Latency attribution rides after the audit log, never inside it:
+	// Report.Log() must stay byte-reproducible from the seed alone, and
+	// wall-clock span durations are not.
+	if svcData != nil {
+		printSlowest(stdout, spans, svcData)
+	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -97,10 +112,49 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 		fmt.Fprintf(stdout, "trace written to %s\n", *traceOut)
 	}
+	if *spansOut != "" {
+		f, err := os.Create(*spansOut)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		werr := span.WriteJSON(f, spans.Graph())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, werr)
+			return 1
+		}
+		fmt.Fprintf(stdout, "spans written to %s\n", *spansOut)
+	}
 	if !report.Pass() {
 		fmt.Fprintf(stderr, "AUDIT FAILED — failing seed: %d (replay: go run ./cmd/chaos -seed %d -shape %s -n %d -mode %s)\n",
 			*seed, *seed, *shape, *n, *mode)
 		return 1
 	}
 	return 0
+}
+
+// printSlowest renders the critical path of the run's slowest terminal
+// transaction — where its latency actually went, stage by stage.
+func printSlowest(w io.Writer, c *span.Collector, data *chaos.ServiceRunData) {
+	slowest, lat := "", time.Duration(-1)
+	for _, r := range data.Results {
+		if !r.StatusKnown || !r.Status.State.Terminal() {
+			continue
+		}
+		if r.Status.Latency > lat {
+			lat, slowest = r.Status.Latency, r.ID
+		}
+	}
+	if slowest == "" {
+		return
+	}
+	p, err := c.Graph().CriticalPathTxn(slowest)
+	if err != nil {
+		return // e.g. the collector's ring evicted this transaction
+	}
+	fmt.Fprintf(w, "slowest transaction: %s (%.1fms end-to-end)\n%s",
+		slowest, float64(lat)/float64(time.Millisecond), p.Render())
 }

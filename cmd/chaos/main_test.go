@@ -1,10 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs/span"
 )
 
 // capture runs main's run() with stdout redirected to a pipe-backed file.
@@ -65,6 +68,40 @@ func TestReplayServiceModeWithTrace(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "\"events\"") {
 		t.Fatalf("trace JSON missing events:\n%.200s", data)
+	}
+}
+
+// TestServiceSpansOutAndCritpath: a service run writes its causal span
+// graph, prints the slowest transaction's critical path after the audit
+// log, and the dump is a loadable span graph.
+func TestServiceSpansOutAndCritpath(t *testing.T) {
+	spansPath := filepath.Join(t.TempDir(), "spans.json")
+	code, out := capture(t, []string{
+		"-seed", "11", "-n", "3", "-shape", "clean", "-mode", "service",
+		"-tick", "500us", "-spans-out", spansPath,
+	})
+	if code != 0 {
+		t.Fatalf("service replay exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "slowest transaction: chaos-11-") ||
+		!strings.Contains(out, "critical path:") {
+		t.Fatalf("missing critical-path attribution:\n%s", out)
+	}
+	// The attribution must follow the audit log, never precede (or
+	// infiltrate) it — Log() stays a pure function of the seed.
+	if strings.Index(out, "audit PASS") > strings.Index(out, "slowest transaction:") {
+		t.Fatalf("critical path printed before the audit log:\n%s", out)
+	}
+	raw, err := os.ReadFile(spansPath)
+	if err != nil {
+		t.Fatalf("spans not written: %v", err)
+	}
+	g, err := span.ReadJSON(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("spans dump unreadable: %v", err)
+	}
+	if len(g.Spans) == 0 || len(g.Edges) == 0 {
+		t.Fatalf("spans dump empty: %d spans, %d edges", len(g.Spans), len(g.Edges))
 	}
 }
 

@@ -9,7 +9,9 @@
 //	GET  /metrics       counters + latency percentiles (JSON)
 //	GET  /metrics.prom  every layer's metrics, Prometheus text format
 //	GET  /debug/trace   recent protocol events (?txn=<id>&n=<count>)
+//	GET  /debug/spans   causal span graph (?txn=<id> filters)
 //	GET  /healthz       liveness + cluster size
+//	GET  /readyz        readiness: 503 while starting or draining
 //	POST /crash/{node}  fault injection: fail-stop one processor
 //
 // The cluster backend is either the in-process channel hub (default) or
@@ -73,6 +75,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	}
 
 	reg := obs.NewRegistry()
+	obs.RegisterProcessMetrics(reg)
 	cfg := service.Config{
 		N: *n, T: *tFaults, K: *k,
 		TickEvery:      *tick,

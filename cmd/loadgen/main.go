@@ -111,6 +111,9 @@ func drive(cfg genConfig, out io.Writer) error {
 	base := "http://" + cfg.addr
 	client := &http.Client{Timeout: cfg.timeout}
 
+	if err := waitReady(client, base, 5*time.Second); err != nil {
+		return fmt.Errorf("readyz: %w", err)
+	}
 	n, err := clusterSize(client, base)
 	if err != nil {
 		return fmt.Errorf("healthz: %w", err)
@@ -373,8 +376,48 @@ func report(out io.Writer, cfg genConfig, s SummaryJSON, elapsed time.Duration) 
 		s.ThroughputTPS, s.Completed, s.ClientErrors, s.OverloadRetries)
 	fmt.Fprintf(out, "daemon: committed=%d aborted=%d timed_out=%d crashed=%v violations=%d\n",
 		m.Committed, m.Aborted, m.TimedOut, m.Crashed, m.SafetyViolations)
+	if len(m.Stages) > 0 {
+		st := stats.NewTable("stage", "count", "p50 ms", "p99 ms")
+		// Pipeline order, not lexical: where a transaction's time goes.
+		for _, name := range []string{"admit", "batch", "dispatch", "decided", "notify"} {
+			sl, ok := m.Stages[name]
+			if !ok {
+				continue
+			}
+			st.AddRow(name, sl.Count, fmt.Sprintf("%.3f", sl.P50Ms), fmt.Sprintf("%.3f", sl.P99Ms))
+		}
+		fmt.Fprint(out, "daemon stage latency:\n"+st.String())
+	}
 	if s.ClientViolations > 0 {
 		fmt.Fprintf(out, "CLIENT-OBSERVED VIOLATIONS: %d abort-voted txns committed\n", s.ClientViolations)
+	}
+}
+
+// waitReady polls GET /readyz until the daemon answers 200, retrying
+// connection errors and 503 (starting or draining) up to the deadline. A
+// 404 counts as ready: older daemons without the endpoint are healthy if
+// they answer at all.
+func waitReady(client *http.Client, base string, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	var last error
+	for {
+		resp, err := client.Get(base + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK, http.StatusNotFound:
+				return nil
+			default:
+				last = fmt.Errorf("daemon not ready: %s", resp.Status)
+			}
+		} else {
+			last = err
+		}
+		if time.Now().After(deadline) {
+			return last
+		}
+		time.Sleep(100 * time.Millisecond)
 	}
 }
 

@@ -9,31 +9,179 @@
 //     (`curl http://host/debug/trace > live.json`), rendered as a
 //     per-node protocol event timeline.
 //
+// Subcommands turn either input into the causal span model
+// (internal/obs/span):
+//
+//   - `tracedump spans <trace.json>` exports the happens-before span
+//     graph as JSON (also accepts a span-graph JSON from GET
+//     /debug/spans and passes it through canonically);
+//
+//   - `tracedump critpath [-txn id] <trace.json>` prints the critical
+//     path — the longest causal chain ending at the last-finishing
+//     span — with per-step latency attribution;
+//
+//   - `tracedump chrome <trace.json>` exports Chrome trace-event JSON
+//     loadable in Perfetto / chrome://tracing, one track per processor
+//     plus the service and network tracks.
+//
 //     commitsim -n 5 -tracefile run.json
 //     tracedump run.json
 //     tracedump -rounds -late run.json
+//     tracedump critpath run.json
+//     tracedump chrome -o run.chrome.json run.json
 //     curl -s localhost:8080/debug/trace?n=500 > live.json && tracedump live.json
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/rounds"
 	"repro/internal/trace"
 	"repro/internal/types"
 )
 
+const usageText = `usage:
+  tracedump [flags] <trace.json>              render a human-readable timeline
+  tracedump spans [-o file] <trace.json>      export the causal span graph (JSON)
+  tracedump critpath [-txn id] <trace.json>   print the critical path
+  tracedump chrome [-o file] <trace.json>     export Chrome trace-event JSON (Perfetto)
+`
+
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "tracedump:", err)
-		os.Exit(1)
+	os.Exit(dispatch(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// dispatch routes to a subcommand or the legacy timeline renderer. An
+// unknown subcommand (or a usage error) exits 2 with the usage text; any
+// other failure exits 1.
+func dispatch(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		switch args[0] {
+		case "spans", "critpath", "chrome":
+			if err := runSub(args[0], args[1:], stdout); err != nil {
+				fmt.Fprintln(stderr, "tracedump:", err)
+				if strings.Contains(err.Error(), "usage:") {
+					return 2
+				}
+				return 1
+			}
+			return 0
+		default:
+			if len(args) > 1 {
+				// Two or more positionals where the first names no
+				// subcommand: a typo, not a trace file. Refuse loudly
+				// rather than guessing.
+				fmt.Fprintf(stderr, "tracedump: unknown subcommand %q\n%s", args[0], usageText)
+				return 2
+			}
+		}
 	}
+	if err := run(args); err != nil {
+		fmt.Fprintln(stderr, "tracedump:", err)
+		if strings.Contains(err.Error(), "usage:") {
+			return 2
+		}
+		return 1
+	}
+	return 0
+}
+
+// runSub executes one span-model subcommand.
+func runSub(cmd string, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tracedump "+cmd, flag.ContinueOnError)
+	outPath := fs.String("o", "", "write output to this file instead of stdout")
+	var txnID string
+	if cmd == "critpath" {
+		fs.StringVar(&txnID, "txn", "", "attribute this transaction (default: the last-finishing span)")
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New(usageText)
+	}
+	g, err := loadGraph(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	w := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close() //nolint:errcheck // write errors surface below
+		w = f
+	}
+	switch cmd {
+	case "spans":
+		return span.WriteJSON(w, g)
+	case "chrome":
+		return span.WriteChromeTrace(w, g)
+	case "critpath":
+		var p *span.Path
+		if txnID != "" {
+			p, err = g.CriticalPathTxn(txnID)
+		} else {
+			p, err = criticalPathLast(g)
+		}
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(w, p.Render())
+		return err
+	}
+	return fmt.Errorf("unknown subcommand %q", cmd)
+}
+
+// loadGraph builds a span graph from any of the three input formats:
+// simulator trace, live-trace export, or an already-built span graph.
+func loadGraph(path string) (*span.Graph, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if span.IsGraphJSON(raw) {
+		return span.ReadJSON(bytes.NewReader(raw))
+	}
+	if isLiveTrace(raw) {
+		var exp obs.TraceExport
+		if err := json.Unmarshal(raw, &exp); err != nil {
+			return nil, fmt.Errorf("live trace: %w", err)
+		}
+		return span.FromEvents(exp.Events), nil
+	}
+	tr, err := trace.ReadJSON(bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	return span.FromTrace(tr)
+}
+
+// criticalPathLast targets the graph's last-finishing span (ties to the
+// lowest id) — the overall makespan's endpoint.
+func criticalPathLast(g *span.Graph) (*span.Path, error) {
+	idx := -1
+	for i := range g.Spans {
+		s := &g.Spans[i]
+		if idx < 0 || s.End > g.Spans[idx].End ||
+			(s.End == g.Spans[idx].End && s.ID < g.Spans[idx].ID) {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return nil, errors.New("empty span graph")
+	}
+	return g.CriticalPath(g.Spans[idx].ID)
 }
 
 func run(args []string) error {

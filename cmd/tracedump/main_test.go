@@ -1,13 +1,20 @@
 package main
 
 import (
+	"bytes"
+	"flag"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	tcommit "repro"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
 
 // writeTrace produces a real trace file via the public simulate API.
 func writeTrace(t *testing.T) string {
@@ -86,6 +93,141 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{bad}); err == nil {
 		t.Error("garbage file accepted")
+	}
+}
+
+// TestDispatchUnknown (satellite of the span work): an unknown
+// subcommand or flag exits non-zero with the usage text instead of
+// silently falling through to the file renderer.
+func TestDispatchUnknown(t *testing.T) {
+	var errb bytes.Buffer
+	if code := dispatch([]string{"bogus", "x.json"}, io.Discard, &errb); code != 2 {
+		t.Fatalf("unknown subcommand exit = %d, want 2", code)
+	}
+	if out := errb.String(); !strings.Contains(out, `unknown subcommand "bogus"`) ||
+		!strings.Contains(out, "usage:") {
+		t.Fatalf("stderr = %q", out)
+	}
+
+	errb.Reset()
+	if code := dispatch([]string{"-no-such-flag", "x.json"}, io.Discard, &errb); code == 0 {
+		t.Fatal("unknown flag exited 0")
+	}
+
+	errb.Reset()
+	if code := dispatch([]string{"spans"}, io.Discard, &errb); code != 2 {
+		t.Fatalf("missing operand exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "usage:") {
+		t.Fatalf("stderr = %q", errb.String())
+	}
+
+	errb.Reset()
+	if code := dispatch([]string{"critpath", "/nonexistent.json"}, io.Discard, &errb); code != 1 {
+		t.Fatalf("missing file exit = %d, want 1", code)
+	}
+
+	// The legacy single-file form still works through dispatch.
+	if code := dispatch([]string{writeTrace(t)}, io.Discard, &errb); code != 0 {
+		t.Fatalf("legacy render exit = %d, stderr %q", code, errb.String())
+	}
+}
+
+// goldenCheck runs one subcommand over the deterministic sim trace and
+// compares its stdout against a committed golden file.
+func goldenCheck(t *testing.T, name string, args []string) string {
+	t.Helper()
+	var out, errb bytes.Buffer
+	if code := dispatch(args, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr %q", code, errb.String())
+	}
+	golden := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("%s mismatch\n--- got ---\n%s--- want ---\n%s", name, out.String(), want)
+	}
+	return out.String()
+}
+
+// TestSubcommandGoldens: the three span subcommands are byte-stable over
+// the fixed-seed simulator trace — the acceptance guarantee that one
+// seed yields identical span JSON, chrome JSON, and critical-path text.
+func TestSubcommandGoldens(t *testing.T) {
+	path := writeTrace(t)
+	spansOut := goldenCheck(t, "spans.golden", []string{"spans", path})
+	goldenCheck(t, "critpath.golden", []string{"critpath", path})
+	chromeOut := goldenCheck(t, "chrome.golden", []string{"chrome", path})
+
+	if _, err := span.ReadJSON(strings.NewReader(spansOut)); err != nil {
+		t.Fatalf("spans golden is not a valid span graph: %v", err)
+	}
+
+	// The chrome export is structurally valid trace-event JSON.
+	if !strings.Contains(chromeOut, `"traceEvents"`) || !strings.Contains(chromeOut, `"ph": "X"`) {
+		t.Error("chrome golden lacks trace-event structure")
+	}
+
+	// The spans export round-trips through the subcommand unchanged
+	// (span-graph JSON in, canonical span-graph JSON out).
+	reexport := filepath.Join(t.TempDir(), "graph.json")
+	if err := os.WriteFile(reexport, []byte(spansOut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if code := dispatch([]string{"spans", reexport}, &again, io.Discard); code != 0 {
+		t.Fatal("re-export failed")
+	}
+	if again.String() != spansOut {
+		t.Error("span-graph JSON did not pass through canonically")
+	}
+}
+
+// TestCritpathFlags: -txn and -o work; a live trace also feeds critpath.
+func TestCritpathFlags(t *testing.T) {
+	tr := obs.NewTracer(16)
+	tr.Record(obs.Event{Node: 0, Txn: "t1", Type: obs.EventGoSent, Tick: 1})
+	tr.Record(obs.Event{Node: 0, Txn: "t1", Type: obs.EventDecided, Tick: 7, Detail: "decision=COMMIT"})
+	live := filepath.Join(t.TempDir(), "live.json")
+	f, err := os.Create(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSON(f, "", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if code := dispatch([]string{"critpath", "-txn", "t1", live}, &out, io.Discard); code != 0 {
+		t.Fatal("critpath -txn failed on a live trace")
+	}
+	if !strings.Contains(out.String(), "txn=t1") {
+		t.Fatalf("critpath output = %q", out.String())
+	}
+	if code := dispatch([]string{"critpath", "-txn", "missing", live}, io.Discard, io.Discard); code != 1 {
+		t.Fatal("unknown -txn exited 0")
+	}
+
+	dest := filepath.Join(t.TempDir(), "out.json")
+	if code := dispatch([]string{"chrome", "-o", dest, live}, io.Discard, io.Discard); code != 0 {
+		t.Fatal("chrome -o failed")
+	}
+	raw, err := os.ReadFile(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"traceEvents"`) {
+		t.Fatalf("chrome -o wrote %q", raw)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/recovery"
 	"repro/internal/rng"
 	"repro/internal/runtime"
@@ -33,6 +34,12 @@ type RunOptions struct {
 	// Registry and Tracer receive run telemetry; nil creates fresh ones.
 	Registry *obs.Registry
 	Tracer   *obs.Tracer
+	// Spans, if non-nil, collects causal spans from the run: service
+	// stages, manager rounds, and hub link delays (service mode), or
+	// link delays only (cluster mode, whose machines are raw core
+	// protocol instances, not managers). Nil disables span collection —
+	// audit reproducibility never depends on it.
+	Spans *span.Collector
 }
 
 func (o *RunOptions) defaults(p *Plan) {
@@ -159,7 +166,7 @@ func RunCluster(p *Plan, o RunOptions) (*Report, *ClusterRunData, error) {
 		TickEvery:  o.TickEvery,
 		MaxTicks:   o.BudgetTicks,
 		Seed:       p.Cfg.Seed ^ 0xa5a5a5a5deadbeef,
-		Hub:        transport.HubOptions{Inject: inj.Decide},
+		Hub:        transport.HubOptions{Inject: inj.Decide, Spans: o.Spans},
 		OnDecision: h.onDecision,
 		Registry:   o.Registry,
 		Tracer:     o.Tracer,

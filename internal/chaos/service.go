@@ -36,6 +36,7 @@ func RunService(p *Plan, o RunOptions) (*Report, *ServiceRunData, error) {
 		Hub:            transport.HubOptions{Inject: inj.Decide},
 		Registry:       o.Registry,
 		Tracer:         o.Tracer,
+		Spans:          o.Spans,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("chaos: build service: %w", err)

@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegisterProcessMetrics exercises the live path: the start time is
+// a plausible recent Unix timestamp and build_info carries non-empty
+// labels (under `go test` the build info is always present).
+func TestRegisterProcessMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterProcessMetrics(reg)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE process_start_time_seconds gauge",
+		"process_start_time_seconds ",
+		"# TYPE build_info gauge",
+		`build_info{path="`,
+		`goversion="go`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "process_start_time_seconds 0\n") {
+		t.Error("start time is zero")
+	}
+}

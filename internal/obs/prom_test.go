@@ -2,6 +2,7 @@ package obs
 
 import (
 	"flag"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -32,6 +33,7 @@ func goldenRegistry() *Registry {
 	esc := reg.CounterVec("odd_labels_total", "Counter with label values needing escaping.", "txn")
 	esc.With(`quote"back\slash`).Inc()
 	esc.With("line\nbreak").Inc()
+	registerProcessMetrics(reg, 1700000000.5, "repro", "v1.2.3", "go1.99.0")
 	return reg
 }
 
@@ -69,6 +71,86 @@ func TestWritePrometheusDeterministic(t *testing.T) {
 	}
 	if a.String() != b.String() {
 		t.Error("two expositions of one registry differ")
+	}
+}
+
+// TestEscapeLabelEdgeCases pins the exposition escaping table: backslash
+// doubles, double quotes and newlines escape, everything else (including
+// Unicode and other control-ish characters) passes through.
+func TestEscapeLabelEdgeCases(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`"quoted"`, `\"quoted\"`},
+		{"line\nbreak", `line\nbreak`},
+		{"\n", `\n`},
+		{`\`, `\\`},
+		{`\\`, `\\\\`},
+		{"mix\"of\\all\nthree", `mix\"of\\all\nthree`},
+		{"tab\tand unicode é", "tab\tand unicode é"},
+	}
+	for _, tc := range cases {
+		if got := escapeLabel(tc.in); got != tc.want {
+			t.Errorf("escapeLabel(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestHistogramInfBucket covers the +Inf edge cases: observations above
+// every finite bound land only in +Inf, an empty histogram still writes
+// the full cumulative series, and a bound-less histogram degenerates to
+// a single +Inf bucket.
+func TestHistogramInfBucket(t *testing.T) {
+	reg := NewRegistry()
+	over := reg.Histogram("over_ticks", "Everything beyond the last bound.", []float64{1, 2})
+	over.Observe(50)
+	over.Observe(2) // exactly at a bound is inside it (le semantics)
+	reg.Histogram("empty_ticks", "No observations.", []float64{1})
+	only := reg.Histogram("unbounded_ticks", "No finite bounds at all.", nil)
+	only.Observe(3)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`over_ticks_bucket{le="1"} 0`,
+		`over_ticks_bucket{le="2"} 1`,
+		`over_ticks_bucket{le="+Inf"} 2`,
+		`over_ticks_sum 52`,
+		`over_ticks_count 2`,
+		`empty_ticks_bucket{le="1"} 0`,
+		`empty_ticks_bucket{le="+Inf"} 0`,
+		`empty_ticks_count 0`,
+		`unbounded_ticks_bucket{le="+Inf"} 1`,
+		`unbounded_ticks_count 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFormatFloatSpecials: the exposition spells out infinities and NaN.
+func TestFormatFloatSpecials(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+		{0.5, "0.5"},
+		{1e9, "1e+09"},
+	}
+	for _, tc := range cases {
+		if got := formatFloat(tc.in); got != tc.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	if got := formatFloat(math.NaN()); got != "NaN" {
+		t.Errorf("formatFloat(NaN) = %q", got)
 	}
 }
 

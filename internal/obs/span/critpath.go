@@ -1,0 +1,161 @@
+package span
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Step is one span on a critical path with its latency contribution: the
+// time by which this step advanced the chain's completion over its
+// predecessor (the first step contributes its own duration).
+// Contributions telescope, so they sum exactly to Path.Total.
+type Step struct {
+	Span    Span  `json:"span"`
+	Contrib int64 `json:"contrib"`
+}
+
+// Path is the critical path of one target span: the causal chain whose
+// last-arriving step determined when the target completed.
+type Path struct {
+	Unit   string `json:"unit"`
+	Txn    string `json:"txn,omitempty"`
+	Target int    `json:"target"`
+	// Start is the first step's start, End the target's end; Total is
+	// their difference — the end-to-end latency the path explains.
+	Start int64  `json:"start"`
+	End   int64  `json:"end"`
+	Total int64  `json:"total"`
+	Steps []Step `json:"steps"`
+	// ByKind attributes Total across span kinds (stage/round/link).
+	ByKind map[Kind]int64 `json:"by_kind"`
+}
+
+// CriticalPath computes the critical path ending at the span with the
+// given id: walk the happens-before edges backward, at each span
+// following the predecessor that finished last (ties to the lower id).
+// That predecessor is the one the span actually waited for, so the walk
+// recovers the chain that set the completion time. Only predecessors
+// with strictly smaller (End, ID) are followed, which guarantees
+// termination on any edge set.
+func (g *Graph) CriticalPath(targetID int) (*Path, error) {
+	idx := g.index()
+	target := idx[targetID]
+	if target == nil {
+		return nil, fmt.Errorf("span: no span with id %d", targetID)
+	}
+	preds := make(map[int][]int)
+	for _, e := range g.Edges {
+		preds[e.To] = append(preds[e.To], e.From)
+	}
+
+	chain := []*Span{target}
+	cur := target
+	for {
+		var best *Span
+		for _, pid := range preds[cur.ID] {
+			p := idx[pid]
+			if p == nil {
+				continue
+			}
+			// Strict causal decrease: predecessor must have finished
+			// before (End, ID)-lexicographically — rules out cycles.
+			if p.End > cur.End || (p.End == cur.End && p.ID >= cur.ID) {
+				continue
+			}
+			if best == nil || p.End > best.End || (p.End == best.End && p.ID < best.ID) {
+				best = p
+			}
+		}
+		if best == nil {
+			break
+		}
+		chain = append(chain, best)
+		cur = best
+	}
+	// Walked target-to-root; present root-to-target.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+
+	p := &Path{
+		Unit:   g.Unit,
+		Txn:    target.Txn,
+		Target: target.ID,
+		Start:  chain[0].Start,
+		End:    target.End,
+		ByKind: make(map[Kind]int64),
+	}
+	p.Total = p.End - p.Start
+	prevEnd := chain[0].Start
+	for _, s := range chain {
+		contrib := s.End - prevEnd
+		prevEnd = s.End
+		p.Steps = append(p.Steps, Step{Span: *s, Contrib: contrib})
+		p.ByKind[s.Kind] += contrib
+	}
+	return p, nil
+}
+
+// CriticalPathTxn computes the critical path of one transaction: the
+// target is the transaction's last-finishing span (ties to the lowest
+// id) — for a service-traced transaction, the notify stage that
+// delivered the client's answer.
+func (g *Graph) CriticalPathTxn(txn string) (*Path, error) {
+	var target *Span
+	for i := range g.Spans {
+		s := &g.Spans[i]
+		if s.Txn != txn {
+			continue
+		}
+		if target == nil || s.End > target.End || (s.End == target.End && s.ID < target.ID) {
+			target = s
+		}
+	}
+	if target == nil {
+		return nil, fmt.Errorf("span: no spans for transaction %q", txn)
+	}
+	return g.CriticalPath(target.ID)
+}
+
+// renderKinds is the fixed display order of kind attributions.
+var renderKinds = []Kind{KindStage, KindRound, KindLink}
+
+// Render formats the path as deterministic, alignment-stable text.
+func (p *Path) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical path: target=#%d", p.Target)
+	if p.Txn != "" {
+		fmt.Fprintf(&b, " txn=%s", p.Txn)
+	}
+	fmt.Fprintf(&b, " total=%d %s over %d steps\n", p.Total, p.Unit, len(p.Steps))
+	for _, st := range p.Steps {
+		s := st.Span
+		fmt.Fprintf(&b, "  +%-8d %-5s %-10s %s (%d..%d)", st.Contrib, s.Kind, s.Track, s.Name, s.Start, s.End)
+		if s.Kind == KindLink {
+			fmt.Fprintf(&b, " %d->%d", s.From, s.To)
+		}
+		if s.Detail != "" {
+			fmt.Fprintf(&b, " [%s]", s.Detail)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("by kind:")
+	var rest []string
+	for k := range p.ByKind {
+		if k != KindStage && k != KindRound && k != KindLink {
+			rest = append(rest, string(k))
+		}
+	}
+	sort.Strings(rest)
+	for _, k := range renderKinds {
+		if v, ok := p.ByKind[k]; ok {
+			fmt.Fprintf(&b, " %s=%d", k, v)
+		}
+	}
+	for _, k := range rest {
+		fmt.Fprintf(&b, " %s=%d", k, p.ByKind[Kind(k)])
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,147 @@
+package span
+
+import (
+	"strings"
+	"testing"
+)
+
+// serviceGraph builds a full service-shaped DAG for one transaction:
+// pipeline stages around a two-processor protocol exchange.
+func serviceGraph() *Graph {
+	spans := []Span{
+		{ID: 1, Txn: "t", Track: "service", Name: StageAdmit, Kind: KindStage, Start: 0, End: 3, From: -1, To: -1},
+		{ID: 2, Txn: "t", Track: "service", Name: StageBatch, Kind: KindStage, Start: 3, End: 4, From: -1, To: -1},
+		{ID: 3, Txn: "t", Track: "service", Name: StageDispatch, Kind: KindStage, Start: 4, End: 6, From: -1, To: -1},
+		{ID: 4, Txn: "t", Track: "proc 0", Name: "round 1", Kind: KindRound, Start: 6, End: 10, From: -1, To: -1},
+		{ID: 5, Txn: "t", Track: "proc 1", Name: "round 1", Kind: KindRound, Start: 6, End: 9, From: -1, To: -1},
+		{ID: 6, Txn: "t", Track: "net", Name: "vote", Kind: KindLink, Start: 9, End: 14, From: 1, To: 0},
+		{ID: 7, Txn: "t", Track: "proc 0", Name: "round 2", Kind: KindRound, Start: 10, End: 18, From: -1, To: -1},
+		{ID: 8, Txn: "t", Track: "service", Name: StageDecided, Kind: KindStage, Start: 6, End: 20, From: -1, To: -1},
+		{ID: 9, Txn: "t", Track: "service", Name: StageNotify, Kind: KindStage, Start: 20, End: 21, From: -1, To: -1},
+	}
+	return &Graph{Unit: "tick", Spans: spans, Edges: InferEdges(spans)}
+}
+
+// TestCriticalPathTelescopes is the sum-to-latency contract: the step
+// contributions sum exactly (zero epsilon in the discrete units, one
+// tick of slack allowed in the assertion) to the end-to-end latency
+// End(target) - Start(first step).
+func TestCriticalPathTelescopes(t *testing.T) {
+	cases := []struct {
+		name   string
+		graph  *Graph
+		target int
+	}{
+		{"service DAG to notify", serviceGraph(), 9},
+		{"service DAG to decided", serviceGraph(), 8},
+		{"protocol round only", serviceGraph(), 7},
+		{"single span", &Graph{Unit: "us", Spans: []Span{
+			{ID: 1, Track: "service", Name: StageAdmit, Kind: KindStage, Start: 5, End: 11},
+		}, Edges: []Edge{}}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := tc.graph.CriticalPath(tc.target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sum int64
+			for _, st := range p.Steps {
+				sum += st.Contrib
+			}
+			latency := p.End - p.Start
+			if diff := sum - latency; diff > 1 || diff < -1 {
+				t.Fatalf("contributions sum %d, end-to-end latency %d (diff %d)", sum, latency, diff)
+			}
+			if sum != latency {
+				t.Fatalf("discrete units must telescope exactly: sum %d != %d", sum, latency)
+			}
+			if p.Total != latency {
+				t.Fatalf("Total %d != End-Start %d", p.Total, latency)
+			}
+			var byKind int64
+			for _, v := range p.ByKind {
+				byKind += v
+			}
+			if byKind != sum {
+				t.Fatalf("ByKind sums to %d, steps to %d", byKind, sum)
+			}
+		})
+	}
+}
+
+// TestCriticalPathDescendsIntoProtocol: from the notify stage the walk
+// must pass through decided into the protocol rounds and the link that
+// extended them, not stay on the service track.
+func TestCriticalPathDescendsIntoProtocol(t *testing.T) {
+	g := serviceGraph()
+	p, err := g.CriticalPathTxn("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Target != 9 {
+		t.Fatalf("target = %d, want 9 (last-finishing span)", p.Target)
+	}
+	var ids []int
+	for _, st := range p.Steps {
+		ids = append(ids, st.Span.ID)
+	}
+	// notify(9) ← decided(8) ← round2(7) ← link(6) ← round1 proc1 (5)
+	// ← dispatch(3) ← batch(2) ← admit(1)
+	want := []int{1, 2, 3, 5, 6, 7, 8, 9}
+	if len(ids) != len(want) {
+		t.Fatalf("path ids = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("path ids = %v, want %v", ids, want)
+		}
+	}
+	if p.ByKind[KindLink] == 0 || p.ByKind[KindRound] == 0 || p.ByKind[KindStage] == 0 {
+		t.Fatalf("ByKind missing an attribution: %v", p.ByKind)
+	}
+}
+
+func TestCriticalPathErrors(t *testing.T) {
+	g := serviceGraph()
+	if _, err := g.CriticalPath(99); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if _, err := g.CriticalPathTxn("nope"); err == nil {
+		t.Error("unknown txn accepted")
+	}
+}
+
+// TestCriticalPathTerminatesOnCycle: a malformed edge set with a cycle
+// must not hang — the strict (End, ID) descent guarantees progress.
+func TestCriticalPathTerminatesOnCycle(t *testing.T) {
+	g := &Graph{Unit: "us", Spans: []Span{
+		{ID: 1, Track: "a", Name: "x", Start: 0, End: 5},
+		{ID: 2, Track: "a", Name: "y", Start: 0, End: 5},
+	}, Edges: []Edge{{From: 1, To: 2}, {From: 2, To: 1}}}
+	p, err := g.CriticalPath(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 precedes 2 ((5,1) < (5,2)); 2 cannot precede 1.
+	if len(p.Steps) != 2 || p.Steps[0].Span.ID != 1 {
+		t.Fatalf("steps = %+v", p.Steps)
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	g := serviceGraph()
+	p, err := g.CriticalPathTxn("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := p.Render(), p.Render()
+	if a != b {
+		t.Fatal("two renders differ")
+	}
+	for _, want := range []string{"critical path:", "txn=t", "by kind:", "stage=", "round=", "link="} {
+		if !strings.Contains(a, want) {
+			t.Errorf("render missing %q:\n%s", want, a)
+		}
+	}
+}

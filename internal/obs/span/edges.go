@@ -1,0 +1,164 @@
+package span
+
+import (
+	"sort"
+	"strings"
+)
+
+// InferEdges reconstructs the happens-before edges of a span set. The
+// rules are purely structural, so one inference serves every producer
+// (live collector, simulator trace, protocol event stream):
+//
+//  1. Program order: consecutive non-link spans on one (txn, track),
+//     ordered by (Start, End, ID), are chained.
+//  2. Message causality: a link span's egress edge comes from the last
+//     span on the sender's processor track (same txn) that had started
+//     by the send; its ingress edge goes to the span on the receiver's
+//     track that covers the delivery instant, or the first span after
+//     it (the message woke the receiver's next round).
+//  3. Service handoff: the dispatch stage precedes each processor's
+//     first protocol span of the transaction, and each processor's last
+//     protocol span precedes the decided stage — so a critical-path
+//     walk from the client-visible decision descends into the protocol
+//     DAG instead of skipping it.
+//
+// Every rule sorts its inputs, so the edge set is a deterministic
+// function of the span set. Returned edges are deduplicated and sorted
+// by (From, To).
+func InferEdges(spans []Span) []Edge {
+	type groupKey struct{ txn, track string }
+	groups := make(map[groupKey][]*Span)
+	var links []*Span
+	for i := range spans {
+		s := &spans[i]
+		if s.Kind == KindLink {
+			links = append(links, s)
+			continue
+		}
+		k := groupKey{s.Txn, s.Track}
+		groups[k] = append(groups[k], s)
+	}
+	for _, g := range groups {
+		sort.Slice(g, func(i, j int) bool {
+			if g[i].Start != g[j].Start {
+				return g[i].Start < g[j].Start
+			}
+			if g[i].End != g[j].End {
+				return g[i].End < g[j].End
+			}
+			return g[i].ID < g[j].ID
+		})
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i].ID < links[j].ID })
+
+	seen := make(map[Edge]bool)
+	var edges []Edge
+	add := func(from, to int) {
+		if from == to {
+			return
+		}
+		e := Edge{From: from, To: to}
+		if !seen[e] {
+			seen[e] = true
+			edges = append(edges, e)
+		}
+	}
+
+	// Rule 1: program order within each (txn, track).
+	for _, g := range groups {
+		for i := 1; i < len(g); i++ {
+			add(g[i-1].ID, g[i].ID)
+		}
+	}
+
+	// Rule 2: message egress and ingress.
+	for _, l := range links {
+		if eg := groups[groupKey{l.Txn, ProcTrack(l.From)}]; len(eg) > 0 {
+			// Last sender-track span started by the send instant.
+			var pred *Span
+			for _, s := range eg {
+				if s.Start > l.Start {
+					break
+				}
+				pred = s
+			}
+			if pred != nil {
+				add(pred.ID, l.ID)
+			}
+		}
+		if ing := groups[groupKey{l.Txn, ProcTrack(l.To)}]; len(ing) > 0 {
+			// Receiver-track span covering the delivery, else the first
+			// span starting after it.
+			var succ *Span
+			for _, s := range ing {
+				if s.Start <= l.End {
+					if s.End >= l.End {
+						succ = s
+					}
+					continue
+				}
+				if succ == nil {
+					succ = s
+				}
+				break
+			}
+			if succ != nil {
+				add(l.ID, succ.ID)
+			}
+		}
+	}
+
+	// Rule 3: service handoff per transaction.
+	for k, g := range groups {
+		if k.track != ServiceTrack || k.txn == "" {
+			continue
+		}
+		var dispatch, decided *Span
+		for _, s := range g {
+			switch s.Name {
+			case StageDispatch:
+				if dispatch == nil {
+					dispatch = s
+				}
+			case StageDecided:
+				if decided == nil {
+					decided = s
+				}
+			}
+		}
+		if dispatch == nil && decided == nil {
+			continue
+		}
+		// Deterministic iteration over this txn's processor tracks.
+		var procTracks []string
+		for pk := range groups {
+			if pk.txn == k.txn && strings.HasPrefix(pk.track, "proc ") {
+				procTracks = append(procTracks, pk.track)
+			}
+		}
+		sort.Strings(procTracks)
+		for _, pt := range procTracks {
+			pg := groups[groupKey{k.txn, pt}]
+			if len(pg) == 0 {
+				continue
+			}
+			if dispatch != nil {
+				add(dispatch.ID, pg[0].ID)
+			}
+			if decided != nil {
+				add(pg[len(pg)-1].ID, decided.ID)
+			}
+		}
+	}
+
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	if edges == nil {
+		edges = []Edge{}
+	}
+	return edges
+}

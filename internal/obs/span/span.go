@@ -1,0 +1,246 @@
+// Package span is the causal-tracing layer of the observability
+// subsystem: it models a run of the commit stack as a happens-before DAG
+// of spans — service pipeline stages, per-processor asynchronous rounds,
+// and message links — and computes the critical path of a decision: the
+// causal chain whose last-arriving step determined the end-to-end
+// latency, attributed per stage, round, and link.
+//
+// The model follows the paper's own time measure: an asynchronous round
+// (§2.2) is defined per processor and driven by last-message receipt, so
+// the natural explanation of "why did this decision take 9 rounds" is a
+// chain of spans connected by the messages whose arrival extended each
+// round. The package has three producers:
+//
+//   - Collector: live instrumentation (service stages, manager rounds,
+//     transport links) stamped with one shared clock — wall-clock
+//     microseconds in live mode, a caller-supplied logical clock in
+//     tests.
+//   - FromTrace: the offline simulator's trace.Trace, timestamped in
+//     global event indices — fully deterministic, byte-identical across
+//     runs of one seed at any GOMAXPROCS.
+//   - FromEvents: the obs tracer's live protocol event stream,
+//     timestamped in per-node manager ticks.
+//
+// Everything downstream (edge inference, critical path, exporters) is a
+// pure function of the span set, so any producer feeds any consumer.
+// The package depends only on the standard library plus the repo's own
+// trace/rounds/obs packages.
+package span
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Kind classifies a span for attribution.
+type Kind string
+
+// Span kinds: a service pipeline stage, one per-processor asynchronous
+// round of a protocol instance, or one message's network flight.
+const (
+	KindStage Kind = "stage"
+	KindRound Kind = "round"
+	KindLink  Kind = "link"
+)
+
+// Service pipeline stage names, in causal order. The service records one
+// span per stage per transaction: queue wait (admit), batch assembly
+// (batch), slot acquisition + instance begin (dispatch), the protocol's
+// own deciding time (decided), and result delivery (notify).
+const (
+	StageAdmit    = "admit"
+	StageBatch    = "batch"
+	StageDispatch = "dispatch"
+	StageDecided  = "decided"
+	StageNotify   = "notify"
+)
+
+// ServiceTrack is the track name for service pipeline stages.
+const ServiceTrack = "service"
+
+// NetTrack is the track name link spans ride on.
+const NetTrack = "net"
+
+// ProcTrack renders processor p's track name.
+func ProcTrack(p int) string { return "proc " + strconv.Itoa(p) }
+
+// Span is one interval on a track. Start and End are in the owning
+// graph's Unit; a zero-length span marks an instant (a decision, a
+// crash). From/To are processor ids and meaningful only for link spans
+// (-1 otherwise).
+type Span struct {
+	ID     int    `json:"id"`
+	Txn    string `json:"txn,omitempty"`
+	Track  string `json:"track"`
+	Name   string `json:"name"`
+	Kind   Kind   `json:"kind"`
+	Start  int64  `json:"start"`
+	End    int64  `json:"end"`
+	From   int    `json:"from"`
+	To     int    `json:"to"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Duration is End - Start.
+func (s *Span) Duration() int64 { return s.End - s.Start }
+
+// Edge is one happens-before edge: the From span is a causal predecessor
+// of the To span (ids, not indices).
+type Edge struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+// Graph is a span set plus its inferred happens-before edges, ready for
+// critical-path analysis and export.
+type Graph struct {
+	// Unit names the timestamp domain: "us" (live wall-clock
+	// microseconds), "tick" (manager clock ticks), or "event" (simulator
+	// global event indices).
+	Unit string `json:"unit"`
+	// Dropped counts spans evicted from a bounded collector before the
+	// snapshot; edges touching them are gone too.
+	Dropped uint64 `json:"dropped"`
+	Spans   []Span `json:"spans"`
+	Edges   []Edge `json:"edges"`
+}
+
+// ByTxn returns the subgraph of one transaction (plus untagged link
+// spans are excluded: a txn filter keeps only spans stamped with it).
+func (g *Graph) ByTxn(txn string) *Graph {
+	out := &Graph{Unit: g.Unit, Dropped: g.Dropped}
+	keep := make(map[int]bool)
+	for _, s := range g.Spans {
+		if s.Txn == txn {
+			out.Spans = append(out.Spans, s)
+			keep[s.ID] = true
+		}
+	}
+	for _, e := range g.Edges {
+		if keep[e.From] && keep[e.To] {
+			out.Edges = append(out.Edges, e)
+		}
+	}
+	return out
+}
+
+// span lookup by id; built on demand by consumers.
+func (g *Graph) index() map[int]*Span {
+	idx := make(map[int]*Span, len(g.Spans))
+	for i := range g.Spans {
+		idx[g.Spans[i].ID] = &g.Spans[i]
+	}
+	return idx
+}
+
+// DefaultCollectorCapacity bounds a collector created with capacity <= 0.
+const DefaultCollectorCapacity = 1 << 14
+
+// Collector gathers spans from the live stack into a bounded buffer:
+// constant memory under unbounded traffic, always holding the most
+// recent spans. All methods are safe for concurrent use and nil-receiver
+// safe, so uninstrumented components pay only a nil check.
+//
+// Timestamps come from the collector's own clock — microseconds since
+// the collector's creation by default, or a caller-supplied clock (tests
+// use a manual one; determinism then is the caller's property).
+type Collector struct {
+	clock func() int64
+
+	mu      sync.Mutex
+	buf     []Span
+	next    int
+	full    bool
+	seq     int
+	dropped uint64
+}
+
+// NewCollector creates a collector retaining at most capacity spans,
+// stamped with wall-clock microseconds since creation.
+func NewCollector(capacity int) *Collector {
+	epoch := time.Now()
+	return NewCollectorClock(capacity, func() int64 {
+		return time.Since(epoch).Microseconds()
+	})
+}
+
+// NewCollectorClock creates a collector with a caller-supplied clock.
+func NewCollectorClock(capacity int, clock func() int64) *Collector {
+	if capacity <= 0 {
+		capacity = DefaultCollectorCapacity
+	}
+	return &Collector{clock: clock, buf: make([]Span, 0, capacity)}
+}
+
+// Now reads the collector's clock (0 on a nil collector).
+func (c *Collector) Now() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.clock()
+}
+
+// Add records one completed span, assigning its id. The oldest span is
+// evicted once the buffer is full. Returns the assigned id (0 on a nil
+// collector).
+func (c *Collector) Add(s Span) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	s.ID = c.seq
+	if len(c.buf) < cap(c.buf) {
+		c.buf = append(c.buf, s)
+		return s.ID
+	}
+	c.full = true
+	c.dropped++
+	c.buf[c.next] = s
+	c.next = (c.next + 1) % len(c.buf)
+	return s.ID
+}
+
+// Dropped reports how many spans have been evicted since creation.
+func (c *Collector) Dropped() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Len reports how many spans are currently retained.
+func (c *Collector) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.buf)
+}
+
+// Graph snapshots the retained spans (sorted by id) and infers their
+// happens-before edges. A nil collector yields an empty graph.
+func (c *Collector) Graph() *Graph {
+	g := &Graph{Unit: "us"}
+	if c == nil {
+		g.Spans, g.Edges = []Span{}, []Edge{}
+		return g
+	}
+	c.mu.Lock()
+	spans := append([]Span(nil), c.buf...)
+	g.Dropped = c.dropped
+	c.mu.Unlock()
+	sort.Slice(spans, func(i, j int) bool { return spans[i].ID < spans[j].ID })
+	g.Spans = spans
+	g.Edges = InferEdges(spans)
+	if g.Spans == nil {
+		g.Spans = []Span{}
+	}
+	return g
+}

@@ -11,6 +11,7 @@ import (
 	"unicode/utf8"
 
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/types"
 )
 
@@ -100,7 +101,9 @@ type HealthJSON struct {
 //	GET  /metrics       instrumentation snapshot (JSON)
 //	GET  /metrics.prom  full shared registry, Prometheus text format
 //	GET  /debug/trace   recent protocol events (?txn=<id>&n=<count>)
+//	GET  /debug/spans   causal span graph (?txn=<id> filters)
 //	GET  /healthz       liveness + cluster size
+//	GET  /readyz        readiness: 503 while starting or draining
 //	POST /crash/{node}  fault injection: fail-stop one processor
 func NewHTTPHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
@@ -164,12 +167,30 @@ func NewHTTPHandler(s *Service) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		s.Tracer().WriteJSON(w, r.URL.Query().Get("txn"), n) //nolint:errcheck // client gone is fine
 	})
+	mux.HandleFunc("GET /debug/spans", func(w http.ResponseWriter, r *http.Request) {
+		g := s.Spans().Graph()
+		if id := r.URL.Query().Get("txn"); id != "" {
+			g = g.ByTxn(id)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		span.WriteJSON(w, g) //nolint:errcheck // client gone is fine
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		status := "ok"
 		if s.Draining() {
 			status = "draining"
 		}
 		writeJSON(w, http.StatusOK, HealthJSON{Status: status, N: s.N()})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case s.Ready():
+			writeJSON(w, http.StatusOK, HealthJSON{Status: "ok", N: s.N()})
+		case s.Draining():
+			writeJSON(w, http.StatusServiceUnavailable, HealthJSON{Status: "draining", N: s.N()})
+		default:
+			writeJSON(w, http.StatusServiceUnavailable, HealthJSON{Status: "starting", N: s.N()})
+		}
 	})
 	mux.HandleFunc("POST /crash/{node}", func(w http.ResponseWriter, r *http.Request) {
 		node, err := strconv.Atoi(r.PathValue("node"))

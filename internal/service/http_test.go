@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/service"
 	"repro/internal/transport"
 	"repro/internal/types"
@@ -270,6 +271,121 @@ func TestHTTPCrashAndDrain(t *testing.T) {
 	}
 	if h := decode[service.HealthJSON](t, resp); h.Status != "draining" {
 		t.Fatalf("health = %+v", h)
+	}
+}
+
+// TestHTTPReadyzAndSpans: /readyz answers 200 while serving and 503 once
+// draining; /debug/spans serves the causal span graph with all three
+// layers represented, filterable by transaction.
+func TestHTTPReadyzAndSpans(t *testing.T) {
+	s, ts := newHTTPService(t, service.Config{N: 3, Seed: 41})
+
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz code = %d", resp.StatusCode)
+	}
+	if h := decode[service.HealthJSON](t, resp); h.Status != "ok" || h.N != 3 {
+		t.Fatalf("readyz = %+v", h)
+	}
+
+	for _, id := range []string{"sp1", "sp2"} {
+		resp = postJSON(t, ts.URL+"/commit", service.CommitRequestJSON{ID: id})
+		if out := decode[service.CommitResponseJSON](t, resp); out.State != service.StateCommit {
+			t.Fatalf("commit %s = %+v", id, out)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	g, err := span.ReadJSON(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Unit != "us" {
+		t.Fatalf("unit = %q", g.Unit)
+	}
+	kinds := map[span.Kind]bool{}
+	stages := map[string]bool{}
+	for _, sp := range g.Spans {
+		kinds[sp.Kind] = true
+		if sp.Track == span.ServiceTrack {
+			stages[sp.Name] = true
+		}
+	}
+	for _, k := range []span.Kind{span.KindStage, span.KindRound, span.KindLink} {
+		if !kinds[k] {
+			t.Errorf("span graph missing kind %q", k)
+		}
+	}
+	for _, st := range []string{span.StageAdmit, span.StageBatch, span.StageDispatch, span.StageDecided, span.StageNotify} {
+		if !stages[st] {
+			t.Errorf("span graph missing service stage %q", st)
+		}
+	}
+	if len(g.Edges) == 0 {
+		t.Error("span graph has no causal edges")
+	}
+
+	// Filtered: only sp2's spans.
+	resp, err = http.Get(ts.URL + "/debug/spans?txn=sp2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fg, err := span.ReadJSON(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fg.Spans) == 0 {
+		t.Fatal("filter dropped everything")
+	}
+	for _, sp := range fg.Spans {
+		if sp.Txn != "sp2" && sp.Txn != "" {
+			t.Fatalf("filter leaked span %+v", sp)
+		}
+	}
+
+	// The critical path of a decided transaction telescopes exactly.
+	p, err := g.CriticalPathTxn("sp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, st := range p.Steps {
+		sum += st.Contrib
+	}
+	if sum != p.Total {
+		t.Fatalf("critical path sum %d != total %d", sum, p.Total)
+	}
+
+	// Per-stage latency summaries surface in the metrics snapshot.
+	m := s.Metrics()
+	for _, st := range []string{span.StageAdmit, span.StageDecided, span.StageNotify} {
+		if m.Stages[st].Count == 0 {
+			t.Errorf("metrics missing stage %q: %+v", st, m.Stages)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz code = %d", resp.StatusCode)
+	}
+	if h := decode[service.HealthJSON](t, resp); h.Status != "draining" {
+		t.Fatalf("draining readyz = %+v", h)
 	}
 }
 

@@ -29,9 +29,11 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/rng"
 	"repro/internal/runtime"
 	"repro/internal/stats"
@@ -47,9 +49,17 @@ type pending struct {
 	submitted time.Time
 	timer     *time.Timer
 	done      chan Result
-	// dispatched and coordinator are written under Service.mu.
+	// admitU is the span-collector clock at admission; set before the
+	// pending is published, so the mu handoff makes it visible.
+	admitU int64
+	// dequeueU is set by the dispatcher goroutine when the submission
+	// leaves the queue and read only on that goroutine (dispatchOne).
+	dequeueU int64
+	// dispatched, coordinator, and dispatchU are written under
+	// Service.mu.
 	dispatched  bool
 	coordinator types.ProcID
+	dispatchU   int64
 }
 
 // svcMetrics bundles the service's handles into the shared registry.
@@ -62,7 +72,8 @@ type svcMetrics struct {
 	rejected   *obs.CounterVec // label reason: full|draining
 	batches    *obs.Counter
 	violations *obs.Counter
-	latency    *obs.Histogram // seconds, decided (COMMIT/ABORT) submissions
+	latency    *obs.Histogram    // seconds, decided (COMMIT/ABORT) submissions
+	stage      *obs.HistogramVec // seconds per pipeline stage, label: stage
 }
 
 func newSvcMetrics(reg *obs.Registry) svcMetrics {
@@ -79,7 +90,15 @@ func newSvcMetrics(reg *obs.Registry) svcMetrics {
 			"Conflicting decisions observed for one transaction (Agreement violations)."),
 		latency: reg.Histogram("service_latency_seconds",
 			"Submission-to-decision latency of committed/aborted transactions.", obs.DefBuckets),
+		stage: reg.HistogramVec("service_stage_seconds",
+			"Per-stage latency of the submission pipeline (admit, batch, dispatch, decided, notify).",
+			obs.DefBuckets, "stage"),
 	}
+}
+
+// stageNames lists the pipeline stages in causal order.
+var stageNames = []string{
+	span.StageAdmit, span.StageBatch, span.StageDispatch, span.StageDecided, span.StageNotify,
 }
 
 // Service is a running commit service. Create with New, submit with
@@ -98,8 +117,10 @@ type Service struct {
 	outstanding    sync.WaitGroup
 
 	lat      *stats.Recorder
+	stageLat map[string]*stats.Recorder
 	met      svcMetrics
 	crashCtr *obs.CounterVec
+	ready    atomic.Bool
 
 	mu       sync.Mutex
 	stopped  bool
@@ -137,12 +158,16 @@ func New(cfg Config) (*Service, error) {
 		abort:          make(chan struct{}),
 		dispatcherDone: make(chan struct{}),
 		lat:            stats.NewRecorder(cfg.LatencyWindow),
+		stageLat:       make(map[string]*stats.Recorder, len(stageNames)),
 		met:            newSvcMetrics(cfg.Registry),
 		crashCtr:       runtime.CrashCounter(cfg.Registry),
 		crashed:        make([]bool, cfg.N),
 		pendings:       make(map[txn.ID]*pending),
 		statuses:       make(map[string]*status),
 		votesByTxn:     make(map[txn.ID][]bool),
+	}
+	for _, st := range stageNames {
+		s.stageLat[st] = stats.NewRecorder(cfg.LatencyWindow)
 	}
 	cfg.Registry.GaugeFunc("service_queue_depth",
 		"Submissions waiting in the admission queue.",
@@ -173,6 +198,7 @@ func New(cfg Config) (*Service, error) {
 			MaxAge:      cfg.MaxAgeTicks,
 			Registry:    cfg.Registry,
 			Tracer:      cfg.Tracer,
+			Spans:       cfg.Spans,
 		})
 		if err != nil {
 			return nil, err
@@ -182,6 +208,9 @@ func New(cfg Config) (*Service, error) {
 	}
 
 	if cfg.Transports == nil {
+		// The hub's link spans land in the same collector as the
+		// service's stages and the managers' rounds — one causal graph.
+		cfg.Hub.Spans = cfg.Spans
 		cluster, err := runtime.NewLocalCluster(machines, runtime.ClusterOptions{
 			TickEvery:  cfg.TickEvery,
 			Seed:       cfg.Seed,
@@ -219,6 +248,7 @@ func New(cfg Config) (*Service, error) {
 	}
 
 	go s.dispatch()
+	s.ready.Store(true)
 	return s, nil
 }
 
@@ -228,6 +258,13 @@ func (s *Service) Registry() *obs.Registry { return s.cfg.Registry }
 
 // Tracer returns the protocol event tracer (never nil).
 func (s *Service) Tracer() *obs.Tracer { return s.cfg.Tracer }
+
+// Spans returns the causal span collector (never nil).
+func (s *Service) Spans() *span.Collector { return s.cfg.Spans }
+
+// Ready reports whether the service accepts new submissions: the
+// cluster has started and the service is not draining.
+func (s *Service) Ready() bool { return s.ready.Load() && !s.Draining() }
 
 // N reports the cluster size.
 func (s *Service) N() int { return s.cfg.N }
@@ -276,6 +313,7 @@ func (s *Service) Submit(ctx context.Context, req Request) (Result, error) {
 		votes:     votes,
 		submitted: time.Now(),
 		done:      make(chan Result, 1),
+		admitU:    s.cfg.Spans.Now(),
 	}
 
 	s.mu.Lock()
@@ -328,6 +366,7 @@ func (s *Service) Submit(ctx context.Context, req Request) (Result, error) {
 func (s *Service) dispatch() {
 	defer close(s.dispatcherDone)
 	for first := range s.queue {
+		first.dequeueU = s.cfg.Spans.Now()
 		batch := []*pending{first}
 	collect:
 		for len(batch) < s.cfg.BatchMax {
@@ -336,6 +375,7 @@ func (s *Service) dispatch() {
 				if !ok {
 					break collect
 				}
+				p.dequeueU = s.cfg.Spans.Now()
 				batch = append(batch, p)
 			default:
 				break collect
@@ -355,6 +395,9 @@ func (s *Service) dispatch() {
 
 // dispatchOne acquires an in-flight slot and begins the instance.
 func (s *Service) dispatchOne(p *pending) {
+	entryU := s.cfg.Spans.Now()
+	s.recordStage(p.id, span.StageAdmit, p.admitU, p.dequeueU, "")
+	s.recordStage(p.id, span.StageBatch, p.dequeueU, entryU, "")
 	select {
 	case s.slots <- struct{}{}:
 	case <-s.abort:
@@ -373,14 +416,35 @@ func (s *Service) dispatchOne(p *pending) {
 	coord := s.nextCoordinatorLocked()
 	p.dispatched = true
 	p.coordinator = coord
+	p.dispatchU = s.cfg.Spans.Now()
 	if st := s.statuses[string(p.id)]; st != nil {
 		st.State = StateRunning
 		st.Coordinator = coord
 	}
 	s.mu.Unlock()
+	s.recordStage(p.id, span.StageDispatch, entryU, p.dispatchU,
+		"coordinator="+strconv.Itoa(int(coord)))
 
 	if err := s.managers[coord].Begin(p.id, p.votes[coord]); err != nil {
 		s.resolve(p, StateFailed, types.DecisionNone)
+	}
+}
+
+// recordStage emits one service pipeline stage as a span, a histogram
+// observation, and a latency-recorder sample. Zero or backwards
+// intervals (a stage the submission never reached) are skipped.
+func (s *Service) recordStage(id txn.ID, stage string, start, end int64, detail string) {
+	if end < start || (start == 0 && end == 0) {
+		return
+	}
+	s.cfg.Spans.Add(span.Span{
+		Txn: string(id), Track: span.ServiceTrack, Name: stage, Kind: span.KindStage,
+		Start: start, End: end, From: -1, To: -1, Detail: detail,
+	})
+	d := float64(end-start) / 1e6 // collector clock is microseconds
+	s.met.stage.With(stage).Observe(d)
+	if rec := s.stageLat[stage]; rec != nil {
+		rec.Add(d * 1e3) // recorders hold milliseconds
 	}
 }
 
@@ -444,7 +508,18 @@ func (s *Service) resolve(p *pending, state State, d types.Decision) {
 	}
 	dispatched := p.dispatched
 	coord := p.coordinator
+	dispatchU := p.dispatchU
 	s.mu.Unlock()
+
+	// The decided stage runs from dispatch (or admission, for
+	// submissions that never dispatched) to now; Detail names the
+	// terminal state so timeouts are distinguishable in the span graph.
+	decidedU := s.cfg.Spans.Now()
+	startU := dispatchU
+	if startU == 0 {
+		startU = p.admitU
+	}
+	s.recordStage(p.id, span.StageDecided, startU, decidedU, "state="+string(state))
 
 	switch state {
 	case StateCommit:
@@ -473,6 +548,7 @@ func (s *Service) resolve(p *pending, state State, d types.Decision) {
 		Coordinator: coord,
 		Latency:     latency,
 	}
+	s.recordStage(p.id, span.StageNotify, decidedU, s.cfg.Spans.Now(), "")
 	s.outstanding.Done()
 }
 
@@ -567,6 +643,22 @@ func (s *Service) Metrics() Metrics {
 	m.LatencyP50Ms = snap.Percentiles[0]
 	m.LatencyP95Ms = snap.Percentiles[1]
 	m.LatencyP99Ms = snap.Percentiles[2]
+	for _, name := range stageNames {
+		ss := s.stageLat[name].Snapshot(50, 95, 99)
+		if ss.Total == 0 {
+			continue
+		}
+		if m.Stages == nil {
+			m.Stages = make(map[string]StageLatency)
+		}
+		m.Stages[name] = StageLatency{
+			Count:  ss.Total,
+			MeanMs: ss.Summary.Mean,
+			P50Ms:  ss.Percentiles[0],
+			P95Ms:  ss.Percentiles[1],
+			P99Ms:  ss.Percentiles[2],
+		}
+	}
 	return m
 }
 

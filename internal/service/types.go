@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/transport"
 	"repro/internal/types"
 )
@@ -74,6 +75,13 @@ type Config struct {
 	// TraceCapacity sizes the default tracer's ring buffer (default
 	// 4096 most recent events). Ignored when Tracer is set.
 	TraceCapacity int
+	// Spans collects per-transaction causal spans across every layer
+	// (service stages, manager rounds, hub links). Nil creates one with
+	// SpanCapacity, exposed via Service.Spans and GET /debug/spans.
+	Spans *span.Collector
+	// SpanCapacity sizes the default span collector's ring buffer
+	// (default 16384 most recent spans). Ignored when Spans is set.
+	SpanCapacity int
 }
 
 // withDefaults validates and fills defaults.
@@ -131,6 +139,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Tracer == nil {
 		c.Tracer = obs.NewTracer(c.TraceCapacity)
+	}
+	if c.Spans == nil {
+		c.Spans = span.NewCollector(c.SpanCapacity)
 	}
 	return c, nil
 }
@@ -224,6 +235,19 @@ type Metrics struct {
 	LatencyP50Ms     float64 `json:"latency_p50_ms"`
 	LatencyP95Ms     float64 `json:"latency_p95_ms"`
 	LatencyP99Ms     float64 `json:"latency_p99_ms"`
+	// Stages breaks decided-transaction latency down by pipeline stage
+	// (admit, batch, dispatch, decided, notify); stages with no samples
+	// are omitted.
+	Stages map[string]StageLatency `json:"stages,omitempty"`
+}
+
+// StageLatency summarizes one pipeline stage's latency distribution.
+type StageLatency struct {
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
 }
 
 // ErrDraining rejects submissions while the service shuts down.

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/types"
 )
 
@@ -64,6 +65,11 @@ type HubOptions struct {
 	// Registry, if non-nil, receives the hub's transport metrics
 	// (messages/bytes sent, delivered, dropped, per-link delay).
 	Registry *obs.Registry
+	// Spans, if non-nil, receives one link span per non-dropped message
+	// (send time to scheduled delivery). Payloads carrying a transaction
+	// id (anything with a TxnID() string method, e.g. txn.Envelope) are
+	// attributed to that transaction.
+	Spans *span.Collector
 }
 
 // Hub is an in-memory message switch connecting n endpoints.
@@ -172,6 +178,22 @@ func (h *Hub) deliver(msg types.Message) error {
 		delay += h.opts.Delay(msg)
 	}
 	h.m.observeDelay(msg.From, msg.To, delay.Seconds())
+	if h.opts.Spans != nil {
+		txnID := ""
+		if tp, ok := msg.Payload.(interface{ TxnID() string }); ok {
+			txnID = tp.TxnID()
+		}
+		name := "msg"
+		if msg.Payload != nil {
+			name = msg.Payload.Kind()
+		}
+		now := h.opts.Spans.Now()
+		h.opts.Spans.Add(span.Span{
+			Txn: txnID, Track: span.NetTrack, Name: name, Kind: span.KindLink,
+			Start: now, End: now + delay.Microseconds(),
+			From: int(msg.From), To: int(msg.To),
+		})
+	}
 	copies := 1 + fault.Duplicates
 	if delay <= 0 {
 		for i := 0; i < copies; i++ {

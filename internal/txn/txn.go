@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/types"
 )
 
@@ -48,6 +49,10 @@ func (e Envelope) Kind() string {
 	}
 	return "txn:" + e.Inner.Kind()
 }
+
+// TxnID exposes the transaction id to layers that must not import this
+// package (the transport's link-span instrumentation asserts for it).
+func (e Envelope) TxnID() string { return string(e.Txn) }
 
 // SizeBits implements types.Sized: inner payload + a 64-bit id hash.
 func (e Envelope) SizeBits() int { return types.SizeOf(e.Inner) + 64 }
@@ -99,6 +104,12 @@ type Config struct {
 	// Tracer, if non-nil, records per-transaction protocol events (GO
 	// sent/received, vote cast, Protocol 1 stage transitions, decision).
 	Tracer *obs.Tracer
+	// Spans, if non-nil, receives per-transaction causal spans: one span
+	// per asynchronous round of each instance (closed by the live
+	// approximation of the paper's §2.2 rule — a round ends K ticks
+	// after the later of its start and the last message receipt) and a
+	// zero-length "decided" marker at the decision tick.
+	Spans *span.Collector
 }
 
 // mmetrics bundles one manager's handles into the shared registry. All
@@ -140,6 +151,12 @@ type instance struct {
 	goSent    bool // GO broadcast/relayed (traced)
 	voteSent  bool // vote broadcast (traced)
 	lastStage int  // last Protocol 1 stage seen (stage transitions traced)
+
+	round           int   // current asynchronous round (1-based, span-tracked)
+	roundStartClock int   // manager clock when the current round began
+	lastRecvClock   int   // manager clock of the last envelope receipt
+	roundStartU     int64 // collector clock when the current round began
+	spanDone        bool  // decision span emitted; stop round tracking
 }
 
 // Manager runs all of one node's commit instances.
@@ -227,7 +244,10 @@ func (m *Manager) spawnLocked(txn ID, coordinator types.ProcID, vote bool) error
 	if err != nil {
 		return err
 	}
-	m.instances[txn] = &instance{c: inst, born: m.clock, haltedAt: -1}
+	m.instances[txn] = &instance{
+		c: inst, born: m.clock, haltedAt: -1,
+		round: 1, roundStartClock: m.clock, roundStartU: m.cfg.Spans.Now(),
+	}
 	m.order = append(m.order, txn)
 	m.spawned++
 	m.met.started.Inc()
@@ -281,6 +301,34 @@ func (m *Manager) traceOutputsLocked(txn ID, inst *instance, out []types.Message
 			return
 		}
 	}
+}
+
+// spanRoundLocked closes the instance's current asynchronous round span
+// when the paper's §2.2 rule fires in manager-clock terms — the round
+// ends K ticks after the later of its start and the last envelope
+// receipt — then opens the next round. force closes the in-progress
+// round regardless (used at decision time). Caller holds mu.
+func (m *Manager) spanRoundLocked(txn ID, inst *instance, force bool) {
+	if m.cfg.Spans == nil || inst.spanDone {
+		return
+	}
+	deadline := inst.roundStartClock
+	if inst.lastRecvClock > deadline {
+		deadline = inst.lastRecvClock
+	}
+	if !force && m.clock < deadline+m.cfg.K {
+		return
+	}
+	now := m.cfg.Spans.Now()
+	m.cfg.Spans.Add(span.Span{
+		Txn: string(txn), Track: span.ProcTrack(int(m.cfg.ID)),
+		Name: "round " + strconv.Itoa(inst.round), Kind: span.KindRound,
+		Start: inst.roundStartU, End: now, From: -1, To: -1,
+		Detail: fmt.Sprintf("ticks %d..%d", inst.roundStartClock, m.clock),
+	})
+	inst.round++
+	inst.roundStartClock = m.clock
+	inst.roundStartU = now
 }
 
 // ID implements types.Machine.
@@ -422,6 +470,9 @@ func (m *Manager) Step(received []types.Message, rnd types.Rand) []types.Message
 		if m.cfg.Tracer != nil {
 			m.traceReceivedLocked(env.Txn, received[i].From, env.Inner)
 		}
+		if inst := m.instances[env.Txn]; inst != nil {
+			inst.lastRecvClock = m.clock
+		}
 		inner := received[i]
 		inner.Payload = env.Inner
 		byTxn[env.Txn] = append(byTxn[env.Txn], inner)
@@ -462,10 +513,21 @@ func (m *Manager) Step(received []types.Message, rnd types.Rand) []types.Message
 			if m.cfg.Tracer != nil {
 				m.trace(txn, obs.EventDecided, "decision="+d.String())
 			}
+			if m.cfg.Spans != nil && !inst.spanDone {
+				m.spanRoundLocked(txn, inst, true)
+				now := m.cfg.Spans.Now()
+				m.cfg.Spans.Add(span.Span{
+					Txn: string(txn), Track: span.ProcTrack(int(m.cfg.ID)),
+					Name: "decided", Kind: span.KindStage, Start: now, End: now,
+					From: -1, To: -1, Detail: "decision=" + d.String(),
+				})
+				inst.spanDone = true
+			}
 			o := Outcome{Txn: txn, Decision: d}
 			m.pending = append(m.pending, o)
 			decidedNow = append(decidedNow, o)
 		}
+		m.spanRoundLocked(txn, inst, false)
 		if m.cfg.MaxAge > 0 && m.clock-inst.born >= m.cfg.MaxAge && !inst.c.Halted() {
 			if _, decided := inst.c.Outcome(); !decided {
 				retire = append(retire, txn)
