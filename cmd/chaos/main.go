@@ -4,6 +4,7 @@
 //
 //	chaos -seed 3000523 -shape partition -n 5        # replay a cluster run
 //	chaos -seed 17 -shape lossy -n 5 -mode service   # replay a service run
+//	chaos -seed 7 -mode sharded -shards 4 -n 3       # sharded cross-shard run
 //	chaos -seed 42 -n 5 -shape churn -plan           # print the plan only
 //
 // The plan is a pure function of its flags, so the same invocation
@@ -41,7 +42,9 @@ func run(args []string, stdout, stderr *os.File) int {
 		n        = fs.Int("n", 5, "processor count")
 		t        = fs.Int("t", 0, "crash budget (default (n-1)/2)")
 		shape    = fs.String("shape", "churn", "fault shape: clean|lossy|churn|partition|crash|crash-restart")
-		mode     = fs.String("mode", "cluster", "what to drive: cluster|service")
+		mode     = fs.String("mode", "cluster", "what to drive: cluster|service|sharded")
+		shards   = fs.Int("shards", 0, "commit groups for -mode sharded (default 2)")
+		crossFr  = fs.Float64("cross-fraction", 0, "fraction of sharded txns spanning two groups (default 0.3)")
 		horizon  = fs.Int("horizon", 0, "fault window in ticks (default 32)")
 		tick     = fs.Duration("tick", time.Millisecond, "protocol tick length")
 		budget   = fs.Int("budget", 0, "run budget in ticks (default 8*horizon+512)")
@@ -53,12 +56,17 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
+	if *mode == "sharded" && *shards < 2 {
+		*shards = 2
+	}
 	plan, err := chaos.NewPlan(chaos.PlanConfig{
-		Seed:    *seed,
-		N:       *n,
-		T:       *t,
-		Shape:   chaos.Shape(*shape),
-		Horizon: *horizon,
+		Seed:          *seed,
+		N:             *n,
+		T:             *t,
+		Shape:         chaos.Shape(*shape),
+		Horizon:       *horizon,
+		Shards:        *shards,
+		CrossFraction: *crossFr,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -75,13 +83,16 @@ func run(args []string, stdout, stderr *os.File) int {
 
 	var report *chaos.Report
 	var svcData *chaos.ServiceRunData
+	var shardedData *chaos.ShardedRunData
 	switch *mode {
 	case "cluster":
 		report, _, err = chaos.RunCluster(plan, opts)
 	case "service":
 		report, svcData, err = chaos.RunService(plan, opts)
+	case "sharded":
+		report, shardedData, err = chaos.RunShardedService(plan, opts)
 	default:
-		fmt.Fprintf(stderr, "unknown -mode %q (want cluster or service)\n", *mode)
+		fmt.Fprintf(stderr, "unknown -mode %q (want cluster, service, or sharded)\n", *mode)
 		return 2
 	}
 	if err != nil {
@@ -95,6 +106,11 @@ func run(args []string, stdout, stderr *os.File) int {
 	// wall-clock span durations are not.
 	if svcData != nil {
 		printSlowest(stdout, spans, svcData)
+	}
+	if shardedData != nil {
+		fmt.Fprintf(stdout, "cross layer: submitted=%d committed=%d aborted=%d in_doubt_settled=%d\n",
+			shardedData.Metrics.Cross.Submitted, shardedData.Metrics.Cross.Committed,
+			shardedData.Metrics.Cross.Aborted, shardedData.EchoSettled)
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

@@ -105,6 +105,31 @@ func TestServiceSpansOutAndCritpath(t *testing.T) {
 	}
 }
 
+// TestReplayShardedSeed: -mode sharded replays a cross-shard plan, the
+// audit log carries the shard assignments (so the log alone reproduces
+// the workload), and the cross-layer summary prints after the log.
+func TestReplayShardedSeed(t *testing.T) {
+	code, out := capture(t, []string{
+		"-seed", "7", "-n", "3", "-shape", "crash", "-mode", "sharded",
+		"-shards", "3", "-tick", "500us",
+	})
+	if code != 0 {
+		t.Fatalf("sharded replay exited %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"shards n=3 cross_fraction=0.3",
+		"txnshards ",
+		"check cross-atomicity PASS",
+		"check recovery-agreement PASS",
+		"audit PASS",
+		"cross layer: submitted=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sharded output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestBadFlagsRejected(t *testing.T) {
 	if code, _ := capture(t, []string{"-mode", "nonsense"}); code != 2 {
 		t.Fatalf("bad mode exited %d, want 2", code)

@@ -1,22 +1,35 @@
-// Command commitd is the transaction-commit daemon: it fronts a live
-// cluster of transaction managers with an HTTP/JSON API (stdlib net/http
-// only) so clients can submit transactions and observe outcomes.
+// Command commitd is the transaction-commit daemon: it fronts one or
+// more live clusters of transaction managers with an HTTP/JSON API
+// (stdlib net/http only) so clients can submit transactions and observe
+// outcomes.
 //
 //	commitd -addr 127.0.0.1:8080 -n 5
+//	commitd -addr 127.0.0.1:8080 -n 3 -shards 4 -cross-wal cross.wal
 //
 //	POST /commit        {"id":"t1","votes":[true,true,false,true,true]}
+//	                    sharded: {"id":"t1","keys":["user:7","user:9"]}
 //	GET  /status/{txn}  state of a known transaction
 //	GET  /metrics       counters + latency percentiles (JSON)
 //	GET  /metrics.prom  every layer's metrics, Prometheus text format
 //	GET  /debug/trace   recent protocol events (?txn=<id>&n=<count>)
-//	GET  /debug/spans   causal span graph (?txn=<id> filters)
-//	GET  /healthz       liveness + cluster size
+//	GET  /debug/spans   causal span graph (?txn=<id> filters; sharded
+//	                    deployments include the txn's per-shard children)
+//	GET  /healthz       liveness + cluster size (+ shard count)
 //	GET  /readyz        readiness: 503 while starting or draining
 //	POST /crash/{node}  fault injection: fail-stop one processor
+//	                    (sharded: in EVERY group — the correlated case;
+//	                    POST /crash/{shard}/{node} targets one group)
+//
+// With -shards N > 1 the daemon hosts N independent commit groups behind
+// one consistent-hash router; transactions whose key sets span several
+// groups run as a cross-shard commit-of-commits (internal/shard), and
+// -cross-wal persists the coordinator's two-layer protocol state so a
+// restarted daemon settles in-doubt cross-shard transactions before
+// serving.
 //
 // The cluster backend is either the in-process channel hub (default) or
-// real TCP nodes on loopback (-backend tcp) — same machines, same
-// protocol, heavier transport. -pprof additionally mounts
+// real TCP nodes on loopback (-backend tcp, single-shard only) — same
+// machines, same protocol, heavier transport. -pprof additionally mounts
 // net/http/pprof under /debug/pprof/ (off by default).
 package main
 
@@ -36,6 +49,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/service"
+	"repro/internal/shard"
 	"repro/internal/transport"
 	"repro/internal/types"
 )
@@ -55,16 +69,18 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	fs := flag.NewFlagSet("commitd", flag.ContinueOnError)
 	var (
 		addr      = fs.String("addr", "127.0.0.1:8080", "HTTP listen address")
-		n         = fs.Int("n", 5, "number of processors in the fronted cluster")
+		n         = fs.Int("n", 5, "number of processors per commit group")
 		tFaults   = fs.Int("t", 0, "crash tolerance (default (n-1)/2)")
 		k         = fs.Int("k", 4, "protocol timing constant in ticks")
 		tick      = fs.Duration("tick", time.Millisecond, "cluster step period")
 		seed      = fs.Uint64("seed", 0, "randomness seed (0: derived from time)")
-		queue     = fs.Int("queue", 1024, "admission queue depth")
-		inflight  = fs.Int("inflight", 128, "max concurrent commit instances")
+		queue     = fs.Int("queue", 1024, "admission queue depth (per shard)")
+		inflight  = fs.Int("inflight", 128, "max concurrent commit instances (per shard)")
 		batch     = fs.Int("batch", 64, "max submissions coalesced per dispatch")
 		timeout   = fs.Duration("timeout", 10*time.Second, "default per-request deadline")
 		backend   = fs.String("backend", "channel", "cluster transport: channel or tcp")
+		shards    = fs.Int("shards", 1, "independent commit groups behind the consistent-hash router")
+		crossWAL  = fs.String("cross-wal", "", "cross-shard coordinator WAL path (sharded mode; replayed on start)")
 		withPprof = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -72,6 +88,9 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	}
 	if *seed == 0 {
 		*seed = uint64(time.Now().UnixNano())
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", *shards)
 	}
 
 	reg := obs.NewRegistry()
@@ -89,6 +108,9 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	switch *backend {
 	case "channel":
 	case "tcp":
+		if *shards != 1 {
+			return errors.New("-backend tcp supports -shards 1 only (each group needs its own peered listeners)")
+		}
 		transports, err := loopbackTCP(*n, reg)
 		if err != nil {
 			return err
@@ -98,16 +120,77 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		return fmt.Errorf("unknown backend %q (want channel or tcp)", *backend)
 	}
 
-	svc, err := service.New(cfg)
-	if err != nil {
-		return err
+	// One group: serve the plain service (byte-identical surface to every
+	// earlier release). Several groups: serve the sharded coordinator.
+	var handler http.Handler
+	var closeFn func(context.Context) error
+	var report func()
+	if *shards == 1 {
+		svc, err := service.New(cfg)
+		if err != nil {
+			return err
+		}
+		handler = service.NewHTTPHandler(svc)
+		closeFn = svc.Close
+		report = func() {
+			m := svc.Metrics()
+			fmt.Fprintf(out, "commitd: drained (submitted=%d committed=%d aborted=%d timed_out=%d violations=%d)\n",
+				m.Submitted, m.Committed, m.Aborted, m.TimedOut, m.SafetyViolations)
+		}
+	} else {
+		var log *shard.CrossLog
+		var logClose func() error
+		var replayed []shard.CrossRecord
+		if *crossWAL != "" {
+			recs, err := shard.ReplayCrossFile(*crossWAL)
+			if err != nil {
+				return fmt.Errorf("replaying cross WAL: %w", err)
+			}
+			replayed = recs
+			fl, err := shard.OpenCrossFile(*crossWAL)
+			if err != nil {
+				return err
+			}
+			log = fl.CrossLog
+			logClose = fl.Close
+		}
+		coord, err := shard.New(shard.Config{Shards: *shards, Group: cfg, Log: log})
+		if err != nil {
+			return err
+		}
+		if len(replayed) > 0 {
+			recCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			settled, err := coord.Recover(recCtx, replayed)
+			cancel()
+			if err != nil {
+				coord.Close(context.Background()) //nolint:errcheck // already failing
+				return fmt.Errorf("recovering in-doubt cross-shard transactions: %w", err)
+			}
+			fmt.Fprintf(out, "commitd: cross WAL replayed (%d records, %d in-doubt settled)\n", len(replayed), settled)
+		}
+		handler = shard.NewHTTPHandler(coord)
+		closeFn = func(ctx context.Context) error {
+			err := coord.Close(ctx)
+			if logClose != nil {
+				if cerr := logClose(); cerr != nil && err == nil {
+					err = cerr
+				}
+			}
+			return err
+		}
+		report = func() {
+			m := coord.Metrics()
+			fmt.Fprintf(out, "commitd: drained (shards=%d submitted=%d committed=%d aborted=%d timed_out=%d cross=%d cross_committed=%d violations=%d)\n",
+				m.Shards, m.Aggregate.Submitted, m.Aggregate.Committed, m.Aggregate.Aborted,
+				m.Aggregate.TimedOut, m.Cross.Submitted, m.Cross.Committed, m.Aggregate.SafetyViolations)
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
+		closeFn(context.Background()) //nolint:errcheck // already failing
 		return err
 	}
-	var handler http.Handler = service.NewHTTPHandler(svc)
 	if *withPprof {
 		outer := http.NewServeMux()
 		outer.HandleFunc("/debug/pprof/", pprof.Index)
@@ -123,7 +206,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
 
-	fmt.Fprintf(out, "commitd: serving n=%d backend=%s on http://%s\n", *n, *backend, ln.Addr())
+	fmt.Fprintf(out, "commitd: serving n=%d shards=%d backend=%s on http://%s\n", *n, *shards, *backend, ln.Addr())
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -143,15 +226,13 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	if err := svc.Close(shutdownCtx); err != nil && serveErr == nil {
+	if err := closeFn(shutdownCtx); err != nil && serveErr == nil {
 		serveErr = err
 	}
 	if err := server.Shutdown(shutdownCtx); err != nil && serveErr == nil && !errors.Is(err, http.ErrServerClosed) {
 		serveErr = err
 	}
-	m := svc.Metrics()
-	fmt.Fprintf(out, "commitd: drained (submitted=%d committed=%d aborted=%d timed_out=%d violations=%d)\n",
-		m.Submitted, m.Committed, m.Aborted, m.TimedOut, m.SafetyViolations)
+	report()
 	return serveErr
 }
 

@@ -130,3 +130,69 @@ func TestDaemonBadFlags(t *testing.T) {
 		t.Fatal("bad cluster shape accepted")
 	}
 }
+
+func TestDaemonSharded(t *testing.T) {
+	dir := t.TempDir()
+	walPath := dir + "/cross.wal"
+	base, stop := startDaemon(t, "-shards", "3", "-tick", "500us", "-cross-wal", walPath)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h service.HealthJSON
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Status != "ok" || h.N != 3 || h.Shards != 3 {
+		t.Fatalf("healthz = %+v", h)
+	}
+
+	// Single-shard commit.
+	if out := commitOne(t, base, "sd1", nil); out.State != service.StateCommit || len(out.Shards) != 1 {
+		t.Fatalf("single commit = %+v", out)
+	}
+
+	// Cross-shard commit: enough distinct keys span >= 2 shards with
+	// near-certainty over 3 shards; assert on the reported shard set.
+	body, err := json.Marshal(service.CommitRequestJSON{
+		ID: "sdx", Keys: []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/commit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out service.CommitResponseJSON
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if out.State != service.StateCommit || len(out.Shards) < 2 {
+		t.Fatalf("cross commit = %+v", out)
+	}
+
+	stop()
+
+	// The WAL survived the daemon: a second daemon replays it cleanly
+	// (everything is decided, so recovery settles nothing but must not
+	// fail) and keeps serving.
+	base2, stop2 := startDaemon(t, "-shards", "3", "-tick", "500us", "-cross-wal", walPath)
+	if out := commitOne(t, base2, "sd2", nil); !out.State.Terminal() {
+		t.Fatalf("post-restart commit = %+v", out)
+	}
+	stop2()
+}
+
+func TestDaemonShardedBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-shards", "0"}, &out, nil); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	if err := run([]string{"-shards", "2", "-backend", "tcp"}, &out, nil); err == nil {
+		t.Fatal("tcp backend with multiple shards accepted")
+	}
+}

@@ -5,11 +5,22 @@
 //	loadgen -addr 127.0.0.1:8080 -mode open -rate 500 -duration 10s
 //	loadgen -addr 127.0.0.1:8080 -total 2000 -json | jq .throughput_tps
 //
+// Against a sharded daemon (commitd -shards N) the generator speaks the
+// keyed workload dialect: -tenants picks transaction key owners under a
+// zipfian popularity skew (-tenant-skew), -cross-fraction makes that
+// share of transactions carry key sets spanning at least two shards (the
+// cross-shard commit-of-commits path), and -hot-shard pins every key to
+// one shard to model a load hot spot. The report then breaks latency
+// down per shard and cross-vs-single:
+//
+//	loadgen -addr 127.0.0.1:8080 -total 5000 -tenants 64 -cross-fraction 0.2
+//
 // A fraction of transactions carry one dissenting vote (-abort-fraction)
 // and must resolve ABORT — a COMMIT on such a transaction is counted as
 // a client-observed safety violation. Optionally one node is fail-stopped
 // partway through the run (-crash-node/-crash-after). The exit status is
-// nonzero if either the client or the daemon observed a violation.
+// nonzero if either the client or the daemon observed a violation, or if
+// the daemon never became reachable within -ready-wait.
 package main
 
 import (
@@ -24,11 +35,13 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/shard"
 	"repro/internal/stats"
 )
 
@@ -49,22 +62,36 @@ type genConfig struct {
 	duration      time.Duration
 	abortFraction float64
 	timeout       time.Duration
+	readyWait     time.Duration
 	crashNode     int
 	crashAfter    int
 	seed          int64
 	jsonOut       bool
+
+	// Keyed multi-tenant workload (sharded daemons).
+	tenants       int
+	tenantSkew    float64
+	keysPerTxn    int
+	crossFraction float64
+	hotShard      int
 }
 
 // genStats accumulates results across workers.
 type genStats struct {
 	mu         sync.Mutex
 	byState    map[service.State]*stats.Recorder
+	byShard    map[int]*stats.Recorder
+	cross      *stats.Recorder
+	single     *stats.Recorder
 	violations int
 	errors     int
 	retried429 int
 }
 
-func (g *genStats) record(st service.State, latencyMs float64, violation bool) {
+// record books one completed transaction: by outcome, by participating
+// shard (a cross transaction counts on every shard it touched), and into
+// the cross-vs-single split.
+func (g *genStats) record(st service.State, latencyMs float64, violation bool, shards []int) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	rec := g.byState[st]
@@ -73,6 +100,19 @@ func (g *genStats) record(st service.State, latencyMs float64, violation bool) {
 		g.byState[st] = rec
 	}
 	rec.Add(latencyMs)
+	for _, s := range shards {
+		sr := g.byShard[s]
+		if sr == nil {
+			sr = stats.NewRecorder(1 << 16)
+			g.byShard[s] = sr
+		}
+		sr.Add(latencyMs)
+	}
+	if len(shards) > 1 {
+		g.cross.Add(latencyMs)
+	} else {
+		g.single.Add(latencyMs)
+	}
 	if violation {
 		g.violations++
 	}
@@ -89,10 +129,16 @@ func run(args []string, out io.Writer) error {
 	fs.DurationVar(&cfg.duration, "duration", 0, "stop after this long (0: total only)")
 	fs.Float64Var(&cfg.abortFraction, "abort-fraction", 0.2, "fraction of txns with one dissenting vote")
 	fs.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request client timeout")
+	fs.DurationVar(&cfg.readyWait, "ready-wait", 5*time.Second, "how long to wait for the daemon to answer /readyz")
 	fs.IntVar(&cfg.crashNode, "crash-node", -1, "node to fail-stop mid-run (-1: none)")
 	fs.IntVar(&cfg.crashAfter, "crash-after", 0, "crash after this many completed txns")
 	fs.Int64Var(&cfg.seed, "seed", 1, "client randomness seed")
 	fs.BoolVar(&cfg.jsonOut, "json", false, "emit the end-of-run summary as one JSON object")
+	fs.IntVar(&cfg.tenants, "tenants", 0, "tenant count for the keyed workload (0: id-only txns, no keys)")
+	fs.Float64Var(&cfg.tenantSkew, "tenant-skew", 1.2, "zipf exponent for tenant popularity (<=1: uniform)")
+	fs.IntVar(&cfg.keysPerTxn, "keys-per-txn", 2, "keys per transaction in the keyed workload")
+	fs.Float64Var(&cfg.crossFraction, "cross-fraction", 0, "fraction of keyed txns forced to span >=2 shards")
+	fs.IntVar(&cfg.hotShard, "hot-shard", -1, "pin every key to this shard (-1: off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -102,7 +148,118 @@ func run(args []string, out io.Writer) error {
 	if cfg.abortFraction < 0 || cfg.abortFraction > 1 {
 		return errors.New("-abort-fraction must be in [0,1]")
 	}
+	if cfg.crossFraction < 0 || cfg.crossFraction > 1 {
+		return errors.New("-cross-fraction must be in [0,1]")
+	}
+	if cfg.tenants == 0 && (cfg.crossFraction > 0 || cfg.hotShard >= 0) {
+		return errors.New("-cross-fraction and -hot-shard need the keyed workload: set -tenants > 0")
+	}
+	if cfg.tenants > 0 && cfg.keysPerTxn < 1 {
+		return errors.New("-keys-per-txn must be >= 1")
+	}
+	if cfg.tenants > 0 && cfg.keysPerTxn > service.MaxCommitKeys {
+		return fmt.Errorf("-keys-per-txn must be <= %d", service.MaxCommitKeys)
+	}
 	return drive(cfg, out)
+}
+
+// keygen builds per-transaction key sets for the multi-tenant workload
+// and shapes where they land: cross transactions are forced to span at
+// least two shards, everything else is pinned to exactly one (otherwise
+// random multi-key txns would cross shards far more often than the
+// configured fraction). The shaping probes the same deterministic router
+// the daemon runs, so client and server always agree on placement.
+type keygen struct {
+	cfg    genConfig
+	router *shard.Router
+}
+
+// tenant draws a tenant id: zipfian when skew > 1 (tenant 0 hottest),
+// uniform otherwise. The zipf source is per-worker, keeping draws
+// deterministic under -seed.
+func (kg *keygen) tenant(rng *rand.Rand, zipf *rand.Zipf) int {
+	if zipf != nil {
+		return int(zipf.Uint64())
+	}
+	return rng.Intn(kg.cfg.tenants)
+}
+
+// key emits one key in the tenant's namespace.
+func (kg *keygen) key(tenant int, rng *rand.Rand) string {
+	return "t" + strconv.Itoa(tenant) + "/k" + strconv.Itoa(rng.Intn(1<<20))
+}
+
+// keyOnShard probes the tenant's keyspace until a key routes to the
+// wanted shard. Each draw hits any given shard with probability ~1/S, so
+// the expected probe count is the shard count; the bound is pure
+// paranoia.
+func (kg *keygen) keyOnShard(tenant, want int, rng *rand.Rand) (string, error) {
+	for i := 0; i < 1<<16; i++ {
+		if k := kg.key(tenant, rng); kg.router.Route(k) == want {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("no key of tenant %d routes to shard %d", tenant, want)
+}
+
+// keys builds the key set for one transaction and reports whether it was
+// shaped to cross shards.
+func (kg *keygen) keys(rng *rand.Rand, zipf *rand.Zipf) ([]string, bool, error) {
+	tenant := kg.tenant(rng, zipf)
+	nk := kg.cfg.keysPerTxn
+	if kg.router == nil || kg.router.Shards() == 1 {
+		// Single shard: nothing to shape.
+		out := make([]string, nk)
+		for i := range out {
+			out[i] = kg.key(tenant, rng)
+		}
+		return out, false, nil
+	}
+	if kg.cfg.hotShard >= 0 {
+		out := make([]string, nk)
+		for i := range out {
+			k, err := kg.keyOnShard(tenant, kg.cfg.hotShard, rng)
+			if err != nil {
+				return nil, false, err
+			}
+			out[i] = k
+		}
+		return out, false, nil
+	}
+	if rng.Float64() < kg.cfg.crossFraction {
+		if nk < 2 {
+			nk = 2 // spanning two shards takes two keys
+		}
+		out := make([]string, 0, nk)
+		first := kg.key(tenant, rng)
+		out = append(out, first)
+		home := kg.router.Route(first)
+		// Second key on a different shard guarantees the span; the rest
+		// fall wherever they fall.
+		away := (home + 1 + rng.Intn(kg.router.Shards()-1)) % kg.router.Shards()
+		k, err := kg.keyOnShard(tenant, away, rng)
+		if err != nil {
+			return nil, false, err
+		}
+		out = append(out, k)
+		for len(out) < nk {
+			out = append(out, kg.key(tenant, rng))
+		}
+		return out, true, nil
+	}
+	// Single-shard txn: pin every key to the first key's shard.
+	out := make([]string, 0, nk)
+	first := kg.key(tenant, rng)
+	out = append(out, first)
+	home := kg.router.Route(first)
+	for len(out) < nk {
+		k, err := kg.keyOnShard(tenant, home, rng)
+		if err != nil {
+			return nil, false, err
+		}
+		out = append(out, k)
+	}
+	return out, false, nil
 }
 
 // drive runs the configured load against the daemon and prints the
@@ -111,15 +268,44 @@ func drive(cfg genConfig, out io.Writer) error {
 	base := "http://" + cfg.addr
 	client := &http.Client{Timeout: cfg.timeout}
 
-	if err := waitReady(client, base, 5*time.Second); err != nil {
-		return fmt.Errorf("readyz: %w", err)
+	if cfg.readyWait <= 0 {
+		cfg.readyWait = 5 * time.Second
 	}
-	n, err := clusterSize(client, base)
+	if err := waitReady(client, base, cfg.readyWait); err != nil {
+		return err
+	}
+	health, err := clusterInfo(client, base)
 	if err != nil {
 		return fmt.Errorf("healthz: %w", err)
 	}
+	n := health.N
+	shards := health.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if cfg.crossFraction > 0 && shards < 2 {
+		return fmt.Errorf("-cross-fraction %.2f needs a sharded daemon, but %s runs 1 shard", cfg.crossFraction, cfg.addr)
+	}
+	if cfg.hotShard >= shards {
+		return fmt.Errorf("-hot-shard %d out of range: daemon runs %d shard(s)", cfg.hotShard, shards)
+	}
 
-	g := &genStats{byState: make(map[service.State]*stats.Recorder)}
+	kg := &keygen{cfg: cfg}
+	if cfg.tenants > 0 && shards > 1 {
+		// The router is deterministic across processes, so the client's
+		// copy agrees with the daemon's placement exactly.
+		kg.router, err = shard.NewRouter(shards)
+		if err != nil {
+			return err
+		}
+	}
+
+	g := &genStats{
+		byState: make(map[service.State]*stats.Recorder),
+		byShard: make(map[int]*stats.Recorder),
+		cross:   stats.NewRecorder(1 << 16),
+		single:  stats.NewRecorder(1 << 16),
+	}
 	ctx := context.Background()
 	var cancel context.CancelFunc = func() {}
 	if cfg.duration > 0 {
@@ -158,7 +344,8 @@ func drive(cfg genConfig, out io.Writer) error {
 		return i, true
 	}
 
-	oneTxn := func(rng *rand.Rand, seq int64) {
+	var genErr atomic.Value // first keygen failure, ends the run
+	oneTxn := func(rng *rand.Rand, zipf *rand.Zipf, seq int64) {
 		defer completed.Add(1)
 		votes := make([]bool, n)
 		for i := range votes {
@@ -168,10 +355,20 @@ func drive(cfg genConfig, out io.Writer) error {
 		if wantAbort {
 			votes[rng.Intn(n)] = false
 		}
-		body, _ := json.Marshal(service.CommitRequestJSON{
+		req := service.CommitRequestJSON{
 			ID:    fmt.Sprintf("load-%d", seq),
 			Votes: votes,
-		})
+		}
+		if cfg.tenants > 0 {
+			keys, _, err := kg.keys(rng, zipf)
+			if err != nil {
+				genErr.CompareAndSwap(nil, err)
+				cancel()
+				return
+			}
+			req.Keys = keys
+		}
+		body, _ := json.Marshal(req)
 		// Closed-loop clients back off and retry on 429 using the
 		// server's hint; other failures count once and move on.
 		for {
@@ -210,11 +407,26 @@ func drive(cfg genConfig, out io.Writer) error {
 				return
 			}
 			// Client-observed abort validity: a transaction with a NO
-			// vote must never commit, crashes or not.
+			// vote must never commit, crashes or not — single- or
+			// cross-shard alike (the dissenting vote reaches every
+			// participating group).
 			violation := wantAbort && cr.State == service.StateCommit
-			g.record(cr.State, cr.LatencyMs, violation)
+			txnShards := cr.Shards
+			if len(txnShards) == 0 {
+				txnShards = []int{0} // unsharded daemon
+			}
+			g.record(cr.State, cr.LatencyMs, violation, txnShards)
 			return
 		}
+	}
+
+	// zipfFor builds a per-worker zipf source when the skew asks for one;
+	// rand.Zipf requires s > 1, below that tenant draws are uniform.
+	zipfFor := func(rng *rand.Rand) *rand.Zipf {
+		if cfg.tenants > 1 && cfg.tenantSkew > 1 {
+			return rand.NewZipf(rng, cfg.tenantSkew, 1, uint64(cfg.tenants-1))
+		}
+		return nil
 	}
 
 	start := time.Now()
@@ -226,12 +438,13 @@ func drive(cfg genConfig, out io.Writer) error {
 			go func(w int) {
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
+				zipf := zipfFor(rng)
 				for {
 					seq, ok := next()
 					if !ok {
 						return
 					}
-					oneTxn(rng, seq)
+					oneTxn(rng, zipf, seq)
 					maybeCrash()
 				}
 			}(w)
@@ -262,7 +475,8 @@ func drive(cfg genConfig, out io.Writer) error {
 					rngSeed++
 					s := rngSeed
 					seedMu.Unlock()
-					oneTxn(rand.New(rand.NewSource(s)), seq)
+					rng := rand.New(rand.NewSource(s))
+					oneTxn(rng, zipfFor(rng), seq)
 					maybeCrash()
 				}(seq)
 			}
@@ -272,20 +486,34 @@ func drive(cfg genConfig, out io.Writer) error {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	if err, ok := genErr.Load().(error); ok && err != nil {
+		return fmt.Errorf("workload generation: %w", err)
+	}
 
 	// Pull the daemon's own view: safety violations detected server-side.
+	// Sharded daemons expose the sharded snapshot; its aggregate slots
+	// into the same report.
 	var m service.Metrics
+	var sharded *shard.Metrics
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
 		return fmt.Errorf("metrics: %w", err)
 	}
-	err = json.NewDecoder(resp.Body).Decode(&m)
+	if shards > 1 {
+		var sm shard.Metrics
+		err = json.NewDecoder(resp.Body).Decode(&sm)
+		m = sm.Aggregate
+		m.N = health.N
+		sharded = &sm
+	} else {
+		err = json.NewDecoder(resp.Body).Decode(&m)
+	}
 	resp.Body.Close()
 	if err != nil {
 		return fmt.Errorf("metrics: %w", err)
 	}
 
-	s := summarize(cfg, g, m, elapsed)
+	s := summarize(cfg, g, m, sharded, elapsed)
 	if cfg.jsonOut {
 		enc := json.NewEncoder(out)
 		if err := enc.Encode(s); err != nil {
@@ -312,9 +540,12 @@ type OutcomeJSON struct {
 
 // SummaryJSON is the single end-of-run object emitted by -json, for
 // scripted sweeps that post-process runs without scraping the table.
+// Shards, PerShard, CrossShard, SingleShard, and DaemonSharded appear
+// only against sharded daemons.
 type SummaryJSON struct {
 	Mode             string                 `json:"mode"`
 	N                int                    `json:"n"`
+	Shards           int                    `json:"shards,omitempty"`
 	ElapsedMs        float64                `json:"elapsed_ms"`
 	Completed        uint64                 `json:"completed"`
 	ThroughputTPS    float64                `json:"throughput_tps"`
@@ -322,12 +553,28 @@ type SummaryJSON struct {
 	OverloadRetries  int                    `json:"overload_retries"`
 	ClientViolations int                    `json:"client_violations"`
 	Outcomes         map[string]OutcomeJSON `json:"outcomes"`
+	PerShard         map[string]OutcomeJSON `json:"per_shard,omitempty"`
+	CrossShard       *OutcomeJSON           `json:"cross_shard,omitempty"`
+	SingleShard      *OutcomeJSON           `json:"single_shard,omitempty"`
 	Daemon           service.Metrics        `json:"daemon"`
+	DaemonSharded    *shard.Metrics         `json:"daemon_sharded,omitempty"`
+}
+
+// outcomeOf folds one recorder into the JSON block.
+func outcomeOf(rec *stats.Recorder) OutcomeJSON {
+	snap := rec.Snapshot(50, 95, 99)
+	return OutcomeJSON{
+		Count:  snap.Total,
+		MeanMs: snap.Summary.Mean,
+		P50Ms:  snap.Percentiles[0],
+		P95Ms:  snap.Percentiles[1],
+		P99Ms:  snap.Percentiles[2],
+	}
 }
 
 // summarize folds the client-side stats and the daemon's snapshot into
 // the machine-readable summary; both output paths render from it.
-func summarize(cfg genConfig, g *genStats, m service.Metrics, elapsed time.Duration) SummaryJSON {
+func summarize(cfg genConfig, g *genStats, m service.Metrics, sharded *shard.Metrics, elapsed time.Duration) SummaryJSON {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	s := SummaryJSON{
@@ -341,18 +588,24 @@ func summarize(cfg genConfig, g *genStats, m service.Metrics, elapsed time.Durat
 		Daemon:           m,
 	}
 	for st, rec := range g.byState {
-		snap := rec.Snapshot(50, 95, 99)
-		s.Outcomes[string(st)] = OutcomeJSON{
-			Count:  snap.Total,
-			MeanMs: snap.Summary.Mean,
-			P50Ms:  snap.Percentiles[0],
-			P95Ms:  snap.Percentiles[1],
-			P99Ms:  snap.Percentiles[2],
-		}
-		s.Completed += snap.Total
+		o := outcomeOf(rec)
+		s.Outcomes[string(st)] = o
+		s.Completed += o.Count
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		s.ThroughputTPS = float64(s.Completed) / secs
+	}
+	if sharded != nil {
+		s.Shards = sharded.Shards
+		s.DaemonSharded = sharded
+		s.PerShard = make(map[string]OutcomeJSON, len(g.byShard))
+		for sh, rec := range g.byShard {
+			s.PerShard[strconv.Itoa(sh)] = outcomeOf(rec)
+		}
+		cross := outcomeOf(g.cross)
+		single := outcomeOf(g.single)
+		s.CrossShard = &cross
+		s.SingleShard = &single
 	}
 	return s
 }
@@ -370,12 +623,38 @@ func report(out io.Writer, cfg genConfig, s SummaryJSON, elapsed time.Duration) 
 			fmt.Sprintf("%.2f", o.P95Ms), fmt.Sprintf("%.2f", o.P99Ms))
 	}
 	m := s.Daemon
-	fmt.Fprintf(out, "loadgen: mode=%s n=%d elapsed=%v\n", cfg.mode, m.N, elapsed.Round(time.Millisecond))
+	if s.Shards > 1 {
+		fmt.Fprintf(out, "loadgen: mode=%s n=%d shards=%d elapsed=%v\n", cfg.mode, m.N, s.Shards, elapsed.Round(time.Millisecond))
+	} else {
+		fmt.Fprintf(out, "loadgen: mode=%s n=%d elapsed=%v\n", cfg.mode, m.N, elapsed.Round(time.Millisecond))
+	}
 	fmt.Fprint(out, table.String())
 	fmt.Fprintf(out, "throughput: %.1f txn/s (%d completed, %d client errors, %d overload retries)\n",
 		s.ThroughputTPS, s.Completed, s.ClientErrors, s.OverloadRetries)
 	fmt.Fprintf(out, "daemon: committed=%d aborted=%d timed_out=%d crashed=%v violations=%d\n",
 		m.Committed, m.Aborted, m.TimedOut, m.Crashed, m.SafetyViolations)
+	if s.Shards > 1 {
+		sht := stats.NewTable("shard", "count", "p50 ms", "p99 ms")
+		ids := make([]string, 0, len(s.PerShard))
+		for id := range s.PerShard {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			o := s.PerShard[id]
+			sht.AddRow(id, o.Count, fmt.Sprintf("%.2f", o.P50Ms), fmt.Sprintf("%.2f", o.P99Ms))
+		}
+		fmt.Fprint(out, "per-shard latency:\n"+sht.String())
+		if s.CrossShard != nil && s.SingleShard != nil {
+			fmt.Fprintf(out, "cross-shard: count=%d p50=%.2fms p99=%.2fms | single-shard: count=%d p50=%.2fms p99=%.2fms\n",
+				s.CrossShard.Count, s.CrossShard.P50Ms, s.CrossShard.P99Ms,
+				s.SingleShard.Count, s.SingleShard.P50Ms, s.SingleShard.P99Ms)
+		}
+		if ds := s.DaemonSharded; ds != nil {
+			fmt.Fprintf(out, "daemon cross layer: submitted=%d committed=%d aborted=%d in_doubt=%d p99=%.2fms\n",
+				ds.Cross.Submitted, ds.Cross.Committed, ds.Cross.Aborted, ds.Cross.InDoubt, ds.Cross.LatencyP99Ms)
+		}
+	}
 	if len(m.Stages) > 0 {
 		st := stats.NewTable("stage", "count", "p50 ms", "p99 ms")
 		// Pipeline order, not lexical: where a transaction's time goes.
@@ -396,7 +675,9 @@ func report(out io.Writer, cfg genConfig, s SummaryJSON, elapsed time.Duration) 
 // waitReady polls GET /readyz until the daemon answers 200, retrying
 // connection errors and 503 (starting or draining) up to the deadline. A
 // 404 counts as ready: older daemons without the endpoint are healthy if
-// they answer at all.
+// they answer at all. An exhausted deadline yields a diagnosis, not a
+// bare dial error: which address, how long we waited, and the last
+// failure underneath.
 func waitReady(client *http.Client, base string, patience time.Duration) error {
 	deadline := time.Now().Add(patience)
 	var last error
@@ -415,24 +696,27 @@ func waitReady(client *http.Client, base string, patience time.Duration) error {
 			last = err
 		}
 		if time.Now().After(deadline) {
-			return last
+			return fmt.Errorf("commitd at %s unreachable after waiting %v for /readyz (is the daemon running there?): %w",
+				base, patience, last)
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
 }
 
-func clusterSize(client *http.Client, base string) (int, error) {
+// clusterInfo fetches /healthz: cluster size per group plus the shard
+// count (absent on unsharded daemons).
+func clusterInfo(client *http.Client, base string) (service.HealthJSON, error) {
 	resp, err := client.Get(base + "/healthz")
 	if err != nil {
-		return 0, err
+		return service.HealthJSON{}, err
 	}
 	defer resp.Body.Close()
 	var h service.HealthJSON
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
-		return 0, err
+		return service.HealthJSON{}, err
 	}
 	if h.N <= 0 {
-		return 0, fmt.Errorf("daemon reports cluster size %d", h.N)
+		return service.HealthJSON{}, fmt.Errorf("daemon reports cluster size %d", h.N)
 	}
-	return h.N, nil
+	return h, nil
 }

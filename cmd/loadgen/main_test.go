@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"math/rand"
+	"net"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/shard"
 )
 
 // newTarget stands up a real service behind the real HTTP handler and
@@ -204,5 +207,255 @@ func TestLoadgenFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-mode", "sideways", "-total", "1", "-addr", "127.0.0.1:1"}, &out); err == nil {
 		t.Fatal("bad mode accepted")
+	}
+	if err := run([]string{"-total", "1", "-cross-fraction", "0.5"}, &out); err == nil {
+		t.Fatal("cross fraction without tenants accepted")
+	}
+	if err := run([]string{"-total", "1", "-tenants", "4", "-cross-fraction", "2"}, &out); err == nil {
+		t.Fatal("bad cross fraction accepted")
+	}
+	if err := run([]string{"-total", "1", "-hot-shard", "0"}, &out); err == nil {
+		t.Fatal("hot shard without tenants accepted")
+	}
+	if err := run([]string{"-total", "1", "-tenants", "4", "-keys-per-txn", "0"}, &out); err == nil {
+		t.Fatal("zero keys per txn accepted")
+	}
+}
+
+// TestLoadgenUnreachableDaemon: with nobody listening, the run fails
+// fast with a diagnosis naming the address and the /readyz wait, not a
+// bare dial error.
+func TestLoadgenUnreachableDaemon(t *testing.T) {
+	// Reserve a port and close it so the address is guaranteed dead.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() //nolint:errcheck
+
+	var out bytes.Buffer
+	err = drive(genConfig{
+		addr:      addr,
+		mode:      "closed",
+		total:     1,
+		timeout:   time.Second,
+		readyWait: 300 * time.Millisecond,
+		crashNode: -1,
+	}, &out)
+	if err == nil {
+		t.Fatal("unreachable daemon did not fail the run")
+	}
+	for _, want := range []string{"unreachable", addr, "/readyz", "daemon running"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+// newShardedTarget stands up a sharded coordinator behind the sharded
+// HTTP handler.
+func newShardedTarget(t *testing.T, cfg shard.Config) (*shard.Coordinator, string) {
+	t.Helper()
+	c, err := shard.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(shard.NewHTTPHandler(c))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := c.Close(ctx); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return c, strings.TrimPrefix(ts.URL, "http://")
+}
+
+// TestLoadgenShardedMultiTenant drives the keyed workload at a sharded
+// daemon: the cross fraction materializes as cross-shard transactions,
+// the summary carries the per-shard and cross-vs-single split, and no
+// safety violation surfaces on either side.
+func TestLoadgenShardedMultiTenant(t *testing.T) {
+	c, addr := newShardedTarget(t, shard.Config{
+		Shards: 3,
+		Group: service.Config{
+			N: 3, K: 3, Seed: 21,
+			TickEvery:      500 * time.Microsecond,
+			DefaultTimeout: 10 * time.Second,
+		},
+	})
+	const total = 150
+	var out bytes.Buffer
+	err := drive(genConfig{
+		addr:          addr,
+		mode:          "closed",
+		concurrency:   16,
+		total:         total,
+		abortFraction: 0.2,
+		timeout:       60 * time.Second,
+		crashNode:     -1,
+		seed:          7,
+		tenants:       16,
+		tenantSkew:    1.3,
+		keysPerTxn:    2,
+		crossFraction: 0.3,
+		hotShard:      -1,
+		jsonOut:       true,
+	}, &out)
+	if err != nil {
+		t.Fatalf("drive: %v\n%s", err, out.String())
+	}
+	var sum SummaryJSON
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		t.Fatalf("decode: %v\n%s", err, out.String())
+	}
+	if sum.Shards != 3 || sum.Completed != total {
+		t.Fatalf("summary = shards %d completed %d", sum.Shards, sum.Completed)
+	}
+	if sum.CrossShard == nil || sum.SingleShard == nil {
+		t.Fatal("cross/single split missing")
+	}
+	// With 150 txns at 30% cross fraction, both classes must show up.
+	if sum.CrossShard.Count == 0 || sum.SingleShard.Count == 0 {
+		t.Fatalf("cross=%d single=%d", sum.CrossShard.Count, sum.SingleShard.Count)
+	}
+	if sum.CrossShard.Count+sum.SingleShard.Count != total {
+		t.Fatalf("split %d+%d != %d", sum.CrossShard.Count, sum.SingleShard.Count, total)
+	}
+	if len(sum.PerShard) == 0 {
+		t.Fatal("per-shard latency missing")
+	}
+	if sum.DaemonSharded == nil || sum.DaemonSharded.Cross.Submitted == 0 {
+		t.Fatalf("daemon cross metrics = %+v", sum.DaemonSharded)
+	}
+	m := c.Metrics()
+	if m.Cross.Submitted != uint64(sum.CrossShard.Count) {
+		t.Fatalf("daemon saw %d cross txns, client %d", m.Cross.Submitted, sum.CrossShard.Count)
+	}
+	if m.Aggregate.SafetyViolations != 0 || sum.ClientViolations != 0 {
+		t.Fatalf("violations: daemon=%d client=%d", m.Aggregate.SafetyViolations, sum.ClientViolations)
+	}
+
+	// The text report renders the sharded tables too.
+	var text bytes.Buffer
+	report(&text, genConfig{mode: "closed"}, sum, time.Second)
+	for _, want := range []string{"per-shard latency:", "cross-shard:", "single-shard:", "daemon cross layer:"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, text.String())
+		}
+	}
+}
+
+// TestLoadgenHotShard: with -hot-shard every transaction lands on the
+// pinned shard and none cross shards.
+func TestLoadgenHotShard(t *testing.T) {
+	c, addr := newShardedTarget(t, shard.Config{
+		Shards: 3,
+		Group: service.Config{
+			N: 3, K: 3, Seed: 23,
+			TickEvery:      500 * time.Microsecond,
+			DefaultTimeout: 10 * time.Second,
+		},
+	})
+	const total = 40
+	var out bytes.Buffer
+	err := drive(genConfig{
+		addr:          addr,
+		mode:          "closed",
+		concurrency:   8,
+		total:         total,
+		abortFraction: 0,
+		timeout:       60 * time.Second,
+		crashNode:     -1,
+		seed:          5,
+		tenants:       8,
+		keysPerTxn:    2,
+		hotShard:      1,
+	}, &out)
+	if err != nil {
+		t.Fatalf("drive: %v\n%s", err, out.String())
+	}
+	m := c.Metrics()
+	if m.Cross.Submitted != 0 {
+		t.Fatalf("hot-shard run produced %d cross txns", m.Cross.Submitted)
+	}
+	if got := m.PerShard[1].Submitted; got != total {
+		t.Fatalf("hot shard saw %d of %d txns", got, total)
+	}
+	for _, sh := range []int{0, 2} {
+		if got := m.PerShard[sh].Submitted; got != 0 {
+			t.Fatalf("cold shard %d saw %d txns", sh, got)
+		}
+	}
+}
+
+// TestLoadgenShardFlagsAgainstUnshardedDaemon: shard-shaping flags are
+// rejected up front when the daemon runs a single group.
+func TestLoadgenShardFlagsAgainstUnshardedDaemon(t *testing.T) {
+	_, addr := newTarget(t, service.Config{N: 3, K: 3, Seed: 29})
+	var out bytes.Buffer
+	err := drive(genConfig{
+		addr: addr, mode: "closed", total: 1, timeout: 10 * time.Second,
+		crashNode: -1, tenants: 4, crossFraction: 0.5,
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "needs a sharded daemon") {
+		t.Fatalf("cross-fraction against 1 shard: err = %v", err)
+	}
+	err = drive(genConfig{
+		addr: addr, mode: "closed", total: 1, timeout: 10 * time.Second,
+		crashNode: -1, tenants: 4, hotShard: 2,
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("hot-shard against 1 shard: err = %v", err)
+	}
+}
+
+// TestKeygenShaping checks the workload shaper against the router
+// directly: cross txns span >=2 shards, non-cross txns stay on one, and
+// hot-shard pins everything.
+func TestKeygenShaping(t *testing.T) {
+	router, err := shard.NewRouter(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+
+	kg := &keygen{cfg: genConfig{tenants: 8, keysPerTxn: 3, crossFraction: 0.5, hotShard: -1}, router: router}
+	var crossSeen, singleSeen bool
+	for i := 0; i < 200; i++ {
+		keys, cross, err := kg.keys(rng, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards := router.RouteKeys("x", keys)
+		if cross {
+			crossSeen = true
+			if len(shards) < 2 {
+				t.Fatalf("cross txn keys %v route to %v", keys, shards)
+			}
+		} else {
+			singleSeen = true
+			if len(shards) != 1 {
+				t.Fatalf("single txn keys %v route to %v", keys, shards)
+			}
+		}
+	}
+	if !crossSeen || !singleSeen {
+		t.Fatalf("shaping never produced both classes: cross=%v single=%v", crossSeen, singleSeen)
+	}
+
+	hot := &keygen{cfg: genConfig{tenants: 8, keysPerTxn: 2, hotShard: 2}, router: router}
+	for i := 0; i < 50; i++ {
+		keys, _, err := hot.keys(rng, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			if router.Route(k) != 2 {
+				t.Fatalf("hot-shard key %q routes to %d", k, router.Route(k))
+			}
+		}
 	}
 }

@@ -105,6 +105,13 @@ type PlanConfig struct {
 	// Txns is the number of transactions a service-mode run submits
 	// (default 2*N); per-transaction vote vectors are seeded.
 	Txns int
+	// Shards is the commit-group count for sharded service runs. 0 or 1
+	// leaves the plan unsharded; when > 1 every transaction is assigned
+	// a seeded participant set (see Plan.TxnShards).
+	Shards int
+	// CrossFraction is the probability a sharded transaction spans two
+	// groups instead of one (default 0.3; sharded plans only).
+	CrossFraction float64
 }
 
 // CrashEvent fail-stops one processor at a tick, optionally restarting it
@@ -135,6 +142,12 @@ type Plan struct {
 	TxnVotes   [][]bool
 	Crashes    []CrashEvent
 	Partitions []Partition
+	// TxnShards assigns each service transaction its participating
+	// shards (sorted, one or two entries). Non-nil only when
+	// Cfg.Shards > 1; drawn from a stream derived separately from the
+	// seed so unsharded plan bytes are unchanged by the field's
+	// existence.
+	TxnShards [][]int
 }
 
 // shapeDefaults fills rate/count defaults for a shape.
@@ -216,6 +229,19 @@ func NewPlan(cfg PlanConfig) (*Plan, error) {
 	}
 	if cfg.N < 3 {
 		cfg.Partitions = 0 // no nonempty minority group exists
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("chaos: Shards must be >= 0, got %d", cfg.Shards)
+	}
+	if cfg.Shards > 1 {
+		if cfg.CrossFraction <= 0 {
+			cfg.CrossFraction = 0.3
+		}
+		if cfg.CrossFraction > 1 {
+			cfg.CrossFraction = 1
+		}
+	} else {
+		cfg.CrossFraction = 0
 	}
 
 	s := rng.NewStream(cfg.Seed ^ 0xc4a05c75bef1d0d7)
@@ -304,6 +330,29 @@ func NewPlan(cfg PlanConfig) (*Plan, error) {
 		}
 		return a.Group < b.Group
 	})
+
+	// Shard assignments draw from their own derived stream so that
+	// enabling sharding cannot perturb any draw above — an unsharded
+	// plan for the same seed stays byte-identical.
+	if cfg.Shards > 1 {
+		ss := rng.NewStream(cfg.Seed ^ 0x85ebca6b0aae16a3)
+		p.TxnShards = make([][]int, cfg.Txns)
+		for i := range p.TxnShards {
+			if ss.Float64() < cfg.CrossFraction {
+				a := ss.Intn(cfg.Shards)
+				b := ss.Intn(cfg.Shards - 1)
+				if b >= a {
+					b++
+				}
+				if a > b {
+					a, b = b, a
+				}
+				p.TxnShards[i] = []int{a, b}
+			} else {
+				p.TxnShards[i] = []int{ss.Intn(cfg.Shards)}
+			}
+		}
+	}
 	return p, nil
 }
 
@@ -408,6 +457,22 @@ func (p *Plan) Canonical() string {
 		}
 	}
 	b.WriteByte('\n')
+	if c.Shards > 1 {
+		fmt.Fprintf(&b, "shards n=%d cross_fraction=%g\n", c.Shards, c.CrossFraction)
+		b.WriteString("txnshards ")
+		for i, set := range p.TxnShards {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			for j, sh := range set {
+				if j > 0 {
+					b.WriteByte('+')
+				}
+				fmt.Fprintf(&b, "%d", sh)
+			}
+		}
+		b.WriteByte('\n')
+	}
 	for _, ev := range p.Crashes {
 		fmt.Fprintf(&b, "crash node=%d tick=%d restart=%d\n", ev.Node, ev.Tick, ev.RestartTick)
 	}

@@ -254,6 +254,31 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	f.get(nil, func() any { return fn })
 }
 
+// GaugeFuncVec is a labeled family of computed gauges: each child's value
+// comes from a callback evaluated at exposition time. Sharded components
+// register one child per shard ("current depth of shard k's queue").
+type GaugeFuncVec struct {
+	f *family
+}
+
+// GaugeFuncVec returns the labeled computed-gauge family name.
+func (r *Registry) GaugeFuncVec(name, help string, labels ...string) *GaugeFuncVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeFuncVec{f: r.lookup(name, help, typeGauge, labels)}
+}
+
+// With registers fn as the child for the given label values. The first
+// registration for a label set wins; later calls are no-ops (matching the
+// create-on-first-use contract of the other vec types).
+func (v *GaugeFuncVec) With(fn func() float64, values ...string) {
+	if v == nil {
+		return
+	}
+	v.f.get(values, func() any { return fn })
+}
+
 // Histogram is a fixed-bucket histogram: observation counts per upper
 // bound, plus sum and count. Nil histograms are no-ops.
 type Histogram struct {

@@ -43,6 +43,17 @@ func DecodeCommitRequest(r io.Reader) (CommitRequestJSON, error) {
 	if err := validateTxnID(body.ID); err != nil {
 		return CommitRequestJSON{}, err
 	}
+	if len(body.Keys) > MaxCommitKeys {
+		return CommitRequestJSON{}, fmt.Errorf("bad keys: %d keys exceeds the %d-key limit", len(body.Keys), MaxCommitKeys)
+	}
+	for _, k := range body.Keys {
+		if k == "" {
+			return CommitRequestJSON{}, errors.New("bad keys: empty key")
+		}
+		if err := validateTxnID(k); err != nil {
+			return CommitRequestJSON{}, fmt.Errorf("bad keys: %w", err)
+		}
+	}
 	if body.TimeoutMs < 0 {
 		return CommitRequestJSON{}, fmt.Errorf("bad timeout_ms: must be non-negative, got %d", body.TimeoutMs)
 	}
@@ -66,19 +77,29 @@ func validateTxnID(id string) error {
 	return nil
 }
 
-// CommitRequestJSON is the POST /commit body.
+// MaxCommitKeys caps the key set of one submission (sharded
+// deployments route each key to its shard; see internal/shard).
+const MaxCommitKeys = 64
+
+// CommitRequestJSON is the POST /commit body. Keys is only meaningful
+// against a sharded deployment, where the keys' shards (deduplicated)
+// become the transaction's participants; an unsharded service ignores
+// it.
 type CommitRequestJSON struct {
-	ID        string `json:"id,omitempty"`
-	Votes     []bool `json:"votes,omitempty"`
-	TimeoutMs int64  `json:"timeout_ms,omitempty"`
+	ID        string   `json:"id,omitempty"`
+	Keys      []string `json:"keys,omitempty"`
+	Votes     []bool   `json:"votes,omitempty"`
+	TimeoutMs int64    `json:"timeout_ms,omitempty"`
 }
 
-// CommitResponseJSON is the POST /commit response body.
+// CommitResponseJSON is the POST /commit response body. Shards is the
+// participating shard set (sharded deployments only).
 type CommitResponseJSON struct {
 	ID          string  `json:"id"`
 	State       State   `json:"state"`
 	Decision    string  `json:"decision,omitempty"`
 	Coordinator int     `json:"coordinator"`
+	Shards      []int   `json:"shards,omitempty"`
 	LatencyMs   float64 `json:"latency_ms"`
 }
 
@@ -88,10 +109,12 @@ type ErrorJSON struct {
 	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
 }
 
-// HealthJSON is the GET /healthz response body.
+// HealthJSON is the GET /healthz response body. Shards is reported by
+// sharded deployments only.
 type HealthJSON struct {
 	Status string `json:"status"`
 	N      int    `json:"n"`
+	Shards int    `json:"shards,omitempty"`
 }
 
 // NewHTTPHandler exposes a service over HTTP/JSON (stdlib only):

@@ -146,9 +146,9 @@ func TestHTTPMetricsPromAndTrace(t *testing.T) {
 	// service admission, txn lifecycle, runtime stepping, transport.
 	for _, want := range []string{
 		"# TYPE service_submitted_total counter",
-		"service_submitted_total 2",
-		`service_outcomes_total{outcome="committed"} 1`,
-		`service_outcomes_total{outcome="aborted"} 1`,
+		`service_submitted_total{shard="0"} 2`,
+		`service_outcomes_total{shard="0",outcome="committed"} 1`,
+		`service_outcomes_total{shard="0",outcome="aborted"} 1`,
 		"# TYPE txn_instances_started_total counter",
 		"# TYPE txn_rounds_to_decision_ticks histogram",
 		"# TYPE runtime_node_steps_total counter",

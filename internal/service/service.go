@@ -66,35 +66,51 @@ type pending struct {
 // These replaced the original mu-guarded counter struct: the counts are
 // now atomic registry counters so GET /metrics.prom and the JSON
 // GET /metrics read the same underlying numbers.
+//
+// Every family carries a leading "shard" label so N independent groups
+// hosted in one daemon (internal/shard) share the registry without their
+// counts merging; an unsharded service is shard "0".
 type svcMetrics struct {
+	shard      string
 	submitted  *obs.Counter
-	outcomes   *obs.CounterVec // label outcome: committed|aborted|timed_out|failed
-	rejected   *obs.CounterVec // label reason: full|draining
+	outcomes   *obs.CounterVec // labels: shard, outcome (committed|aborted|timed_out|failed)
+	rejected   *obs.CounterVec // labels: shard, reason (full|draining)
 	batches    *obs.Counter
 	violations *obs.Counter
 	latency    *obs.Histogram    // seconds, decided (COMMIT/ABORT) submissions
-	stage      *obs.HistogramVec // seconds per pipeline stage, label: stage
+	stage      *obs.HistogramVec // seconds per pipeline stage, labels: shard, stage
 }
 
-func newSvcMetrics(reg *obs.Registry) svcMetrics {
+func newSvcMetrics(reg *obs.Registry, shard string) svcMetrics {
 	return svcMetrics{
-		submitted: reg.Counter("service_submitted_total",
-			"Transactions admitted into the queue."),
+		shard: shard,
+		submitted: reg.CounterVec("service_submitted_total",
+			"Transactions admitted into the queue.", "shard").With(shard),
 		outcomes: reg.CounterVec("service_outcomes_total",
-			"Terminal submission outcomes.", "outcome"),
+			"Terminal submission outcomes.", "shard", "outcome"),
 		rejected: reg.CounterVec("service_rejected_total",
-			"Submissions rejected at admission.", "reason"),
-		batches: reg.Counter("service_batches_total",
-			"Dispatcher wakeups that dispatched at least one submission."),
-		violations: reg.Counter("service_safety_violations_total",
-			"Conflicting decisions observed for one transaction (Agreement violations)."),
-		latency: reg.Histogram("service_latency_seconds",
-			"Submission-to-decision latency of committed/aborted transactions.", obs.DefBuckets),
+			"Submissions rejected at admission.", "shard", "reason"),
+		batches: reg.CounterVec("service_batches_total",
+			"Dispatcher wakeups that dispatched at least one submission.", "shard").With(shard),
+		violations: reg.CounterVec("service_safety_violations_total",
+			"Conflicting decisions observed for one transaction (Agreement violations).", "shard").With(shard),
+		latency: reg.HistogramVec("service_latency_seconds",
+			"Submission-to-decision latency of committed/aborted transactions.",
+			obs.DefBuckets, "shard").With(shard),
 		stage: reg.HistogramVec("service_stage_seconds",
 			"Per-stage latency of the submission pipeline (admit, batch, dispatch, decided, notify).",
-			obs.DefBuckets, "stage"),
+			obs.DefBuckets, "shard", "stage"),
 	}
 }
+
+// outcome returns this shard's counter for one terminal outcome.
+func (m *svcMetrics) outcome(o string) *obs.Counter { return m.outcomes.With(m.shard, o) }
+
+// reject returns this shard's counter for one admission-rejection reason.
+func (m *svcMetrics) reject(r string) *obs.Counter { return m.rejected.With(m.shard, r) }
+
+// stageHist returns this shard's histogram for one pipeline stage.
+func (m *svcMetrics) stageHist(st string) *obs.Histogram { return m.stage.With(m.shard, st) }
 
 // stageNames lists the pipeline stages in causal order.
 var stageNames = []string{
@@ -159,7 +175,7 @@ func New(cfg Config) (*Service, error) {
 		dispatcherDone: make(chan struct{}),
 		lat:            stats.NewRecorder(cfg.LatencyWindow),
 		stageLat:       make(map[string]*stats.Recorder, len(stageNames)),
-		met:            newSvcMetrics(cfg.Registry),
+		met:            newSvcMetrics(cfg.Registry, cfg.shardLabel()),
 		crashCtr:       runtime.CrashCounter(cfg.Registry),
 		crashed:        make([]bool, cfg.N),
 		pendings:       make(map[txn.ID]*pending),
@@ -169,21 +185,22 @@ func New(cfg Config) (*Service, error) {
 	for _, st := range stageNames {
 		s.stageLat[st] = stats.NewRecorder(cfg.LatencyWindow)
 	}
-	cfg.Registry.GaugeFunc("service_queue_depth",
-		"Submissions waiting in the admission queue.",
-		func() float64 { return float64(len(s.queue)) })
-	cfg.Registry.GaugeFunc("service_in_flight",
-		"Commit instances currently holding an in-flight slot.",
-		func() float64 { return float64(len(s.slots)) })
-	cfg.Registry.GaugeFunc("service_active_instances",
-		"Instances still held by the transaction managers (all nodes).",
-		func() float64 {
+	shardLabel := cfg.shardLabel()
+	cfg.Registry.GaugeFuncVec("service_queue_depth",
+		"Submissions waiting in the admission queue.", "shard").
+		With(func() float64 { return float64(len(s.queue)) }, shardLabel)
+	cfg.Registry.GaugeFuncVec("service_in_flight",
+		"Commit instances currently holding an in-flight slot.", "shard").
+		With(func() float64 { return float64(len(s.slots)) }, shardLabel)
+	cfg.Registry.GaugeFuncVec("service_active_instances",
+		"Instances still held by the transaction managers (all nodes).", "shard").
+		With(func() float64 {
 			total := 0
 			for _, mgr := range s.managers {
 				total += mgr.Active()
 			}
 			return float64(total)
-		})
+		}, shardLabel)
 
 	s.managers = make([]*txn.Manager, cfg.N)
 	machines := make([]types.Machine, cfg.N)
@@ -191,6 +208,7 @@ func New(cfg Config) (*Service, error) {
 		proc := types.ProcID(p)
 		mgr, err := txn.NewManager(txn.Config{
 			ID: proc, N: cfg.N, T: cfg.T, K: cfg.K,
+			Shard:       cfg.Shard,
 			CoinFactor:  cfg.CoinFactor,
 			Vote:        func(id txn.ID) bool { return s.voteFor(proc, id) },
 			OnOutcome:   func(o txn.Outcome) { s.onOutcome(proc, o) },
@@ -319,7 +337,7 @@ func (s *Service) Submit(ctx context.Context, req Request) (Result, error) {
 	s.mu.Lock()
 	if s.stopped {
 		s.mu.Unlock()
-		s.met.rejected.With("draining").Inc()
+		s.met.reject("draining").Inc()
 		return Result{}, ErrDraining
 	}
 	id := req.ID
@@ -338,7 +356,7 @@ func (s *Service) Submit(ctx context.Context, req Request) (Result, error) {
 	default:
 		hint := s.cfg.RetryHint
 		s.mu.Unlock()
-		s.met.rejected.With("full").Inc()
+		s.met.reject("full").Inc()
 		return Result{}, &OverloadError{RetryAfter: hint}
 	}
 	s.met.submitted.Inc()
@@ -442,7 +460,7 @@ func (s *Service) recordStage(id txn.ID, stage string, start, end int64, detail 
 		Start: start, End: end, From: -1, To: -1, Detail: detail,
 	})
 	d := float64(end-start) / 1e6 // collector clock is microseconds
-	s.met.stage.With(stage).Observe(d)
+	s.met.stageHist(stage).Observe(d)
 	if rec := s.stageLat[stage]; rec != nil {
 		rec.Add(d * 1e3) // recorders hold milliseconds
 	}
@@ -481,6 +499,13 @@ func (s *Service) onOutcome(p types.ProcID, o txn.Outcome) {
 	}
 	st.first = o.Decision
 	pd := s.pendings[o.Txn]
+	if pd == nil && st.State == StateTimeout {
+		// The submission already resolved as TIMEOUT (unknown) but the
+		// cluster has now decided; decisions are absorbing, so the status
+		// table adopts it — recovery clients poll exactly for this.
+		st.State = stateOf(o.Decision)
+		st.Decision = o.Decision.String()
+	}
 	s.mu.Unlock()
 	if pd != nil {
 		s.resolve(pd, stateOf(o.Decision), o.Decision)
@@ -523,13 +548,13 @@ func (s *Service) resolve(p *pending, state State, d types.Decision) {
 
 	switch state {
 	case StateCommit:
-		s.met.outcomes.With("committed").Inc()
+		s.met.outcome("committed").Inc()
 	case StateAbort:
-		s.met.outcomes.With("aborted").Inc()
+		s.met.outcome("aborted").Inc()
 	case StateTimeout:
-		s.met.outcomes.With("timed_out").Inc()
+		s.met.outcome("timed_out").Inc()
 	case StateFailed:
-		s.met.outcomes.With("failed").Inc()
+		s.met.outcome("failed").Inc()
 	}
 	if p.timer != nil {
 		p.timer.Stop()
@@ -617,12 +642,12 @@ func (s *Service) Metrics() Metrics {
 		N:                s.cfg.N,
 		Draining:         s.stopped,
 		Submitted:        s.met.submitted.Value(),
-		Committed:        s.met.outcomes.With("committed").Value(),
-		Aborted:          s.met.outcomes.With("aborted").Value(),
-		TimedOut:         s.met.outcomes.With("timed_out").Value(),
-		Failed:           s.met.outcomes.With("failed").Value(),
-		RejectedFull:     s.met.rejected.With("full").Value(),
-		RejectedDraining: s.met.rejected.With("draining").Value(),
+		Committed:        s.met.outcome("committed").Value(),
+		Aborted:          s.met.outcome("aborted").Value(),
+		TimedOut:         s.met.outcome("timed_out").Value(),
+		Failed:           s.met.outcome("failed").Value(),
+		RejectedFull:     s.met.reject("full").Value(),
+		RejectedDraining: s.met.reject("draining").Value(),
 		Batches:          s.met.batches.Value(),
 		MaxBatch:         s.maxBatch,
 		SafetyViolations: s.met.violations.Value(),

@@ -15,6 +15,11 @@ import (
 type Config struct {
 	// N is the number of processors in the fronted cluster (required).
 	N int
+	// Shard labels this service's metrics when several independent
+	// groups share one registry (internal/shard hosts one service per
+	// shard). Empty means the service is unsharded and is labeled shard
+	// "0"; transaction-manager node labels stay bare in that case.
+	Shard string
 	// T is the crash-fault tolerance (default (N-1)/2).
 	T int
 	// K is the protocol timing constant in ticks (default 4).
@@ -82,6 +87,15 @@ type Config struct {
 	// SpanCapacity sizes the default span collector's ring buffer
 	// (default 16384 most recent spans). Ignored when Spans is set.
 	SpanCapacity int
+}
+
+// shardLabel is the value for the "shard" metric label: the configured
+// shard name, or "0" for an unsharded service.
+func (c Config) shardLabel() string {
+	if c.Shard == "" {
+		return "0"
+	}
+	return c.Shard
 }
 
 // withDefaults validates and fills defaults.

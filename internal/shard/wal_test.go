@@ -1,0 +1,130 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestCrossLogRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewCrossLog(&buf)
+	recs := []CrossRecord{
+		{Type: RecBegin, Txn: "pay-1", Shards: []int{0, 2, 5}},
+		{Type: RecVerdict, Txn: "pay-1", Shard: 2, Decision: types.DecisionCommit},
+		{Type: RecVerdict, Txn: "pay-1", Shard: 0, Decision: types.DecisionCommit},
+		{Type: RecVerdict, Txn: "pay-1", Shard: 5, Decision: types.DecisionAbort},
+		{Type: RecOutcome, Txn: "pay-1", Decision: types.DecisionAbort},
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReplayCross(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		a, b := recs[i], got[i]
+		if a.Type != b.Type || a.Txn != b.Txn || a.Shard != b.Shard || a.Decision != b.Decision {
+			t.Fatalf("record %d: got %+v, want %+v", i, b, a)
+		}
+		if len(a.Shards) != len(b.Shards) {
+			t.Fatalf("record %d shards: got %v, want %v", i, b.Shards, a.Shards)
+		}
+		for j := range a.Shards {
+			if a.Shards[j] != b.Shards[j] {
+				t.Fatalf("record %d shards: got %v, want %v", i, b.Shards, a.Shards)
+			}
+		}
+	}
+}
+
+func TestCrossLogTornTail(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewCrossLog(&buf)
+	if err := l.Append(CrossRecord{Type: RecBegin, Txn: "t", Shards: []int{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(CrossRecord{Type: RecOutcome, Txn: "t", Decision: types.DecisionCommit}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every torn prefix replays cleanly to a whole-record boundary.
+	for cut := len(full) - 1; cut > 0; cut-- {
+		recs, err := ReplayCross(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(recs) > 1 {
+			t.Fatalf("cut %d: torn log yielded %d records", cut, len(recs))
+		}
+	}
+}
+
+func TestCrossLogCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewCrossLog(&buf)
+	if err := l.Append(CrossRecord{Type: RecBegin, Txn: "t", Shards: []int{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-1] ^= 0xff // flip a payload byte
+	if _, err := ReplayCross(bytes.NewReader(raw)); !errors.Is(err, ErrCorruptCross) {
+		t.Fatalf("corrupted replay error = %v, want ErrCorruptCross", err)
+	}
+}
+
+func TestReconstructCross(t *testing.T) {
+	states := ReconstructCross([]CrossRecord{
+		{Type: RecBegin, Txn: "a", Shards: []int{0, 1}},
+		{Type: RecBegin, Txn: "b", Shards: []int{1, 2}},
+		{Type: RecVerdict, Txn: "a", Shard: 0, Decision: types.DecisionCommit},
+		{Type: RecVerdict, Txn: "a", Shard: 1, Decision: types.DecisionCommit},
+		{Type: RecOutcome, Txn: "a", Decision: types.DecisionCommit},
+		{Type: RecVerdict, Txn: "b", Shard: 1, Decision: types.DecisionCommit},
+	})
+	a, b := states["a"], states["b"]
+	if a == nil || b == nil {
+		t.Fatalf("missing states: %v", states)
+	}
+	if a.InDoubt() || !a.Decided || a.Outcome != types.DecisionCommit {
+		t.Errorf("txn a: %+v, want decided COMMIT", a)
+	}
+	if !b.InDoubt() {
+		t.Errorf("txn b should be in doubt: %+v", b)
+	}
+	if b.Verdicts[1] != types.DecisionCommit || b.Verdicts[2] != types.DecisionNone {
+		t.Errorf("txn b verdicts: %v", b.Verdicts)
+	}
+}
+
+func TestCombine(t *testing.T) {
+	mk := func(shards []int, vs map[int]types.Decision) *CrossState {
+		return &CrossState{Txn: "t", Shards: shards, Verdicts: vs}
+	}
+	cases := []struct {
+		name    string
+		st      *CrossState
+		want    types.Decision
+		decided bool
+	}{
+		{"all commit", mk([]int{0, 1}, map[int]types.Decision{0: types.DecisionCommit, 1: types.DecisionCommit}), types.DecisionCommit, true},
+		{"one abort", mk([]int{0, 1}, map[int]types.Decision{0: types.DecisionCommit, 1: types.DecisionAbort}), types.DecisionAbort, true},
+		{"abort with unknown", mk([]int{0, 1, 2}, map[int]types.Decision{1: types.DecisionAbort}), types.DecisionAbort, true},
+		{"commit with unknown", mk([]int{0, 1}, map[int]types.Decision{0: types.DecisionCommit}), types.DecisionNone, false},
+		{"nothing known", mk([]int{0, 1}, map[int]types.Decision{}), types.DecisionNone, false},
+	}
+	for _, c := range cases {
+		got, decided := combine(c.st)
+		if got != c.want || decided != c.decided {
+			t.Errorf("%s: combine = (%v, %v), want (%v, %v)", c.name, got, decided, c.want, c.decided)
+		}
+	}
+}

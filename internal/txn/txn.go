@@ -101,6 +101,9 @@ type Config struct {
 	// started/decided/retired/abandoned and a rounds-to-decision
 	// histogram, labeled by node id.
 	Registry *obs.Registry
+	// Shard, when set, qualifies the node metric label ("<shard>/<id>")
+	// so several groups sharing one registry keep distinct series.
+	Shard string
 	// Tracer, if non-nil, records per-transaction protocol events (GO
 	// sent/received, vote cast, Protocol 1 stage transitions, decision).
 	Tracer *obs.Tracer
@@ -122,8 +125,7 @@ type mmetrics struct {
 	rounds    *obs.Histogram
 }
 
-func newMMetrics(reg *obs.Registry, p types.ProcID) mmetrics {
-	node := strconv.Itoa(int(p))
+func newMMetrics(reg *obs.Registry, node string) mmetrics {
 	return mmetrics{
 		started: reg.CounterVec("txn_instances_started_total",
 			"Commit instances spawned (begun or joined), by node.", "node").With(node),
@@ -204,10 +206,14 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.RetireAfter < 0 || cfg.MaxAge < 0 {
 		return nil, fmt.Errorf("txn: RetireAfter/MaxAge must be >= 0")
 	}
+	node := strconv.Itoa(int(cfg.ID))
+	if cfg.Shard != "" {
+		node = cfg.Shard + "/" + node
+	}
 	return &Manager{
 		cfg:       cfg,
-		met:       newMMetrics(cfg.Registry, cfg.ID),
-		node:      strconv.Itoa(int(cfg.ID)),
+		met:       newMMetrics(cfg.Registry, node),
+		node:      node,
 		instances: make(map[ID]*instance),
 		reported:  make(map[ID]bool),
 		retired:   make(map[ID]types.Decision),
