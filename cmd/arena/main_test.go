@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "arena.txt")
+	var buf strings.Builder
+	err := run([]string{
+		"-seeds", "2", "-shapes", "crash", "-advs", "pareto",
+		"-protocols", "2pc,3pc,paxos,protocol2", "-workers", "2", "-o", out,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, "summary runs=8 wrong=0") {
+		t.Errorf("missing clean summary in output:\n%s", got)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"protocol", "paxos", "protocol2", "run proto=2pc", "summary "} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("artifact missing %q:\n%s", want, data)
+		}
+	}
+}
+
+func TestRunDeterministicOutput(t *testing.T) {
+	args := []string{"-seeds", "2", "-shapes", "lossy", "-advs", "exp"}
+	var a, b strings.Builder
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-workers", "4"), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("output differs across worker counts:\n--- w1 ---\n%s\n--- w4 ---\n%s", a.String(), b.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-shapes", "volcanic"},
+		{"-shapes", "crash-restart"},
+		{"-advs", "clairvoyant"},
+		{"-protocols", "1pc"},
+	}
+	for _, args := range cases {
+		var buf strings.Builder
+		if err := run(args, &buf); err == nil {
+			t.Errorf("expected error for %v", args)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package adversary
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Dist names a delay distribution for RandomAsync.
+type Dist string
+
+// The supported delay distributions. Exponential is the classic
+// memoryless network; Pareto is heavy-tailed (occasional very late
+// messages — the regime where timeout-based protocols go wrong);
+// Uniform is the bounded benign case.
+const (
+	DistExponential Dist = "exponential"
+	DistPareto      Dist = "pareto"
+	DistUniform     Dist = "uniform"
+)
+
+// Dists lists the supported distributions in canonical order.
+func Dists() []Dist { return []Dist{DistExponential, DistPareto, DistUniform} }
+
+// RandomAsync is the random asynchronous adversary (after Danezis et al.,
+// "Byzantine Consensus in the Random Asynchronous Model"): instead of an
+// adversary picking worst-case schedules, every message independently
+// draws a random delay from a seeded distribution, and processors are
+// scheduled uniformly at random among the alive.
+//
+// Each message's delay is a pure hash of (Seed, message seq), so the
+// delay a message gets does not depend on scheduling history — the run is
+// deterministic and byte-stable for a fixed seed, like chaos plans. The
+// delay is measured in recipient steps (PendingMessage.AgeSteps): a
+// message with delay d is deliverable once its recipient has taken d
+// steps since the send.
+//
+// Cap bounds the drawn delays. A finite Cap keeps runs inside the
+// paper's eventual-delivery guarantee on a finite horizon and — chosen
+// below a protocol's timeouts — keeps timeout-based presumption sound.
+// Cap=0 leaves the tail uncut (Pareto then produces the occasional
+// arbitrarily-late message on which 2PC/3PC timeout policies answer
+// wrongly; safe protocols must merely stay safe).
+type RandomAsync struct {
+	// Seed fixes both the per-message delays and the processor schedule.
+	Seed uint64
+	// Dist selects the delay distribution. Empty means exponential.
+	Dist Dist
+	// Mean is the target mean delay in recipient steps. Zero means 2.
+	Mean float64
+	// Alpha is the Pareto shape (tail index); only used for DistPareto.
+	// Zero means 1.5 (infinite variance, finite mean).
+	Alpha float64
+	// Cap truncates every drawn delay to at most Cap recipient steps.
+	// Zero means uncapped.
+	Cap int
+
+	sched   *rng.Stream
+	delays  map[int]int // seq -> drawn delay, memoized
+	deliver []int       // scratch reused across Next calls
+}
+
+var _ sim.Adversary = (*RandomAsync)(nil)
+
+// Validate reports whether the configuration is usable.
+func (a *RandomAsync) Validate() error {
+	switch a.Dist {
+	case "", DistExponential, DistPareto, DistUniform:
+	default:
+		return fmt.Errorf("adversary: unknown distribution %q", a.Dist)
+	}
+	if a.Mean < 0 {
+		return fmt.Errorf("adversary: negative mean delay %v", a.Mean)
+	}
+	if a.Alpha < 0 || (a.Alpha != 0 && a.Alpha <= 1) {
+		return fmt.Errorf("adversary: pareto shape must be > 1 (finite mean), got %v", a.Alpha)
+	}
+	if a.Cap < 0 {
+		return fmt.Errorf("adversary: negative delay cap %d", a.Cap)
+	}
+	return nil
+}
+
+// Next implements sim.Adversary.
+func (a *RandomAsync) Next(v *sim.View) sim.Choice {
+	if a.sched == nil {
+		a.sched = rng.NewStream(a.Seed ^ 0x9e3779b97f4a7c15)
+		a.delays = make(map[int]int)
+	}
+	alive := v.Alive()
+	p := alive[a.sched.Intn(len(alive))]
+	a.deliver = a.deliver[:0]
+	for _, pm := range v.Pending(p) {
+		if pm.AgeSteps >= a.delay(pm.Seq) {
+			a.deliver = append(a.deliver, pm.Seq)
+		}
+	}
+	return sim.Choice{Proc: p, Deliver: a.deliver}
+}
+
+// delay returns the memoized per-message delay for seq.
+func (a *RandomAsync) delay(seq int) int {
+	if d, ok := a.delays[seq]; ok {
+		return d
+	}
+	d := a.draw(seq)
+	a.delays[seq] = d
+	return d
+}
+
+// draw computes the delay as a pure function of (Seed, seq) via inverse
+// CDF sampling on a seq-keyed stream.
+func (a *RandomAsync) draw(seq int) int {
+	mean := a.Mean
+	if mean == 0 {
+		mean = 2
+	}
+	// One fresh stream per message keyed by seq: delays are independent of
+	// the order in which the scheduler first observes messages.
+	s := rng.NewStream(a.Seed ^ (uint64(seq)+1)*0xbf58476d1ce4e5b9)
+	// u in [0, 1); clamp away from 1 to keep the inverse CDFs finite.
+	u := s.Float64()
+	if u > 0.999999 {
+		u = 0.999999
+	}
+	var d float64
+	switch a.Dist {
+	case DistPareto:
+		alpha := a.Alpha
+		if alpha == 0 {
+			alpha = 1.5
+		}
+		// Pareto with mean = xm*alpha/(alpha-1): solve xm from Mean.
+		xm := mean * (alpha - 1) / alpha
+		d = xm * math.Pow(1-u, -1/alpha)
+	case DistUniform:
+		// Uniform on [0, 2*mean].
+		d = u * 2 * mean
+	default: // exponential
+		d = -mean * math.Log(1-u)
+	}
+	di := int(d)
+	if a.Cap > 0 && di > a.Cap {
+		di = a.Cap
+	}
+	return di
+}

@@ -1,0 +1,153 @@
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// SimAdversary replays a Plan inside the lockstep simulator, so the exact
+// fault schedule the live stack runs under (cmd/chaos) can also drive the
+// formal-model machines — and, through internal/protocol, drive four
+// different commit protocols under the *same* seeded faults.
+//
+// The mapping from the plan's wall-clock tick domain to the simulator:
+//
+//   - A message's send tick is the recipient's clock at the send
+//     (Clock(p) − AgeSteps), and "now" is the recipient's current clock.
+//     Fault windows and the horizon are therefore measured per recipient,
+//     which preserves the plan's two promises — every fault window closes
+//     by Horizon on the clock of the processor it affects, and after that
+//     the network is clean.
+//   - Drop verdicts withhold until the recipient's clock reaches the
+//     horizon (the plan's eventual-delivery realization), delay verdicts
+//     until the message has aged the drawn number of recipient steps,
+//     reorder verdicts one step (an adjacent swap), and partition-crossing
+//     sends until the blocking window heals.
+//   - Duplication verdicts are no-ops here: the simulator's buffers are
+//     message *sets* (the paper's model), so a duplicate is
+//     indistinguishable from its original.
+//   - CrashEvents fail-stop their victim at the scheduled tick of the
+//     victim's own clock. RestartTick is ignored — the formal model has no
+//     restart step; arena sweeps use the non-restart shapes.
+//
+// The wrapped inner adversary chooses scheduling (who steps, what it
+// would deliver); SimAdversary only subtracts deliveries the plan says
+// are still withheld, and preempts scheduling for due crashes. Since
+// every verdict is a pure function of (seed, link, per-link ordinal), the
+// composite is as deterministic as the inner adversary.
+type SimAdversary struct {
+	plan  *Plan
+	inner sim.Adversary
+
+	crashed  []bool              // per plan crash event: already injected
+	nextK    map[linkKey]uint64  // per-link count of verdict-assigned messages
+	verdicts map[int]holdVerdict // seq -> compiled hold conditions
+	filtered []int               // scratch reused across Next calls
+}
+
+type linkKey struct{ from, to types.ProcID }
+
+// holdVerdict is a compiled per-message delivery gate.
+type holdVerdict struct {
+	minAge    int // deliver only once AgeSteps >= minAge
+	holdClock int // deliver only once the recipient's clock >= holdClock
+}
+
+var _ sim.Adversary = (*SimAdversary)(nil)
+
+// NewSimAdversary wraps inner with plan's fault schedule.
+func NewSimAdversary(plan *Plan, inner sim.Adversary) (*SimAdversary, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("chaos: nil plan")
+	}
+	if inner == nil {
+		return nil, fmt.Errorf("chaos: nil inner adversary")
+	}
+	return &SimAdversary{
+		plan:     plan,
+		inner:    inner,
+		crashed:  make([]bool, len(plan.Crashes)),
+		nextK:    make(map[linkKey]uint64),
+		verdicts: make(map[int]holdVerdict),
+	}, nil
+}
+
+// Next implements sim.Adversary.
+func (a *SimAdversary) Next(v *sim.View) sim.Choice {
+	// Due crashes preempt the inner adversary, mirroring adversary.Crash.
+	for i, ev := range a.plan.Crashes {
+		p := types.ProcID(ev.Node)
+		if a.crashed[i] || int(ev.Node) >= v.N() || v.Crashed(p) {
+			continue
+		}
+		if v.Clock(p) >= ev.Tick {
+			a.crashed[i] = true
+			return sim.Choice{Proc: p, Crash: true}
+		}
+	}
+
+	c := a.inner.Next(v)
+	if c.Crash {
+		return c
+	}
+
+	pending := v.Pending(c.Proc)
+	now := v.Clock(c.Proc)
+
+	// Assign verdicts to newly observed messages. Pending is sorted by
+	// seq, i.e. per-link send order, so the per-link ordinal k matches the
+	// live injector's per-link counters.
+	for _, pm := range pending {
+		if _, done := a.verdicts[pm.Seq]; done {
+			continue
+		}
+		lk := linkKey{from: pm.From, to: c.Proc}
+		k := a.nextK[lk]
+		a.nextK[lk] = k + 1
+		a.verdicts[pm.Seq] = a.compile(pm.From, c.Proc, k, now-pm.AgeSteps)
+	}
+
+	// Subtract withheld deliveries from the inner choice.
+	byseq := make(map[int]int, len(pending)) // seq -> AgeSteps
+	for _, pm := range pending {
+		byseq[pm.Seq] = pm.AgeSteps
+	}
+	a.filtered = a.filtered[:0]
+	for _, seq := range c.Deliver {
+		age, ok := byseq[seq]
+		if !ok {
+			continue
+		}
+		hv := a.verdicts[seq]
+		if age >= hv.minAge && now >= hv.holdClock {
+			a.filtered = append(a.filtered, seq)
+		}
+	}
+	c.Deliver = a.filtered
+	return c
+}
+
+// compile folds the plan's link-fault and partition verdicts for one
+// message into a hold gate. sendTick is the recipient-clock tick at which
+// the message was sent.
+func (a *SimAdversary) compile(from, to types.ProcID, k uint64, sendTick int) holdVerdict {
+	hv := holdVerdict{}
+	// Faults only occur inside the horizon, measured at the send.
+	if sendTick < a.plan.Cfg.Horizon {
+		drop, _, delay := a.plan.linkFault(from, to, k)
+		switch {
+		case drop:
+			hv.holdClock = a.plan.Cfg.Horizon
+		case delay > 0:
+			hv.minAge = delay
+		}
+		if blocked, heal := a.plan.partitionHeal(from, to, sendTick); blocked {
+			if heal > hv.holdClock {
+				hv.holdClock = heal
+			}
+		}
+	}
+	return hv
+}

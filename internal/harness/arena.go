@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/parallel"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// E15Arena races 2PC, 3PC, Paxos Commit, and Protocol 2 under identical
+// seeded chaos plans and adversaries — the protocol arena. It quantifies
+// Theorem 11's graceful-degradation claim head to head: the safe
+// protocols never answer wrongly anywhere; 2PC additionally blocks on
+// ill-timed coordinator crashes, which the nonblocking protocols ride
+// out at the price of more messages (Paxos Commit) or randomized rounds
+// (Protocol 2).
+func E15Arena(opt Options) (*Report, error) {
+	aopts := protocol.Options{
+		Seeds:    opt.runs(12),
+		BaseSeed: opt.Seed,
+		Workers:  parallel.Workers(opt.Workers),
+	}
+	res, err := protocol.Sweep(aopts)
+	if err != nil {
+		return nil, err
+	}
+
+	witness, err := twoPCBlockingWitness()
+	if err != nil {
+		return nil, err
+	}
+	pass := res.Wrong == 0 &&
+		res.Blocked["paxos"] == 0 && res.Blocked["protocol2"] == 0 &&
+		witness
+	notes := []string{
+		fmt.Sprintf("auditor: %d wrong answers across %d runs (must be 0 for every protocol)", res.Wrong, len(res.Runs)),
+		fmt.Sprintf("blocked runs: 2pc=%d 3pc=%d paxos=%d protocol2=%d (the nonblocking protocols must never block)",
+			res.Blocked["2pc"], res.Blocked["3pc"], res.Blocked["paxos"], res.Blocked["protocol2"]),
+		fmt.Sprintf("deterministic 2PC blocking witness (coordinator crash after PREPARE): blocked=%v (must be true)", witness),
+		"all protocols run under byte-identical chaos plans, crash schedules, and adversaries; only the auditor's termination expectation differs (2PC/3PC may block)",
+	}
+
+	return &Report{
+		ID:    "E15",
+		Title: "Protocol arena: 2PC vs 3PC vs Paxos Commit vs Protocol 2 under identical faults",
+		Claim: "Theorem 11 (graceful degradation): Protocol 2 never answers wrongly and terminates whenever at most t < n/2 processors crash; 2PC blocks on a single ill-timed coordinator crash",
+		Table: res.Table,
+		Notes: notes,
+		Pass:  pass,
+	}, nil
+}
+
+// twoPCBlockingWitness runs the one schedule where 2PC provably blocks —
+// the coordinator crashes right after its PREPARE broadcast, stranding
+// yes-voters with no timeout rule — and reports whether every surviving
+// participant stays undecided and self-classifies as in doubt. The sweep
+// may or may not draw a blocking seed (the window is one tick wide under
+// round-robin), so the Theorem 11 contrast is pinned by this
+// deterministic run rather than by seed luck.
+func twoPCBlockingWitness() (bool, error) {
+	const (
+		n = 5
+		k = 2
+	)
+	p := protocol.TwoPC{}
+	votes := make([]types.Value, n)
+	for i := range votes {
+		votes[i] = types.V1
+	}
+	machines, err := p.New(protocol.Instance{N: n, T: (n - 1) / 2, K: k, Votes: votes})
+	if err != nil {
+		return false, err
+	}
+	adv := &adversary.Crash{
+		Inner: &adversary.RoundRobin{},
+		Plan:  []adversary.CrashPlan{{Proc: 0, AtClock: 1}},
+	}
+	res, err := sim.Run(sim.Config{
+		K: k, Machines: machines, Adversary: adv,
+		Seeds: rng.NewCollection(1, n), MaxSteps: 4000,
+	})
+	if err != nil {
+		return false, err
+	}
+	if !res.Crashed[0] {
+		return false, nil
+	}
+	for q := 1; q < n; q++ {
+		if res.Decided[q] || !p.Blocked(machines[q]) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -483,7 +483,7 @@ func All(opt Options) ([]*Report, error) {
 		E4FaultSweep, E5AbortValidity, E6CommitValidity8K,
 		E7BaselineComparison, E8LowerBoundProcessors, E9DelayScaling,
 		E10ExtraCoins, E11MessageComplexity, E12RoundDefinition,
-		E13Recovery,
+		E13Recovery, E15Arena,
 	}
 	var out []*Report
 	for _, f := range fns {
@@ -503,7 +503,7 @@ func ByID(id string) (func(Options) (*Report, error), bool) {
 		"E4": E4FaultSweep, "E5": E5AbortValidity, "E6": E6CommitValidity8K,
 		"E7": E7BaselineComparison, "E8": E8LowerBoundProcessors, "E9": E9DelayScaling,
 		"E10": E10ExtraCoins, "E11": E11MessageComplexity, "E12": E12RoundDefinition,
-		"E13": E13Recovery,
+		"E13": E13Recovery, "E15": E15Arena,
 	}
 	f, ok := m[id]
 	return f, ok

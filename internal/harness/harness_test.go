@@ -74,8 +74,8 @@ func TestExperimentsQuick(t *testing.T) {
 	if err != nil {
 		t.Fatalf("experiments failed: %v", err)
 	}
-	if len(reports) != 13 {
-		t.Fatalf("got %d reports, want 13", len(reports))
+	if len(reports) != 14 {
+		t.Fatalf("got %d reports, want 14", len(reports))
 	}
 	for _, r := range reports {
 		if !r.Pass {

@@ -1,0 +1,188 @@
+package paxoscommit_test
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/paxoscommit"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+func machines(t *testing.T, n, k int, votes []types.Value) []types.Machine {
+	t.Helper()
+	out := make([]types.Machine, n)
+	for i := 0; i < n; i++ {
+		m, err := paxoscommit.New(paxoscommit.Config{
+			ID: types.ProcID(i), N: n, T: (n - 1) / 2, K: k, Vote: votes[i],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = m
+	}
+	return out
+}
+
+func ones(n int) []types.Value {
+	out := make([]types.Value, n)
+	for i := range out {
+		out[i] = types.V1
+	}
+	return out
+}
+
+func TestPaxosCommitHappyPathCommits(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 9} {
+		ms := machines(t, n, 2, ones(n))
+		res, err := sim.Run(sim.Config{
+			K: 2, Machines: ms,
+			Adversary: &adversary.RoundRobin{}, Seeds: rng.NewCollection(uint64(n), n),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllNonfaultyDecided() {
+			t.Fatalf("n=%d: not all decided", n)
+		}
+		for p := 0; p < n; p++ {
+			if res.Values[p] != types.V1 {
+				t.Fatalf("n=%d: proc %d decided %v, want commit", n, p, res.Values[p])
+			}
+		}
+		// The fast path never needs a takeover.
+		for p := 0; p < n; p++ {
+			if a := ms[p].(*paxoscommit.Machine).Attempts(); a != 0 {
+				t.Errorf("n=%d: proc %d ran %d takeovers on the fault-free path", n, p, a)
+			}
+		}
+	}
+}
+
+func TestPaxosCommitNoVoteAborts(t *testing.T) {
+	n := 5
+	for voter := 0; voter < n; voter++ {
+		votes := ones(n)
+		votes[voter] = types.V0
+		res, err := sim.Run(sim.Config{
+			K: 2, Machines: machines(t, n, 2, votes),
+			Adversary: &adversary.RoundRobin{}, Seeds: rng.NewCollection(uint64(voter), n),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllNonfaultyDecided() {
+			t.Fatalf("voter=%d: not all decided", voter)
+		}
+		for p := 0; p < n; p++ {
+			if res.Values[p] != types.V0 {
+				t.Fatalf("voter=%d: proc %d decided %v, want abort", voter, p, res.Values[p])
+			}
+		}
+	}
+}
+
+// TestPaxosCommitCoordinatorCrashTerminates is the point of the protocol:
+// where 2PC blocks (coordinator crash between vote collection and outcome
+// broadcast), Paxos Commit takes over leadership and still terminates —
+// here it must abort, because the crashed coordinator's own instance can
+// never gather a ballot-0 quorum and the takeover free case picks abort.
+func TestPaxosCommitCoordinatorCrashTerminates(t *testing.T) {
+	n, k := 5, 2
+	for _, crashAt := range []int{1, 2, 3, 5, 8} {
+		adv := &adversary.Crash{
+			Inner: &adversary.RoundRobin{},
+			Plan:  []adversary.CrashPlan{{Proc: 0, AtClock: crashAt}},
+		}
+		res, err := sim.Run(sim.Config{
+			K: k, Machines: machines(t, n, k, ones(n)),
+			Adversary: adv, Seeds: rng.NewCollection(uint64(crashAt), n),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllNonfaultyDecided() {
+			t.Fatalf("crashAt=%d: nonfaulty processors undecided: %v", crashAt, res.Decided)
+		}
+		if err := trace.CheckAgreement(res.Outcomes()); err != nil {
+			t.Fatalf("crashAt=%d: %v", crashAt, err)
+		}
+	}
+}
+
+// TestPaxosCommitMinorityCrashTerminates crashes a full minority (t =
+// ⌊(n-1)/2⌋ processors, coordinator included) at staggered times; the
+// survivors must still decide and agree.
+func TestPaxosCommitMinorityCrashTerminates(t *testing.T) {
+	n, k := 7, 2
+	plan := []adversary.CrashPlan{
+		{Proc: 0, AtClock: 2},
+		{Proc: 1, AtClock: 9},
+		{Proc: 2, AtClock: 30},
+	}
+	for seed := uint64(0); seed < 5; seed++ {
+		adv := &adversary.Crash{Inner: &adversary.RoundRobin{}, Plan: plan}
+		res, err := sim.Run(sim.Config{
+			K: k, Machines: machines(t, n, k, ones(n)),
+			Adversary: adv, Seeds: rng.NewCollection(seed, n),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllNonfaultyDecided() {
+			t.Fatalf("seed=%d: nonfaulty processors undecided: %v", seed, res.Decided)
+		}
+		if err := trace.CheckAgreement(res.Outcomes()); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+	}
+}
+
+// TestPaxosCommitSafeUnderRandomDelays sweeps a lossy random adversary:
+// whatever the schedule, any decisions reached must agree and respect
+// abort validity.
+func TestPaxosCommitSafeUnderRandomDelays(t *testing.T) {
+	n, k := 5, 2
+	for seed := uint64(1); seed <= 20; seed++ {
+		votes := ones(n)
+		if seed%3 == 0 {
+			votes[int(seed)%n] = types.V0
+		}
+		adv := &adversary.Random{Rand: rng.NewStream(seed), DeliverProb: 0.6, MaxAge: 40}
+		res, err := sim.Run(sim.Config{
+			K: k, Machines: machines(t, n, k, votes),
+			Adversary: adv, Seeds: rng.NewCollection(seed, n),
+			MaxSteps: 100_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllNonfaultyDecided() {
+			t.Fatalf("seed=%d: not all decided", seed)
+		}
+		if err := trace.CheckAgreement(res.Outcomes()); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		if err := trace.CheckAbortValidity(votes, res.Outcomes()); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+	}
+}
+
+func TestPaxosCommitConfigValidation(t *testing.T) {
+	bad := []paxoscommit.Config{
+		{ID: 0, N: 0, K: 1, Vote: types.V1},
+		{ID: 5, N: 5, K: 1, Vote: types.V1},
+		{ID: 0, N: 5, K: 0, Vote: types.V1},
+		{ID: 0, N: 5, K: 1, T: 3, Vote: types.V1},
+		{ID: 0, N: 5, K: 1, Vote: types.Value(7)},
+		{ID: 0, N: 5, K: 1, Vote: types.V1, Leader: 9},
+	}
+	for i, cfg := range bad {
+		if _, err := paxoscommit.New(cfg); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, cfg)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package protocol gives the repository's four commit protocols — 2PC,
+// 3PC, Paxos Commit, and the paper's Protocol 2 — one construction and
+// classification interface, so a single harness can race them under
+// identical seeded fault plans and adversaries (the "protocol arena" of
+// EXPERIMENTS.md).
+//
+// The point of the shared interface is the paper's Theorem 11 claim made
+// falsifiable: every protocol runs under the *same* chaos.Plan, the same
+// adversary, the same invariant auditor. What differs per protocol is
+// only the *expectation*: 2PC and 3PC are allowed to block (MayBlock),
+// because blocking is their documented failure mode; a wrong answer is a
+// failure for everyone.
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/paxoscommit"
+	"repro/internal/threepc"
+	"repro/internal/twopc"
+	"repro/internal/types"
+)
+
+// Instance describes one arena run's cluster: n processors with a crash
+// budget t and timing constant K, voting Votes.
+type Instance struct {
+	N, T, K int
+	Votes   []types.Value
+}
+
+func (in Instance) validate() error {
+	if in.N < 1 {
+		return fmt.Errorf("protocol: N must be >= 1, got %d", in.N)
+	}
+	if in.K < 1 {
+		return fmt.Errorf("protocol: K must be >= 1, got %d", in.K)
+	}
+	if len(in.Votes) != in.N {
+		return fmt.Errorf("protocol: %d votes for %d processors", len(in.Votes), in.N)
+	}
+	if in.T < 0 || 2*in.T >= in.N {
+		return fmt.Errorf("protocol: need 0 <= T < N/2, got N=%d T=%d", in.N, in.T)
+	}
+	return nil
+}
+
+// CommitProtocol adapts one commit protocol to the arena.
+type CommitProtocol interface {
+	// Name is the canonical short name used in tables and flags.
+	Name() string
+	// New constructs the n machines for one instance (processor 0
+	// coordinates, matching every protocol in this repository).
+	New(in Instance) ([]types.Machine, error)
+	// Blocked classifies one of this protocol's machines (as returned by
+	// New) as stuck in a state the protocol itself cannot leave — in
+	// doubt with no timeout rule. Undecided-but-live states (still
+	// retrying, awaiting a takeover) are not blocked.
+	Blocked(m types.Machine) bool
+	// MayBlock is the auditor expectation: true if blocking is this
+	// protocol's documented failure mode (2PC, 3PC), false if failing to
+	// terminate on a t-admissible run is a bug (Paxos Commit, Protocol 2).
+	MayBlock() bool
+}
+
+// TwoPC runs two-phase commit with the safe blocking policy: it never
+// answers wrongly, and pays for it by blocking whenever the coordinator
+// dies between vote collection and the outcome broadcast.
+type TwoPC struct{}
+
+// Name implements CommitProtocol.
+func (TwoPC) Name() string { return "2pc" }
+
+// New implements CommitProtocol.
+func (TwoPC) New(in Instance) ([]types.Machine, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	ms := make([]types.Machine, in.N)
+	for i := 0; i < in.N; i++ {
+		m, err := twopc.New(twopc.Config{
+			ID: types.ProcID(i), N: in.N, K: in.K, Vote: in.Votes[i],
+			Policy: twopc.PolicyBlock,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ms[i] = m
+	}
+	return ms, nil
+}
+
+// Blocked implements CommitProtocol.
+func (TwoPC) Blocked(m types.Machine) bool { return m.(*twopc.Machine).Blocked() }
+
+// MayBlock implements CommitProtocol.
+func (TwoPC) MayBlock() bool { return true }
+
+// ThreePC runs three-phase commit. Its per-phase timeout is pinned to 8K
+// — comfortably beyond the arena's fault horizon and capped delays — so
+// that inside the arena's admissible envelope its timeout presumptions
+// are sound; it remains unsafe in principle (uncapped lateness flips its
+// answer, which the unsafe-regime experiment demonstrates).
+type ThreePC struct{}
+
+// Name implements CommitProtocol.
+func (ThreePC) Name() string { return "3pc" }
+
+// New implements CommitProtocol.
+func (ThreePC) New(in Instance) ([]types.Machine, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	ms := make([]types.Machine, in.N)
+	for i := 0; i < in.N; i++ {
+		m, err := threepc.New(threepc.Config{
+			ID: types.ProcID(i), N: in.N, K: in.K, Vote: in.Votes[i],
+			Timeout: 8 * in.K,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ms[i] = m
+	}
+	return ms, nil
+}
+
+// Blocked implements CommitProtocol.
+func (ThreePC) Blocked(m types.Machine) bool { return m.(*threepc.Machine).Blocked() }
+
+// MayBlock implements CommitProtocol.
+func (ThreePC) MayBlock() bool { return true }
+
+// PaxosCommit runs Gray–Lamport Paxos Commit: nonblocking for t < n/2
+// like Protocol 2, deterministic unlike it, and Θ(n²) messages heavier
+// than 2PC.
+type PaxosCommit struct{}
+
+// Name implements CommitProtocol.
+func (PaxosCommit) Name() string { return "paxos" }
+
+// New implements CommitProtocol.
+func (PaxosCommit) New(in Instance) ([]types.Machine, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	ms := make([]types.Machine, in.N)
+	for i := 0; i < in.N; i++ {
+		m, err := paxoscommit.New(paxoscommit.Config{
+			ID: types.ProcID(i), N: in.N, T: in.T, K: in.K, Vote: in.Votes[i],
+		})
+		if err != nil {
+			return nil, err
+		}
+		ms[i] = m
+	}
+	return ms, nil
+}
+
+// Blocked implements CommitProtocol.
+func (PaxosCommit) Blocked(m types.Machine) bool { return m.(*paxoscommit.Machine).Blocked() }
+
+// MayBlock implements CommitProtocol.
+func (PaxosCommit) MayBlock() bool { return false }
+
+// ProtocolTwo runs the paper's Protocol 2 (randomized commit with the
+// termination gadget), the repository's main subject.
+type ProtocolTwo struct{}
+
+// Name implements CommitProtocol.
+func (ProtocolTwo) Name() string { return "protocol2" }
+
+// New implements CommitProtocol.
+func (ProtocolTwo) New(in Instance) ([]types.Machine, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	ms := make([]types.Machine, in.N)
+	for i := 0; i < in.N; i++ {
+		m, err := core.New(core.Config{
+			ID: types.ProcID(i), N: in.N, T: in.T, K: in.K, Vote: in.Votes[i],
+			Gadget: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ms[i] = m
+	}
+	return ms, nil
+}
+
+// Blocked implements CommitProtocol: Protocol 2 has no blocked state —
+// an undecided processor always makes probabilistic progress.
+func (ProtocolTwo) Blocked(types.Machine) bool { return false }
+
+// MayBlock implements CommitProtocol.
+func (ProtocolTwo) MayBlock() bool { return false }
+
+// All returns every arena protocol in canonical table order.
+func All() []CommitProtocol {
+	return []CommitProtocol{TwoPC{}, ThreePC{}, PaxosCommit{}, ProtocolTwo{}}
+}
+
+// ByName resolves a protocol by its canonical name.
+func ByName(name string) (CommitProtocol, error) {
+	for _, p := range All() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("protocol: unknown protocol %q (have 2pc, 3pc, paxos, protocol2)", name)
+}

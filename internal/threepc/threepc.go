@@ -168,6 +168,16 @@ func (m *Machine) Halted() bool { return m.halted }
 // by coordinator order.
 func (m *Machine) TimedOut() bool { return m.timedOutIn != phStart }
 
+// Blocked reports whether the machine is stuck in a state with no timeout
+// rule, mirroring twopc.Machine.Blocked. 3PC's timeout rules cover every
+// phase a contacted participant can occupy — that is its nonblocking
+// claim — so the only hole is a participant that never received
+// CanCommit at all (coordinator crashed before soliciting votes): it has
+// nothing to time out *from* and waits forever.
+func (m *Machine) Blocked() bool {
+	return !m.decided && !m.isCoordinator() && m.ph == phStart
+}
+
 func (m *Machine) isCoordinator() bool { return m.cfg.ID == types.Coordinator }
 
 // Step implements types.Machine.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/agreement"
 	"repro/internal/core"
+	"repro/internal/paxoscommit"
 	"repro/internal/recovery"
 	"repro/internal/threepc"
 	"repro/internal/twopc"
@@ -37,5 +38,10 @@ func RegisterWirePayloads() {
 		gob.Register(txn.Envelope{})
 		gob.Register(recovery.QueryMsg{})
 		gob.Register(recovery.ReplyMsg{})
+		gob.Register(paxoscommit.Prepare1aMsg{})
+		gob.Register(paxoscommit.Promise1bMsg{})
+		gob.Register(paxoscommit.Accept2aMsg{})
+		gob.Register(paxoscommit.Accepted2bMsg{})
+		gob.Register(paxoscommit.OutcomeMsg{})
 	})
 }

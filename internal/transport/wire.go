@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/agreement"
 	"repro/internal/core"
+	"repro/internal/paxoscommit"
 	"repro/internal/recovery"
 	"repro/internal/threepc"
 	"repro/internal/twopc"
@@ -64,6 +65,11 @@ const (
 	tagTxnEnvelope
 	tagRcQuery
 	tagRcReply
+	tagPC1a
+	tagPC1b
+	tagPC2a
+	tagPC2b
+	tagPCOutcome
 )
 
 // zigzag maps signed to unsigned so small negatives stay short varints.
@@ -148,6 +154,24 @@ func appendPayload(dst []byte, p types.Payload) (_ []byte, ok bool) {
 		return append(dst, tagRcQuery), true
 	case recovery.ReplyMsg:
 		return append(dst, tagRcReply, byte(v.Val)), true
+	case paxoscommit.Prepare1aMsg:
+		dst = appendInt(append(dst, tagPC1a), int64(v.Instance))
+		return appendInt(dst, int64(v.Ballot)), true
+	case paxoscommit.Promise1bMsg:
+		dst = appendInt(append(dst, tagPC1b), int64(v.Instance))
+		dst = appendInt(dst, int64(v.Ballot))
+		dst = appendInt(dst, int64(v.VBal))
+		return append(dst, byte(v.VVal)), true
+	case paxoscommit.Accept2aMsg:
+		dst = appendInt(append(dst, tagPC2a), int64(v.Instance))
+		dst = appendInt(dst, int64(v.Ballot))
+		return append(dst, byte(v.Val)), true
+	case paxoscommit.Accepted2bMsg:
+		dst = appendInt(append(dst, tagPC2b), int64(v.Instance))
+		dst = appendInt(dst, int64(v.Ballot))
+		return append(dst, byte(v.Val)), true
+	case paxoscommit.OutcomeMsg:
+		return append(dst, tagPCOutcome, byte(v.Val)), true
 	default:
 		return dst, false
 	}
@@ -285,6 +309,19 @@ func decodePayload(r *wireReader, depth int) types.Payload {
 		return recovery.QueryMsg{}
 	case tagRcReply:
 		return recovery.ReplyMsg{Val: types.Value(r.byte())}
+	case tagPC1a:
+		return paxoscommit.Prepare1aMsg{Instance: types.ProcID(r.int()), Ballot: int(r.int())}
+	case tagPC1b:
+		return paxoscommit.Promise1bMsg{
+			Instance: types.ProcID(r.int()), Ballot: int(r.int()),
+			VBal: int(r.int()), VVal: types.Value(r.byte()),
+		}
+	case tagPC2a:
+		return paxoscommit.Accept2aMsg{Instance: types.ProcID(r.int()), Ballot: int(r.int()), Val: types.Value(r.byte())}
+	case tagPC2b:
+		return paxoscommit.Accepted2bMsg{Instance: types.ProcID(r.int()), Ballot: int(r.int()), Val: types.Value(r.byte())}
+	case tagPCOutcome:
+		return paxoscommit.OutcomeMsg{Val: types.Value(r.byte())}
 	default:
 		r.bad = true
 		return nil

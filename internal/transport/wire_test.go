@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/agreement"
 	"repro/internal/core"
+	"repro/internal/paxoscommit"
 	"repro/internal/recovery"
 	"repro/internal/threepc"
 	"repro/internal/twopc"
@@ -51,6 +52,13 @@ func wirePayloads() []types.Payload {
 			Inner: agreement.ReportMsg{Stage: 2, Val: types.V1}, Coins: []types.Value{1, 0}}},
 		recovery.QueryMsg{},
 		recovery.ReplyMsg{Val: types.V1},
+		paxoscommit.Prepare1aMsg{Instance: 3, Ballot: 17},
+		paxoscommit.Prepare1aMsg{}, // ballot 0, instance 0
+		paxoscommit.Promise1bMsg{Instance: 2, Ballot: 12, VBal: 7, VVal: types.V1},
+		paxoscommit.Promise1bMsg{Instance: 0, Ballot: 5, VBal: -1}, // free case: VBal -1
+		paxoscommit.Accept2aMsg{Instance: 4, Ballot: 0, Val: types.V1},
+		paxoscommit.Accepted2bMsg{Instance: 1, Ballot: 1 << 16, Val: types.V0},
+		paxoscommit.OutcomeMsg{Val: types.V1},
 	}
 }
 
