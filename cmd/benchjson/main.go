@@ -10,6 +10,15 @@
 // the output directory. Each result carries the benchmark name, iteration
 // count, and every reported metric (ns/op, B/op, allocs/op, and custom
 // b.ReportMetric values such as rounds/decision).
+//
+// -against turns the run into a regression gate: every benchmark present
+// in both the fresh snapshot and the baseline is compared on ns/op and
+// allocs/op, and any regression beyond -max-regress (default 20%) fails
+// the run. -diff compares two existing snapshots without running
+// anything — the CI path after a snapshot was already taken:
+//
+//	benchjson -against BENCH_4.json            # run, record, gate
+//	benchjson -diff BENCH_5.json -against BENCH_4.json
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -54,16 +64,38 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	var (
-		bench     = fs.String("bench", ".", "benchmark regexp passed to go test -bench")
-		packages  = fs.String("packages", "./...", "package pattern(s), space-separated")
-		benchtime = fs.String("benchtime", "1x", "go test -benchtime value")
-		count     = fs.Int("count", 1, "go test -count value")
-		timeout   = fs.String("timeout", "20m", "go test -timeout value")
-		out       = fs.String("o", "", "output file (default: next BENCH_<n>.json in -dir)")
-		dir       = fs.String("dir", ".", "directory scanned for existing BENCH_*.json")
+		bench      = fs.String("bench", ".", "benchmark regexp passed to go test -bench")
+		packages   = fs.String("packages", "./...", "package pattern(s), space-separated")
+		benchtime  = fs.String("benchtime", "1x", "go test -benchtime value")
+		count      = fs.Int("count", 1, "go test -count value")
+		timeout    = fs.String("timeout", "20m", "go test -timeout value")
+		out        = fs.String("o", "", "output file (default: next BENCH_<n>.json in -dir)")
+		dir        = fs.String("dir", ".", "directory scanned for existing BENCH_*.json")
+		against    = fs.String("against", "", "baseline BENCH_*.json; regressions beyond -max-regress fail the run")
+		maxRegress = fs.Float64("max-regress", 0.20, "allowed fractional ns/op and allocs/op regression vs -against")
+		diffOnly   = fs.String("diff", "", "existing snapshot to compare against -against (skips running benchmarks)")
+		match      = fs.String("match", "", "regexp restricting which benchmarks the -against gate compares")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	gate, err := regexp.Compile(*match)
+	if err != nil {
+		return fmt.Errorf("-match: %w", err)
+	}
+	if *diffOnly != "" {
+		if *against == "" {
+			return fmt.Errorf("-diff needs -against")
+		}
+		base, err := readSnapshot(*against)
+		if err != nil {
+			return err
+		}
+		cur, err := readSnapshot(*diffOnly)
+		if err != nil {
+			return err
+		}
+		return compare(filtered(base, gate), filtered(cur, gate), *maxRegress, os.Stdout)
 	}
 	goArgs := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
 		"-benchtime", *benchtime, "-count", strconv.Itoa(*count), "-timeout", *timeout}
@@ -101,6 +133,94 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Printf("benchjson: %d results -> %s\n", len(results), path)
+	if *against != "" {
+		base, err := readSnapshot(*against)
+		if err != nil {
+			return err
+		}
+		return compare(filtered(base, gate), filtered(snap, gate), *maxRegress, os.Stdout)
+	}
+	return nil
+}
+
+// filtered keeps only the results matching the gate regexp. An empty
+// pattern matches everything, so the zero flag compares the full
+// snapshot.
+func filtered(s Snapshot, gate *regexp.Regexp) Snapshot {
+	out := s
+	out.Results = nil
+	for _, r := range s.Results {
+		if gate.MatchString(r.Name) {
+			out.Results = append(out.Results, r)
+		}
+	}
+	return out
+}
+
+// gatedMetrics are the metrics the regression gate binds on. Throughput
+// and custom ReportMetric values stay informational: their direction is
+// benchmark-specific, so a generic threshold would misfire.
+var gatedMetrics = []string{"ns/op", "allocs/op"}
+
+// readSnapshot loads one BENCH_*.json file.
+func readSnapshot(path string) (Snapshot, error) {
+	var s Snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// compare diffs cur against base on the gated metrics and returns an
+// error naming every benchmark that regressed beyond maxRegress.
+// Benchmarks present on only one side are reported but never fail the
+// gate — the suite grows over time, and a renamed benchmark must not
+// wedge CI.
+func compare(base, cur Snapshot, maxRegress float64, w io.Writer) error {
+	baseBy := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[r.Name] = r
+	}
+	var regressed []string
+	compared := 0
+	for _, r := range cur.Results {
+		b, ok := baseBy[r.Name]
+		if !ok {
+			fmt.Fprintf(w, "  new       %s (no baseline)\n", r.Name)
+			continue
+		}
+		delete(baseBy, r.Name)
+		compared++
+		for _, metric := range gatedMetrics {
+			was, now := b.Metrics[metric], r.Metrics[metric]
+			if was <= 0 {
+				continue
+			}
+			change := now/was - 1
+			verdict := "ok"
+			if change > maxRegress {
+				verdict = "REGRESSION"
+				regressed = append(regressed, fmt.Sprintf("%s %s %+.1f%%", r.Name, metric, change*100))
+			}
+			fmt.Fprintf(w, "  %-10s %s %s %.6g -> %.6g (%+.1f%%)\n",
+				verdict, r.Name, metric, was, now, change*100)
+		}
+	}
+	for name := range baseBy {
+		fmt.Fprintf(w, "  gone      %s (in baseline only)\n", name)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no benchmark appears in both snapshots")
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d regression(s) beyond %.0f%%: %s",
+			len(regressed), maxRegress*100, strings.Join(regressed, "; "))
+	}
+	fmt.Fprintf(w, "benchjson: %d benchmark(s) within %.0f%% of baseline\n", compared, maxRegress*100)
 	return nil
 }
 

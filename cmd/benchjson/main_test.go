@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -35,6 +37,104 @@ ok  	repro	1.234s
 	}
 	if results[1].Name != "BenchmarkEngineCommitRun" {
 		t.Errorf("unsuffixed name = %q", results[1].Name)
+	}
+}
+
+// TestCompareSnapshots covers the regression gate: within-threshold
+// drift passes, beyond-threshold ns/op or allocs/op fails with the
+// benchmark named, and one-sided benchmarks never fail the gate.
+func TestCompareSnapshots(t *testing.T) {
+	base := Snapshot{Results: []Result{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 1000, "allocs/op": 100}},
+		{Name: "BenchmarkB", Metrics: map[string]float64{"ns/op": 500, "allocs/op": 50}},
+		{Name: "BenchmarkGone", Metrics: map[string]float64{"ns/op": 10}},
+	}}
+
+	ok := Snapshot{Results: []Result{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 1150, "allocs/op": 100}},
+		{Name: "BenchmarkB", Metrics: map[string]float64{"ns/op": 400, "allocs/op": 55}},
+		{Name: "BenchmarkNew", Metrics: map[string]float64{"ns/op": 1}},
+	}}
+	var buf strings.Builder
+	if err := compare(base, ok, 0.20, &buf); err != nil {
+		t.Fatalf("within-threshold diff failed: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{"BenchmarkNew", "BenchmarkGone", "within 20%"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("diff output missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	bad := Snapshot{Results: []Result{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 1300, "allocs/op": 100}},
+		{Name: "BenchmarkB", Metrics: map[string]float64{"ns/op": 500, "allocs/op": 80}},
+	}}
+	buf.Reset()
+	err := compare(base, bad, 0.20, &buf)
+	if err == nil {
+		t.Fatalf("30%% ns/op and 60%% allocs/op regressions passed:\n%s", buf.String())
+	}
+	for _, want := range []string{"BenchmarkA ns/op", "BenchmarkB allocs/op"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+
+	if err := compare(base, Snapshot{Results: []Result{{Name: "BenchmarkOther"}}}, 0.2, &buf); err == nil {
+		t.Error("disjoint snapshots compared clean")
+	}
+}
+
+// TestDiffMode drives the -diff/-against CLI path end to end on files.
+func TestDiffMode(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, s Snapshot) string {
+		t.Helper()
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	basePath := write("BENCH_0.json", Snapshot{Results: []Result{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 1000}},
+	}})
+	curPath := write("BENCH_1.json", Snapshot{Results: []Result{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 1900}},
+	}})
+
+	if err := run([]string{"-diff", curPath, "-against", basePath}); err == nil {
+		t.Fatal("90% regression passed the default 20% gate")
+	}
+	if err := run([]string{"-diff", curPath, "-against", basePath, "-max-regress", "1.0"}); err != nil {
+		t.Fatalf("within a 100%% gate: %v", err)
+	}
+	if err := run([]string{"-diff", curPath}); err == nil {
+		t.Fatal("-diff without -against accepted")
+	}
+
+	// -match narrows the gate: excluded benchmarks cannot fail it, and a
+	// pattern matching nothing on either side is an error, not a pass.
+	if err := run([]string{"-diff", curPath, "-against", basePath, "-match", "NoSuchBench"}); err == nil {
+		t.Fatal("empty -match intersection compared clean")
+	}
+	okPath := write("BENCH_2.json", Snapshot{Results: []Result{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 1900}},
+		{Name: "BenchmarkStable", Metrics: map[string]float64{"ns/op": 1}},
+	}})
+	base2 := write("BENCH_3.json", Snapshot{Results: []Result{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 1000}},
+		{Name: "BenchmarkStable", Metrics: map[string]float64{"ns/op": 1}},
+	}})
+	if err := run([]string{"-diff", okPath, "-against", base2, "-match", "BenchmarkStable"}); err != nil {
+		t.Fatalf("-match did not exclude the regressed benchmark: %v", err)
+	}
+	if err := run([]string{"-diff", okPath, "-against", base2, "-match", "["}); err == nil {
+		t.Fatal("invalid -match regexp accepted")
 	}
 }
 

@@ -48,6 +48,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		horizon  = fs.Int("horizon", 0, "fault window in ticks (default 32)")
 		tick     = fs.Duration("tick", time.Millisecond, "protocol tick length")
 		budget   = fs.Int("budget", 0, "run budget in ticks (default 8*horizon+512)")
+		batch    = fs.Bool("batch", false, "batched vector-outcome agreement (-mode service only)")
 		planOnly = fs.Bool("plan", false, "print the canonical plan and exit")
 		traceOut = fs.String("trace-out", "", "write the run's protocol trace JSON to this file")
 		spansOut = fs.String("spans-out", "", "write the run's causal span graph JSON to this file")
@@ -79,7 +80,10 @@ func run(args []string, stdout, stderr *os.File) int {
 
 	tracer := obs.NewTracer(1 << 14)
 	spans := span.NewCollector(1 << 16)
-	opts := chaos.RunOptions{TickEvery: *tick, BudgetTicks: *budget, Tracer: tracer, Spans: spans}
+	opts := chaos.RunOptions{
+		TickEvery: *tick, BudgetTicks: *budget, Tracer: tracer, Spans: spans,
+		BatchAgreement: *batch,
+	}
 
 	var report *chaos.Report
 	var svcData *chaos.ServiceRunData

@@ -81,6 +81,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		backend   = fs.String("backend", "channel", "cluster transport: channel or tcp")
 		shards    = fs.Int("shards", 1, "independent commit groups behind the consistent-hash router")
 		crossWAL  = fs.String("cross-wal", "", "cross-shard coordinator WAL path (sharded mode; replayed on start)")
+		batchAg   = fs.Bool("batch-agreement", false, "decide each dispatch batch with one vector-outcome agreement instance")
 		withPprof = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -102,6 +103,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		QueueDepth:     *queue,
 		MaxInFlight:    *inflight,
 		BatchMax:       *batch,
+		BatchAgreement: *batchAg,
 		DefaultTimeout: *timeout,
 		Registry:       reg,
 	}

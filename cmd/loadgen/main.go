@@ -300,6 +300,14 @@ func drive(cfg genConfig, out io.Writer) error {
 		}
 	}
 
+	// Snapshot the daemon's counters before the run so the end-of-run
+	// numbers (decisions/sec, batch occupancy) are deltas attributable to
+	// this run, not the daemon's lifetime totals.
+	before, _, err := fetchMetrics(client, base, shards, health.N)
+	if err != nil {
+		return fmt.Errorf("metrics (pre-run): %w", err)
+	}
+
 	g := &genStats{
 		byState: make(map[service.State]*stats.Recorder),
 		byShard: make(map[int]*stats.Recorder),
@@ -493,27 +501,12 @@ func drive(cfg genConfig, out io.Writer) error {
 	// Pull the daemon's own view: safety violations detected server-side.
 	// Sharded daemons expose the sharded snapshot; its aggregate slots
 	// into the same report.
-	var m service.Metrics
-	var sharded *shard.Metrics
-	resp, err := client.Get(base + "/metrics")
-	if err != nil {
-		return fmt.Errorf("metrics: %w", err)
-	}
-	if shards > 1 {
-		var sm shard.Metrics
-		err = json.NewDecoder(resp.Body).Decode(&sm)
-		m = sm.Aggregate
-		m.N = health.N
-		sharded = &sm
-	} else {
-		err = json.NewDecoder(resp.Body).Decode(&m)
-	}
-	resp.Body.Close()
+	m, sharded, err := fetchMetrics(client, base, shards, health.N)
 	if err != nil {
 		return fmt.Errorf("metrics: %w", err)
 	}
 
-	s := summarize(cfg, g, m, sharded, elapsed)
+	s := summarize(cfg, g, m, before, sharded, elapsed)
 	if cfg.jsonOut {
 		enc := json.NewEncoder(out)
 		if err := enc.Encode(s); err != nil {
@@ -527,6 +520,57 @@ func drive(cfg genConfig, out io.Writer) error {
 		return fmt.Errorf("safety violations: client=%d daemon=%d", s.ClientViolations, m.SafetyViolations)
 	}
 	return nil
+}
+
+// fetchMetrics pulls the daemon's /metrics snapshot. Sharded daemons
+// answer with the sharded snapshot; its aggregate slots into the same
+// service.Metrics shape.
+func fetchMetrics(client *http.Client, base string, shards, n int) (service.Metrics, *shard.Metrics, error) {
+	var m service.Metrics
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return m, nil, err
+	}
+	defer resp.Body.Close()
+	if shards > 1 {
+		var sm shard.Metrics
+		if err := json.NewDecoder(resp.Body).Decode(&sm); err != nil {
+			return m, nil, err
+		}
+		m = sm.Aggregate
+		m.N = n
+		return m, &sm, nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return m, nil, err
+	}
+	return m, nil, nil
+}
+
+// occupancyDelta subtracts the pre-run occupancy snapshot from the
+// post-run one, yielding the batch-size distribution of this run alone.
+// Nil when the daemon never batched during the run (unbatched mode, or
+// an idle batched daemon).
+func occupancyDelta(after, before *service.BatchOccupancy) *service.BatchOccupancy {
+	if after == nil {
+		return nil
+	}
+	d := &service.BatchOccupancy{Count: after.Count, Sum: after.Sum}
+	d.Buckets = append([]service.OccupancyBucket(nil), after.Buckets...)
+	if before != nil {
+		d.Count -= before.Count
+		d.Sum -= before.Sum
+		for i := range d.Buckets {
+			if i < len(before.Buckets) && d.Buckets[i].LE == before.Buckets[i].LE {
+				d.Buckets[i].Count -= before.Buckets[i].Count
+			}
+		}
+	}
+	if d.Count == 0 {
+		return nil
+	}
+	d.Mean = d.Sum / float64(d.Count)
+	return d
 }
 
 // OutcomeJSON is the per-outcome block of the -json summary.
@@ -543,21 +587,24 @@ type OutcomeJSON struct {
 // Shards, PerShard, CrossShard, SingleShard, and DaemonSharded appear
 // only against sharded daemons.
 type SummaryJSON struct {
-	Mode             string                 `json:"mode"`
-	N                int                    `json:"n"`
-	Shards           int                    `json:"shards,omitempty"`
-	ElapsedMs        float64                `json:"elapsed_ms"`
-	Completed        uint64                 `json:"completed"`
-	ThroughputTPS    float64                `json:"throughput_tps"`
-	ClientErrors     int                    `json:"client_errors"`
-	OverloadRetries  int                    `json:"overload_retries"`
-	ClientViolations int                    `json:"client_violations"`
-	Outcomes         map[string]OutcomeJSON `json:"outcomes"`
-	PerShard         map[string]OutcomeJSON `json:"per_shard,omitempty"`
-	CrossShard       *OutcomeJSON           `json:"cross_shard,omitempty"`
-	SingleShard      *OutcomeJSON           `json:"single_shard,omitempty"`
-	Daemon           service.Metrics        `json:"daemon"`
-	DaemonSharded    *shard.Metrics         `json:"daemon_sharded,omitempty"`
+	Mode             string                  `json:"mode"`
+	N                int                     `json:"n"`
+	Shards           int                     `json:"shards,omitempty"`
+	ElapsedMs        float64                 `json:"elapsed_ms"`
+	Completed        uint64                  `json:"completed"`
+	ThroughputTPS    float64                 `json:"throughput_tps"`
+	DecisionsPerSec  float64                 `json:"decisions_per_sec"`
+	BatchesDecided   uint64                  `json:"batches_decided,omitempty"`
+	BatchOccupancy   *service.BatchOccupancy `json:"batch_occupancy,omitempty"`
+	ClientErrors     int                     `json:"client_errors"`
+	OverloadRetries  int                     `json:"overload_retries"`
+	ClientViolations int                     `json:"client_violations"`
+	Outcomes         map[string]OutcomeJSON  `json:"outcomes"`
+	PerShard         map[string]OutcomeJSON  `json:"per_shard,omitempty"`
+	CrossShard       *OutcomeJSON            `json:"cross_shard,omitempty"`
+	SingleShard      *OutcomeJSON            `json:"single_shard,omitempty"`
+	Daemon           service.Metrics         `json:"daemon"`
+	DaemonSharded    *shard.Metrics          `json:"daemon_sharded,omitempty"`
 }
 
 // outcomeOf folds one recorder into the JSON block.
@@ -574,7 +621,7 @@ func outcomeOf(rec *stats.Recorder) OutcomeJSON {
 
 // summarize folds the client-side stats and the daemon's snapshot into
 // the machine-readable summary; both output paths render from it.
-func summarize(cfg genConfig, g *genStats, m service.Metrics, sharded *shard.Metrics, elapsed time.Duration) SummaryJSON {
+func summarize(cfg genConfig, g *genStats, m, before service.Metrics, sharded *shard.Metrics, elapsed time.Duration) SummaryJSON {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	s := SummaryJSON{
@@ -594,7 +641,15 @@ func summarize(cfg genConfig, g *genStats, m service.Metrics, sharded *shard.Met
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		s.ThroughputTPS = float64(s.Completed) / secs
+		// Daemon-side decision rate: terminal outcomes this run over the
+		// run's wall clock — the server's view, immune to client-side
+		// queueing and retry delays.
+		decided := (m.Committed + m.Aborted + m.TimedOut) -
+			(before.Committed + before.Aborted + before.TimedOut)
+		s.DecisionsPerSec = float64(decided) / secs
 	}
+	s.BatchesDecided = m.BatchesDecided - before.BatchesDecided
+	s.BatchOccupancy = occupancyDelta(m.BatchOccupancy, before.BatchOccupancy)
 	if sharded != nil {
 		s.Shards = sharded.Shards
 		s.DaemonSharded = sharded
@@ -631,8 +686,18 @@ func report(out io.Writer, cfg genConfig, s SummaryJSON, elapsed time.Duration) 
 	fmt.Fprint(out, table.String())
 	fmt.Fprintf(out, "throughput: %.1f txn/s (%d completed, %d client errors, %d overload retries)\n",
 		s.ThroughputTPS, s.Completed, s.ClientErrors, s.OverloadRetries)
+	fmt.Fprintf(out, "decisions: %.1f/s daemon-side\n", s.DecisionsPerSec)
 	fmt.Fprintf(out, "daemon: committed=%d aborted=%d timed_out=%d crashed=%v violations=%d\n",
 		m.Committed, m.Aborted, m.TimedOut, m.Crashed, m.SafetyViolations)
+	if bo := s.BatchOccupancy; bo != nil {
+		fmt.Fprintf(out, "batch occupancy: %d batches decided, mean %.1f txns/batch\n",
+			s.BatchesDecided, bo.Mean)
+		bt := stats.NewTable("occupancy <=", "batches")
+		for _, b := range bo.Buckets {
+			bt.AddRow(b.LE, b.Count)
+		}
+		fmt.Fprint(out, bt.String())
+	}
 	if s.Shards > 1 {
 		sht := stats.NewTable("shard", "count", "p50 ms", "p99 ms")
 		ids := make([]string, 0, len(s.PerShard))

@@ -197,6 +197,63 @@ func TestLoadgenJSONOutput(t *testing.T) {
 	}
 }
 
+// TestLoadgenBatchedOccupancy: against a batched-agreement daemon the
+// summary carries the run's batch occupancy histogram and a daemon-side
+// decision rate, in both the JSON and the table output.
+func TestLoadgenBatchedOccupancy(t *testing.T) {
+	s, addr := newTarget(t, service.Config{
+		N: 3, K: 3, Seed: 31,
+		TickEvery:      500 * time.Microsecond,
+		BatchAgreement: true,
+		BatchMax:       16,
+		MaxInFlight:    256,
+	})
+	var out bytes.Buffer
+	err := drive(genConfig{
+		addr:          addr,
+		mode:          "closed",
+		concurrency:   16,
+		total:         80,
+		abortFraction: 0.25,
+		timeout:       30 * time.Second,
+		crashNode:     -1,
+		seed:          13,
+		jsonOut:       true,
+	}, &out)
+	if err != nil {
+		t.Fatalf("drive: %v\n%s", err, out.String())
+	}
+	var sum SummaryJSON
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		t.Fatalf("decode: %v\n%s", err, out.String())
+	}
+	if sum.DecisionsPerSec <= 0 {
+		t.Fatalf("decisions/sec = %v", sum.DecisionsPerSec)
+	}
+	if sum.BatchesDecided == 0 {
+		t.Fatal("no batches decided against a batched daemon")
+	}
+	bo := sum.BatchOccupancy
+	if bo == nil || bo.Count == 0 {
+		t.Fatalf("batch occupancy missing: %+v", bo)
+	}
+	if bo.Mean < 1 || bo.Sum != float64(sum.Completed) {
+		t.Fatalf("occupancy mean=%v sum=%v completed=%d", bo.Mean, bo.Sum, sum.Completed)
+	}
+	if m := s.Metrics(); m.BatchesDecided != sum.BatchesDecided {
+		t.Fatalf("batches decided: daemon %d, summary %d", m.BatchesDecided, sum.BatchesDecided)
+	}
+
+	// The table report renders the occupancy block from the same summary.
+	var text bytes.Buffer
+	report(&text, genConfig{mode: "closed"}, sum, time.Second)
+	for _, want := range []string{"decisions:", "batch occupancy:", "occupancy <="} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, text.String())
+		}
+	}
+}
+
 func TestLoadgenFlagValidation(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-total", "0"}, &out); err == nil {

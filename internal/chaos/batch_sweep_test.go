@@ -1,0 +1,78 @@
+package chaos
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// TestBatchedServiceSweep drives the plan workloads through the service
+// in batched vector-outcome mode under the two hostile shapes batching
+// touches most: crash-restart (the batch coordinator can die mid-flood)
+// and partition (the vote exchange can stall behind a window). The
+// audits are the same ones the unbatched sweep runs — per-transaction
+// agreement, abort validity, commit validity, status/trace consistency —
+// because batching is a transport-level packing, not a semantics change.
+func TestBatchedServiceSweep(t *testing.T) {
+	shapes := []Shape{ShapeCrashRestart, ShapePartition}
+	seeds := 2
+	if testing.Short() {
+		shapes, seeds = []Shape{ShapePartition}, 1
+	}
+	for _, shape := range shapes {
+		for s := 0; s < seeds; s++ {
+			cfg := PlanConfig{Seed: uint64(s)*6151 + 29, N: 5, Shape: shape}
+			t.Run(fmt.Sprintf("%s/seed%d", shape, cfg.Seed), func(t *testing.T) {
+				p, err := NewPlan(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, data, err := RunService(p, RunOptions{TickEvery: sweepTick, BatchAgreement: true})
+				if err != nil {
+					t.Fatalf("FAILING SEED %d: run error: %v", cfg.Seed, err)
+				}
+				if !rep.Pass() {
+					t.Fatalf("FAILING SEED %d (replay: go run ./cmd/chaos -seed %d -shape %s -n 5 -mode service -batch)\n%s",
+						cfg.Seed, cfg.Seed, shape, rep.Log())
+				}
+				if data.Metrics.SafetyViolations != 0 {
+					t.Fatalf("FAILING SEED %d: %d safety violations in batched mode",
+						cfg.Seed, data.Metrics.SafetyViolations)
+				}
+			})
+		}
+	}
+}
+
+// TestBatchedAuditLogWorkerCounts: the batched service's passing audit
+// log is byte-identical across runs at different GOMAXPROCS — scheduling
+// (goroutine interleavings, shard stepping overlap) must never leak into
+// the audited story.
+func TestBatchedAuditLogWorkerCounts(t *testing.T) {
+	cfg := PlanConfig{Seed: 0xbadc0de, N: 5, Shape: ShapeCrashRestart}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	workers := []int{1, 2, prev}
+	logs := make([]string, len(workers))
+	for i, w := range workers {
+		runtime.GOMAXPROCS(w)
+		p, err := NewPlan(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, _, err := RunService(p, RunOptions{TickEvery: sweepTick, BatchAgreement: true})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !rep.Pass() {
+			t.Fatalf("workers=%d: audit failed:\n%s", w, rep.Log())
+		}
+		logs[i] = rep.Log()
+	}
+	for i := 1; i < len(logs); i++ {
+		if logs[i] != logs[0] {
+			t.Fatalf("audit logs differ between GOMAXPROCS=%d and %d:\n--- a\n%s\n--- b\n%s",
+				workers[0], workers[i], logs[0], logs[i])
+		}
+	}
+}

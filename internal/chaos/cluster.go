@@ -40,6 +40,11 @@ type RunOptions struct {
 	// protocol instances, not managers). Nil disables span collection —
 	// audit reproducibility never depends on it.
 	Spans *span.Collector
+	// BatchAgreement runs the service harness in batched vector-outcome
+	// mode: submissions coalesce into one agreement instance per batch.
+	// Cluster mode ignores it. The audits are mode-blind — per-txn
+	// agreement, abort validity, and commit validity hold either way.
+	BatchAgreement bool
 }
 
 func (o *RunOptions) defaults(p *Plan) {

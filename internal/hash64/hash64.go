@@ -1,0 +1,39 @@
+// Package hash64 is the repository's one string-hashing function:
+// 64-bit FNV-1a followed by the splitmix64 finalizer. The shard router
+// positions vnodes on its ring with it and the transaction managers
+// shard their inboxes with it; keeping both on a single published,
+// allocation-free function means every layer agrees on where an id
+// lands, across goroutines, processes, and restarts.
+//
+// It lives in its own leaf package because both internal/shard and
+// internal/txn need it and shard (via service) already imports txn.
+package hash64
+
+// String hashes s: FNV-1a 64 mixed through splitmix64. FNV alone
+// leaves the high bits of similar short strings ("txn-17", "txn-18")
+// badly mixed; consumers that bucket by high bits or by modulo both
+// stay uniform after the finalizer.
+func String(s string) uint64 { return Mix(fnv64a(s)) }
+
+// Mix is the splitmix64 finalizer (Vigna 2015): full avalanche in
+// three multiply-xorshift rounds.
+func Mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// fnv64a is the 64-bit FNV-1a hash, inlined so hashing is
+// allocation-free (hash/fnv would allocate a hasher per call).
+func fnv64a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,66 @@
+package hash64
+
+import "testing"
+
+// TestPinnedValues pins the hash byte-for-byte: the shard ring and the
+// manager inbox sharding are both wire-adjacent (cross-process routers
+// must agree), so the function may never silently change.
+func TestPinnedValues(t *testing.T) {
+	cases := map[string]uint64{
+		"":                 fnvSplitmix(""),
+		"txn-1":            fnvSplitmix("txn-1"),
+		"shard-3-vnode-17": fnvSplitmix("shard-3-vnode-17"),
+	}
+	for s, want := range cases {
+		if got := String(s); got != want {
+			t.Errorf("String(%q) = %#x, want %#x", s, got, want)
+		}
+	}
+	// And one literal anchor so a change to *both* implementations is
+	// still caught: FNV-1a("a") = 0xaf63dc4c8601ec8c, mixed.
+	if got, want := String("a"), Mix(0xaf63dc4c8601ec8c); got != want {
+		t.Errorf("String(\"a\") = %#x, want %#x", got, want)
+	}
+}
+
+// fnvSplitmix is an independent re-derivation used only by the test.
+func fnvSplitmix(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	z := h
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// TestDistribution checks low-modulus bucketing stays roughly uniform —
+// the property the manager's inbox sharding relies on.
+func TestDistribution(t *testing.T) {
+	const shards, ids = 8, 8000
+	counts := make([]int, shards)
+	for i := 0; i < ids; i++ {
+		counts[String("txn-"+string(rune('a'+i%26))+"-"+itoa(i))%shards]++
+	}
+	for s, c := range counts {
+		if c < ids/shards/2 || c > ids/shards*2 {
+			t.Errorf("shard %d holds %d of %d ids — badly skewed", s, c, ids)
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}

@@ -30,6 +30,13 @@ func goldenRegistry() *Registry {
 	hv := reg.HistogramVec("transport_delay_seconds", "Injected per-link delivery delay.", []float64{0.001, 0.01}, "link")
 	hv.With("0->1").Observe(0.0005)
 	hv.With("0->1").Observe(0.005)
+	occ := reg.HistogramVec("service_batch_occupancy",
+		"Members per dispatched agreement batch (batched agreement mode).", []float64{1, 2, 4, 8}, "shard")
+	occ.With("0").Observe(1)
+	occ.With("0").Observe(7)
+	occ.With("0").Observe(8)
+	reg.CounterVec("txn_batches_decided_total",
+		"Batched agreement instances fully decided (every member), by node.", "node").With("2").Add(9)
 	esc := reg.CounterVec("odd_labels_total", "Counter with label values needing escaping.", "txn")
 	esc.With(`quote"back\slash`).Inc()
 	esc.With("line\nbreak").Inc()

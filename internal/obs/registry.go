@@ -321,6 +321,34 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sumBits.Load())
 }
 
+// Bucket is one histogram bucket in a snapshot: the cumulative count of
+// samples at or below UpperBound (math.Inf(1) for the overflow bucket),
+// matching the Prometheus exposition's `le` convention.
+type Bucket struct {
+	UpperBound float64
+	Count      uint64
+}
+
+// Buckets snapshots the cumulative bucket counts (nil on a nil
+// histogram). JSON surfaces use it to expose the same distribution the
+// Prometheus exposition renders.
+func (h *Histogram) Buckets() []Bucket {
+	if h == nil {
+		return nil
+	}
+	out := make([]Bucket, len(h.counts))
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		ub := math.Inf(1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		out[i] = Bucket{UpperBound: ub, Count: cum}
+	}
+	return out
+}
+
 // DefBuckets are general-purpose latency buckets in seconds, matching the
 // conventional Prometheus defaults.
 var DefBuckets = []float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}

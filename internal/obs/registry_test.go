@@ -202,3 +202,31 @@ func TestConcurrentRegistrationAndExposition(t *testing.T) {
 		t.Errorf("shared_total = %d, want 800", got)
 	}
 }
+
+// TestHistogramBuckets: the snapshot accessor reports cumulative counts
+// per upper bound, ending with +Inf, matching the exposition semantics.
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, x := range []float64{0.5, 2, 3, 100} {
+		h.Observe(x)
+	}
+	got := h.Buckets()
+	want := []Bucket{
+		{UpperBound: 1, Count: 1},
+		{UpperBound: 2, Count: 2},
+		{UpperBound: 4, Count: 3},
+		{UpperBound: math.Inf(1), Count: 4},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d buckets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	var nilH *Histogram
+	if nilH.Buckets() != nil {
+		t.Error("nil histogram returned buckets")
+	}
+}

@@ -1,0 +1,123 @@
+package service_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/types"
+)
+
+// TestBatchAgreementEndToEnd: in batched mode, concurrent submissions
+// coalesce into vector-outcome instances and every client still gets its
+// own correct answer — including the one abort voter.
+func TestBatchAgreementEndToEnd(t *testing.T) {
+	s := newService(t, service.Config{
+		N: 3, Seed: 11, BatchAgreement: true, BatchMax: 32, MaxInFlight: 256,
+	})
+	const clients = 40
+	var wg sync.WaitGroup
+	results := make([]service.Result, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := service.Request{ID: fmt.Sprintf("bt-%02d", i)}
+			if i%7 == 3 {
+				req.Votes = []bool{true, false, true}
+			}
+			results[i], errs[i] = s.Submit(context.Background(), req)
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		want := service.StateCommit
+		if i%7 == 3 {
+			want = service.StateAbort
+		}
+		if results[i].State != want {
+			t.Fatalf("client %d resolved %+v, want %v", i, results[i], want)
+		}
+	}
+	m := s.Metrics()
+	if m.SafetyViolations != 0 {
+		t.Fatalf("safety violations: %d", m.SafetyViolations)
+	}
+	if m.Committed+m.Aborted != clients {
+		t.Fatalf("decided %d+%d, want %d", m.Committed, m.Aborted, clients)
+	}
+	if m.BatchOccupancy == nil || m.BatchOccupancy.Count == 0 {
+		t.Fatalf("no batch occupancy recorded: %+v", m.BatchOccupancy)
+	}
+	if m.BatchOccupancy.Mean < 1 {
+		t.Fatalf("occupancy mean %v", m.BatchOccupancy.Mean)
+	}
+	waitMetric(t, s, "batches decided", func(m service.Metrics) bool {
+		return m.BatchesDecided >= 1 && m.BatchesDecided == m.BatchOccupancy.Count
+	})
+}
+
+// TestBatchAgreementSingleton: a lone submission forms a batch of one
+// and behaves exactly like the unbatched path.
+func TestBatchAgreementSingleton(t *testing.T) {
+	s := newService(t, service.Config{N: 3, Seed: 12, BatchAgreement: true})
+	res, err := s.Submit(context.Background(), service.Request{ID: "solo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != service.StateCommit || res.Decision != types.DecisionCommit {
+		t.Fatalf("solo batch resolved %+v", res)
+	}
+	m := s.Metrics()
+	if m.BatchOccupancy == nil || m.BatchOccupancy.Count != 1 || m.BatchOccupancy.Sum != 1 {
+		t.Fatalf("occupancy = %+v", m.BatchOccupancy)
+	}
+}
+
+// TestBatchAgreementUnderCrash: batches dispatched before a minority
+// crash commit; batches racing or following the crash still resolve
+// (abort is the correct on-time answer when a voter is dead — the vote
+// exchange times out) and no node ever disagrees with another.
+func TestBatchAgreementUnderCrash(t *testing.T) {
+	s := newService(t, service.Config{
+		N: 5, Seed: 13, BatchAgreement: true, BatchMax: 16, MaxInFlight: 128,
+		DefaultTimeout: 5 * time.Second,
+	})
+	submitWave := func(prefix string, k int) {
+		t.Helper()
+		var wg sync.WaitGroup
+		for i := 0; i < k; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, _ = s.Submit(context.Background(), service.Request{ID: fmt.Sprintf("%s-%02d", prefix, i)})
+			}()
+		}
+		wg.Wait()
+	}
+	submitWave("pre", 12)
+	m := s.Metrics()
+	if m.Committed == 0 {
+		t.Fatalf("nothing committed before the crash: %+v", m)
+	}
+	if err := s.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	submitWave("post", 12)
+	m = s.Metrics()
+	if m.SafetyViolations != 0 {
+		t.Fatalf("safety violations after crash: %d", m.SafetyViolations)
+	}
+	if got := m.Committed + m.Aborted + m.TimedOut; got != 24 {
+		t.Fatalf("resolved %d of 24: %+v", got, m)
+	}
+}

@@ -27,6 +27,8 @@ package service
 import (
 	"context"
 	"fmt"
+	"math"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -55,11 +57,14 @@ type pending struct {
 	// dequeueU is set by the dispatcher goroutine when the submission
 	// leaves the queue and read only on that goroutine (dispatchOne).
 	dequeueU int64
-	// dispatched, coordinator, and dispatchU are written under
+	// dispatched, coordinator, dispatchU, and batch are written under
 	// Service.mu.
 	dispatched  bool
 	coordinator types.ProcID
 	dispatchU   int64
+	// batch names the agreement batch the submission dispatched in
+	// (batched mode only; empty for per-transaction instances).
+	batch string
 }
 
 // svcMetrics bundles the service's handles into the shared registry.
@@ -71,15 +76,22 @@ type pending struct {
 // hosted in one daemon (internal/shard) share the registry without their
 // counts merging; an unsharded service is shard "0".
 type svcMetrics struct {
-	shard      string
-	submitted  *obs.Counter
-	outcomes   *obs.CounterVec // labels: shard, outcome (committed|aborted|timed_out|failed)
-	rejected   *obs.CounterVec // labels: shard, reason (full|draining)
-	batches    *obs.Counter
-	violations *obs.Counter
-	latency    *obs.Histogram    // seconds, decided (COMMIT/ABORT) submissions
-	stage      *obs.HistogramVec // seconds per pipeline stage, labels: shard, stage
+	shard          string
+	submitted      *obs.Counter
+	outcomes       *obs.CounterVec // labels: shard, outcome (committed|aborted|timed_out|failed)
+	rejected       *obs.CounterVec // labels: shard, reason (full|draining)
+	batches        *obs.Counter
+	violations     *obs.Counter
+	latency        *obs.Histogram    // seconds, decided (COMMIT/ABORT) submissions
+	stage          *obs.HistogramVec // seconds per pipeline stage, labels: shard, stage
+	occupancy      *obs.Histogram    // members per dispatched agreement batch
+	batchesDecided *obs.Counter      // batches whose every member resolved
 }
+
+// OccupancyBuckets are the upper bounds for the batch-occupancy
+// histogram: powers of two up to 256, covering BatchMax values in
+// practical use.
+var OccupancyBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
 func newSvcMetrics(reg *obs.Registry, shard string) svcMetrics {
 	return svcMetrics{
@@ -100,6 +112,11 @@ func newSvcMetrics(reg *obs.Registry, shard string) svcMetrics {
 		stage: reg.HistogramVec("service_stage_seconds",
 			"Per-stage latency of the submission pipeline (admit, batch, dispatch, decided, notify).",
 			obs.DefBuckets, "shard", "stage"),
+		occupancy: reg.HistogramVec("service_batch_occupancy",
+			"Members per dispatched agreement batch (batched agreement mode).",
+			OccupancyBuckets, "shard").With(shard),
+		batchesDecided: reg.CounterVec("service_batches_decided_total",
+			"Agreement batches whose every member reached a terminal state.", "shard").With(shard),
 	}
 }
 
@@ -138,14 +155,28 @@ type Service struct {
 	crashCtr *obs.CounterVec
 	ready    atomic.Bool
 
-	mu       sync.Mutex
-	stopped  bool
-	nextID   uint64
-	rr       int
-	crashed  []bool
-	maxBatch int
-	pendings map[txn.ID]*pending
-	statuses map[string]*status
+	mu        sync.Mutex
+	stopped   bool
+	nextID    uint64
+	nextBatch uint64
+	// batchLeft tracks, per dispatched agreement batch, how many members
+	// have not yet reached a terminal state.
+	batchLeft map[string]int
+	// batchMembers retains each dispatched batch's ordered member list,
+	// and batchUndecided how many members still lack a protocol decision
+	// (distinct from batchLeft: a deadline makes a member terminal
+	// without deciding it). Both exist for rescueOrphans — a batch whose
+	// coordinator fail-stops pre-GO must be re-dispatchable verbatim, same
+	// batch id and same vector order, so a partially propagated original
+	// merges instead of forking. Entries are dropped once every member
+	// holds a decision.
+	batchMembers   map[string][]txn.ID
+	batchUndecided map[string]int
+	rr             int
+	crashed        []bool
+	maxBatch       int
+	pendings       map[txn.ID]*pending
+	statuses       map[string]*status
 	// finished is the FIFO of terminal status ids for bounded retention.
 	finished     []string
 	finishedHead int
@@ -158,6 +189,12 @@ type status struct {
 	// first is the first decision any node reported; later conflicting
 	// reports count as safety violations.
 	first types.Decision
+	// dispatched marks that a coordinator actually began this
+	// transaction; Coordinator is meaningful only then.
+	dispatched bool
+	// batch is the agreement batch this transaction dispatched in
+	// (batched mode), "" for a single instance.
+	batch string
 }
 
 // New builds and starts a commit service: the cluster nodes begin
@@ -178,6 +215,9 @@ func New(cfg Config) (*Service, error) {
 		met:            newSvcMetrics(cfg.Registry, cfg.shardLabel()),
 		crashCtr:       runtime.CrashCounter(cfg.Registry),
 		crashed:        make([]bool, cfg.N),
+		batchLeft:      make(map[string]int),
+		batchMembers:   make(map[string][]txn.ID),
+		batchUndecided: make(map[string]int),
 		pendings:       make(map[txn.ID]*pending),
 		statuses:       make(map[string]*status),
 		votesByTxn:     make(map[txn.ID][]bool),
@@ -214,6 +254,7 @@ func New(cfg Config) (*Service, error) {
 			OnOutcome:   func(o txn.Outcome) { s.onOutcome(proc, o) },
 			RetireAfter: cfg.RetireAfterTicks,
 			MaxAge:      cfg.MaxAgeTicks,
+			InboxShards: cfg.InboxShards,
 			Registry:    cfg.Registry,
 			Tracer:      cfg.Tracer,
 			Spans:       cfg.Spans,
@@ -405,8 +446,92 @@ func (s *Service) dispatch() {
 			s.maxBatch = len(batch)
 		}
 		s.mu.Unlock()
+		if s.cfg.BatchAgreement {
+			s.dispatchBatch(batch)
+			continue
+		}
 		for _, p := range batch {
 			s.dispatchOne(p)
+		}
+	}
+}
+
+// dispatchBatch begins ONE batched agreement instance for a coalesced
+// batch: the members' votes are packed into one vote vector and the
+// whole vector is decided by a single Protocol 2 run. Each member still
+// holds its own in-flight slot, so MaxInFlight keeps bounding
+// transactions (not instances) and admission behavior is unchanged.
+func (s *Service) dispatchBatch(batch []*pending) {
+	entryU := s.cfg.Spans.Now()
+	for _, p := range batch {
+		s.recordStage(p.id, span.StageAdmit, p.admitU, p.dequeueU, "")
+		s.recordStage(p.id, span.StageBatch, p.dequeueU, entryU, "")
+	}
+	for i := range batch {
+		select {
+		case s.slots <- struct{}{}:
+		case <-s.abort:
+			for _, p := range batch {
+				s.resolve(p, StateTimeout, types.DecisionNone)
+			}
+			for ; i > 0; i-- {
+				<-s.slots
+			}
+			return
+		}
+	}
+
+	s.mu.Lock()
+	live := make([]*pending, 0, len(batch))
+	for _, p := range batch {
+		if _, ok := s.pendings[p.id]; ok {
+			live = append(live, p)
+		}
+	}
+	if len(live) == 0 {
+		s.mu.Unlock()
+		for range batch {
+			<-s.slots
+		}
+		return
+	}
+	s.nextBatch++
+	bid := txn.BatchID(fmt.Sprintf("batch-%d", s.nextBatch))
+	coord := s.nextCoordinatorLocked()
+	dispatchU := s.cfg.Spans.Now()
+	ids := make([]txn.ID, len(live))
+	votes := make([]bool, len(live))
+	for i, p := range live {
+		ids[i] = p.id
+		votes[i] = p.votes[coord]
+		p.dispatched = true
+		p.coordinator = coord
+		p.dispatchU = dispatchU
+		p.batch = string(bid)
+		if st := s.statuses[string(p.id)]; st != nil {
+			st.State = StateRunning
+			st.Coordinator = coord
+			st.dispatched = true
+			st.batch = string(bid)
+		}
+	}
+	s.batchLeft[string(bid)] = len(live)
+	s.batchMembers[string(bid)] = ids
+	s.batchUndecided[string(bid)] = len(live)
+	s.mu.Unlock()
+	// Members that resolved while queued (deadline hit) never dispatch;
+	// their slots go straight back.
+	for i := len(live); i < len(batch); i++ {
+		<-s.slots
+	}
+	s.met.occupancy.Observe(float64(len(live)))
+	detail := "coordinator=" + strconv.Itoa(int(coord)) + " batch=" + string(bid)
+	for _, p := range live {
+		s.recordStage(p.id, span.StageDispatch, entryU, dispatchU, detail)
+	}
+	if err := s.managers[coord].BeginBatch(bid, ids, votes); err != nil {
+		for _, p := range live {
+			s.resolve(p, StateFailed, types.DecisionNone)
 		}
 	}
 }
@@ -438,6 +563,7 @@ func (s *Service) dispatchOne(p *pending) {
 	if st := s.statuses[string(p.id)]; st != nil {
 		st.State = StateRunning
 		st.Coordinator = coord
+		st.dispatched = true
 	}
 	s.mu.Unlock()
 	s.recordStage(p.id, span.StageDispatch, entryU, p.dispatchU,
@@ -498,6 +624,16 @@ func (s *Service) onOutcome(p types.ProcID, o txn.Outcome) {
 		return
 	}
 	st.first = o.Decision
+	if st.batch != "" {
+		if left, ok := s.batchUndecided[st.batch]; ok {
+			if left <= 1 {
+				delete(s.batchUndecided, st.batch)
+				delete(s.batchMembers, st.batch)
+			} else {
+				s.batchUndecided[st.batch] = left - 1
+			}
+		}
+	}
 	pd := s.pendings[o.Txn]
 	if pd == nil && st.State == StateTimeout {
 		// The submission already resolved as TIMEOUT (unknown) but the
@@ -534,7 +670,21 @@ func (s *Service) resolve(p *pending, state State, d types.Decision) {
 	dispatched := p.dispatched
 	coord := p.coordinator
 	dispatchU := p.dispatchU
+	batchDone := false
+	if p.batch != "" {
+		if left, ok := s.batchLeft[p.batch]; ok {
+			if left <= 1 {
+				delete(s.batchLeft, p.batch)
+				batchDone = true
+			} else {
+				s.batchLeft[p.batch] = left - 1
+			}
+		}
+	}
 	s.mu.Unlock()
+	if batchDone {
+		s.met.batchesDecided.Inc()
+	}
 
 	// The decided stage runs from dispatch (or admission, for
 	// submissions that never dispatched) to now; Detail names the
@@ -630,7 +780,106 @@ func (s *Service) Crash(p types.ProcID) error {
 			Node: int(p), Type: obs.EventCrash, Tick: s.managers[p].Clock(),
 		})
 	}
+	s.rescueOrphans(p)
 	return nil
+}
+
+// rescueOrphans re-dispatches undecided work stranded by a coordinator
+// fail-stop. A transaction whose coordinator crashes in the window
+// between Begin and the first GO flood is known only to the dead node:
+// no other processor ever hears of it, no decision can ever arrive, and
+// a recovery client polling Status for the absorbing outcome waits
+// forever. Re-beginning it on a live coordinator closes the window.
+//
+// This is safe under fail-stop faults because instances are keyed by
+// transaction (and batch) id: if the GO did leave the dead node before
+// the crash, the re-begin merges with the instances it seeded — live
+// joiners deliver into their existing instance, and a coordinator that
+// already knows the id rejects the duplicate Begin, which is exactly the
+// non-orphan case and is ignored. Batches are re-dispatched verbatim
+// (same batch id, same vector order) so a partially propagated original
+// merges instead of forking a second agreement for the same members.
+func (s *Service) rescueOrphans(p types.ProcID) {
+	type singleRescue struct {
+		id    txn.ID
+		coord types.ProcID
+		vote  bool
+	}
+	type batchRescue struct {
+		bid   txn.BatchID
+		coord types.ProcID
+		ids   []txn.ID
+		votes []bool
+	}
+	var singles []singleRescue
+	var brescues []batchRescue
+
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.statuses))
+	for id := range s.statuses {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids) // deterministic rescue order
+	seenBatch := make(map[string]bool)
+	for _, id := range ids {
+		st := s.statuses[id]
+		if !st.dispatched || st.Coordinator != p || st.first != types.DecisionNone {
+			continue
+		}
+		if st.State != StateRunning && st.State != StateTimeout {
+			continue
+		}
+		if st.batch != "" {
+			if seenBatch[st.batch] {
+				continue
+			}
+			seenBatch[st.batch] = true
+			members := s.batchMembers[st.batch]
+			if members == nil {
+				continue // batch decided concurrently; nothing stranded
+			}
+			coord := s.nextCoordinatorLocked()
+			votes := make([]bool, len(members))
+			known := true
+			for i, m := range members {
+				v, ok := s.votesByTxn[m]
+				if !ok {
+					known = false // retention evicted a member's votes
+					break
+				}
+				votes[i] = v[coord]
+			}
+			if !known {
+				continue
+			}
+			for _, m := range members {
+				if mst := s.statuses[string(m)]; mst != nil {
+					mst.Coordinator = coord
+				}
+			}
+			brescues = append(brescues, batchRescue{
+				bid: txn.BatchID(st.batch), coord: coord, ids: members, votes: votes,
+			})
+			continue
+		}
+		v, ok := s.votesByTxn[txn.ID(id)]
+		if !ok {
+			continue
+		}
+		coord := s.nextCoordinatorLocked()
+		st.Coordinator = coord
+		singles = append(singles, singleRescue{id: txn.ID(id), coord: coord, vote: v[coord]})
+	}
+	s.mu.Unlock()
+
+	// Managers are called without s.mu held: Begin takes shard locks and
+	// the vote callback for joins takes s.mu.
+	for _, r := range singles {
+		s.managers[r.coord].Begin(r.id, r.vote) //nolint:errcheck // already-known: the GO propagated
+	}
+	for _, b := range brescues {
+		s.managers[b.coord].BeginBatch(b.bid, b.ids, b.votes) //nolint:errcheck // already-known: the GO propagated
+	}
 }
 
 // Metrics snapshots the service's instrumentation. The counts come from
@@ -649,6 +898,7 @@ func (s *Service) Metrics() Metrics {
 		RejectedFull:     s.met.reject("full").Value(),
 		RejectedDraining: s.met.reject("draining").Value(),
 		Batches:          s.met.batches.Value(),
+		BatchesDecided:   s.met.batchesDecided.Value(),
 		MaxBatch:         s.maxBatch,
 		SafetyViolations: s.met.violations.Value(),
 		Queued:           len(s.queue),
@@ -662,6 +912,21 @@ func (s *Service) Metrics() Metrics {
 	s.mu.Unlock()
 	for _, mgr := range s.managers {
 		m.ActiveInstances += mgr.Active()
+	}
+	if n := s.met.occupancy.Count(); n > 0 {
+		occ := &BatchOccupancy{
+			Count: n,
+			Sum:   s.met.occupancy.Sum(),
+		}
+		occ.Mean = occ.Sum / float64(n)
+		for _, b := range s.met.occupancy.Buckets() {
+			le := "+Inf"
+			if !math.IsInf(b.UpperBound, 1) {
+				le = strconv.FormatFloat(b.UpperBound, 'g', -1, 64)
+			}
+			occ.Buckets = append(occ.Buckets, OccupancyBucket{LE: le, Count: b.Count})
+		}
+		m.BatchOccupancy = occ
 	}
 	snap := s.lat.Snapshot(50, 95, 99)
 	m.LatencyMeanMs = snap.Summary.Mean

@@ -40,8 +40,22 @@ type Config struct {
 	// 128). Admitted submissions beyond it wait in the queue.
 	MaxInFlight int
 	// BatchMax bounds how many queued submissions one dispatcher wake
-	// coalesces into concurrent instances (default 64).
+	// coalesces into concurrent instances (default 64). In batched
+	// agreement mode it is also the widest outcome vector one instance
+	// decides.
 	BatchMax int
+	// BatchAgreement switches the dispatcher to batched vector-outcome
+	// agreement: each dispatcher wake begins ONE batched Protocol 2
+	// instance deciding the outcome vector for every coalesced
+	// submission — one coin flood, one vote exchange, one agreement run
+	// per batch — instead of one instance per transaction. Per-request
+	// results, statuses, and cross-node decision checking are unchanged.
+	BatchAgreement bool
+	// InboxShards splits each transaction manager's state across that
+	// many independently locked inbox shards (default 8). The count is
+	// fixed rather than runtime.NumCPU-derived so schedules and audit
+	// logs are machine-independent; 1 restores the single-lock manager.
+	InboxShards int
 	// DefaultTimeout is the per-request deadline when the request does
 	// not set one (default 10s). A request that misses its deadline
 	// resolves as TIMEOUT; it never hangs.
@@ -123,6 +137,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.BatchMax <= 0 {
 		c.BatchMax = 64
+	}
+	if c.InboxShards <= 0 {
+		c.InboxShards = 8
 	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 10 * time.Second
@@ -229,16 +246,19 @@ type TxnStatus struct {
 
 // Metrics is one instrumentation snapshot.
 type Metrics struct {
-	N                int     `json:"n"`
-	Draining         bool    `json:"draining"`
-	Submitted        uint64  `json:"submitted"`
-	Committed        uint64  `json:"committed"`
-	Aborted          uint64  `json:"aborted"`
-	TimedOut         uint64  `json:"timed_out"`
-	Failed           uint64  `json:"failed"`
-	RejectedFull     uint64  `json:"rejected_full"`
-	RejectedDraining uint64  `json:"rejected_draining"`
-	Batches          uint64  `json:"batches"`
+	N                int    `json:"n"`
+	Draining         bool   `json:"draining"`
+	Submitted        uint64 `json:"submitted"`
+	Committed        uint64 `json:"committed"`
+	Aborted          uint64 `json:"aborted"`
+	TimedOut         uint64 `json:"timed_out"`
+	Failed           uint64 `json:"failed"`
+	RejectedFull     uint64 `json:"rejected_full"`
+	RejectedDraining uint64 `json:"rejected_draining"`
+	Batches          uint64 `json:"batches"`
+	// BatchesDecided counts dispatched batches whose every member has
+	// reached a terminal state (only nonzero in batched agreement mode).
+	BatchesDecided   uint64  `json:"batches_decided"`
 	MaxBatch         int     `json:"max_batch"`
 	SafetyViolations uint64  `json:"safety_violations"`
 	Queued           int     `json:"queued"`
@@ -253,6 +273,26 @@ type Metrics struct {
 	// (admit, batch, dispatch, decided, notify); stages with no samples
 	// are omitted.
 	Stages map[string]StageLatency `json:"stages,omitempty"`
+	// BatchOccupancy is the distribution of members per dispatched
+	// agreement batch; omitted until a batch has dispatched.
+	BatchOccupancy *BatchOccupancy `json:"batch_occupancy,omitempty"`
+}
+
+// BatchOccupancy summarizes how full dispatched agreement batches run —
+// the knob-tuning signal for BatchMax (a mean far below BatchMax means
+// the queue, not the batch width, is the throughput limiter).
+type BatchOccupancy struct {
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Mean    float64           `json:"mean"`
+	Buckets []OccupancyBucket `json:"buckets"`
+}
+
+// OccupancyBucket is one cumulative histogram bucket; LE is the upper
+// bound rendered as text ("+Inf" for the overflow bucket).
+type OccupancyBucket struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
 }
 
 // StageLatency summarizes one pipeline stage's latency distribution.

@@ -622,6 +622,7 @@ func (c *Coordinator) Metrics() Metrics {
 		m.Aggregate.RejectedFull += sm.RejectedFull
 		m.Aggregate.RejectedDraining += sm.RejectedDraining
 		m.Aggregate.Batches += sm.Batches
+		m.Aggregate.BatchesDecided += sm.BatchesDecided
 		m.Aggregate.SafetyViolations += sm.SafetyViolations
 		m.Aggregate.Queued += sm.Queued
 		m.Aggregate.InFlight += sm.InFlight

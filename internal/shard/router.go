@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+
+	"repro/internal/hash64"
 )
 
 // DefaultVnodes is the number of virtual ring points per shard. 128
@@ -105,34 +107,10 @@ func (r *Router) RouteKeys(id string, keys []string) []int {
 }
 
 // ringHash positions a string on the ring: FNV-1a 64 followed by a
-// splitmix64-style avalanche. FNV alone leaves the high bits of similar
-// short strings ("shard-3-vnode-17") badly mixed — the ring orders by
-// the full 64-bit value, so without the finalizer vnodes cluster and
-// shard loads skew by an order of magnitude. Both stages are fixed
-// published constants, so the mapping stays deterministic across
-// processes.
-func ringHash(s string) uint64 { return mix64(fnv64a(s)) }
-
-// mix64 is the splitmix64 finalizer (Vigna 2015): full avalanche in
-// three multiply-xorshift rounds.
-func mix64(z uint64) uint64 {
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
-// fnv64a is the 64-bit FNV-1a hash, inlined so the routing function is
-// allocation-free and byte-for-byte pinned (hash/fnv would allocate a
-// hasher per call).
-func fnv64a(s string) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= prime64
-	}
-	return h
-}
+// splitmix64-style avalanche (hash64.String). FNV alone leaves the high
+// bits of similar short strings ("shard-3-vnode-17") badly mixed — the
+// ring orders by the full 64-bit value, so without the finalizer vnodes
+// cluster and shard loads skew by an order of magnitude. Both stages are
+// fixed published constants, so the mapping stays deterministic across
+// processes; hash64's pinned-value test enforces that.
+func ringHash(s string) uint64 { return hash64.String(s) }

@@ -4,19 +4,22 @@ import (
 	"fmt"
 	"hash/fnv"
 	"testing"
+
+	"repro/internal/hash64"
 )
 
 // The routing function must agree with the canonical published FNV-1a
-// algorithm (stdlib hash/fnv): that is what makes routing deterministic
-// across processes, machines, and releases — any two routers with the
-// same shard count agree on every id with no coordination.
+// algorithm (stdlib hash/fnv) followed by the fixed splitmix64 mix:
+// that is what makes routing deterministic across processes, machines,
+// and releases — any two routers with the same shard count agree on
+// every id with no coordination.
 func TestRouterHashMatchesCanonicalFNV(t *testing.T) {
 	for i := 0; i < 500; i++ {
 		s := fmt.Sprintf("txn-%d-%c", i*7919, 'a'+byte(i%26))
 		h := fnv.New64a()
 		h.Write([]byte(s)) //nolint:errcheck // never fails
-		if got, want := fnv64a(s), h.Sum64(); got != want {
-			t.Fatalf("fnv64a(%q) = %#x, stdlib says %#x", s, got, want)
+		if got, want := ringHash(s), hash64.Mix(h.Sum64()); got != want {
+			t.Fatalf("ringHash(%q) = %#x, stdlib FNV + mix says %#x", s, got, want)
 		}
 	}
 }

@@ -75,6 +75,7 @@ const crossHeaderSize = 8
 // encodeCross serializes one record.
 //
 // payload: [u8 type][u8 decision][u16 shard][u16 nShards][nShards×u16]
+//
 //	[u16 idLen][idLen bytes]
 func encodeCross(r CrossRecord) ([]byte, error) {
 	if len(r.Shards) > 1<<16-1 {

@@ -23,7 +23,11 @@ func RegisterWirePayloads() {
 		gob.Register(core.GoMsg{})
 		gob.Register(core.VoteMsg{})
 		gob.Register(core.Piggyback{})
+		gob.Register(core.BatchVoteMsg{})
 		gob.Register(agreement.ReportMsg{})
+		gob.Register(agreement.VecReportMsg{})
+		gob.Register(agreement.VecProposalMsg{})
+		gob.Register(agreement.VecDecidedMsg{})
 		gob.Register(agreement.ProposalMsg{})
 		gob.Register(agreement.DecidedMsg{})
 		gob.Register(twopc.PrepareMsg{})
@@ -36,6 +40,7 @@ func RegisterWirePayloads() {
 		gob.Register(threepc.DoCommitMsg{})
 		gob.Register(threepc.AbortMsg{})
 		gob.Register(txn.Envelope{})
+		gob.Register(txn.BatchEnvelope{})
 		gob.Register(recovery.QueryMsg{})
 		gob.Register(recovery.ReplyMsg{})
 		gob.Register(paxoscommit.Prepare1aMsg{})

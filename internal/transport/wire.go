@@ -70,6 +70,11 @@ const (
 	tagPC2a
 	tagPC2b
 	tagPCOutcome
+	tagCoreBatchVote
+	tagAgVecReport
+	tagAgVecProposal
+	tagAgVecDecided
+	tagTxnBatchEnvelope
 )
 
 // zigzag maps signed to unsigned so small negatives stay short varints.
@@ -86,6 +91,18 @@ func appendValues(dst []byte, vs []types.Value) []byte {
 	dst = appendInt(dst, int64(len(vs)))
 	for _, v := range vs {
 		dst = append(dst, byte(v))
+	}
+	return dst
+}
+
+func appendBools(dst []byte, bs []bool) []byte {
+	dst = appendInt(dst, int64(len(bs)))
+	for _, b := range bs {
+		c := byte(0)
+		if b {
+			c = 1
+		}
+		dst = append(dst, c)
 	}
 	return dst
 }
@@ -146,9 +163,27 @@ func appendPayload(dst []byte, p types.Payload) (_ []byte, ok bool) {
 		return append(dst, tag3PCDoCommit), true
 	case threepc.AbortMsg:
 		return append(dst, tag3PCAbort), true
+	case core.BatchVoteMsg:
+		return appendValues(append(dst, tagCoreBatchVote), v.Vals), true
+	case agreement.VecReportMsg:
+		return appendValues(appendInt(append(dst, tagAgVecReport), int64(v.Stage)), v.Vals), true
+	case agreement.VecProposalMsg:
+		dst = appendValues(appendInt(append(dst, tagAgVecProposal), int64(v.Stage)), v.Vals)
+		return appendBools(dst, v.Bots), true
+	case agreement.VecDecidedMsg:
+		return appendValues(append(dst, tagAgVecDecided), v.Vals), true
 	case txn.Envelope:
 		dst = appendInt(append(dst, tagTxnEnvelope), int64(len(v.Txn)))
 		dst = append(dst, v.Txn...)
+		return appendPayload(dst, v.Inner)
+	case txn.BatchEnvelope:
+		dst = appendInt(append(dst, tagTxnBatchEnvelope), int64(len(v.Batch)))
+		dst = append(dst, v.Batch...)
+		dst = appendInt(dst, int64(len(v.Txns)))
+		for _, id := range v.Txns {
+			dst = appendInt(dst, int64(len(id)))
+			dst = append(dst, id...)
+		}
 		return appendPayload(dst, v.Inner)
 	case recovery.QueryMsg:
 		return append(dst, tagRcQuery), true
@@ -232,6 +267,19 @@ func (r *wireReader) values() []types.Value {
 	return vs
 }
 
+func (r *wireReader) bools() []bool {
+	n := r.count()
+	if r.bad || n == 0 {
+		return nil
+	}
+	bs := make([]bool, n)
+	for i := range bs {
+		bs[i] = r.b[r.off+i] != 0
+	}
+	r.off += n
+	return bs
+}
+
 func (r *wireReader) string() string {
 	n := r.count()
 	if r.bad {
@@ -302,9 +350,28 @@ func decodePayload(r *wireReader, depth int) types.Payload {
 		return threepc.DoCommitMsg{}
 	case tag3PCAbort:
 		return threepc.AbortMsg{}
+	case tagCoreBatchVote:
+		return core.BatchVoteMsg{Vals: r.values()}
+	case tagAgVecReport:
+		return agreement.VecReportMsg{Stage: int(r.int()), Vals: r.values()}
+	case tagAgVecProposal:
+		return agreement.VecProposalMsg{Stage: int(r.int()), Vals: r.values(), Bots: r.bools()}
+	case tagAgVecDecided:
+		return agreement.VecDecidedMsg{Vals: r.values()}
 	case tagTxnEnvelope:
 		id := txn.ID(r.string())
 		return txn.Envelope{Txn: id, Inner: decodePayload(r, depth+1)}
+	case tagTxnBatchEnvelope:
+		batch := txn.BatchID(r.string())
+		n := r.count()
+		var ids []txn.ID
+		if !r.bad && n > 0 {
+			ids = make([]txn.ID, n)
+			for i := range ids {
+				ids[i] = txn.ID(r.string())
+			}
+		}
+		return txn.BatchEnvelope{Batch: batch, Txns: ids, Inner: decodePayload(r, depth+1)}
 	case tagRcQuery:
 		return recovery.QueryMsg{}
 	case tagRcReply:

@@ -50,6 +50,19 @@ func wirePayloads() []types.Payload {
 		txn.Envelope{Txn: "", Inner: nil},
 		txn.Envelope{Txn: "nested", Inner: core.Piggyback{
 			Inner: agreement.ReportMsg{Stage: 2, Val: types.V1}, Coins: []types.Value{1, 0}}},
+		core.BatchVoteMsg{Vals: []types.Value{1, 0, 0, 1, 1}},
+		core.BatchVoteMsg{}, // nil vote vector
+		agreement.VecReportMsg{Stage: 2, Vals: []types.Value{1, 1, 0}},
+		agreement.VecReportMsg{Stage: 1 << 18}, // nil vals
+		agreement.VecProposalMsg{Stage: 3, Vals: []types.Value{0, 1}, Bots: []bool{true, false}},
+		agreement.VecProposalMsg{Stage: 1}, // nil vals, nil bots
+		agreement.VecDecidedMsg{Vals: []types.Value{1, 0, 1}},
+		txn.BatchEnvelope{Batch: "batch-7", Txns: []txn.ID{"a", "b", "c"},
+			Inner: core.BatchVoteMsg{Vals: []types.Value{1, 0, 1}}},
+		txn.BatchEnvelope{Batch: "", Txns: nil, Inner: nil},
+		txn.BatchEnvelope{Batch: "nested", Txns: []txn.ID{"x"}, Inner: core.Piggyback{
+			Inner: agreement.VecReportMsg{Stage: 1, Vals: []types.Value{1}},
+			Coins: []types.Value{0, 1}}},
 		recovery.QueryMsg{},
 		recovery.ReplyMsg{Val: types.V1},
 		paxoscommit.Prepare1aMsg{Instance: 3, Ballot: 17},
@@ -185,11 +198,13 @@ func TestDecodeRejectsCorruptBodies(t *testing.T) {
 		t.Fatal("encode failed")
 	}
 	cases := map[string][]byte{
-		"empty":            {},
-		"truncated":        good[:len(good)-1],
-		"trailing garbage": append(append([]byte{}, good...), 0xFF),
-		"unknown tag":      {0, 0, 0, 0, 0, 0xEE},
-		"huge coin count":  {0, 0, 0, 0, 0, tagCoreGo, 0xFE, 0xFF, 0xFF, 0xFF, 0x0F},
+		"empty":                  {},
+		"truncated":              good[:len(good)-1],
+		"trailing garbage":       append(append([]byte{}, good...), 0xFF),
+		"unknown tag":            {0, 0, 0, 0, 0, 0xEE},
+		"huge coin count":        {0, 0, 0, 0, 0, tagCoreGo, 0xFE, 0xFF, 0xFF, 0xFF, 0x0F},
+		"huge member count":      {0, 0, 0, 0, 0, tagTxnBatchEnvelope, 0, 0xFE, 0xFF, 0xFF, 0xFF, 0x0F},
+		"truncated vec proposal": {0, 0, 0, 0, 0, tagAgVecProposal, 2, 4, 1, 1},
 	}
 	for name, body := range cases {
 		if _, err := decodeMessage(body); err == nil {

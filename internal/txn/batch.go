@@ -1,0 +1,334 @@
+package txn
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obs/span"
+	"repro/internal/types"
+)
+
+// BatchID names a batched agreement instance. Batches get their own id
+// space: hashing by batch id (not member id) keeps every message for one
+// batch on one shard, so a batch instance — like a single instance — has
+// exactly one owning lock.
+type BatchID string
+
+// BatchEnvelope wraps a batched Protocol 2 payload with its batch id and
+// the member transactions, in vector order. The member list rides on
+// every frame so a node joining the batch mid-flight can compute its own
+// vote vector (the batch analogue of the piggybacked GO making the
+// transaction joinable from any protocol message).
+type BatchEnvelope struct {
+	Batch BatchID
+	Txns  []ID
+	Inner types.Payload
+}
+
+// Kind implements types.Payload.
+func (e BatchEnvelope) Kind() string {
+	if e.Inner == nil {
+		return "txnb.envelope"
+	}
+	return "txnb:" + e.Inner.Kind()
+}
+
+// TxnID exposes a stable trace key for link-span attribution; batch
+// frames are attributed to the batch, not a member.
+func (e BatchEnvelope) TxnID() string { return "batch:" + string(e.Batch) }
+
+// SizeBits implements types.Sized: inner payload, a 64-bit batch id
+// hash, and a 64-bit id hash per member.
+func (e BatchEnvelope) SizeBits() int {
+	return types.SizeOf(e.Inner) + 64 + 64*len(e.Txns)
+}
+
+// binstance tracks one batched commit machine plus the same lifecycle
+// and trace edge-detection state instance keeps, and the per-element
+// reporting bitmap that fans batch decisions back out to transactions.
+type binstance struct {
+	c    *core.BatchCommit
+	txns []ID
+	idx  map[ID]int
+	key  string // trace/span key: "batch:<id>"
+
+	born     int
+	haltedAt int
+
+	goRecv    bool
+	goSent    bool
+	voteSent  bool
+	lastStage int
+
+	round           int
+	roundStartClock int
+	lastRecvClock   int
+	roundStartU     int64
+	spanDone        bool
+
+	// reportedElems[i] marks member i's outcome as already fanned out.
+	reportedElems []bool
+	doneCounted   bool // txn_batches_decided_total incremented
+}
+
+func (b *binstance) indexOf(txn ID) int {
+	i, ok := b.idx[txn]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// BeginBatch starts one batched agreement instance deciding all of txns
+// at once, with this node as coordinator. votes[i] is this node's vote
+// for txns[i]. The ids must be fresh: not in flight and not retired,
+// individually or in another batch.
+func (m *Manager) BeginBatch(batch BatchID, txns []ID, votes []bool) error {
+	if len(txns) == 0 {
+		return fmt.Errorf("txn: batch %q has no members", batch)
+	}
+	if len(votes) != len(txns) {
+		return fmt.Errorf("txn: batch %q has %d members but %d votes", batch, len(txns), len(votes))
+	}
+	vals := make([]types.Value, len(txns))
+	for i, v := range votes {
+		if v {
+			vals[i] = types.V1
+		}
+	}
+	sh := m.shardFor(string(batch))
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, exists := sh.batches[batch]; exists {
+		return fmt.Errorf("txn: batch %q already known", batch)
+	}
+	if sh.retiredBatches[batch] {
+		return fmt.Errorf("txn: batch %q already finished", batch)
+	}
+	return m.spawnBatchLocked(sh, batch, txns, vals, m.cfg.ID, m.clockNow())
+}
+
+// spawnBatchLocked creates the batched commit instance and registers its
+// members for id-keyed lookups. Caller holds the batch shard's lock.
+func (m *Manager) spawnBatchLocked(sh *mshard, batch BatchID, txns []ID, votes []types.Value, coordinator types.ProcID, tick int) error {
+	c, err := core.NewBatch(core.BatchConfig{
+		ID: m.cfg.ID, N: m.cfg.N, T: m.cfg.T, K: m.cfg.K,
+		Votes: votes, CoinFactor: m.cfg.CoinFactor, Gadget: true,
+		Coordinator: coordinator,
+	})
+	if err != nil {
+		return err
+	}
+	members := make([]ID, len(txns))
+	copy(members, txns)
+	idx := make(map[ID]int, len(members))
+	for i, id := range members {
+		idx[id] = i
+	}
+	bi := &binstance{
+		c: c, txns: members, idx: idx, key: "batch:" + string(batch),
+		born: tick, haltedAt: -1,
+		round: 1, roundStartClock: tick, roundStartU: m.cfg.Spans.Now(),
+		reportedElems: make([]bool, len(members)),
+	}
+	sh.batches[batch] = bi
+	sh.border = append(sh.border, batch)
+	for _, id := range members {
+		m.members.Store(id, batch)
+	}
+	m.spawned.Add(1)
+	m.met.started.Add(uint64(len(members)))
+	return nil
+}
+
+// joinBatchLocked spawns the participant side of a batch first heard of
+// from the wire, computing this node's vote vector from cfg.Vote. Caller
+// holds the batch shard's lock.
+func (m *Manager) joinBatchLocked(sh *mshard, env BatchEnvelope, coordinator types.ProcID, tick int) error {
+	if len(env.Txns) == 0 {
+		return fmt.Errorf("txn: batch %q frame carries no members", env.Batch)
+	}
+	votes := make([]types.Value, len(env.Txns))
+	for i, id := range env.Txns {
+		votes[i] = types.V1
+		if m.cfg.Vote != nil && !m.cfg.Vote(id) {
+			votes[i] = types.V0
+		}
+	}
+	return m.spawnBatchLocked(sh, env.Batch, env.Txns, votes, coordinator, tick)
+}
+
+// traceBatchOutputsLocked mirrors traceOutputsLocked for a batch: the GO
+// flood and the vote-vector broadcast, each traced once under the batch
+// key.
+func (m *Manager) traceBatchOutputsLocked(bi *binstance, sub []types.Message, tick int) {
+	if bi.goSent && bi.voteSent {
+		return
+	}
+	for i := range sub {
+		inner, _ := core.Unwrap(sub[i].Payload)
+		switch p := inner.(type) {
+		case core.GoMsg:
+			if !bi.goSent {
+				bi.goSent = true
+				m.trace(bi.key, obs.EventGoSent, tick, fmt.Sprintf("coins=%d fanout=%d", len(p.Coins), m.cfg.N))
+			}
+		case core.BatchVoteMsg:
+			if !bi.voteSent {
+				bi.voteSent = true
+				m.trace(bi.key, obs.EventVoteCast, tick, "votes="+strconv.Itoa(len(p.Vals)))
+			}
+		}
+		if bi.goSent && bi.voteSent {
+			return
+		}
+	}
+}
+
+// spanBatchRoundLocked is spanRoundLocked for a batch: one round span
+// per asynchronous round, attributed to the batch key.
+func (m *Manager) spanBatchRoundLocked(bi *binstance, tick int, force bool) {
+	if m.cfg.Spans == nil || bi.spanDone {
+		return
+	}
+	deadline := bi.roundStartClock
+	if bi.lastRecvClock > deadline {
+		deadline = bi.lastRecvClock
+	}
+	if !force && tick < deadline+m.cfg.K {
+		return
+	}
+	now := m.cfg.Spans.Now()
+	m.cfg.Spans.Add(span.Span{
+		Txn: bi.key, Track: span.ProcTrack(int(m.cfg.ID)),
+		Name: "round " + strconv.Itoa(bi.round), Kind: span.KindRound,
+		Start: bi.roundStartU, End: now, From: -1, To: -1,
+		Detail: fmt.Sprintf("ticks %d..%d", bi.roundStartClock, tick),
+	})
+	bi.round++
+	bi.roundStartClock = tick
+	bi.roundStartU = now
+}
+
+// stepBatchesLocked advances every batch on the shard one tick,
+// pipelined: batch i+1's machine takes its round-r step in the same
+// manager tick batch i takes round r+1's, so consecutive batches overlap
+// instead of queueing behind one another. Outputs are wrapped in
+// BatchEnvelope frames; member outcomes fan out individually the tick
+// their element decides. Returns the batches due for retirement. Caller
+// holds sh.mu.
+func (m *Manager) stepBatchesLocked(sh *mshard, tick int, rnd types.Rand, out []types.Message, decidedNow []Outcome) ([]types.Message, []Outcome, []BatchID) {
+	var retire []BatchID
+	for _, b := range sh.border {
+		bi := sh.batches[b]
+		if bi.c.Halted() {
+			if bi.haltedAt < 0 {
+				bi.haltedAt = tick
+			}
+			// Elements can decide on the same tick the machine halts;
+			// the fan-out below must still run once after halt, so fall
+			// through instead of continuing.
+			if m.cfg.RetireAfter > 0 && tick-bi.haltedAt >= m.cfg.RetireAfter {
+				retire = append(retire, b)
+			}
+		} else {
+			sub := bi.c.Step(sh.byBatch[b], rnd)
+			if m.cfg.Tracer != nil {
+				m.traceBatchOutputsLocked(bi, sub, tick)
+				if ag := bi.c.Agreement(); ag != nil {
+					if st := ag.Stage(); st != bi.lastStage {
+						bi.lastStage = st
+						m.trace(bi.key, obs.EventStage, tick, "stage="+strconv.Itoa(st))
+					}
+				}
+			}
+			for j := range sub {
+				sub[j].Payload = BatchEnvelope{Batch: b, Txns: bi.txns, Inner: sub[j].Payload}
+			}
+			out = append(out, sub...)
+		}
+
+		for i, txn := range bi.txns {
+			if bi.reportedElems[i] {
+				continue
+			}
+			d, ok := bi.c.OutcomeAt(i)
+			if !ok {
+				continue
+			}
+			bi.reportedElems[i] = true
+			m.met.decided.With(m.node, d.String()).Inc()
+			m.met.rounds.Observe(float64(tick - bi.born))
+			if m.cfg.Tracer != nil {
+				m.trace(string(txn), obs.EventDecided, tick, "decision="+d.String())
+			}
+			if m.cfg.Spans != nil {
+				now := m.cfg.Spans.Now()
+				m.cfg.Spans.Add(span.Span{
+					Txn: string(txn), Track: span.ProcTrack(int(m.cfg.ID)),
+					Name: "decided", Kind: span.KindStage, Start: now, End: now,
+					From: -1, To: -1, Detail: "decision=" + d.String() + " batch=" + string(b),
+				})
+			}
+			o := Outcome{Txn: txn, Decision: d}
+			sh.pending = append(sh.pending, o)
+			decidedNow = append(decidedNow, o)
+		}
+		if !bi.doneCounted && bi.c.DecidedCount() == bi.c.Width() {
+			bi.doneCounted = true
+			m.met.batches.Inc()
+			if m.cfg.Spans != nil && !bi.spanDone {
+				m.spanBatchRoundLocked(bi, tick, true)
+				bi.spanDone = true
+			}
+		}
+		m.spanBatchRoundLocked(bi, tick, false)
+		if m.cfg.MaxAge > 0 && tick-bi.born >= m.cfg.MaxAge && !bi.c.Halted() {
+			retire = append(retire, b)
+		}
+	}
+	return out, decidedNow, retire
+}
+
+// retireBatchesLocked removes finished (or abandoned) batches, leaving a
+// per-member decision tombstone on the batch's shard — DecisionOf and
+// Watch keep answering through the members index. Caller holds sh.mu.
+func (m *Manager) retireBatchesLocked(sh *mshard, tick int, ids []BatchID) {
+	if len(ids) == 0 {
+		return
+	}
+	for _, b := range ids {
+		bi := sh.batches[b]
+		if bi == nil {
+			continue
+		}
+		for i, txn := range bi.txns {
+			d, decided := bi.c.OutcomeAt(i)
+			if decided {
+				m.met.retired.Inc()
+				if m.cfg.Tracer != nil {
+					m.trace(string(txn), obs.EventRetired, tick, "")
+				}
+			} else {
+				d = types.DecisionNone
+				m.met.abandoned.Inc()
+				if m.cfg.Tracer != nil {
+					m.trace(string(txn), obs.EventAbandoned, tick, "")
+				}
+			}
+			sh.retired[txn] = d
+		}
+		sh.retiredBatches[b] = true
+		delete(sh.batches, b)
+		delete(sh.byBatch, b)
+	}
+	kept := sh.border[:0]
+	for _, b := range sh.border {
+		if _, ok := sh.batches[b]; ok {
+			kept = append(kept, b)
+		}
+	}
+	sh.border = kept
+}

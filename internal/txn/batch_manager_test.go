@@ -1,0 +1,284 @@
+package txn_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/txn"
+	"repro/internal/types"
+)
+
+// buildShardedManagers wires n managers with per-node, per-transaction
+// votes and the given inbox shard count.
+func buildShardedManagers(t *testing.T, n, shards int, votes map[txn.ID][]bool) ([]*txn.Manager, []types.Machine) {
+	t.Helper()
+	managers := make([]*txn.Manager, n)
+	machines := make([]types.Machine, n)
+	for p := 0; p < n; p++ {
+		p := p
+		mgr, err := txn.NewManager(txn.Config{
+			ID: types.ProcID(p), N: n, K: 3, InboxShards: shards,
+			Vote: func(id txn.ID) bool {
+				vs, ok := votes[id]
+				return ok && vs[p]
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		managers[p] = mgr
+		machines[p] = mgr
+	}
+	return managers, machines
+}
+
+// runBatched drives the cluster until every listed transaction decided on
+// every surviving manager.
+func runBatched(t *testing.T, managers []*txn.Manager, machines []types.Machine, ids []txn.ID, adv sim.Adversary, seed uint64) *sim.Result {
+	t.Helper()
+	res, err := sim.Run(sim.Config{
+		K: 3, Machines: machines, Adversary: adv,
+		Seeds:    rng.NewCollection(seed, len(machines)),
+		MaxSteps: 100_000,
+		StopWhen: func(r *sim.Result) bool {
+			for _, mgr := range managers {
+				if r.Crashed[mgr.ID()] {
+					continue
+				}
+				for _, id := range ids {
+					if _, ok := mgr.DecisionOf(id); !ok {
+						return false
+					}
+				}
+			}
+			return true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// batchIDs builds b member ids.
+func batchIDs(b int) []txn.ID {
+	ids := make([]txn.ID, b)
+	for i := range ids {
+		ids[i] = txn.ID(fmt.Sprintf("btx-%03d", i))
+	}
+	return ids
+}
+
+// TestBatchManagerFanout: one BeginBatch decides every member on every
+// node, with per-element outcomes matching the votes (all-commit members
+// commit, any-abort members abort) — across several shard counts, which
+// must not change any decision.
+func TestBatchManagerFanout(t *testing.T) {
+	const n, b = 5, 24
+	ids := batchIDs(b)
+	votes := map[txn.ID][]bool{}
+	for i, id := range ids {
+		vs := make([]bool, n)
+		for p := range vs {
+			vs[p] = true
+		}
+		if i%5 == 3 {
+			vs[2] = false // one abort vote on every 5th member
+		}
+		votes[id] = vs
+	}
+	for _, shards := range []int{1, 4} {
+		managers, machines := buildShardedManagers(t, n, shards, votes)
+		ownVotes := make([]bool, b)
+		for i, id := range ids {
+			ownVotes[i] = votes[id][0]
+		}
+		if err := managers[0].BeginBatch("batch-A", ids, ownVotes); err != nil {
+			t.Fatalf("shards=%d: BeginBatch: %v", shards, err)
+		}
+		runBatched(t, managers, machines, ids, &adversary.RoundRobin{}, 42)
+		for i, id := range ids {
+			want := types.DecisionCommit
+			if i%5 == 3 {
+				want = types.DecisionAbort
+			}
+			for p, mgr := range managers {
+				got, ok := mgr.DecisionOf(id)
+				if !ok {
+					t.Fatalf("shards=%d: node %d txn %s undecided", shards, p, id)
+				}
+				if got != want {
+					t.Fatalf("shards=%d: node %d txn %s decided %v, want %v", shards, p, id, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchManagerWatchAndOutcomes: Watch fires for batch members, and
+// Outcomes drains one entry per member.
+func TestBatchManagerWatchAndOutcomes(t *testing.T) {
+	const n, b = 3, 8
+	ids := batchIDs(b)
+	votes := map[txn.ID][]bool{}
+	for _, id := range ids {
+		votes[id] = []bool{true, true, true}
+	}
+	managers, machines := buildShardedManagers(t, n, 4, votes)
+	own := make([]bool, b)
+	for i := range own {
+		own[i] = true
+	}
+	watch := managers[1].Watch(ids[3])
+	if err := managers[0].BeginBatch("batch-W", ids, own); err != nil {
+		t.Fatal(err)
+	}
+	runBatched(t, managers, machines, ids, &adversary.RoundRobin{}, 7)
+	select {
+	case o := <-watch:
+		if o.Txn != ids[3] || o.Decision != types.DecisionCommit {
+			t.Fatalf("watch fired with %+v", o)
+		}
+	default:
+		t.Fatal("watch channel never fired for a batch member")
+	}
+	outs := managers[0].Outcomes()
+	if len(outs) != b {
+		t.Fatalf("coordinator drained %d outcomes, want %d", len(outs), b)
+	}
+	// Watching an already-decided member delivers immediately.
+	late := <-managers[2].Watch(ids[0])
+	if late.Decision != types.DecisionCommit {
+		t.Fatalf("late watch got %v", late.Decision)
+	}
+}
+
+// TestBatchManagerCrashAgreement: members of a batch agree across the
+// surviving nodes even when a minority crashes mid-run.
+func TestBatchManagerCrashAgreement(t *testing.T) {
+	const n, b = 5, 16
+	ids := batchIDs(b)
+	votes := map[txn.ID][]bool{}
+	for i, id := range ids {
+		vs := make([]bool, n)
+		for p := range vs {
+			vs[p] = (p+i)%3 != 0 // mixed votes, several split members
+		}
+		votes[id] = vs
+	}
+	managers, machines := buildShardedManagers(t, n, 2, votes)
+	own := make([]bool, b)
+	for i, id := range ids {
+		own[i] = votes[id][0]
+	}
+	if err := managers[0].BeginBatch("batch-C", ids, own); err != nil {
+		t.Fatal(err)
+	}
+	adv := &adversary.Crash{
+		Inner: &adversary.RoundRobin{},
+		Plan:  []adversary.CrashPlan{{Proc: 4, AtClock: 12}},
+	}
+	res := runBatched(t, managers, machines, ids, adv, 99)
+	for _, id := range ids {
+		var agreed types.Decision
+		first := true
+		for p, mgr := range managers {
+			if res.Crashed[p] {
+				continue
+			}
+			d, ok := mgr.DecisionOf(id)
+			if !ok {
+				t.Fatalf("node %d txn %s undecided", p, id)
+			}
+			if first {
+				agreed, first = d, false
+			} else if d != agreed {
+				t.Fatalf("txn %s: node %d decided %v, others %v", id, p, d, agreed)
+			}
+		}
+	}
+}
+
+// TestBatchManagerRetirement: after RetireAfter ticks the batch leaves
+// only tombstones — DecisionOf still answers, Active drops to zero, and
+// a straggler frame does not respawn the batch.
+func TestBatchManagerRetirement(t *testing.T) {
+	const n, b = 3, 4
+	ids := batchIDs(b)
+	votes := map[txn.ID][]bool{}
+	for _, id := range ids {
+		votes[id] = []bool{true, true, true}
+	}
+	managers := make([]*txn.Manager, n)
+	machines := make([]types.Machine, n)
+	for p := 0; p < n; p++ {
+		mgr, err := txn.NewManager(txn.Config{
+			ID: types.ProcID(p), N: n, K: 3, RetireAfter: 8, InboxShards: 4,
+			Vote: func(txn.ID) bool { return true },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		managers[p] = mgr
+		machines[p] = mgr
+	}
+	own := []bool{true, true, true, true}
+	if err := managers[0].BeginBatch("batch-R", ids, own); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{
+		K: 3, Machines: machines, Adversary: &adversary.RoundRobin{},
+		Seeds:    rng.NewCollection(5, n),
+		MaxSteps: 2000,
+		StopWhen: func(*sim.Result) bool {
+			for _, mgr := range managers {
+				if mgr.Active() != 0 {
+					return false
+				}
+			}
+			return true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	for p, mgr := range managers {
+		if mgr.Active() != 0 {
+			t.Fatalf("node %d still holds %d instances after retirement", p, mgr.Active())
+		}
+		for _, id := range ids {
+			d, ok := mgr.DecisionOf(id)
+			if !ok || d != types.DecisionCommit {
+				t.Fatalf("node %d txn %s tombstone (%v,%v)", p, id, d, ok)
+			}
+		}
+	}
+	// A second BeginBatch with the same id must be rejected.
+	if err := managers[0].BeginBatch("batch-R", ids, own); err == nil {
+		t.Fatal("finished batch id accepted again")
+	}
+}
+
+// TestBatchManagerValidation rejects malformed BeginBatch calls.
+func TestBatchManagerValidation(t *testing.T) {
+	mgr, err := txn.NewManager(txn.Config{ID: 0, N: 3, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.BeginBatch("b", nil, nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if err := mgr.BeginBatch("b", []txn.ID{"x"}, []bool{true, false}); err == nil {
+		t.Error("vote/member length mismatch accepted")
+	}
+	if err := mgr.BeginBatch("b", []txn.ID{"x"}, []bool{true}); err != nil {
+		t.Fatalf("valid batch rejected: %v", err)
+	}
+	if err := mgr.BeginBatch("b", []txn.ID{"y"}, []bool{true}); err == nil {
+		t.Error("duplicate batch id accepted")
+	}
+}

@@ -12,6 +12,23 @@
 // Any node may coordinate a transaction (the paper fixes processor 0
 // without loss of generality; core.Config.Coordinator generalizes it).
 //
+// Two scaling mechanisms serve the hot path:
+//
+//   - Batched agreement (BeginBatch): one batched Protocol 2 instance
+//     (core.BatchCommit) decides the outcome vector for many
+//     transactions at once — one coin flood, one vote exchange, one
+//     agreement run per batch. Per-transaction observability (Outcome,
+//     Watch, DecisionOf, OnOutcome) is unchanged; elements report
+//     individually as they decide.
+//   - Sharded inboxes (Config.InboxShards): the manager's state is split
+//     into S shards, each with its own mutex and its own scratch
+//     buffers, with ids assigned by the repository hash
+//     (internal/hash64). The stepping goroutine still visits shards in
+//     index order (determinism), but client-side calls — Begin, Watch,
+//     DecisionOf, metrics gauges — contend only on the shard their id
+//     hashes to instead of one global lock. No code path ever holds two
+//     shard locks at once.
+//
 // Long-lived deployments (internal/service) configure RetireAfter so a
 // decided instance is eventually removed from the step loop, leaving only
 // a tombstone with its decision; per-step cost then tracks the number of
@@ -26,8 +43,10 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/hash64"
 	"repro/internal/obs"
 	"repro/internal/obs/span"
 	"repro/internal/types"
@@ -80,8 +99,8 @@ type Config struct {
 	CoinFactor int
 	// OnOutcome, if non-nil, is invoked once per transaction as it
 	// decides at this node, from the goroutine driving Step and after the
-	// manager's lock is released (so the callback may call back into the
-	// manager).
+	// manager's locks are released (so the callback may call back into
+	// the manager).
 	OnOutcome func(Outcome)
 	// RetireAfter, when positive, removes an instance that many ticks
 	// after it halts, keeping only a decision tombstone: later envelopes
@@ -97,9 +116,16 @@ type Config struct {
 	// then crashed along with too many peers). An abandoned undecided
 	// instance leaves a DecisionNone tombstone. Zero never abandons.
 	MaxAge int
+	// InboxShards splits the manager's state across that many
+	// independently locked shards (ids placed by the internal/hash64
+	// hash). Default 1 — the single-lock behavior, byte-identical to the
+	// pre-sharding manager. The service sets it per core to kill
+	// cross-core contention between the stepping goroutine and client
+	// queries under load.
+	InboxShards int
 	// Registry, if non-nil, receives the manager's metrics: instances
-	// started/decided/retired/abandoned and a rounds-to-decision
-	// histogram, labeled by node id.
+	// started/decided/retired/abandoned, batches decided, and a
+	// rounds-to-decision histogram, labeled by node id.
 	Registry *obs.Registry
 	// Shard, when set, qualifies the node metric label ("<shard>/<id>")
 	// so several groups sharing one registry keep distinct series.
@@ -122,19 +148,22 @@ type mmetrics struct {
 	decided   *obs.CounterVec // label: decision (COMMIT/ABORT)
 	retired   *obs.Counter
 	abandoned *obs.Counter
+	batches   *obs.Counter
 	rounds    *obs.Histogram
 }
 
 func newMMetrics(reg *obs.Registry, node string) mmetrics {
 	return mmetrics{
 		started: reg.CounterVec("txn_instances_started_total",
-			"Commit instances spawned (begun or joined), by node.", "node").With(node),
+			"Commit instances spawned (begun or joined), by node; a batch counts one per member.", "node").With(node),
 		decided: reg.CounterVec("txn_instances_decided_total",
 			"Commit instances decided, by node and decision.", "node", "decision"),
 		retired: reg.CounterVec("txn_instances_retired_total",
 			"Decided instances retired to tombstones, by node.", "node").With(node),
 		abandoned: reg.CounterVec("txn_instances_abandoned_total",
 			"Undecided instances abandoned at MaxAge, by node.", "node").With(node),
+		batches: reg.CounterVec("txn_batches_decided_total",
+			"Batched agreement instances fully decided (every member), by node.", "node").With(node),
 		rounds: reg.HistogramVec("txn_rounds_to_decision_ticks",
 			"Manager clock ticks from instance spawn to decision, by node.",
 			obs.TickBuckets, "node").With(node),
@@ -161,24 +190,65 @@ type instance struct {
 	spanDone        bool  // decision span emitted; stop round tracking
 }
 
+// mshard is one independently locked slice of a Manager's state. The
+// stepping goroutine is the only writer of the scratch fields (byTxn,
+// byBatch, recv); mu guards everything else against concurrent client
+// calls (Begin, Watch, DecisionOf, gauges).
+type mshard struct {
+	mu        sync.Mutex
+	instances map[ID]*instance
+	// order keeps deterministic iteration for simulation replay.
+	order    []ID
+	batches  map[BatchID]*binstance
+	border   []BatchID
+	pending  []Outcome
+	reported map[ID]bool
+	// retired maps finished-and-removed transactions to their decision
+	// (DecisionNone for abandoned undecided instances). Batch members
+	// are tombstoned on the batch's shard.
+	retired map[ID]types.Decision
+	// retiredBatches drops stragglers for finished batches.
+	retiredBatches map[BatchID]bool
+	watchers       map[ID][]chan Outcome
+
+	// Scratch owned by the stepping goroutine; never touched by client
+	// calls, so it carries no lock.
+	recv    []types.Message
+	byTxn   map[ID][]types.Message
+	byBatch map[BatchID][]types.Message
+}
+
+func newMshard() *mshard {
+	return &mshard{
+		instances:      make(map[ID]*instance),
+		batches:        make(map[BatchID]*binstance),
+		reported:       make(map[ID]bool),
+		retired:        make(map[ID]types.Decision),
+		retiredBatches: make(map[BatchID]bool),
+		watchers:       make(map[ID][]chan Outcome),
+		byTxn:          make(map[ID][]types.Message),
+		byBatch:        make(map[BatchID][]types.Message),
+	}
+}
+
 // Manager runs all of one node's commit instances.
 type Manager struct {
 	cfg  Config
 	met  mmetrics
 	node string // cached label value
 
-	mu        sync.Mutex
-	clock     int
-	instances map[ID]*instance
-	// order keeps deterministic iteration for simulation replay.
-	order    []ID
-	pending  []Outcome
-	reported map[ID]bool
-	// retired maps finished-and-removed transactions to their decision
-	// (DecisionNone for abandoned undecided instances).
-	retired  map[ID]types.Decision
-	watchers map[ID][]chan Outcome
-	spawned  int
+	clock   atomic.Int64
+	spawned atomic.Int64
+	shards  []*mshard
+	// members maps a batch member's id to its batch so per-transaction
+	// queries (Watch, DecisionOf) can find the shard holding the batch.
+	// Entries live as long as the batch's tombstone (forever, like
+	// retired) — id-keyed lookups must keep answering after retirement.
+	members sync.Map // ID -> BatchID
+
+	// Step scratch, owned by the stepping goroutine.
+	out        []types.Message
+	decidedNow []Outcome
 }
 
 var _ types.Machine = (*Manager)(nil)
@@ -206,38 +276,57 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.RetireAfter < 0 || cfg.MaxAge < 0 {
 		return nil, fmt.Errorf("txn: RetireAfter/MaxAge must be >= 0")
 	}
+	if cfg.InboxShards < 0 {
+		return nil, fmt.Errorf("txn: InboxShards must be >= 0")
+	}
+	if cfg.InboxShards == 0 {
+		cfg.InboxShards = 1
+	}
 	node := strconv.Itoa(int(cfg.ID))
 	if cfg.Shard != "" {
 		node = cfg.Shard + "/" + node
 	}
-	return &Manager{
-		cfg:       cfg,
-		met:       newMMetrics(cfg.Registry, node),
-		node:      node,
-		instances: make(map[ID]*instance),
-		reported:  make(map[ID]bool),
-		retired:   make(map[ID]types.Decision),
-		watchers:  make(map[ID][]chan Outcome),
-	}, nil
+	m := &Manager{
+		cfg:    cfg,
+		met:    newMMetrics(cfg.Registry, node),
+		node:   node,
+		shards: make([]*mshard, cfg.InboxShards),
+	}
+	for i := range m.shards {
+		m.shards[i] = newMshard()
+	}
+	return m, nil
 }
+
+// shardFor returns the shard an id string hashes to.
+func (m *Manager) shardFor(id string) *mshard {
+	if len(m.shards) == 1 {
+		return m.shards[0]
+	}
+	return m.shards[hash64.String(id)%uint64(len(m.shards))]
+}
+
+// clockNow reads the manager clock without any shard lock.
+func (m *Manager) clockNow() int { return int(m.clock.Load()) }
 
 // Begin starts a transaction with this node as coordinator. Call before
 // (or while) the manager is being stepped. vote is this node's own vote.
 func (m *Manager) Begin(txn ID, vote bool) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, exists := m.instances[txn]; exists {
+	sh := m.shardFor(string(txn))
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, exists := sh.instances[txn]; exists {
 		return fmt.Errorf("txn: transaction %q already known", txn)
 	}
-	if _, done := m.retired[txn]; done {
+	if _, done := sh.retired[txn]; done {
 		return fmt.Errorf("txn: transaction %q already finished", txn)
 	}
-	return m.spawnLocked(txn, m.cfg.ID, vote)
+	return m.spawnLocked(sh, txn, m.cfg.ID, vote)
 }
 
 // spawnLocked creates the commit instance for txn with the given
-// coordinator. Caller holds mu.
-func (m *Manager) spawnLocked(txn ID, coordinator types.ProcID, vote bool) error {
+// coordinator. Caller holds sh.mu.
+func (m *Manager) spawnLocked(sh *mshard, txn ID, coordinator types.ProcID, vote bool) error {
 	v := types.V0
 	if vote {
 		v = types.V1
@@ -250,34 +339,35 @@ func (m *Manager) spawnLocked(txn ID, coordinator types.ProcID, vote bool) error
 	if err != nil {
 		return err
 	}
-	m.instances[txn] = &instance{
-		c: inst, born: m.clock, haltedAt: -1,
-		round: 1, roundStartClock: m.clock, roundStartU: m.cfg.Spans.Now(),
+	now := m.clockNow()
+	sh.instances[txn] = &instance{
+		c: inst, born: now, haltedAt: -1,
+		round: 1, roundStartClock: now, roundStartU: m.cfg.Spans.Now(),
 	}
-	m.order = append(m.order, txn)
-	m.spawned++
+	sh.order = append(sh.order, txn)
+	m.spawned.Add(1)
 	m.met.started.Inc()
 	return nil
 }
 
-// trace records one event for txn at the manager's current clock. The
-// caller holds mu (the clock is read); nil tracers are no-ops.
-func (m *Manager) trace(txn ID, t obs.EventType, detail string) {
+// trace records one event for a trace key at the given tick; nil
+// tracers are no-ops.
+func (m *Manager) trace(key string, t obs.EventType, tick int, detail string) {
 	m.cfg.Tracer.Record(obs.Event{
-		Node: int(m.cfg.ID), Txn: string(txn), Type: t, Tick: m.clock, Detail: detail,
+		Node: int(m.cfg.ID), Txn: key, Type: t, Tick: tick, Detail: detail,
 	})
 }
 
 // traceReceivedLocked records the first explicit GO receipt for txn.
-func (m *Manager) traceReceivedLocked(txn ID, from types.ProcID, payload types.Payload) {
-	inst := m.instances[txn]
+func (m *Manager) traceReceivedLocked(sh *mshard, txn ID, from types.ProcID, payload types.Payload, tick int) {
+	inst := sh.instances[txn]
 	if inst == nil || inst.goRecv {
 		return
 	}
 	if inner, _ := core.Unwrap(payload); inner != nil {
 		if _, isGo := inner.(core.GoMsg); isGo {
 			inst.goRecv = true
-			m.trace(txn, obs.EventGoRecv, "from="+strconv.Itoa(int(from)))
+			m.trace(string(txn), obs.EventGoRecv, tick, "from="+strconv.Itoa(int(from)))
 		}
 	}
 }
@@ -285,7 +375,7 @@ func (m *Manager) traceReceivedLocked(txn ID, from types.ProcID, payload types.P
 // traceOutputsLocked records protocol milestones visible in an instance's
 // outgoing burst: the GO broadcast/relay and the vote broadcast, each
 // once per instance.
-func (m *Manager) traceOutputsLocked(txn ID, inst *instance, out []types.Message) {
+func (m *Manager) traceOutputsLocked(txn ID, inst *instance, out []types.Message, tick int) {
 	if inst.goSent && inst.voteSent {
 		return
 	}
@@ -295,12 +385,12 @@ func (m *Manager) traceOutputsLocked(txn ID, inst *instance, out []types.Message
 		case core.GoMsg:
 			if !inst.goSent {
 				inst.goSent = true
-				m.trace(txn, obs.EventGoSent, fmt.Sprintf("coins=%d fanout=%d", len(p.Coins), m.cfg.N))
+				m.trace(string(txn), obs.EventGoSent, tick, fmt.Sprintf("coins=%d fanout=%d", len(p.Coins), m.cfg.N))
 			}
 		case core.VoteMsg:
 			if !inst.voteSent {
 				inst.voteSent = true
-				m.trace(txn, obs.EventVoteCast, "vote="+p.Val.String())
+				m.trace(string(txn), obs.EventVoteCast, tick, "vote="+p.Val.String())
 			}
 		}
 		if inst.goSent && inst.voteSent {
@@ -313,8 +403,8 @@ func (m *Manager) traceOutputsLocked(txn ID, inst *instance, out []types.Message
 // when the paper's §2.2 rule fires in manager-clock terms — the round
 // ends K ticks after the later of its start and the last envelope
 // receipt — then opens the next round. force closes the in-progress
-// round regardless (used at decision time). Caller holds mu.
-func (m *Manager) spanRoundLocked(txn ID, inst *instance, force bool) {
+// round regardless (used at decision time). Caller holds the shard lock.
+func (m *Manager) spanRoundLocked(txn ID, inst *instance, tick int, force bool) {
 	if m.cfg.Spans == nil || inst.spanDone {
 		return
 	}
@@ -322,7 +412,7 @@ func (m *Manager) spanRoundLocked(txn ID, inst *instance, force bool) {
 	if inst.lastRecvClock > deadline {
 		deadline = inst.lastRecvClock
 	}
-	if !force && m.clock < deadline+m.cfg.K {
+	if !force && tick < deadline+m.cfg.K {
 		return
 	}
 	now := m.cfg.Spans.Now()
@@ -330,10 +420,10 @@ func (m *Manager) spanRoundLocked(txn ID, inst *instance, force bool) {
 		Txn: string(txn), Track: span.ProcTrack(int(m.cfg.ID)),
 		Name: "round " + strconv.Itoa(inst.round), Kind: span.KindRound,
 		Start: inst.roundStartU, End: now, From: -1, To: -1,
-		Detail: fmt.Sprintf("ticks %d..%d", inst.roundStartClock, m.clock),
+		Detail: fmt.Sprintf("ticks %d..%d", inst.roundStartClock, tick),
 	})
 	inst.round++
-	inst.roundStartClock = m.clock
+	inst.roundStartClock = tick
 	inst.roundStartU = now
 }
 
@@ -341,11 +431,7 @@ func (m *Manager) spanRoundLocked(txn ID, inst *instance, force bool) {
 func (m *Manager) ID() types.ProcID { return m.cfg.ID }
 
 // Clock implements types.Machine.
-func (m *Manager) Clock() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.clock
-}
+func (m *Manager) Clock() int { return m.clockNow() }
 
 // Decision implements types.Machine. A manager reports no aggregate
 // decision; per-transaction outcomes come from Outcomes. (It reports
@@ -354,30 +440,83 @@ func (m *Manager) Clock() int {
 func (m *Manager) Decision() (types.Value, bool) { return 0, false }
 
 // Halted implements types.Machine: a manager halts only when it has seen
-// at least one transaction and every still-held instance has halted
-// (retired instances count as finished). Persistent service nodes ignore
-// this and keep stepping for new work.
+// at least one transaction and every still-held instance (and batch) has
+// halted (retired instances count as finished). Persistent service nodes
+// ignore this and keep stepping for new work.
 func (m *Manager) Halted() bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.spawned == 0 {
+	if m.spawned.Load() == 0 {
 		return false
 	}
-	for _, txn := range m.order {
-		if !m.instances[txn].c.Halted() {
-			return false
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for _, txn := range sh.order {
+			if !sh.instances[txn].c.Halted() {
+				sh.mu.Unlock()
+				return false
+			}
 		}
+		for _, b := range sh.border {
+			if !sh.batches[b].c.Halted() {
+				sh.mu.Unlock()
+				return false
+			}
+		}
+		sh.mu.Unlock()
 	}
 	return true
 }
 
 // Outcomes drains the transactions decided since the last call.
 func (m *Manager) Outcomes() []Outcome {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := m.pending
-	m.pending = nil
+	var out []Outcome
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		out = append(out, sh.pending...)
+		sh.pending = nil
+		sh.mu.Unlock()
+	}
 	return out
+}
+
+// lookupLocked answers a decision query against one shard's state for an
+// id homed there (single instance or tombstone). Caller holds sh.mu.
+func (sh *mshard) lookupLocked(txn ID) (types.Decision, bool, bool) {
+	if inst, ok := sh.instances[txn]; ok {
+		d, decided := inst.c.Outcome()
+		return d, decided, true
+	}
+	if d, ok := sh.retired[txn]; ok {
+		return d, d != types.DecisionNone, true
+	}
+	return types.DecisionNone, false, false
+}
+
+// decisionOf is DecisionOf without the exported contract comment: it
+// checks the id's own shard, then its batch (if any). Locks are taken
+// one at a time, never nested.
+func (m *Manager) decisionOf(txn ID) (types.Decision, bool) {
+	sh := m.shardFor(string(txn))
+	sh.mu.Lock()
+	d, decided, known := sh.lookupLocked(txn)
+	sh.mu.Unlock()
+	if known {
+		return d, decided
+	}
+	if b, ok := m.members.Load(txn); ok {
+		bid := b.(BatchID)
+		bsh := m.shardFor(string(bid))
+		bsh.mu.Lock()
+		defer bsh.mu.Unlock()
+		if bi, ok := bsh.batches[bid]; ok {
+			if i := bi.indexOf(txn); i >= 0 {
+				return bi.c.OutcomeAt(i)
+			}
+		}
+		if d, ok := bsh.retired[txn]; ok && d != types.DecisionNone {
+			return d, true
+		}
+	}
+	return types.DecisionNone, false
 }
 
 // Watch returns a channel that receives this node's outcome for txn
@@ -387,124 +526,220 @@ func (m *Manager) Outcomes() []Outcome {
 // channel that never fires.
 func (m *Manager) Watch(txn ID) <-chan Outcome {
 	ch := make(chan Outcome, 1)
-	m.mu.Lock()
-	if inst, ok := m.instances[txn]; ok {
-		if d, decided := inst.c.Outcome(); decided {
-			m.mu.Unlock()
-			ch <- Outcome{Txn: txn, Decision: d}
-			return ch
-		}
-	} else if d, ok := m.retired[txn]; ok && d != types.DecisionNone {
-		m.mu.Unlock()
+	if d, ok := m.decisionOf(txn); ok {
 		ch <- Outcome{Txn: txn, Decision: d}
 		return ch
 	}
-	m.watchers[txn] = append(m.watchers[txn], ch)
-	m.mu.Unlock()
+	sh := m.shardFor(string(txn))
+	sh.mu.Lock()
+	sh.watchers[txn] = append(sh.watchers[txn], ch)
+	sh.mu.Unlock()
+	// The decision may have landed between the check and the
+	// registration (it is recorded under a different shard's lock for
+	// batch members). Re-check; if it has, claim the channel back and
+	// deliver here — the firing pass and this path both remove the
+	// channel under sh.mu, so exactly one of them sends.
+	if d, ok := m.decisionOf(txn); ok {
+		sh.mu.Lock()
+		ws := sh.watchers[txn]
+		for i, w := range ws {
+			if w == ch {
+				sh.watchers[txn] = append(ws[:i], ws[i+1:]...)
+				sh.mu.Unlock()
+				ch <- Outcome{Txn: txn, Decision: d}
+				return ch
+			}
+		}
+		sh.mu.Unlock()
+	}
 	return ch
 }
 
 // DecisionOf reports a transaction's decision at this node.
 func (m *Manager) DecisionOf(txn ID) (types.Decision, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if inst, ok := m.instances[txn]; ok {
-		return inst.c.Outcome()
-	}
-	if d, ok := m.retired[txn]; ok && d != types.DecisionNone {
-		return d, true
-	}
-	return types.DecisionNone, false
+	return m.decisionOf(txn)
 }
 
-// Active reports how many instances the manager is still holding (decided
-// instances awaiting retirement included).
+// Active reports how many instances the manager is still holding
+// (decided instances awaiting retirement included); a batch counts as
+// one instance.
 func (m *Manager) Active() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.order)
+	total := 0
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		total += len(sh.order) + len(sh.border)
+		sh.mu.Unlock()
+	}
+	return total
 }
 
-// Transactions lists the transactions this node currently holds, sorted.
-// Retired transactions no longer appear.
+// Transactions lists the transactions this node currently holds, sorted;
+// batch members are included. Retired transactions no longer appear.
 func (m *Manager) Transactions() []ID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := append([]ID(nil), m.order...)
+	var out []ID
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		out = append(out, sh.order...)
+		for _, b := range sh.border {
+			out = append(out, sh.batches[b].txns...)
+		}
+		sh.mu.Unlock()
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// Step implements types.Machine: demultiplex, spawn participants for new
-// transactions, advance every instance one tick, wrap outputs, retire
-// finished instances, and notify completion observers.
+// Step implements types.Machine: demultiplex by shard, spawn
+// participants for new transactions and batches, advance every instance
+// one tick, wrap outputs, retire finished instances, and notify
+// completion observers. Shards are visited in index order under their
+// own locks; watcher firing and OnOutcome callbacks run after every
+// lock is released.
 func (m *Manager) Step(received []types.Message, rnd types.Rand) []types.Message {
-	m.mu.Lock()
-	m.clock++
+	tick := int(m.clock.Add(1))
 
-	byTxn := make(map[ID][]types.Message)
+	// Route received envelopes to their shard's scratch inbox. Only the
+	// stepping goroutine touches recv, so no locks yet.
 	for i := range received {
-		env, ok := received[i].Payload.(Envelope)
-		if !ok {
-			continue // foreign payloads are not the manager's business
+		switch env := received[i].Payload.(type) {
+		case Envelope:
+			sh := m.shardFor(string(env.Txn))
+			sh.recv = append(sh.recv, received[i])
+		case BatchEnvelope:
+			sh := m.shardFor(string(env.Batch))
+			sh.recv = append(sh.recv, received[i])
 		}
-		if _, done := m.retired[env.Txn]; done {
-			// Straggler for a finished transaction: the tombstone answers
-			// queries; respawning could contradict the recorded decision.
-			continue
-		}
-		if _, known := m.instances[env.Txn]; !known {
-			// First contact with this transaction: join as a participant.
-			// Only the coordinator's GO names it, but any protocol message
-			// carries the piggybacked GO, so the vote is computable now.
-			vote := true
-			if m.cfg.Vote != nil {
-				vote = m.cfg.Vote(env.Txn)
-			}
-			// The coordinator is unknown at join time and irrelevant for
-			// a participant: the instance never enters the coordinator
-			// branch unless Coordinator == own id, so point it at the
-			// sender's id when it differs from ours, else processor 0.
-			coord := received[i].From
-			if coord == m.cfg.ID {
-				coord = types.ProcID((int(m.cfg.ID) + 1) % m.cfg.N)
-			}
-			if err := m.spawnLocked(env.Txn, coord, vote); err != nil {
-				continue
-			}
-		}
-		if m.cfg.Tracer != nil {
-			m.traceReceivedLocked(env.Txn, received[i].From, env.Inner)
-		}
-		if inst := m.instances[env.Txn]; inst != nil {
-			inst.lastRecvClock = m.clock
-		}
-		inner := received[i]
-		inner.Payload = env.Inner
-		byTxn[env.Txn] = append(byTxn[env.Txn], inner)
 	}
 
-	var out []types.Message
-	var decidedNow []Outcome
+	out := m.out[:0]
+	decidedNow := m.decidedNow[:0]
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		out, decidedNow = m.stepShardLocked(sh, tick, rnd, out, decidedNow)
+		sh.mu.Unlock()
+	}
+	m.out = out
+	m.decidedNow = decidedNow
+
+	// Fire watchers and the outcome callback with no locks held. Batch
+	// members' watchers live on the member's own shard, which can differ
+	// from the batch's, so this pass re-locks per outcome.
+	cb := m.cfg.OnOutcome
+	for _, o := range decidedNow {
+		sh := m.shardFor(string(o.Txn))
+		sh.mu.Lock()
+		ws := sh.watchers[o.Txn]
+		delete(sh.watchers, o.Txn)
+		sh.mu.Unlock()
+		for _, ch := range ws {
+			ch <- o // buffered (cap 1), at most one send ever
+		}
+	}
+	if cb != nil {
+		for _, o := range decidedNow {
+			cb(o)
+		}
+	}
+	return out
+}
+
+// stepShardLocked advances one shard one tick: demux its inbox, spawn
+// joins, step singles then batches, retire, and collect outputs and
+// newly decided outcomes. Caller holds sh.mu.
+func (m *Manager) stepShardLocked(sh *mshard, tick int, rnd types.Rand, out []types.Message, decidedNow []Outcome) ([]types.Message, []Outcome) {
+	// Demultiplex this shard's inbox into per-instance slices.
+	for i := range sh.recv {
+		switch env := sh.recv[i].Payload.(type) {
+		case Envelope:
+			if _, done := sh.retired[env.Txn]; done {
+				// Straggler for a finished transaction: the tombstone
+				// answers queries; respawning could contradict the
+				// recorded decision.
+				continue
+			}
+			if _, known := sh.instances[env.Txn]; !known {
+				// First contact with this transaction: join as a
+				// participant. Only the coordinator's GO names it, but any
+				// protocol message carries the piggybacked GO, so the vote
+				// is computable now.
+				vote := true
+				if m.cfg.Vote != nil {
+					vote = m.cfg.Vote(env.Txn)
+				}
+				// The coordinator is unknown at join time and irrelevant
+				// for a participant: the instance never enters the
+				// coordinator branch unless Coordinator == own id, so
+				// point it at the sender's id when it differs from ours,
+				// else the next processor.
+				coord := sh.recv[i].From
+				if coord == m.cfg.ID {
+					coord = types.ProcID((int(m.cfg.ID) + 1) % m.cfg.N)
+				}
+				if err := m.spawnLocked(sh, env.Txn, coord, vote); err != nil {
+					continue
+				}
+			}
+			if m.cfg.Tracer != nil {
+				m.traceReceivedLocked(sh, env.Txn, sh.recv[i].From, env.Inner, tick)
+			}
+			if inst := sh.instances[env.Txn]; inst != nil {
+				inst.lastRecvClock = tick
+			}
+			inner := sh.recv[i]
+			inner.Payload = env.Inner
+			sh.byTxn[env.Txn] = append(sh.byTxn[env.Txn], inner)
+		case BatchEnvelope:
+			if sh.retiredBatches[env.Batch] {
+				continue
+			}
+			if _, known := sh.batches[env.Batch]; !known {
+				coord := sh.recv[i].From
+				if coord == m.cfg.ID {
+					coord = types.ProcID((int(m.cfg.ID) + 1) % m.cfg.N)
+				}
+				if err := m.joinBatchLocked(sh, env, coord, tick); err != nil {
+					continue
+				}
+			}
+			bi := sh.batches[env.Batch]
+			if bi != nil {
+				bi.lastRecvClock = tick
+				if m.cfg.Tracer != nil && !bi.goRecv {
+					if inner, _ := core.Unwrap(env.Inner); inner != nil {
+						if _, isGo := inner.(core.GoMsg); isGo {
+							bi.goRecv = true
+							m.trace(bi.key, obs.EventGoRecv, tick, "from="+strconv.Itoa(int(sh.recv[i].From)))
+						}
+					}
+				}
+			}
+			inner := sh.recv[i]
+			inner.Payload = env.Inner
+			sh.byBatch[env.Batch] = append(sh.byBatch[env.Batch], inner)
+		}
+	}
+	sh.recv = sh.recv[:0]
+
 	var retire []ID
-	for _, txn := range m.order {
-		inst := m.instances[txn]
+	var retireBatches []BatchID
+	for _, txn := range sh.order {
+		inst := sh.instances[txn]
 		if inst.c.Halted() {
 			if inst.haltedAt < 0 {
-				inst.haltedAt = m.clock
+				inst.haltedAt = tick
 			}
-			if m.cfg.RetireAfter > 0 && m.clock-inst.haltedAt >= m.cfg.RetireAfter {
+			if m.cfg.RetireAfter > 0 && tick-inst.haltedAt >= m.cfg.RetireAfter {
 				retire = append(retire, txn)
 			}
 			continue
 		}
-		sub := inst.c.Step(byTxn[txn], rnd)
+		sub := inst.c.Step(sh.byTxn[txn], rnd)
 		if m.cfg.Tracer != nil {
-			m.traceOutputsLocked(txn, inst, sub)
+			m.traceOutputsLocked(txn, inst, sub, tick)
 			if ag := inst.c.Agreement(); ag != nil {
 				if st := ag.Stage(); st != inst.lastStage {
 					inst.lastStage = st
-					m.trace(txn, obs.EventStage, "stage="+strconv.Itoa(st))
+					m.trace(string(txn), obs.EventStage, tick, "stage="+strconv.Itoa(st))
 				}
 			}
 		}
@@ -512,15 +747,15 @@ func (m *Manager) Step(received []types.Message, rnd types.Rand) []types.Message
 			sub[j].Payload = Envelope{Txn: txn, Inner: sub[j].Payload}
 		}
 		out = append(out, sub...)
-		if d, ok := inst.c.Outcome(); ok && !m.reported[txn] {
-			m.reported[txn] = true
+		if d, ok := inst.c.Outcome(); ok && !sh.reported[txn] {
+			sh.reported[txn] = true
 			m.met.decided.With(m.node, d.String()).Inc()
-			m.met.rounds.Observe(float64(m.clock - inst.born))
+			m.met.rounds.Observe(float64(tick - inst.born))
 			if m.cfg.Tracer != nil {
-				m.trace(txn, obs.EventDecided, "decision="+d.String())
+				m.trace(string(txn), obs.EventDecided, tick, "decision="+d.String())
 			}
 			if m.cfg.Spans != nil && !inst.spanDone {
-				m.spanRoundLocked(txn, inst, true)
+				m.spanRoundLocked(txn, inst, tick, true)
 				now := m.cfg.Spans.Now()
 				m.cfg.Spans.Add(span.Span{
 					Txn: string(txn), Track: span.ProcTrack(int(m.cfg.ID)),
@@ -530,61 +765,53 @@ func (m *Manager) Step(received []types.Message, rnd types.Rand) []types.Message
 				inst.spanDone = true
 			}
 			o := Outcome{Txn: txn, Decision: d}
-			m.pending = append(m.pending, o)
+			sh.pending = append(sh.pending, o)
 			decidedNow = append(decidedNow, o)
 		}
-		m.spanRoundLocked(txn, inst, false)
-		if m.cfg.MaxAge > 0 && m.clock-inst.born >= m.cfg.MaxAge && !inst.c.Halted() {
+		m.spanRoundLocked(txn, inst, tick, false)
+		if m.cfg.MaxAge > 0 && tick-inst.born >= m.cfg.MaxAge && !inst.c.Halted() {
 			if _, decided := inst.c.Outcome(); !decided {
 				retire = append(retire, txn)
 			}
 		}
 	}
+	out, decidedNow, retireBatches = m.stepBatchesLocked(sh, tick, rnd, out, decidedNow)
+
 	for _, txn := range retire {
-		d, decided := m.instances[txn].c.Outcome()
+		d, decided := sh.instances[txn].c.Outcome()
 		if decided {
 			m.met.retired.Inc()
 			if m.cfg.Tracer != nil {
-				m.trace(txn, obs.EventRetired, "")
+				m.trace(string(txn), obs.EventRetired, tick, "")
 			}
 		} else {
 			m.met.abandoned.Inc()
 			if m.cfg.Tracer != nil {
-				m.trace(txn, obs.EventAbandoned, "")
+				m.trace(string(txn), obs.EventAbandoned, tick, "")
 			}
 		}
-		m.retired[txn] = d
-		delete(m.instances, txn)
-		delete(m.reported, txn)
+		sh.retired[txn] = d
+		delete(sh.instances, txn)
+		delete(sh.reported, txn)
+		delete(sh.byTxn, txn)
 	}
 	if len(retire) > 0 {
-		kept := m.order[:0]
-		for _, txn := range m.order {
-			if _, ok := m.instances[txn]; ok {
+		kept := sh.order[:0]
+		for _, txn := range sh.order {
+			if _, ok := sh.instances[txn]; ok {
 				kept = append(kept, txn)
 			}
 		}
-		m.order = kept
+		sh.order = kept
 	}
-	var fire []chan Outcome
-	var fireWith []Outcome
-	for _, o := range decidedNow {
-		for _, ch := range m.watchers[o.Txn] {
-			fire = append(fire, ch)
-			fireWith = append(fireWith, o)
-		}
-		delete(m.watchers, o.Txn)
-	}
-	cb := m.cfg.OnOutcome
-	m.mu.Unlock()
+	m.retireBatchesLocked(sh, tick, retireBatches)
 
-	for i, ch := range fire {
-		ch <- fireWith[i] // buffered (cap 1), at most one send ever
+	// Consume per-instance inboxes (slices are reused next step).
+	for txn := range sh.byTxn {
+		sh.byTxn[txn] = sh.byTxn[txn][:0]
 	}
-	if cb != nil {
-		for _, o := range decidedNow {
-			cb(o)
-		}
+	for b := range sh.byBatch {
+		sh.byBatch[b] = sh.byBatch[b][:0]
 	}
-	return out
+	return out, decidedNow
 }
