@@ -52,6 +52,7 @@ import (
 	"repro/internal/shard"
 	"repro/internal/transport"
 	"repro/internal/types"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -80,8 +81,12 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		timeout   = fs.Duration("timeout", 10*time.Second, "default per-request deadline")
 		backend   = fs.String("backend", "channel", "cluster transport: channel or tcp")
 		shards    = fs.Int("shards", 1, "independent commit groups behind the consistent-hash router")
-		crossWAL  = fs.String("cross-wal", "", "cross-shard coordinator WAL path (sharded mode; replayed on start)")
+		crossWAL  = fs.String("cross-wal", "", "cross-shard coordinator WAL path (sharded mode; replayed on start); a directory path selects the segmented backend")
 		batchAg   = fs.Bool("batch-agreement", false, "decide each dispatch batch with one vector-outcome agreement instance")
+		walDir    = fs.String("wal-dir", "", "segmented decision-journal directory (single-shard mode; replayed on start, client acks wait for group-commit fsync)")
+		walSeg    = fs.Int("wal-segment-bytes", 1<<20, "WAL segment rotation threshold in bytes")
+		walGroup  = fs.Duration("wal-group-commit", 0, "max extra latency the WAL writer waits to coalesce decision fsyncs (0: flush whatever has queued)")
+		snapEvery = fs.Int("snapshot-every", 4096, "WAL records between state snapshots (0: never snapshot; replay covers the whole log)")
 		withPprof = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -128,22 +133,78 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	var closeFn func(context.Context) error
 	var report func()
 	if *shards == 1 {
+		var journal *wal.DecisionLog
+		if *walDir != "" {
+			dirFS, err := wal.NewDirFS(*walDir)
+			if err != nil {
+				return err
+			}
+			journal, err = wal.OpenDecisionLog(wal.SegmentedOptions{
+				FS:            dirFS,
+				SegmentBytes:  *walSeg,
+				GroupCommit:   *walGroup,
+				SnapshotEvery: *snapEvery,
+				Registry:      reg,
+			})
+			if err != nil {
+				return fmt.Errorf("opening decision journal: %w", err)
+			}
+			rs := journal.ReplayStats()
+			fmt.Fprintf(out, "commitd: decision journal replayed (%d records past snap-%08d, %d recovered, %v)\n",
+				rs.Records, rs.SnapshotSeq, len(journal.Recovered()), rs.Duration.Round(time.Microsecond))
+			cfg.Journal = journal
+		}
 		svc, err := service.New(cfg)
 		if err != nil {
+			if journal != nil {
+				journal.Close() //nolint:errcheck // already failing
+			}
 			return err
 		}
 		handler = service.NewHTTPHandler(svc)
-		closeFn = svc.Close
+		closeFn = func(ctx context.Context) error {
+			err := svc.Close(ctx)
+			if journal != nil {
+				if jerr := journal.Close(); jerr != nil && err == nil {
+					err = jerr
+				}
+			}
+			return err
+		}
 		report = func() {
 			m := svc.Metrics()
 			fmt.Fprintf(out, "commitd: drained (submitted=%d committed=%d aborted=%d timed_out=%d violations=%d)\n",
 				m.Submitted, m.Committed, m.Aborted, m.TimedOut, m.SafetyViolations)
+			if m.Journal != nil {
+				decided := m.Committed + m.Aborted
+				amort := float64(0)
+				if m.Journal.Fsyncs > 0 {
+					amort = float64(decided) / float64(m.Journal.Fsyncs)
+				}
+				fmt.Fprintf(out, "commitd: journal (appends=%d fsyncs=%d decisions/fsync=%.1f snapshots=%d segments=%d compacted=%d)\n",
+					m.Journal.Appends, m.Journal.Fsyncs, amort,
+					m.Journal.Snapshots, m.Journal.SegmentsCreated, m.Journal.SegmentsCompacted)
+			}
 		}
 	} else {
 		var log *shard.CrossLog
 		var logClose func() error
 		var replayed []shard.CrossRecord
-		if *crossWAL != "" {
+		switch {
+		case *crossWAL != "" && wal.SegmentedPath(*crossWAL):
+			sl, recs, err := shard.OpenCrossSegmented(*crossWAL, wal.SegmentedOptions{
+				SegmentBytes:  *walSeg,
+				GroupCommit:   *walGroup,
+				SnapshotEvery: *snapEvery,
+				Registry:      reg,
+			})
+			if err != nil {
+				return fmt.Errorf("opening segmented cross WAL: %w", err)
+			}
+			replayed = recs
+			log = sl.CrossLog
+			logClose = sl.Close
+		case *crossWAL != "":
 			recs, err := shard.ReplayCrossFile(*crossWAL)
 			if err != nil {
 				return fmt.Errorf("replaying cross WAL: %w", err)

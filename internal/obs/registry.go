@@ -359,6 +359,10 @@ var DefBuckets = []float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5
 // range is well covered.
 var TickBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
 
+// SizeBuckets are buckets for small counts (group-commit batch sizes,
+// records per flush): powers of two up to 1024.
+var SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
 // newHistogram copies and validates bounds.
 func newHistogram(buckets []float64) *Histogram {
 	if len(buckets) == 0 {

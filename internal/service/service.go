@@ -225,6 +225,26 @@ func New(cfg Config) (*Service, error) {
 	for _, st := range stageNames {
 		s.stageLat[st] = stats.NewRecorder(cfg.LatencyWindow)
 	}
+	if cfg.Journal != nil {
+		// Seed the status table with the journal's recovered decisions:
+		// a restarted service keeps answering — and can never contradict —
+		// transactions it acked before dying. Nothing else runs yet, so
+		// the maps are safe to fill without mu.
+		rec := cfg.Journal.Recovered()
+		ids := make([]string, 0, len(rec))
+		for id := range rec {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			d := rec[id]
+			s.statuses[id] = &status{
+				TxnStatus: TxnStatus{ID: id, State: stateOf(d), Decision: d.String()},
+				first:     d,
+			}
+			s.retainLocked(id)
+		}
+	}
 	shardLabel := cfg.shardLabel()
 	cfg.Registry.GaugeFuncVec("service_queue_depth",
 		"Submissions waiting in the admission queue.", "shard").
@@ -716,15 +736,37 @@ func (s *Service) resolve(p *pending, state State, d types.Decision) {
 	if dispatched {
 		<-s.slots
 	}
-	p.done <- Result{
+	res := Result{
 		ID:          string(p.id),
 		State:       state,
 		Decision:    d,
 		Coordinator: coord,
 		Latency:     latency,
 	}
-	s.recordStage(p.id, span.StageNotify, decidedU, s.cfg.Spans.Now(), "")
-	s.outstanding.Done()
+	deliver := func(jerr error) {
+		if jerr != nil {
+			// The decision was reached but its durability could not be
+			// confirmed (a failed group flush poisons the journal); the
+			// client must not be told COMMIT/ABORT that a restarted
+			// service might not remember. The status table keeps the
+			// protocol decision.
+			res.State = StateFailed
+		}
+		p.done <- res
+		s.recordStage(p.id, span.StageNotify, decidedU, s.cfg.Spans.Now(), "")
+		s.outstanding.Done()
+	}
+	if s.cfg.Journal != nil && (state == StateCommit || state == StateAbort) {
+		// Durable ack: the journal's group-commit writer fires deliver
+		// (on its goroutine) once an fsync covers this decision, so
+		// concurrent decisions amortize one flush and no client is ever
+		// acked a decision the disk does not hold.
+		if err := s.cfg.Journal.Append(string(p.id), d, deliver); err != nil {
+			deliver(err)
+		}
+		return
+	}
+	deliver(nil)
 }
 
 // retainLocked enforces bounded retention of finished statuses. Caller
@@ -737,6 +779,12 @@ func (s *Service) retainLocked(id string) {
 		s.finishedHead++
 		delete(s.statuses, old)
 		delete(s.votesByTxn, txn.ID(old))
+		if s.cfg.Journal != nil {
+			// The status is gone, so the journal no longer needs to
+			// recover it: retire the tombstone. This is what shrinks
+			// future snapshots and lets compaction reclaim segments.
+			s.cfg.Journal.Retire(old) //nolint:errcheck // best-effort; a poisoned journal already fails acks
+		}
 	}
 	if s.finishedHead > 0 && s.finishedHead*2 > len(s.finished) {
 		s.finished = append(s.finished[:0:0], s.finished[s.finishedHead:]...)
@@ -927,6 +975,19 @@ func (s *Service) Metrics() Metrics {
 			occ.Buckets = append(occ.Buckets, OccupancyBucket{LE: le, Count: b.Count})
 		}
 		m.BatchOccupancy = occ
+	}
+	if s.cfg.Journal != nil {
+		js := s.cfg.Journal.Stats()
+		m.Journal = &JournalStats{
+			Appends:           js.Appends,
+			Fsyncs:            js.Fsyncs,
+			Groups:            js.Groups,
+			Snapshots:         js.Snapshots,
+			SegmentsCreated:   js.SegmentsCreated,
+			SegmentsCompacted: js.SegmentsCompacted,
+			ReplayRecords:     js.Replay.Records,
+			ReplayMs:          float64(js.Replay.Duration) / 1e6,
+		}
 	}
 	snap := s.lat.Snapshot(50, 95, 99)
 	m.LatencyMeanMs = snap.Summary.Mean

@@ -9,6 +9,7 @@ import (
 	"repro/internal/obs/span"
 	"repro/internal/transport"
 	"repro/internal/types"
+	"repro/internal/wal"
 )
 
 // Config parameterizes a commit service.
@@ -84,6 +85,20 @@ type Config struct {
 	// Hub configures fault injection (delay, loss) on the in-process
 	// channel backend. Ignored when Transports is set.
 	Hub transport.HubOptions
+	// Journal, when non-nil, is the segmented decision journal. Every
+	// COMMIT/ABORT result is appended and the client ack is withheld
+	// until the covering group-commit fsync succeeds — concurrent
+	// decisions share one flush, so the disk sees ~1 fsync per batch of
+	// decisions, not per decision. On restart the journal's recovered
+	// decisions seed the status table, so a restarted service still
+	// answers (and never contradicts) transactions it acked before
+	// dying. Statuses evicted by retention are retired from the journal,
+	// which is what lets its snapshots, and hence the compacted log,
+	// stay bounded. The caller owns the journal's lifecycle; close it
+	// after Service.Close returns. If a journal flush fails the log
+	// poisons itself and affected submissions resolve as FAILED (the
+	// decision is never acked as durable when it is not).
+	Journal *wal.DecisionLog
 	// Registry is the shared metrics registry every layer of the service
 	// (runtime, transport, txn, service) emits into. Nil creates a fresh
 	// one, exposed via Service.Registry.
@@ -276,6 +291,22 @@ type Metrics struct {
 	// BatchOccupancy is the distribution of members per dispatched
 	// agreement batch; omitted until a batch has dispatched.
 	BatchOccupancy *BatchOccupancy `json:"batch_occupancy,omitempty"`
+	// Journal summarizes the decision journal (omitted when the service
+	// runs without one). Fsyncs/decided-outcomes is the group-commit
+	// amortization; ReplayRecords is the bounded recovery suffix.
+	Journal *JournalStats `json:"journal,omitempty"`
+}
+
+// JournalStats summarizes the segmented decision journal's activity.
+type JournalStats struct {
+	Appends           uint64  `json:"appends"`
+	Fsyncs            uint64  `json:"fsyncs"`
+	Groups            uint64  `json:"groups"`
+	Snapshots         uint64  `json:"snapshots"`
+	SegmentsCreated   uint64  `json:"segments_created"`
+	SegmentsCompacted uint64  `json:"segments_compacted"`
+	ReplayRecords     int     `json:"replay_records"`
+	ReplayMs          float64 `json:"replay_ms"`
 }
 
 // BatchOccupancy summarizes how full dispatched agreement batches run —

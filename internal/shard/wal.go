@@ -1,15 +1,18 @@
 package shard
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
+	"sort"
 	"sync"
 
 	"repro/internal/types"
+	"repro/internal/wal"
 )
 
 // The cross-shard coordinator's write-ahead log mirrors internal/wal's
@@ -72,12 +75,13 @@ var ErrCorruptCross = errors.New("shard: corrupt cross-log record")
 
 const crossHeaderSize = 8
 
-// encodeCross serializes one record.
+// encodeCrossPayload serializes one record's payload (the bytes under
+// the frame).
 //
 // payload: [u8 type][u8 decision][u16 shard][u16 nShards][nShards×u16]
 //
 //	[u16 idLen][idLen bytes]
-func encodeCross(r CrossRecord) ([]byte, error) {
+func encodeCrossPayload(r CrossRecord) ([]byte, error) {
 	if len(r.Shards) > 1<<16-1 {
 		return nil, fmt.Errorf("shard: too many shards (%d)", len(r.Shards))
 	}
@@ -96,6 +100,15 @@ func encodeCross(r CrossRecord) ([]byte, error) {
 	}
 	binary.LittleEndian.PutUint16(payload[off:off+2], uint16(len(r.Txn)))
 	copy(payload[off+2:], r.Txn)
+	return payload, nil
+}
+
+// encodeCross serializes one framed record.
+func encodeCross(r CrossRecord) ([]byte, error) {
+	payload, err := encodeCrossPayload(r)
+	if err != nil {
+		return nil, err
+	}
 	buf := make([]byte, crossHeaderSize+len(payload))
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
@@ -134,23 +147,40 @@ func decodeCrossPayload(payload []byte) (CrossRecord, error) {
 	return r, nil
 }
 
-// CrossLog is an append-only cross-shard coordinator log over any
-// writer. Appends are serialized; a CrossLog is safe for concurrent use.
-// A nil *CrossLog is a valid "disabled" log: Append is a no-op.
+// CrossLog is an append-only cross-shard coordinator log over either a
+// plain writer (optionally fsynced per outcome) or a segmented
+// group-committed log. Appends are serialized; a CrossLog is safe for
+// concurrent use. A nil *CrossLog is a valid "disabled" log: Append is
+// a no-op.
 type CrossLog struct {
 	mu sync.Mutex
 	w  io.Writer
 	// sync, if non-nil, runs after outcome records (fsync).
 	sync func() error
+	// seg, if non-nil, is the segmented backend; w and sync are unused.
+	seg *wal.SegmentedLog
 }
 
 // NewCrossLog creates a log over w.
 func NewCrossLog(w io.Writer) *CrossLog { return &CrossLog{w: w} }
 
-// Append writes one record, syncing after outcomes when supported.
+// Append writes one record, syncing after outcomes when supported. On
+// the segmented backend an outcome append blocks until its covering
+// group-commit fsync succeeds (concurrent outcomes share one flush);
+// non-outcome records ride along asynchronously.
 func (l *CrossLog) Append(r CrossRecord) error {
 	if l == nil {
 		return nil
+	}
+	if l.seg != nil {
+		payload, err := encodeCrossPayload(r)
+		if err != nil {
+			return err
+		}
+		if r.Type == RecOutcome {
+			return l.seg.AppendSync(payload)
+		}
+		return l.seg.Append(payload, nil)
 	}
 	buf, err := encodeCross(r)
 	if err != nil {
@@ -286,3 +316,148 @@ func ReconstructCross(records []CrossRecord) map[string]*CrossState {
 	}
 	return out
 }
+
+// crossCodec is the wal.SnapshotCodec for the segmented cross log. Its
+// state is the map of OPEN (in-doubt) cross-shard transactions: an
+// outcome record is terminal, so applying one retires the transaction
+// from the state — which is what keeps snapshots, and therefore the
+// compacted log, bounded by in-flight work instead of all history.
+//
+// Snapshot payload: a cross-log byte stream (the same framed records)
+// that re-creates every open transaction — Begin then Verdicts, per
+// transaction in sorted id order so identical states encode identically.
+type crossCodec struct {
+	open map[string]*CrossState
+}
+
+func (c *crossCodec) Apply(payload []byte) error {
+	r, err := decodeCrossPayload(payload)
+	if err != nil {
+		return err
+	}
+	if r.Type == RecOutcome {
+		delete(c.open, r.Txn)
+		return nil
+	}
+	st, ok := c.open[r.Txn]
+	if !ok {
+		st = &CrossState{Txn: r.Txn, Verdicts: make(map[int]types.Decision)}
+		c.open[r.Txn] = st
+	}
+	switch r.Type {
+	case RecBegin:
+		st.Shards = append([]int(nil), r.Shards...)
+	case RecVerdict:
+		st.Verdicts[r.Shard] = r.Decision
+	}
+	return nil
+}
+
+func (c *crossCodec) EncodeSnapshot() []byte {
+	var buf bytes.Buffer
+	for _, r := range c.records() {
+		b, err := encodeCross(r)
+		if err != nil {
+			continue // unencodable states cannot have been appended
+		}
+		buf.Write(b)
+	}
+	return buf.Bytes()
+}
+
+func (c *crossCodec) RestoreSnapshot(data []byte) error {
+	records, err := ReplayCross(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	if rem := len(data) - crossStreamLen(records); rem != 0 {
+		return fmt.Errorf("%w: %d trailing snapshot bytes", ErrCorruptCross, rem)
+	}
+	open := make(map[string]*CrossState)
+	c2 := &crossCodec{open: open}
+	for _, r := range records {
+		p, err := encodeCrossPayload(r)
+		if err != nil {
+			return err
+		}
+		if err := c2.Apply(p); err != nil {
+			return err
+		}
+	}
+	c.open = open
+	return nil
+}
+
+// crossStreamLen is the encoded byte length of a record stream — used to
+// reject snapshots whose tail failed to parse (ReplayCross tolerates
+// torn tails, but a snapshot is all-or-nothing).
+func crossStreamLen(records []CrossRecord) int {
+	n := 0
+	for _, r := range records {
+		p, err := encodeCrossPayload(r)
+		if err != nil {
+			continue
+		}
+		n += crossHeaderSize + len(p)
+	}
+	return n
+}
+
+// records synthesizes the record stream re-creating the open set.
+func (c *crossCodec) records() []CrossRecord {
+	ids := make([]string, 0, len(c.open))
+	for id := range c.open {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var out []CrossRecord
+	for _, id := range ids {
+		st := c.open[id]
+		out = append(out, CrossRecord{Type: RecBegin, Txn: id, Shards: st.Shards})
+		shards := make([]int, 0, len(st.Verdicts))
+		for s := range st.Verdicts {
+			shards = append(shards, s)
+		}
+		sort.Ints(shards)
+		for _, s := range shards {
+			out = append(out, CrossRecord{Type: RecVerdict, Txn: id, Shard: s, Decision: st.Verdicts[s]})
+		}
+	}
+	return out
+}
+
+// CrossSegLog is a CrossLog over a segmented directory.
+type CrossSegLog struct {
+	*CrossLog
+	seg *wal.SegmentedLog
+}
+
+// OpenCrossSegmented opens (creating if needed) a segmented cross log in
+// dir, replaying snapshot + suffix. The returned records re-create the
+// recovered state — exactly the still-in-doubt transactions (decided
+// ones are retired during replay) — in a form Coordinator.Recover
+// accepts. opts.FS is derived from dir; opts.Name defaults to "cross".
+func OpenCrossSegmented(dir string, opts wal.SegmentedOptions) (*CrossSegLog, []CrossRecord, error) {
+	fs, err := wal.NewDirFS(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts.FS = fs
+	if opts.Name == "" {
+		opts.Name = "cross"
+	}
+	codec := &crossCodec{open: make(map[string]*CrossState)}
+	seg, err := wal.OpenSegmented(codec, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	// codec is stable here: the writer only touches it once appends flow.
+	records := codec.records()
+	return &CrossSegLog{CrossLog: &CrossLog{seg: seg}, seg: seg}, records, nil
+}
+
+// Stats exposes the underlying segmented log's counters.
+func (l *CrossSegLog) Stats() wal.SegStats { return l.seg.Stats() }
+
+// Close drains, seals, and closes the segmented log.
+func (l *CrossSegLog) Close() error { return l.seg.Close() }

@@ -1,0 +1,6 @@
+package wal
+
+// Frame exposes the record framing to package-external tests, so fuzzers
+// and crash tests can build adversarial segment and snapshot files that
+// pass the frame check and exercise the decoders behind it.
+var Frame = frame

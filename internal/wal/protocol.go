@@ -1,0 +1,195 @@
+package wal
+
+import (
+	"encoding/binary"
+	"os"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// This file adapts the segmented log to the node protocol journal: the
+// same Record stream the single-file Log carries, but stored in
+// segments with snapshot-bounded replay. A NodeSpec.JournalPath naming
+// a directory (or ending in a path separator) selects it; a plain file
+// path keeps the original single-file log, so existing deployments
+// replay unchanged.
+
+// protocolCodec folds protocol Records into a State — the SnapshotCodec
+// for node journals. Its snapshot payload is:
+//
+//	[u8 flags][u8 vote][u8 input][u8 decision][u16 coinCount][coins]
+//
+// with flag bits 1=hasVote, 2=hasInput, 4=decided, 8=hasCoins.
+type protocolCodec struct {
+	st State
+}
+
+func (c *protocolCodec) Apply(payload []byte) error {
+	r, err := decodePayload(payload)
+	if err != nil {
+		return err
+	}
+	switch r.Type {
+	case RecordVote:
+		c.st.HasVote, c.st.Vote = true, r.Value
+	case RecordCoins:
+		c.st.Coins = r.Coins
+	case RecordInput:
+		c.st.HasInput, c.st.Input = true, r.Value
+	case RecordDecision:
+		c.st.Decided, c.st.Decision = true, r.Value
+	}
+	return nil
+}
+
+func (c *protocolCodec) EncodeSnapshot() []byte {
+	var flags byte
+	if c.st.HasVote {
+		flags |= 1
+	}
+	if c.st.HasInput {
+		flags |= 2
+	}
+	if c.st.Decided {
+		flags |= 4
+	}
+	if c.st.Coins != nil {
+		flags |= 8
+	}
+	out := make([]byte, 6+len(c.st.Coins))
+	out[0] = flags
+	out[1] = byte(c.st.Vote)
+	out[2] = byte(c.st.Input)
+	out[3] = byte(c.st.Decision)
+	binary.LittleEndian.PutUint16(out[4:6], uint16(len(c.st.Coins)))
+	for i, v := range c.st.Coins {
+		out[6+i] = byte(v)
+	}
+	return out
+}
+
+func (c *protocolCodec) RestoreSnapshot(data []byte) error {
+	if len(data) < 6 {
+		return ErrCorrupt
+	}
+	count := int(binary.LittleEndian.Uint16(data[4:6]))
+	if len(data) != 6+count {
+		return ErrCorrupt
+	}
+	var st State
+	flags := data[0]
+	if flags&1 != 0 {
+		st.HasVote, st.Vote = true, types.Value(data[1])
+	}
+	if flags&2 != 0 {
+		st.HasInput, st.Input = true, types.Value(data[2])
+	}
+	if flags&4 != 0 {
+		st.Decided, st.Decision = true, types.Value(data[3])
+	}
+	if flags&8 != 0 {
+		st.Coins = make([]types.Value, count)
+		for i := 0; i < count; i++ {
+			st.Coins[i] = types.Value(data[6+i])
+		}
+	}
+	c.st = st
+	return nil
+}
+
+// SegmentedPath reports whether a journal path selects the segmented
+// backend: it names an existing directory, or ends in a path separator
+// (an explicit request to create one). A plain file path — existing or
+// not — selects the single-file log.
+func SegmentedPath(path string) bool {
+	if strings.HasSuffix(path, string(os.PathSeparator)) || strings.HasSuffix(path, "/") {
+		return true
+	}
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}
+
+// NodeLog is a node's protocol journal over either backend: a
+// single append-only file (the original format) or a segmented
+// directory. It implements RecordAppender for LoggedCommit.
+type NodeLog struct {
+	file *FileLog
+	seg  *SegmentedLog
+}
+
+// OpenNodeLog opens and replays the journal at path, choosing the
+// backend by SegmentedPath. It returns the open log, the reconstructed
+// protocol state, and whether the journal held any prior participation
+// (records or a snapshot). opts.FS is ignored (derived from path);
+// zero-value opts is fine for node journals.
+func OpenNodeLog(path string, opts SegmentedOptions) (*NodeLog, State, bool, error) {
+	if !SegmentedPath(path) {
+		records, err := ReplayFile(path)
+		if err != nil {
+			return nil, State{}, false, err
+		}
+		fl, err := OpenFile(path)
+		if err != nil {
+			return nil, State{}, false, err
+		}
+		return &NodeLog{file: fl}, Reconstruct(records), len(records) > 0, nil
+	}
+	fs, err := NewDirFS(path)
+	if err != nil {
+		return nil, State{}, false, err
+	}
+	opts.FS = fs
+	if opts.Name == "" {
+		opts.Name = "node"
+	}
+	codec := &protocolCodec{}
+	seg, err := OpenSegmented(codec, opts)
+	if err != nil {
+		return nil, State{}, false, err
+	}
+	// codec.st is stable here: the writer goroutine only mutates it when
+	// appends arrive, and nobody holds the handle yet.
+	st := codec.st
+	replay := seg.ReplayStats()
+	return &NodeLog{seg: seg}, st, replay.Records > 0 || replay.SnapshotSeq > 0, nil
+}
+
+// Append journals one record. Decision records are durable on return:
+// the single-file log fsyncs through its coalescing sync hook, the
+// segmented log through AppendSync (one group-commit flush covers every
+// concurrent decision).
+func (n *NodeLog) Append(r Record) error {
+	if n.seg != nil {
+		payload, err := encodePayload(r)
+		if err != nil {
+			return err
+		}
+		if r.Type == RecordDecision {
+			return n.seg.AppendSync(payload)
+		}
+		return n.seg.Append(payload, nil)
+	}
+	return n.file.Append(r)
+}
+
+// Stats reports the segmented backend's counters (ok=false for the
+// single-file backend).
+func (n *NodeLog) Stats() (SegStats, bool) {
+	if n.seg == nil {
+		return SegStats{}, false
+	}
+	return n.seg.Stats(), true
+}
+
+// Close seals and closes the journal. Safe on a nil receiver.
+func (n *NodeLog) Close() error {
+	switch {
+	case n == nil:
+		return nil
+	case n.seg != nil:
+		return n.seg.Close()
+	default:
+		return n.file.Close()
+	}
+}

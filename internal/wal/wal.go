@@ -76,8 +76,9 @@ var ErrCorrupt = errors.New("wal: corrupt record")
 
 const headerSize = 8
 
-// encode serializes a record payload.
-func encode(r Record) ([]byte, error) {
+// encodePayload serializes a record's payload (the bytes under the
+// frame — the segmented log frames them itself).
+func encodePayload(r Record) ([]byte, error) {
 	if len(r.Coins) > 1<<16-1 {
 		return nil, fmt.Errorf("wal: too many coins (%d)", len(r.Coins))
 	}
@@ -88,11 +89,16 @@ func encode(r Record) ([]byte, error) {
 	for i, c := range r.Coins {
 		payload[4+i] = byte(c)
 	}
-	buf := make([]byte, headerSize+len(payload))
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
-	copy(buf[headerSize:], payload)
-	return buf, nil
+	return payload, nil
+}
+
+// encode serializes a framed record.
+func encode(r Record) ([]byte, error) {
+	payload, err := encodePayload(r)
+	if err != nil {
+		return nil, err
+	}
+	return frame(payload), nil
 }
 
 // decodePayload parses a checksum-verified payload.
@@ -116,15 +122,45 @@ func decodePayload(payload []byte) (Record, error) {
 
 // Log is an append-only record log over any writer. Appends are
 // serialized; a Log is safe for concurrent use.
+//
+// Decision appends are durable: when a sync hook is configured (file
+// logs), Append does not return until an fsync covering the record has
+// succeeded. Concurrent decision appends coalesce onto one fsync — a
+// single leader flushes while followers wait, and the flush covers every
+// record written before it started — so the disk sees one write barrier
+// per GROUP of decisions, not one per decision. A failed fsync leaves the
+// on-disk suffix unknown, so it propagates to every waiter whose record
+// it covered and poisons the log: all later appends fail fast with the
+// same error.
 type Log struct {
-	mu sync.Mutex
-	w  io.Writer
-	// sync, if non-nil, is invoked after decision records (fsync).
+	mu   sync.Mutex
+	cond *sync.Cond
+	w    io.Writer
+	// sync, if non-nil, is invoked to make appended records durable
+	// (fsync). Decision appends block until covered by a successful call.
 	sync func() error
+
+	writeSeq uint64 // records written so far
+	syncSeq  uint64 // highest writeSeq covered by a successful sync
+	syncing  bool   // a leader is currently inside l.sync
+	err      error  // sticky poison after a failed write or sync
 }
 
 // New creates a log over w.
-func New(w io.Writer) *Log { return &Log{w: w} }
+func New(w io.Writer) *Log {
+	l := &Log{w: w}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// NewWithSync creates a log over w whose decision appends block until
+// covered by a successful call of sync (the coalesced-fsync path file
+// logs use; tests inject failing or blocking hooks here).
+func NewWithSync(w io.Writer, sync func() error) *Log {
+	l := New(w)
+	l.sync = sync
+	return l
+}
 
 // Append writes one record, syncing after decisions when supported.
 func (l *Log) Append(r Record) error {
@@ -134,15 +170,52 @@ func (l *Log) Append(r Record) error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
 	if _, err := l.w.Write(buf); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
+		l.err = fmt.Errorf("wal: append: %w", err)
+		return l.err
 	}
-	if r.Type == RecordDecision && l.sync != nil {
-		if err := l.sync(); err != nil {
-			return fmt.Errorf("wal: sync: %w", err)
+	l.writeSeq++
+	if r.Type != RecordDecision || l.sync == nil {
+		return nil
+	}
+	return l.syncToLocked(l.writeSeq)
+}
+
+// syncToLocked blocks until a successful fsync covers seq or the log is
+// poisoned. At most one fsync runs at a time: the first arrival becomes
+// the leader and flushes OUTSIDE the lock, so followers keep appending
+// and pile onto the next flush — that is the group commit. The flush
+// covers every record written before it starts; its error, if any, is
+// returned to every waiter it covered (and everyone after — a failed
+// fsync means the durable suffix is unknown, so the log poisons itself).
+func (l *Log) syncToLocked(seq uint64) error {
+	for {
+		if l.err != nil {
+			return l.err
 		}
+		if l.syncSeq >= seq {
+			return nil
+		}
+		if l.syncing {
+			l.cond.Wait()
+			continue
+		}
+		l.syncing = true
+		covered := l.writeSeq
+		l.mu.Unlock()
+		err := l.sync()
+		l.mu.Lock()
+		l.syncing = false
+		if err != nil {
+			l.err = fmt.Errorf("wal: sync: %w", err)
+		} else if covered > l.syncSeq {
+			l.syncSeq = covered
+		}
+		l.cond.Broadcast()
 	}
-	return nil
 }
 
 // FileLog is a Log backed by an O_APPEND file.

@@ -51,7 +51,7 @@ type Node struct {
 	// jlMu guards jl: Run and Kill may both try to close the journal
 	// (Kill races Run's teardown when a test crashes a running node).
 	jlMu sync.Mutex
-	jl   *wal.FileLog
+	jl   *wal.NodeLog
 	// journalPath lets a recovery-mode node append the adopted decision,
 	// so the next restart short-circuits without any network.
 	journalPath string
@@ -79,18 +79,22 @@ func StartNode(cfg Config, spec NodeSpec) (*Node, error) {
 		spec.ServeOutcomeTicks = 64
 	}
 
-	// Journal replay decides the node's mode.
+	// Journal replay decides the node's mode. OpenNodeLog picks the
+	// backend from the path: a directory (or trailing separator) is a
+	// segmented log with snapshot-bounded replay, a plain file keeps the
+	// original single-file format.
 	var state wal.State
+	var nlog *wal.NodeLog
 	hasJournal := false
 	if spec.JournalPath != "" {
-		records, err := wal.ReplayFile(spec.JournalPath)
+		nl, st, has, err := wal.OpenNodeLog(spec.JournalPath, wal.SegmentedOptions{})
 		if err != nil {
 			return nil, fmt.Errorf("tcommit: replay journal: %w", err)
 		}
-		hasJournal = len(records) > 0
-		state = wal.Reconstruct(records)
+		nlog, state, hasJournal = nl, st, has
 	}
 	if state.Decided {
+		nlog.Close() //nolint:errcheck // nothing was appended
 		d := types.DecisionOf(state.Decision)
 		return &Node{recovered: &d, mode: "journal"}, nil
 	}
@@ -104,6 +108,7 @@ func StartNode(cfg Config, spec NodeSpec) (*Node, error) {
 			ID: spec.ID, N: cfg.N, Resume: state,
 		})
 		if err != nil {
+			nlog.Close() //nolint:errcheck
 			return nil, err
 		}
 		machine = client
@@ -118,19 +123,23 @@ func StartNode(cfg Config, spec NodeSpec) (*Node, error) {
 			Vote: vote, CoinFactor: cfg.CoinFactor, Gadget: true,
 		})
 		if err != nil {
+			nlog.Close() //nolint:errcheck
 			return nil, err
 		}
 		machine = m
 	}
 
 	n := &Node{mode: mode, journalPath: spec.JournalPath}
-	if spec.JournalPath != "" && mode == "protocol" {
-		fl, err := wal.OpenFile(spec.JournalPath)
-		if err != nil {
+	switch {
+	case nlog != nil && mode == "protocol":
+		n.jl = nlog
+		machine = wal.NewLoggedCommit(machine.(*core.Commit), nlog)
+	case nlog != nil:
+		// Recovery mode appends nothing until the outcome is adopted at
+		// the end of Run; appendDecision reopens the journal then.
+		if err := nlog.Close(); err != nil {
 			return nil, err
 		}
-		n.jl = fl
-		machine = wal.NewLoggedCommit(machine.(*core.Commit), fl.Log)
 	}
 	// Every running node answers outcome queries once decided, then
 	// lingers briefly so restarting peers can catch it.
@@ -226,17 +235,18 @@ func (n *Node) Run(ctx context.Context) (Decision, error) {
 	return None, err
 }
 
-// appendDecision appends a decision record to an existing journal.
+// appendDecision appends a decision record to an existing journal
+// (either backend, chosen by the path as in OpenNodeLog).
 func appendDecision(path string, v types.Value) error {
-	fl, err := wal.OpenFile(path)
+	nl, _, _, err := wal.OpenNodeLog(path, wal.SegmentedOptions{})
 	if err != nil {
 		return err
 	}
-	if err := fl.Append(wal.Record{Type: wal.RecordDecision, Value: v}); err != nil {
-		fl.Close() //nolint:errcheck
+	if err := nl.Append(wal.Record{Type: wal.RecordDecision, Value: v}); err != nil {
+		nl.Close() //nolint:errcheck
 		return err
 	}
-	return fl.Close()
+	return nl.Close()
 }
 
 func (n *Node) closeJournal() error {

@@ -1,9 +1,16 @@
 package tcommit_test
 
 import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
 	"testing"
+	"time"
 
 	tcommit "repro"
+	"repro/internal/types"
+	"repro/internal/wal"
 )
 
 // TestSoakRandomizedInvariants is a breadth pass: hundreds of seeded
@@ -66,4 +73,170 @@ func TestSoakRandomizedInvariants(t *testing.T) {
 		}
 	}
 	t.Logf("soak: %d runs clean", runs)
+}
+
+// soakDecision derives a transaction's decision from its id, so the soak
+// auditor can verify any recovered decision without remembering a million
+// appended values.
+func soakDecision(id string) types.Decision {
+	sum := 0
+	for i := 0; i < len(id); i++ {
+		sum += int(id[i])
+	}
+	if sum%3 == 0 {
+		return types.DecisionAbort
+	}
+	return types.DecisionCommit
+}
+
+// TestSoakWALMillionTxnRestarts is the nightly endurance pass for the
+// segmented decision journal: over a million transactions are journaled
+// by concurrent clients under group commit, across repeated restarts —
+// half of them kill -9 style (the journal abandoned mid-load, then the
+// simulated disk truncated past its fsync frontier under rotating
+// torn-tail assumptions). Every restart runs the chaos-auditor checks:
+//
+//	every acked, unretired decision is recovered with its exact value
+//	every recovered decision matches what was appended (none invented)
+//
+// and the run logs recovery time and fsync amortization per epoch.
+// Gated behind SOAK_NIGHTLY (several tens of seconds of wall time).
+func TestSoakWALMillionTxnRestarts(t *testing.T) {
+	if os.Getenv("SOAK_NIGHTLY") == "" {
+		t.Skip("set SOAK_NIGHTLY=1 to run the million-transaction WAL soak")
+	}
+	const (
+		target   = 1_000_000
+		clients  = 64
+		perEpoch = 100_000
+	)
+	rng := rand.New(rand.NewSource(20260808))
+	opts := func(fs wal.FS) wal.SegmentedOptions {
+		return wal.SegmentedOptions{
+			FS:            fs,
+			SegmentBytes:  1 << 20,
+			GroupCommit:   500 * time.Microsecond,
+			SnapshotEvery: 50_000,
+		}
+	}
+
+	disk := wal.NewMemFS()
+	live := make(map[string]struct{}) // acked and not yet retired
+	var mu sync.Mutex                 // guards live and ackedTotal during an epoch
+	var ackedTotal, retiredTotal, kills int
+	var appendsTotal, fsyncsTotal uint64
+	var slowestReplay time.Duration
+
+	epoch := 0
+	for ackedTotal < target {
+		epoch++
+		if epoch > 200 {
+			t.Fatalf("soak stalled: %d acked after %d epochs", ackedTotal, epoch)
+		}
+		dl, err := wal.OpenDecisionLog(opts(disk))
+		if err != nil {
+			t.Fatalf("epoch %d: recovery failed: %v", epoch, err)
+		}
+		rs := dl.ReplayStats()
+		if rs.Duration > slowestReplay {
+			slowestReplay = rs.Duration
+		}
+
+		// The auditor: recovery must hold every acked unretired decision
+		// with its exact value, and nothing it holds may contradict what
+		// was appended.
+		rec := dl.Recovered()
+		for id := range live {
+			d, ok := rec[id]
+			if !ok {
+				t.Fatalf("epoch %d: acked decision %s lost in recovery", epoch, id)
+			}
+			if d != soakDecision(id) {
+				t.Fatalf("epoch %d: %s recovered as %v, want %v", epoch, id, d, soakDecision(id))
+			}
+		}
+		for id, d := range rec {
+			if d != soakDecision(id) {
+				t.Fatalf("epoch %d: recovery invented/flipped %s = %v", epoch, id, d)
+			}
+		}
+		t.Logf("epoch %3d: replayed %6d records in %8v (snap %d, %6d live) — %d/%d acked",
+			epoch, rs.Records, rs.Duration.Round(time.Microsecond), rs.SnapshotSeq, len(rec), ackedTotal, target)
+
+		// Retire roughly half the live set, keeping the journal's state —
+		// and therefore its snapshots and replay — bounded for the whole
+		// million-transaction run.
+		toRetire := len(live) / 2
+		for id := range live {
+			if toRetire == 0 {
+				break
+			}
+			if err := dl.Retire(id); err != nil {
+				break // killed logs refuse retires; that's fine
+			}
+			delete(live, id)
+			retiredTotal++
+			toRetire--
+		}
+
+		// Load phase: concurrent clients journaling decisions; on kill
+		// epochs a timer yanks the log out from under them mid-flight.
+		killEpoch := epoch%2 == 0
+		var killTimer *time.Timer
+		if killEpoch {
+			delay := time.Duration(100+rng.Intn(400)) * time.Millisecond
+			killTimer = time.AfterFunc(delay, dl.Kill)
+		}
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for k := 0; k < perEpoch/clients; k++ {
+					id := fmt.Sprintf("e%03d-c%02d-%05d", epoch, c, k)
+					if err := dl.AppendSync(id, soakDecision(id)); err != nil {
+						return // killed mid-epoch: everything unacked stays unacked
+					}
+					mu.Lock()
+					live[id] = struct{}{}
+					ackedTotal++
+					mu.Unlock()
+				}
+			}(c)
+		}
+		wg.Wait()
+
+		killed := killEpoch && !killTimer.Stop()
+		if killed {
+			kills++
+			dl.Kill() // join: idempotent, waits for the writer to stop
+			st := dl.Stats()
+			appendsTotal += st.Appends
+			fsyncsTotal += st.Fsyncs
+			// The machine reboots on whatever the disk held: the fsynced
+			// prefix plus none / all / half of the volatile suffix.
+			var keep func(string, int) int
+			switch rng.Intn(3) {
+			case 1:
+				keep = func(string, int) int { return 1 << 30 }
+			case 2:
+				keep = func(_ string, unsynced int) int { return unsynced / 2 }
+			}
+			disk = disk.CrashCopy(keep)
+			continue
+		}
+		if err := dl.Close(); err != nil {
+			t.Fatalf("epoch %d: close: %v", epoch, err)
+		}
+		st := dl.Stats()
+		appendsTotal += st.Appends
+		fsyncsTotal += st.Fsyncs
+	}
+
+	amort := float64(appendsTotal) / float64(fsyncsTotal)
+	t.Logf("soak: %d decisions acked (%d retired) across %d epochs, %d kill -9 restarts", ackedTotal, retiredTotal, epoch, kills)
+	t.Logf("soak: %d appends / %d fsyncs = %.1f records per fsync; slowest recovery %v", appendsTotal, fsyncsTotal, amort, slowestReplay)
+	if fsyncsTotal*5 > appendsTotal {
+		t.Errorf("group-commit amortization collapsed: %d fsyncs for %d appends (%.1fx)", fsyncsTotal, appendsTotal, amort)
+	}
 }
