@@ -15,10 +15,14 @@
 // and -spans-out the run's causal span graph (feed it to `tracedump
 // critpath` or `tracedump chrome`). Service runs also print the
 // critical path of the slowest transaction — after the audit log, so the
-// log itself stays a pure function of the seed.
+// log itself stays a pure function of the seed. -watch attaches the live
+// watchdog (service and sharded modes), which adds detection-coverage
+// checks to the audit; -flight-out then archives a flight dump of the
+// watched run (feed it to `tracedump flight`).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,7 +31,9 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/obs/span"
+	"repro/internal/obs/watch"
 )
 
 func main() {
@@ -52,6 +58,8 @@ func run(args []string, stdout, stderr *os.File) int {
 		planOnly = fs.Bool("plan", false, "print the canonical plan and exit")
 		traceOut = fs.String("trace-out", "", "write the run's protocol trace JSON to this file")
 		spansOut = fs.String("spans-out", "", "write the run's causal span graph JSON to this file")
+		watched  = fs.Bool("watch", false, "attach the live watchdog (-mode service|sharded); the audit gains detection-coverage checks")
+		flOut    = fs.String("flight-out", "", "write a flight dump of the watched run to this file (requires -watch)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -78,11 +86,18 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 0
 	}
 
+	if *flOut != "" && !*watched {
+		fmt.Fprintln(stderr, "-flight-out requires -watch")
+		return 2
+	}
 	tracer := obs.NewTracer(1 << 14)
 	spans := span.NewCollector(1 << 16)
 	opts := chaos.RunOptions{
 		TickEvery: *tick, BudgetTicks: *budget, Tracer: tracer, Spans: spans,
 		BatchAgreement: *batch,
+	}
+	if *watched {
+		opts.Watch = &watch.Config{}
 	}
 
 	var report *chaos.Report
@@ -115,6 +130,37 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stdout, "cross layer: submitted=%d committed=%d aborted=%d in_doubt_settled=%d\n",
 			shardedData.Metrics.Cross.Submitted, shardedData.Metrics.Cross.Committed,
 			shardedData.Metrics.Cross.Aborted, shardedData.EchoSettled)
+	}
+	if opts.Watch != nil {
+		var health watch.Health
+		switch {
+		case svcData != nil:
+			health = svcData.Health
+		case shardedData != nil:
+			health = shardedData.Health
+		}
+		// After the audit log for the same reason as the critical path:
+		// tick counts are wall-clock-dependent, the log is not.
+		fmt.Fprintf(stdout, "watchdog: status=%s ticks=%d anomalies=%d\n",
+			health.Status, health.Ticks, health.Anomalies)
+		if *flOut != "" {
+			d := &flight.Dump{
+				Format: flight.DumpFormat,
+				Reason: "chaos",
+				Health: health,
+				Events: tracer.Recent(256),
+				Spans:  spans.Graph(),
+			}
+			raw, err := json.MarshalIndent(d, "", " ")
+			if err == nil {
+				err = os.WriteFile(*flOut, append(raw, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "flight dump written to %s\n", *flOut)
+		}
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

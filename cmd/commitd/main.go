@@ -14,6 +14,9 @@
 //	GET  /debug/trace   recent protocol events (?txn=<id>&n=<count>)
 //	GET  /debug/spans   causal span graph (?txn=<id> filters; sharded
 //	                    deployments include the txn's per-shard children)
+//	GET  /debug/health  watchdog anomaly report (stalls, crashes, SLO burn)
+//	GET  /debug/flight  on-demand flight-recorder dump (render with
+//	                    `tracedump flight`)
 //	GET  /healthz       liveness + cluster size (+ shard count)
 //	GET  /readyz        readiness: 503 while starting or draining
 //	POST /crash/{node}  fault injection: fail-stop one processor
@@ -31,6 +34,15 @@
 // real TCP nodes on loopback (-backend tcp, single-shard only) — same
 // machines, same protocol, heavier transport. -pprof additionally mounts
 // net/http/pprof under /debug/pprof/ (off by default).
+//
+// Live ops: an anomaly watchdog (internal/obs/watch) samples the
+// deployment every -watch-interval, detecting stalled transactions
+// (-stall-age), in-doubt cross-shard verdicts, decision-latency SLO
+// burn (-slo-p99), WAL fsync spikes (-fsync-p99), rescue storms, and
+// shard imbalance; results are served at /debug/health. Each anomaly
+// triggers an atomic flight-recorder dump into -flight-dir (cooldown
+// -flight-cooldown). Structured operational logs go to stderr
+// (-log-format json|text, -log-level).
 package main
 
 import (
@@ -48,6 +60,10 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/internal/obs/olog"
+	"repro/internal/obs/span"
+	"repro/internal/obs/watch"
 	"repro/internal/service"
 	"repro/internal/shard"
 	"repro/internal/transport"
@@ -88,6 +104,16 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		walGroup  = fs.Duration("wal-group-commit", 0, "max extra latency the WAL writer waits to coalesce decision fsyncs (0: flush whatever has queued)")
 		snapEvery = fs.Int("snapshot-every", 4096, "WAL records between state snapshots (0: never snapshot; replay covers the whole log)")
 		withPprof = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+
+		logFormat = fs.String("log-format", "text", "structured log format: text or json")
+		logLevel  = fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		watchInt  = fs.Duration("watch-interval", time.Second, "anomaly watchdog sampling period")
+		stallAge  = fs.Duration("stall-age", 0, "age past which an in-flight transaction is a stall anomaly (default 2x -timeout)")
+		sloP99    = fs.Duration("slo-p99", 0, "decision-latency p99 SLO target; a windowed p99 above it is an anomaly (0: disabled)")
+		fsyncP99  = fs.Duration("fsync-p99", 0, "WAL fsync p99 ceiling; a windowed p99 above it is an anomaly (0: disabled)")
+		flightDir = fs.String("flight-dir", "", "directory for anomaly-triggered flight-recorder dumps (empty: /debug/flight only)")
+		flightCD  = fs.Duration("flight-cooldown", 30*time.Second, "minimum spacing between persisted flight dumps")
+		spanTxns  = fs.Int("span-txns", 0, "completed transactions whose spans the collector retains (0: ring bound only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,8 +125,17 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		return fmt.Errorf("-shards must be >= 1, got %d", *shards)
 	}
 
+	logger, err := olog.New(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
+	if *stallAge <= 0 {
+		*stallAge = 2 * *timeout
+	}
+
 	reg := obs.NewRegistry()
 	obs.RegisterProcessMetrics(reg)
+	sampler := obs.RegisterRuntimeMetrics(reg)
 	cfg := service.Config{
 		N: *n, T: *tFaults, K: *k,
 		TickEvery:      *tick,
@@ -111,6 +146,8 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		BatchAgreement: *batchAg,
 		DefaultTimeout: *timeout,
 		Registry:       reg,
+		SpanTxnCap:     *spanTxns,
+		Logger:         logger,
 	}
 	switch *backend {
 	case "channel":
@@ -132,6 +169,9 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	var handler http.Handler
 	var closeFn func(context.Context) error
 	var report func()
+	var src watch.Source
+	var tracer *obs.Tracer
+	var spans *span.Collector
 	if *shards == 1 {
 		var journal *wal.DecisionLog
 		if *walDir != "" {
@@ -162,6 +202,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 			return err
 		}
 		handler = service.NewHTTPHandler(svc)
+		src, tracer, spans = svc, svc.Tracer(), svc.Spans()
 		closeFn = func(ctx context.Context) error {
 			err := svc.Close(ctx)
 			if journal != nil {
@@ -232,6 +273,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 			fmt.Fprintf(out, "commitd: cross WAL replayed (%d records, %d in-doubt settled)\n", len(replayed), settled)
 		}
 		handler = shard.NewHTTPHandler(coord)
+		src, tracer, spans = coord, coord.Tracer(), coord.Spans()
 		closeFn = func(ctx context.Context) error {
 			err := coord.Close(ctx)
 			if logClose != nil {
@@ -249,27 +291,66 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		}
 	}
 
+	// Watchdog + flight recorder. The recorder pointer is closed over
+	// before the watchdog goroutine starts, so the hook never races.
+	var rec *flight.Recorder
+	wd := watch.New(src, watch.Config{
+		Interval:     *watchInt,
+		StallAge:     *stallAge,
+		SLOTargetP99: *sloP99,
+		FsyncP99Max:  *fsyncP99,
+		// Storm/imbalance thresholds are fixed: bursts this size within
+		// one sampling interval indicate injected faults or a routing
+		// pathology, not normal load.
+		RescueBurst:     8,
+		ImbalanceFactor: 8,
+		ImbalanceMin:    256,
+		Registry:        reg,
+		OnTick:          sampler.Sample,
+		OnAnomaly: func(a watch.Anomaly) {
+			logger.Warn("anomaly detected", "rule", a.Rule,
+				olog.Txn(a.Txn), olog.Shard(a.Shard), olog.Node(a.Node),
+				"detail", a.Detail)
+			path, derr := rec.TriggerDump(a.Rule)
+			if derr != nil {
+				logger.Error("flight dump failed", "err", derr.Error())
+			} else if path != "" {
+				logger.Info("flight dump written", "path", path)
+			}
+		},
+	})
+	rec = flight.New(flight.Config{
+		Tracer: tracer, Spans: spans, Source: src, Watchdog: wd,
+		StallAge: *stallAge, Dir: *flightDir, Cooldown: *flightCD,
+		Registry: reg,
+	})
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		closeFn(context.Background()) //nolint:errcheck // already failing
 		return err
 	}
+	outer := http.NewServeMux()
 	if *withPprof {
-		outer := http.NewServeMux()
 		outer.HandleFunc("/debug/pprof/", pprof.Index)
 		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		outer.Handle("/", handler)
-		handler = outer
 	}
+	outer.Handle("/debug/health", wd.Handler())
+	outer.Handle("/debug/flight", rec.Handler())
+	outer.Handle("/", handler)
+	handler = outer
+	wd.Start()
 	server := &http.Server{Handler: handler}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
 
 	fmt.Fprintf(out, "commitd: serving n=%d shards=%d backend=%s on http://%s\n", *n, *shards, *backend, ln.Addr())
+	logger.Info("serving", "addr", ln.Addr().String(), "n", *n, "shards", *shards,
+		"backend", *backend, "watch_interval", watchInt.String(), "stall_age", stallAge.String())
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -287,6 +368,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		}
 	}
 
+	wd.Stop()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := closeFn(shutdownCtx); err != nil && serveErr == nil {

@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs/watch"
 	"repro/internal/service"
 	"repro/internal/shard"
 	"repro/internal/stats"
@@ -271,7 +272,7 @@ func drive(cfg genConfig, out io.Writer) error {
 	if cfg.readyWait <= 0 {
 		cfg.readyWait = 5 * time.Second
 	}
-	if err := waitReady(client, base, cfg.readyWait); err != nil {
+	if err := waitReady(client, base, cfg.readyWait, rand.New(rand.NewSource(cfg.seed))); err != nil {
 		return err
 	}
 	health, err := clusterInfo(client, base)
@@ -507,6 +508,7 @@ func drive(cfg genConfig, out io.Writer) error {
 	}
 
 	s := summarize(cfg, g, m, before, sharded, elapsed)
+	s.Watchdog = fetchWatchdog(client, base)
 	if cfg.jsonOut {
 		enc := json.NewEncoder(out)
 		if err := enc.Encode(s); err != nil {
@@ -605,6 +607,7 @@ type SummaryJSON struct {
 	SingleShard      *OutcomeJSON            `json:"single_shard,omitempty"`
 	Daemon           service.Metrics         `json:"daemon"`
 	DaemonSharded    *shard.Metrics          `json:"daemon_sharded,omitempty"`
+	Watchdog         *watch.Health           `json:"watchdog,omitempty"`
 }
 
 // outcomeOf folds one recorder into the JSON block.
@@ -732,6 +735,21 @@ func report(out io.Writer, cfg genConfig, s SummaryJSON, elapsed time.Duration) 
 		}
 		fmt.Fprint(out, "daemon stage latency:\n"+st.String())
 	}
+	if w := s.Watchdog; w != nil {
+		fmt.Fprintf(out, "watchdog: status=%s ticks=%d anomalies=%d\n", w.Status, w.Ticks, w.Anomalies)
+		if len(w.ByRule) > 0 {
+			wt := stats.NewTable("anomaly rule", "count")
+			rules := make([]string, 0, len(w.ByRule))
+			for r := range w.ByRule {
+				rules = append(rules, r)
+			}
+			sort.Strings(rules)
+			for _, r := range rules {
+				wt.AddRow(r, w.ByRule[r])
+			}
+			fmt.Fprint(out, wt.String())
+		}
+	}
 	if s.ClientViolations > 0 {
 		fmt.Fprintf(out, "CLIENT-OBSERVED VIOLATIONS: %d abort-voted txns committed\n", s.ClientViolations)
 	}
@@ -740,11 +758,18 @@ func report(out io.Writer, cfg genConfig, s SummaryJSON, elapsed time.Duration) 
 // waitReady polls GET /readyz until the daemon answers 200, retrying
 // connection errors and 503 (starting or draining) up to the deadline. A
 // 404 counts as ready: older daemons without the endpoint are healthy if
-// they answer at all. An exhausted deadline yields a diagnosis, not a
-// bare dial error: which address, how long we waited, and the last
-// failure underneath.
-func waitReady(client *http.Client, base string, patience time.Duration) error {
+// they answer at all. Retries back off exponentially (25ms doubling to a
+// 1s cap) with jitter so a fleet of generators pointed at one recovering
+// daemon doesn't re-dial in lockstep. An exhausted deadline yields a
+// diagnosis, not a bare dial error: which address, how long we waited,
+// and the last failure underneath.
+func waitReady(client *http.Client, base string, patience time.Duration, rng *rand.Rand) error {
+	const (
+		backoffBase = 25 * time.Millisecond
+		backoffCap  = time.Second
+	)
 	deadline := time.Now().Add(patience)
+	delay := backoffBase
 	var last error
 	for {
 		resp, err := client.Get(base + "/readyz")
@@ -764,8 +789,35 @@ func waitReady(client *http.Client, base string, patience time.Duration) error {
 			return fmt.Errorf("commitd at %s unreachable after waiting %v for /readyz (is the daemon running there?): %w",
 				base, patience, last)
 		}
-		time.Sleep(100 * time.Millisecond)
+		// Full jitter over [delay/2, delay): keeps the mean near 3/4 of
+		// the nominal step while decorrelating concurrent clients.
+		sleep := delay/2 + time.Duration(rng.Int63n(int64(delay/2)))
+		time.Sleep(sleep)
+		if delay *= 2; delay > backoffCap {
+			delay = backoffCap
+		}
 	}
+}
+
+// fetchWatchdog pulls the daemon's /debug/health document after a run.
+// Nil (never an error) when the daemon predates the watchdog or the
+// endpoint misbehaves — anomaly counts are advisory output, and a
+// missing watchdog must not fail an otherwise clean run.
+func fetchWatchdog(client *http.Client, base string) *watch.Health {
+	resp, err := client.Get(base + "/debug/health")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return nil
+	}
+	var h watch.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil
+	}
+	return &h
 }
 
 // clusterInfo fetches /healthz: cluster size per group plus the shard

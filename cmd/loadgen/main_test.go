@@ -6,11 +6,13 @@ import (
 	"encoding/json"
 	"math/rand"
 	"net"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/obs/watch"
 	"repro/internal/service"
 	"repro/internal/shard"
 )
@@ -194,6 +196,67 @@ func TestLoadgenJSONOutput(t *testing.T) {
 	}
 	if m := s.Metrics(); sum.Daemon.Submitted != m.Submitted {
 		t.Fatalf("daemon snapshot stale: %d vs %d", sum.Daemon.Submitted, m.Submitted)
+	}
+}
+
+// TestLoadgenWatchdogReport: against a daemon that exposes
+// /debug/health, the end-of-run report carries the watchdog's status and
+// anomaly counts, and the -json summary embeds the health document. The
+// other end-to-end tests cover the opposite path: their targets have no
+// /debug/health, and the report must simply omit the section.
+func TestLoadgenWatchdogReport(t *testing.T) {
+	s, err := service.New(service.Config{N: 3, K: 3, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd := watch.New(s, watch.Config{})
+	wd.Tick() // at least one evaluation so ticks > 0 in the report
+	mux := http.NewServeMux()
+	mux.Handle("/debug/health", wd.Handler())
+	mux.Handle("/", service.NewHTTPHandler(s))
+	ts := httptest.NewServer(mux)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	addr := strings.TrimPrefix(ts.URL, "http://")
+
+	base := genConfig{
+		addr:          addr,
+		mode:          "closed",
+		concurrency:   4,
+		total:         30,
+		abortFraction: 0.5,
+		timeout:       30 * time.Second,
+		crashNode:     -1,
+		seed:          5,
+	}
+	var out bytes.Buffer
+	if err := drive(base, &out); err != nil {
+		t.Fatalf("drive: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "watchdog: status=ok") {
+		t.Fatalf("report lacks the watchdog line:\n%s", out.String())
+	}
+
+	out.Reset()
+	base.jsonOut = true
+	if err := drive(base, &out); err != nil {
+		t.Fatalf("drive -json: %v\n%s", err, out.String())
+	}
+	var sum SummaryJSON
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		t.Fatalf("decode: %v\n%s", err, out.String())
+	}
+	if sum.Watchdog == nil || sum.Watchdog.Ticks == 0 {
+		t.Fatalf("json summary lacks watchdog health: %+v", sum.Watchdog)
+	}
+	if sum.Watchdog.Status != "ok" || sum.Watchdog.Anomalies != 0 {
+		t.Fatalf("clean run reported anomalies: %+v", sum.Watchdog)
 	}
 }
 

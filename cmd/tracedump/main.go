@@ -24,6 +24,16 @@
 //     loadable in Perfetto / chrome://tracing, one track per processor
 //     plus the service and network tracks.
 //
+// Flight-recorder dumps (anomaly-triggered files from -flight-dir, or
+// `curl http://host/debug/flight`) have their own renderer:
+//
+//   - `tracedump flight <dump.json>` prints the dump header, watchdog
+//     health, per-shard state, and recent anomalies; `-summary` prints
+//     only the canonical anomaly summary (byte-stable across reruns of
+//     the same seeded fault plan). The spans/critpath/chrome
+//     subcommands also accept a flight dump directly, reading the
+//     embedded span graph.
+//
 //     commitsim -n 5 -tracefile run.json
 //     tracedump run.json
 //     tracedump -rounds -late run.json
@@ -42,8 +52,12 @@ import (
 	"os"
 	"strings"
 
+	"sort"
+
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/obs/span"
+	"repro/internal/obs/watch"
 	"repro/internal/rounds"
 	"repro/internal/trace"
 	"repro/internal/types"
@@ -54,6 +68,7 @@ const usageText = `usage:
   tracedump spans [-o file] <trace.json>      export the causal span graph (JSON)
   tracedump critpath [-txn id] <trace.json>   print the critical path
   tracedump chrome [-o file] <trace.json>     export Chrome trace-event JSON (Perfetto)
+  tracedump flight [-summary] <dump.json>     render a flight-recorder dump
 `
 
 func main() {
@@ -66,7 +81,7 @@ func main() {
 func dispatch(args []string, stdout, stderr io.Writer) int {
 	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
 		switch args[0] {
-		case "spans", "critpath", "chrome":
+		case "spans", "critpath", "chrome", "flight":
 			if err := runSub(args[0], args[1:], stdout); err != nil {
 				fmt.Fprintln(stderr, "tracedump:", err)
 				if strings.Contains(err.Error(), "usage:") {
@@ -95,13 +110,17 @@ func dispatch(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// runSub executes one span-model subcommand.
+// runSub executes one span-model or flight-recorder subcommand.
 func runSub(cmd string, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("tracedump "+cmd, flag.ContinueOnError)
 	outPath := fs.String("o", "", "write output to this file instead of stdout")
 	var txnID string
+	var summaryOnly bool
 	if cmd == "critpath" {
 		fs.StringVar(&txnID, "txn", "", "attribute this transaction (default: the last-finishing span)")
+	}
+	if cmd == "flight" {
+		fs.BoolVar(&summaryOnly, "summary", false, "print only the canonical anomaly summary")
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,9 +128,21 @@ func runSub(cmd string, args []string, stdout io.Writer) error {
 	if fs.NArg() != 1 {
 		return errors.New(usageText)
 	}
-	g, err := loadGraph(fs.Arg(0))
-	if err != nil {
-		return err
+	var g *span.Graph
+	var dump *flight.Dump
+	if cmd == "flight" {
+		raw, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		if dump, err = flight.ReadDump(raw); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if g, err = loadGraph(fs.Arg(0)); err != nil {
+			return err
+		}
 	}
 	w := stdout
 	if *outPath != "" {
@@ -122,6 +153,14 @@ func runSub(cmd string, args []string, stdout io.Writer) error {
 		defer f.Close() //nolint:errcheck // write errors surface below
 		w = f
 	}
+	if cmd == "flight" {
+		if summaryOnly {
+			_, err := io.WriteString(w, flight.CanonicalSummary(dump))
+			return err
+		}
+		return renderFlight(w, dump)
+	}
+	var err error
 	switch cmd {
 	case "spans":
 		return span.WriteJSON(w, g)
@@ -143,8 +182,9 @@ func runSub(cmd string, args []string, stdout io.Writer) error {
 	return fmt.Errorf("unknown subcommand %q", cmd)
 }
 
-// loadGraph builds a span graph from any of the three input formats:
-// simulator trace, live-trace export, or an already-built span graph.
+// loadGraph builds a span graph from any of the four input formats:
+// simulator trace, live-trace export, an already-built span graph, or a
+// flight-recorder dump (whose embedded span graph is extracted).
 func loadGraph(path string) (*span.Graph, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -152,6 +192,16 @@ func loadGraph(path string) (*span.Graph, error) {
 	}
 	if span.IsGraphJSON(raw) {
 		return span.ReadJSON(bytes.NewReader(raw))
+	}
+	if flight.IsDumpJSON(raw) {
+		d, err := flight.ReadDump(raw)
+		if err != nil {
+			return nil, err
+		}
+		if d.Spans == nil || len(d.Spans.Spans) == 0 {
+			return nil, errors.New("flight dump carries no span graph")
+		}
+		return d.Spans, nil
 	}
 	if isLiveTrace(raw) {
 		var exp obs.TraceExport
@@ -165,6 +215,71 @@ func loadGraph(path string) (*span.Graph, error) {
 		return nil, err
 	}
 	return span.FromTrace(tr)
+}
+
+// renderFlight prints a flight-recorder dump for a human: the capture
+// header, the watchdog health document, per-shard state, cross-shard
+// in-doubt transactions, blocked-protocol reports, and what telemetry
+// the dump carries for the other subcommands to chew on.
+func renderFlight(w io.Writer, d *flight.Dump) error {
+	fmt.Fprintf(w, "flight dump: seq=%d reason=%s", d.Seq, d.Reason)
+	if d.CapturedS > 0 {
+		fmt.Fprintf(w, " captured_unix=%.3f", d.CapturedS)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "health: %s ticks=%d anomalies=%d\n", d.Health.Status, d.Health.Ticks, d.Health.Anomalies)
+	if len(d.Health.ByRule) > 0 {
+		rules := make([]string, 0, len(d.Health.ByRule))
+		for r := range d.Health.ByRule {
+			rules = append(rules, r)
+		}
+		sort.Strings(rules)
+		for _, r := range rules {
+			fmt.Fprintf(w, "  %-18s %d\n", r, d.Health.ByRule[r])
+		}
+	}
+	for _, sh := range d.Shards {
+		fmt.Fprintf(w, "shard %s: queued=%d in_flight=%d submitted=%d decided=%d timed_out=%d rescues=%d\n",
+			sh.Shard, sh.Queued, sh.InFlight, sh.Submitted, sh.Decided, sh.TimedOut, sh.Rescues)
+		if len(sh.CrashedNodes) > 0 {
+			fmt.Fprintf(w, "  crashed nodes: %v\n", sh.CrashedNodes)
+		}
+		for _, st := range sh.Stalled {
+			fmt.Fprintf(w, "  stalled txn=%s state=%s age=%dms\n", st.Txn, st.State, st.AgeMs)
+		}
+	}
+	for _, c := range d.Cross {
+		fmt.Fprintf(w, "cross in-doubt txn=%s state=%s age=%dms\n", c.Txn, c.State, c.AgeMs)
+	}
+	for _, b := range d.Blocked {
+		fmt.Fprintf(w, "blocked protocol=%s txn=%s %s\n", b.Protocol, b.Txn, b.Detail)
+	}
+	if len(d.Health.Recent) > 0 {
+		fmt.Fprintln(w, "recent anomalies:")
+		for i := range d.Health.Recent {
+			a := &d.Health.Recent[i]
+			line := fmt.Sprintf("  seq%-4d tick%-4d %-18s", a.Seq, a.Tick, a.Rule)
+			if a.Shard != "" {
+				line += " shard=" + a.Shard
+			}
+			if a.Txn != "" {
+				line += " txn=" + a.Txn
+			}
+			if a.Node != 0 || a.Rule == watch.RuleNodeDown {
+				line += fmt.Sprintf(" node=%d", a.Node)
+			}
+			if a.Detail != "" {
+				line += " " + a.Detail
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+	spans := 0
+	if d.Spans != nil {
+		spans = len(d.Spans.Spans)
+	}
+	_, err := fmt.Fprintf(w, "telemetry: events=%d dropped=%d spans=%d\n", len(d.Events), d.Dropped, spans)
+	return err
 }
 
 // criticalPathLast targets the graph's last-finishing span (ties to the

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"io"
 	"os"
@@ -11,7 +12,9 @@ import (
 
 	tcommit "repro"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/obs/span"
+	"repro/internal/obs/watch"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -228,6 +231,121 @@ func TestCritpathFlags(t *testing.T) {
 	}
 	if !strings.Contains(string(raw), `"traceEvents"`) {
 		t.Fatalf("chrome -o wrote %q", raw)
+	}
+}
+
+// writeFlightDump materializes a deterministic flight-recorder dump the
+// way commitd's anomaly path would.
+func writeFlightDump(t *testing.T) string {
+	t.Helper()
+	events := []obs.Event{
+		{Seq: 1, Node: 0, Txn: "t1", Type: obs.EventGoSent, Tick: 1},
+		{Seq: 2, Node: 0, Txn: "t1", Type: obs.EventDecided, Tick: 5, Detail: "decision=COMMIT"},
+	}
+	d := &flight.Dump{
+		Format: flight.DumpFormat,
+		Seq:    3,
+		Reason: "node-down",
+		Health: watch.Health{
+			Status: "degraded", Ticks: 12, Anomalies: 2,
+			ByRule: map[string]uint64{watch.RuleNodeDown: 1, watch.RuleTxnStall: 1},
+			Recent: []watch.Anomaly{
+				{Seq: 1, Tick: 4, Rule: watch.RuleNodeDown, Shard: "s0", Node: 2, Detail: "fail-stop"},
+				{Seq: 2, Tick: 9, Rule: watch.RuleTxnStall, Shard: "s0", Txn: "t9"},
+			},
+		},
+		Shards: []watch.ShardSample{{
+			Shard: "s0", Queued: 1, InFlight: 2, CrashedNodes: []int{2},
+			Stalled:   []watch.TxnAge{{Txn: "t9", Shard: "s0", AgeMs: 1500, State: "running"}},
+			Submitted: 10, Decided: 8, TimedOut: 1, Rescues: 1,
+		}},
+		Cross:   []watch.TxnAge{{Txn: "x1", AgeMs: 900, State: "preparing"}},
+		Blocked: []watch.BlockedReport{{Protocol: "2pc", Txn: "b1", Detail: "coordinator dead"}},
+		Dropped: 4,
+		Events:  events,
+		Spans:   span.FromEvents(events),
+	}
+	raw, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "flight.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestFlightRender: the flight subcommand prints the dump header,
+// health, shard state, and anomaly lines.
+func TestFlightRender(t *testing.T) {
+	path := writeFlightDump(t)
+	var out bytes.Buffer
+	if code := dispatch([]string{"flight", path}, &out, io.Discard); code != 0 {
+		t.Fatal("flight render failed")
+	}
+	for _, want := range []string{
+		"flight dump: seq=3 reason=node-down",
+		"health: degraded ticks=12 anomalies=2",
+		"node-down",
+		"shard s0: queued=1 in_flight=2 submitted=10 decided=8 timed_out=1 rescues=1",
+		"crashed nodes: [2]",
+		"stalled txn=t9 state=running age=1500ms",
+		"cross in-doubt txn=x1 state=preparing age=900ms",
+		"blocked protocol=2pc txn=b1 coordinator dead",
+		"node=2",
+		"telemetry: events=2 dropped=4 spans=",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("flight output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestFlightSummary: -summary emits exactly the canonical anomaly
+// summary — the byte-stable artifact the chaos harness asserts on.
+func TestFlightSummary(t *testing.T) {
+	path := writeFlightDump(t)
+	var out bytes.Buffer
+	if code := dispatch([]string{"flight", "-summary", path}, &out, io.Discard); code != 0 {
+		t.Fatal("flight -summary failed")
+	}
+	want := "flight reason=node-down\nrule node-down count=1 nodes=[2]\nrule txn-stall count=1\n"
+	if out.String() != want {
+		t.Fatalf("summary = %q, want %q", out.String(), want)
+	}
+}
+
+// TestFlightFeedsSpanSubcommands: spans/critpath accept a flight dump
+// directly, reading the embedded span graph.
+func TestFlightFeedsSpanSubcommands(t *testing.T) {
+	path := writeFlightDump(t)
+	var out bytes.Buffer
+	if code := dispatch([]string{"spans", path}, &out, io.Discard); code != 0 {
+		t.Fatal("spans on a flight dump failed")
+	}
+	if _, err := span.ReadJSON(bytes.NewReader(out.Bytes())); err != nil {
+		t.Fatalf("extracted graph invalid: %v", err)
+	}
+	out.Reset()
+	if code := dispatch([]string{"critpath", "-txn", "t1", path}, &out, io.Discard); code != 0 {
+		t.Fatal("critpath on a flight dump failed")
+	}
+	if !strings.Contains(out.String(), "txn=t1") {
+		t.Fatalf("critpath output = %q", out.String())
+	}
+}
+
+func TestFlightErrors(t *testing.T) {
+	if code := dispatch([]string{"flight"}, io.Discard, io.Discard); code != 2 {
+		t.Fatal("missing operand accepted")
+	}
+	if code := dispatch([]string{"flight", "/nonexistent.json"}, io.Discard, io.Discard); code != 1 {
+		t.Fatal("missing file accepted")
+	}
+	// A live trace is not a flight dump.
+	if code := dispatch([]string{"flight", writeTrace(t)}, io.Discard, io.Discard); code != 1 {
+		t.Fatal("non-dump file accepted")
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/obs"
+	"repro/internal/obs/watch"
 	"repro/internal/service"
 	"repro/internal/types"
 )
@@ -288,6 +289,12 @@ type ServiceRunData struct {
 	Metrics service.Metrics
 	Events  []obs.Event
 	Crashed []bool
+	// Watched is true when RunOptions.Watch attached a live watchdog;
+	// Anomalies and Health are its findings (the workload's periodic
+	// ticks plus one final synchronous evaluation).
+	Watched   bool
+	Anomalies []watch.Anomaly
+	Health    watch.Health
 }
 
 // AuditService checks a commit-service run end to end: client responses,
@@ -356,6 +363,10 @@ func AuditService(p *Plan, d *ServiceRunData) *Report {
 	// may have evicted early events, so order is only checked among the
 	// events present.
 	r.add("trace-sanity", auditServiceTrace(d.Events) == "", auditServiceTrace(d.Events))
+
+	// Watchdog detection coverage (watched runs only): injected crashes
+	// must be reported, live nodes must not be, clean plans stay silent.
+	auditWatch(r, p, d.Crashed, d.Anomalies, d.Watched)
 	return r
 }
 

@@ -47,19 +47,23 @@ func RunService(p *Plan, o RunOptions) (*Report, *ServiceRunData, error) {
 	crashed := make([]bool, n)
 	stopped := false
 
+	wr := startWatch(&o, svc)
+
 	inj.Arm()
 	var crashTimers []*time.Timer
 	for _, ev := range p.Crashes {
 		ev := ev
 		crashTimers = append(crashTimers, time.AfterFunc(
 			time.Duration(ev.Tick)*o.TickEvery, func() {
+				// Crash inside the critical section: once the harness sets
+				// stopped under mu, every fired crash has reached the
+				// service, so the watchdog's final tick cannot miss one.
 				mu.Lock()
+				defer mu.Unlock()
 				if stopped {
-					mu.Unlock()
 					return
 				}
 				crashed[ev.Node] = true
-				mu.Unlock()
 				svc.Crash(types.ProcID(ev.Node)) //nolint:errcheck // in-range by construction
 			}))
 	}
@@ -97,6 +101,7 @@ func RunService(p *Plan, o RunOptions) (*Report, *ServiceRunData, error) {
 	for _, t := range crashTimers {
 		t.Stop()
 	}
+	anomalies, health := wr.finish()
 
 	// Cross-check each result against the status endpoint while the
 	// service still retains the ids, then snapshot metrics.
@@ -112,10 +117,13 @@ func RunService(p *Plan, o RunOptions) (*Report, *ServiceRunData, error) {
 	closeErr := svc.Close(closeCtx)
 
 	data := &ServiceRunData{
-		Results: results,
-		Metrics: metrics,
-		Events:  o.Tracer.Recent(o.Tracer.Len()),
-		Crashed: crashed,
+		Results:   results,
+		Metrics:   metrics,
+		Events:    o.Tracer.Recent(o.Tracer.Len()),
+		Crashed:   crashed,
+		Watched:   wr != nil,
+		Anomalies: anomalies,
+		Health:    health,
 	}
 	return AuditService(p, data), data, closeErr
 }

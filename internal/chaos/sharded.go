@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/watch"
 	"repro/internal/service"
 	"repro/internal/shard"
 	"repro/internal/transport"
@@ -50,6 +51,12 @@ type ShardedRunData struct {
 	EchoSettled int
 	// EchoErr is non-empty if the recovery echo failed outright.
 	EchoErr string
+	// Watched is true when RunOptions.Watch attached a live watchdog;
+	// Anomalies and Health are its findings (the workload's periodic
+	// ticks plus one final synchronous evaluation).
+	Watched   bool
+	Anomalies []watch.Anomaly
+	Health    watch.Health
 }
 
 // RunShardedService executes a multi-group workload under the plan's
@@ -101,6 +108,8 @@ func RunShardedService(p *Plan, o RunOptions) (*Report, *ShardedRunData, error) 
 	crashed := make([]bool, n)
 	stopped := false
 
+	wr := startWatch(&o, coord)
+
 	for _, inj := range injectors {
 		inj.Arm()
 	}
@@ -109,13 +118,15 @@ func RunShardedService(p *Plan, o RunOptions) (*Report, *ShardedRunData, error) 
 		ev := ev
 		crashTimers = append(crashTimers, time.AfterFunc(
 			time.Duration(ev.Tick)*o.TickEvery, func() {
+				// Crash inside the critical section: once the harness sets
+				// stopped under mu, every fired crash has reached the
+				// groups, so the watchdog's final tick cannot miss one.
 				mu.Lock()
+				defer mu.Unlock()
 				if stopped {
-					mu.Unlock()
 					return
 				}
 				crashed[ev.Node] = true
-				mu.Unlock()
 				coord.CrashEverywhere(types.ProcID(ev.Node)) //nolint:errcheck // in-range by construction
 			}))
 	}
@@ -165,6 +176,7 @@ func RunShardedService(p *Plan, o RunOptions) (*Report, *ShardedRunData, error) 
 	for _, t := range crashTimers {
 		t.Stop()
 	}
+	anomalies, health := wr.finish()
 
 	// Cross-check statuses and snapshot child records while the groups
 	// still retain the ids, then the metrics and the WAL — all before
@@ -192,6 +204,9 @@ func RunShardedService(p *Plan, o RunOptions) (*Report, *ShardedRunData, error) 
 		Crashed:      crashed,
 		Records:      records,
 		EchoOutcomes: map[string]service.State{},
+		Watched:      wr != nil,
+		Anomalies:    anomalies,
+		Health:       health,
 	}
 
 	// Recovery echo: strip the outcome records — the WAL a coordinator
@@ -382,5 +397,9 @@ func AuditSharded(p *Plan, d *ShardedRunData) *Report {
 	// ids are disjoint across groups (children carry their shard
 	// suffix), so the single-group checker applies verbatim.
 	r.add("trace-sanity", auditServiceTrace(d.Events) == "", auditServiceTrace(d.Events))
+
+	// Watchdog detection coverage (watched runs only): injected crashes
+	// must be reported, live nodes must not be, clean plans stay silent.
+	auditWatch(r, p, d.Crashed, d.Anomalies, d.Watched)
 	return r
 }

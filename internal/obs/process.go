@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"runtime"
 	"runtime/debug"
+	"sync"
 	"time"
 )
 
@@ -40,4 +42,83 @@ func registerProcessMetrics(r *Registry, start float64, path, version, goVersion
 	r.GaugeVec("build_info",
 		"Build metadata of the running binary; the value is always 1.",
 		"path", "version", "goversion").With(path, version, goVersion).Set(1)
+}
+
+// GCPauseBuckets cover Go stop-the-world pauses: typically tens of
+// microseconds, pathologically milliseconds.
+var GCPauseBuckets = []float64{1e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 0.1}
+
+// RegisterRuntimeMetrics adds Go runtime health to the registry:
+// go_goroutines and go_memstats_heap_alloc_bytes as live gauges
+// (evaluated at scrape), plus a go_gc_pause_seconds histogram fed by
+// the returned sampler. The sampler has no goroutine of its own — call
+// Sample periodically (the watchdog's tick hook is the natural home);
+// each call ingests the GC pauses that finished since the previous one.
+func RegisterRuntimeMetrics(r *Registry) *RuntimeSampler {
+	return registerRuntimeMetrics(r,
+		func() float64 { return float64(runtime.NumGoroutine()) },
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+}
+
+// registerRuntimeMetrics is the deterministic seam behind
+// RegisterRuntimeMetrics: tests inject fixed gauge functions so the
+// exposition golden stays stable (the pause histogram starts empty,
+// which is already deterministic).
+func registerRuntimeMetrics(r *Registry, goroutines, heapAlloc func() float64) *RuntimeSampler {
+	r.GaugeFunc("go_goroutines",
+		"Number of live goroutines, sampled at scrape.", goroutines)
+	r.GaugeFunc("go_memstats_heap_alloc_bytes",
+		"Bytes of allocated heap objects, sampled at scrape.", heapAlloc)
+	return &RuntimeSampler{
+		pauses: r.Histogram("go_gc_pause_seconds",
+			"Stop-the-world GC pause durations.", GCPauseBuckets),
+	}
+}
+
+// RuntimeSampler ingests GC pause durations into go_gc_pause_seconds.
+// Safe for concurrent use; nil-receiver safe.
+type RuntimeSampler struct {
+	pauses *Histogram
+
+	mu      sync.Mutex
+	lastGC  uint32
+	started bool
+}
+
+// Sample reads runtime.MemStats and observes every GC pause completed
+// since the previous call. If more than 256 cycles elapsed between
+// calls only the newest 256 are available (the runtime's own ring
+// bound); older ones are silently gone.
+func (s *RuntimeSampler) Sample() {
+	if s == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.ingest(ms.NumGC, &ms.PauseNs)
+}
+
+func (s *RuntimeSampler) ingest(numGC uint32, pauseNs *[256]uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.started {
+		// First call defines the baseline: pauses before process
+		// instrumentation began are not this run's data.
+		s.started = true
+		s.lastGC = numGC
+		return
+	}
+	from := s.lastGC
+	if numGC-from > 256 {
+		from = numGC - 256
+	}
+	for i := from; i < numGC; i++ {
+		// PauseNs is a ring indexed by (cycle-1) mod 256.
+		s.pauses.Observe(float64(pauseNs[(i)%256]) / 1e9)
+	}
+	s.lastGC = numGC
 }

@@ -32,3 +32,59 @@ func TestRegisterProcessMetrics(t *testing.T) {
 		t.Error("start time is zero")
 	}
 }
+
+// TestRegisterRuntimeMetrics exercises the live path: the gauges read
+// the real runtime at scrape and the sampler ingests real GC pauses.
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	s := RegisterRuntimeMetrics(reg)
+	s.Sample() // baseline
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE go_goroutines gauge",
+		"# TYPE go_memstats_heap_alloc_bytes gauge",
+		"# TYPE go_gc_pause_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "go_goroutines 0\n") {
+		t.Error("a running test binary has goroutines")
+	}
+	var nilSampler *RuntimeSampler
+	nilSampler.Sample() // nil-safe
+}
+
+// TestRuntimeSamplerIngest pins the PauseNs ring indexing: cycle c's
+// pause lives at (c-1) mod 256, and a gap wider than the ring only
+// ingests the newest 256 cycles.
+func TestRuntimeSamplerIngest(t *testing.T) {
+	reg := NewRegistry()
+	s := registerRuntimeMetrics(reg, func() float64 { return 0 }, func() float64 { return 0 })
+
+	var pauses [256]uint64
+	for i := range pauses {
+		pauses[i] = 1_000_000 // 1ms each
+	}
+	s.ingest(10, &pauses) // baseline: nothing observed
+	if got := s.pauses.Count(); got != 0 {
+		t.Fatalf("baseline observed %d pauses", got)
+	}
+	s.ingest(12, &pauses) // cycles 11, 12
+	if got := s.pauses.Count(); got != 2 {
+		t.Fatalf("want 2 pauses, got %d", got)
+	}
+	s.ingest(12+300, &pauses) // 300-cycle gap: only newest 256 available
+	if got := s.pauses.Count(); got != 2+256 {
+		t.Fatalf("want %d pauses after wide gap, got %d", 2+256, got)
+	}
+	if sum := s.pauses.Sum(); sum < 0.257 || sum > 0.259 {
+		t.Fatalf("sum %f, want ~0.258 (258 × 1ms)", sum)
+	}
+}

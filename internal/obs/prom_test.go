@@ -41,6 +41,16 @@ func goldenRegistry() *Registry {
 	esc.With(`quote"back\slash`).Inc()
 	esc.With("line\nbreak").Inc()
 	registerProcessMetrics(reg, 1700000000.5, "repro", "v1.2.3", "go1.99.0")
+	sampler := registerRuntimeMetrics(reg,
+		func() float64 { return 12 },
+		func() float64 { return 4 << 20 })
+	// Deterministic GC pause ingestion: baseline at cycle 3, then two
+	// completed cycles with fixed pause times.
+	var pauses [256]uint64
+	pauses[3%256] = 40_000  // cycle 4: 40µs
+	pauses[4%256] = 200_000 // cycle 5: 200µs
+	sampler.ingest(3, &pauses)
+	sampler.ingest(5, &pauses)
 	return reg
 }
 

@@ -157,3 +157,112 @@ func TestInferEdgesEmpty(t *testing.T) {
 		t.Fatalf("edges of empty span set = %+v", got)
 	}
 }
+
+func TestTxnCapEvictsOldestCompleted(t *testing.T) {
+	c := NewCollectorClock(64, func() int64 { return 0 })
+	c.SetTxnCap(2)
+	add := func(txn string, n int) {
+		for i := 0; i < n; i++ {
+			c.Add(Span{Txn: txn, Track: "service", Name: StageAdmit, Kind: KindStage})
+		}
+	}
+	add("a", 3)
+	add("b", 2)
+	add("c", 4)
+	if c.Len() != 9 {
+		t.Fatalf("Len = %d, want 9", c.Len())
+	}
+	c.CompleteTxn("a")
+	c.CompleteTxn("b")
+	if c.Len() != 9 {
+		t.Fatalf("within cap, nothing evicted: Len = %d", c.Len())
+	}
+	c.CompleteTxn("c") // backlog 3 > cap 2: txn a's 3 spans go
+	if c.Len() != 6 {
+		t.Fatalf("Len = %d, want 6 after evicting a", c.Len())
+	}
+	if c.Dropped() != 3 {
+		t.Fatalf("Dropped = %d, want 3", c.Dropped())
+	}
+	g := c.Graph()
+	if len(g.Spans) != 6 {
+		t.Fatalf("graph spans = %d, want 6", len(g.Spans))
+	}
+	for _, s := range g.Spans {
+		if s.Txn == "a" {
+			t.Fatalf("txn a should be evicted: %+v", s)
+		}
+	}
+	// Graph stays well-formed: ids sorted, no zero entries.
+	for i := 1; i < len(g.Spans); i++ {
+		if g.Spans[i].ID <= g.Spans[i-1].ID {
+			t.Fatalf("ids unsorted: %+v", g.Spans)
+		}
+	}
+}
+
+func TestTxnCapCompleteIsIdempotent(t *testing.T) {
+	c := NewCollectorClock(64, func() int64 { return 0 })
+	c.SetTxnCap(1)
+	c.Add(Span{Txn: "x", Track: "service", Name: StageAdmit})
+	c.CompleteTxn("x")
+	c.CompleteTxn("x")
+	c.Add(Span{Txn: "y", Track: "service", Name: StageAdmit})
+	c.CompleteTxn("y") // evicts x once
+	if c.Len() != 1 || c.Dropped() != 1 {
+		t.Fatalf("Len=%d Dropped=%d, want 1,1", c.Len(), c.Dropped())
+	}
+}
+
+func TestTxnCapRingReuseAndStaleSlots(t *testing.T) {
+	// Capacity 4 ring: txn eviction zeroes slots, ring reuse of a zeroed
+	// slot is not a drop, and stale slot indices never zero a newer span.
+	c := NewCollectorClock(4, func() int64 { return 0 })
+	c.SetTxnCap(1)
+	c.Add(Span{Txn: "a", Track: "t", Name: "s"}) // idx 0
+	c.Add(Span{Txn: "a", Track: "t", Name: "s"}) // idx 1
+	c.Add(Span{Txn: "b", Track: "t", Name: "s"}) // idx 2
+	c.CompleteTxn("a")
+	c.CompleteTxn("b") // evicts a: idx 0,1 zeroed
+	if c.Len() != 1 || c.Dropped() != 2 {
+		t.Fatalf("Len=%d Dropped=%d, want 1,2", c.Len(), c.Dropped())
+	}
+	// Fill the ring: idx 3, then wraps to 0,1 (zeroed slots: no drop),
+	// then idx 2 (live span b: drop).
+	c.Add(Span{Txn: "c", Track: "t", Name: "s"})
+	c.Add(Span{Txn: "c", Track: "t", Name: "s"})
+	c.Add(Span{Txn: "c", Track: "t", Name: "s"})
+	if c.Dropped() != 2 {
+		t.Fatalf("reusing zeroed slots must not count drops: %d", c.Dropped())
+	}
+	c.Add(Span{Txn: "c", Track: "t", Name: "s"}) // overwrites b at idx 2
+	if c.Dropped() != 3 {
+		t.Fatalf("overwriting live span must drop: %d", c.Dropped())
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len=%d, want 4 (ring full of c)", c.Len())
+	}
+	// b's stale slot index (2) now holds a c span; evicting b later must
+	// not zero it.
+	c.CompleteTxn("c") // evicts b (stale) — nothing real to zero
+	if c.Len() != 4 {
+		t.Fatalf("stale eviction must not zero live spans: Len=%d", c.Len())
+	}
+	for _, s := range c.Graph().Spans {
+		if s.Txn != "c" {
+			t.Fatalf("only txn c should remain: %+v", s)
+		}
+	}
+}
+
+func TestTxnCapNilAndDisabled(t *testing.T) {
+	var nilC *Collector
+	nilC.SetTxnCap(4)
+	nilC.CompleteTxn("x")
+	c := NewCollectorClock(4, func() int64 { return 0 })
+	c.Add(Span{Txn: "a", Track: "t", Name: "s"})
+	c.CompleteTxn("a") // no cap set: no-op
+	if c.Len() != 1 {
+		t.Fatalf("Len=%d", c.Len())
+	}
+}

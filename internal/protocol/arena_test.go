@@ -1,6 +1,7 @@
 package protocol_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -104,7 +105,7 @@ func TestByName(t *testing.T) {
 }
 
 // TestArenaLogShape sanity-checks the audit log format: a header, one
-// line per run, a summary.
+// line per run, the watchdog coverage line, a summary.
 func TestArenaLogShape(t *testing.T) {
 	res, err := protocol.Sweep(protocol.Options{
 		Seeds: 2, Shapes: []chaos.Shape{chaos.ShapeClean},
@@ -115,20 +116,61 @@ func TestArenaLogShape(t *testing.T) {
 	}
 	lines := strings.Split(strings.TrimRight(res.Log, "\n"), "\n")
 	wantRuns := 4 * 2 // protocols × seeds
-	if len(lines) != wantRuns+2 {
-		t.Fatalf("log has %d lines, want %d:\n%s", len(lines), wantRuns+2, res.Log)
+	if len(lines) != wantRuns+3 {
+		t.Fatalf("log has %d lines, want %d:\n%s", len(lines), wantRuns+3, res.Log)
 	}
 	if !strings.HasPrefix(lines[0], "arena ") {
 		t.Errorf("missing header: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[len(lines)-2], "watchdog ") {
+		t.Errorf("missing watchdog coverage line: %q", lines[len(lines)-2])
 	}
 	if !strings.HasPrefix(lines[len(lines)-1], "summary ") {
 		t.Errorf("missing summary: %q", lines[len(lines)-1])
 	}
 	// Clean round-robin runs are on-time and failure-free: everything
-	// decides, nothing blocks.
-	for _, l := range lines[1 : len(lines)-1] {
+	// decides, nothing blocks — and the watchdog must stay silent on all
+	// of them.
+	for _, l := range lines[1 : len(lines)-2] {
 		if !strings.Contains(l, "checks=ok") || strings.Contains(l, "class=blocked") {
 			t.Errorf("unexpected clean-run line: %q", l)
 		}
+	}
+	if res.WatchMissed != 0 || res.WatchFalse != 0 || res.WatchDetected != 0 {
+		t.Fatalf("clean sweep coverage: detected=%d missed=%d false=%d",
+			res.WatchDetected, res.WatchMissed, res.WatchFalse)
+	}
+}
+
+// TestArenaWatchdogCoversBlockedRuns: a crash-shape sweep forces 2PC into
+// its blocking failure mode; every blocked run must be detected by the
+// watchdog's protocol-blocked rule with zero misses and zero false
+// positives across the rest of the sweep.
+func TestArenaWatchdogCoversBlockedRuns(t *testing.T) {
+	res, err := protocol.Sweep(protocol.Options{
+		Seeds: 8, Shapes: []chaos.Shape{chaos.ShapeCrash},
+		Advs: []protocol.AdvKind{protocol.AdvExp}, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked := 0
+	for _, c := range res.Blocked {
+		blocked += c
+	}
+	if blocked == 0 {
+		// The crash×exp sweep at these seeds deterministically blocks 2PC
+		// (a coordinator crash between prepare and decision); losing that
+		// coverage means the sweep changed, not the detector.
+		t.Fatal("no seed in this sweep blocked 2PC; the coverage test lost its subject")
+	}
+	if res.WatchDetected != blocked || res.WatchMissed != 0 {
+		t.Fatalf("detection coverage %d/%d (missed=%d)", res.WatchDetected, blocked, res.WatchMissed)
+	}
+	if res.WatchFalse != 0 {
+		t.Fatalf("%d false positives on non-blocked runs", res.WatchFalse)
+	}
+	if !strings.Contains(res.Log, fmt.Sprintf("watchdog detected=%d missed=0 false=0", blocked)) {
+		t.Fatalf("coverage line wrong:\n%s", res.Log)
 	}
 }

@@ -35,7 +35,9 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/olog"
 	"repro/internal/obs/span"
+	"repro/internal/obs/watch"
 	"repro/internal/rng"
 	"repro/internal/runtime"
 	"repro/internal/stats"
@@ -86,6 +88,7 @@ type svcMetrics struct {
 	stage          *obs.HistogramVec // seconds per pipeline stage, labels: shard, stage
 	occupancy      *obs.Histogram    // members per dispatched agreement batch
 	batchesDecided *obs.Counter      // batches whose every member resolved
+	rescues        *obs.Counter      // orphaned singles/batches re-dispatched after a coordinator crash
 }
 
 // OccupancyBuckets are the upper bounds for the batch-occupancy
@@ -117,6 +120,8 @@ func newSvcMetrics(reg *obs.Registry, shard string) svcMetrics {
 			OccupancyBuckets, "shard").With(shard),
 		batchesDecided: reg.CounterVec("service_batches_decided_total",
 			"Agreement batches whose every member reached a terminal state.", "shard").With(shard),
+		rescues: reg.CounterVec("service_rescues_total",
+			"Orphaned transactions or batches re-dispatched to a live coordinator after a coordinator fail-stop.", "shard").With(shard),
 	}
 }
 
@@ -754,6 +759,12 @@ func (s *Service) resolve(p *pending, state State, d types.Decision) {
 		}
 		p.done <- res
 		s.recordStage(p.id, span.StageNotify, decidedU, s.cfg.Spans.Now(), "")
+		// The notify span is the transaction's last: its graph is
+		// complete, so the collector may retire it under a txn cap.
+		s.cfg.Spans.CompleteTxn(string(p.id))
+		s.cfg.Logger.Debug("transaction resolved",
+			olog.Txn(string(p.id)), olog.Shard(s.cfg.shardLabel()),
+			"state", string(res.State), "latency_ms", res.Latency.Milliseconds())
 		s.outstanding.Done()
 	}
 	if s.cfg.Journal != nil && (state == StateCommit || state == StateAbort) {
@@ -828,6 +839,8 @@ func (s *Service) Crash(p types.ProcID) error {
 			Node: int(p), Type: obs.EventCrash, Tick: s.managers[p].Clock(),
 		})
 	}
+	s.cfg.Logger.Warn("processor fail-stopped",
+		olog.Shard(s.cfg.shardLabel()), olog.Node(int(p)))
 	s.rescueOrphans(p)
 	return nil
 }
@@ -923,9 +936,17 @@ func (s *Service) rescueOrphans(p types.ProcID) {
 	// Managers are called without s.mu held: Begin takes shard locks and
 	// the vote callback for joins takes s.mu.
 	for _, r := range singles {
+		s.met.rescues.Inc()
+		s.cfg.Logger.Info("rescued orphaned transaction",
+			olog.Txn(string(r.id)), olog.Shard(s.cfg.shardLabel()),
+			olog.Node(int(r.coord)), "crashed", int(p))
 		s.managers[r.coord].Begin(r.id, r.vote) //nolint:errcheck // already-known: the GO propagated
 	}
 	for _, b := range brescues {
+		s.met.rescues.Inc()
+		s.cfg.Logger.Info("rescued orphaned batch",
+			olog.Shard(s.cfg.shardLabel()), olog.Node(int(b.coord)),
+			"batch", string(b.bid), "members", len(b.ids), "crashed", int(p))
 		s.managers[b.coord].BeginBatch(b.bid, b.ids, b.votes) //nolint:errcheck // already-known: the GO propagated
 	}
 }
@@ -1011,6 +1032,54 @@ func (s *Service) Metrics() Metrics {
 		}
 	}
 	return m
+}
+
+// WatchSample snapshots this service for the anomaly watchdog: crashed
+// processors, queue/in-flight occupancy, transactions in flight longer
+// than stall (sorted by id for deterministic anomaly ordering), the
+// cumulative outcome counters, and the decision-latency and WAL-fsync
+// histograms the watchdog differences into windowed percentiles.
+func (s *Service) WatchSample(stall time.Duration) watch.ShardSample {
+	now := time.Now()
+	sm := watch.ShardSample{Shard: s.cfg.shardLabel()}
+	s.mu.Lock()
+	sm.Queued = len(s.queue)
+	sm.InFlight = len(s.slots)
+	for p, c := range s.crashed {
+		if c {
+			sm.CrashedNodes = append(sm.CrashedNodes, p)
+		}
+	}
+	for id, pd := range s.pendings {
+		age := now.Sub(pd.submitted)
+		if age < stall {
+			continue
+		}
+		state := StateRunning
+		if st := s.statuses[string(id)]; st != nil {
+			state = st.State
+		}
+		sm.Stalled = append(sm.Stalled, watch.TxnAge{
+			Txn: string(id), Shard: sm.Shard,
+			AgeMs: age.Milliseconds(), State: string(state),
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(sm.Stalled, func(i, j int) bool { return sm.Stalled[i].Txn < sm.Stalled[j].Txn })
+	sm.Submitted = s.met.submitted.Value()
+	sm.Decided = s.met.outcome("committed").Value() + s.met.outcome("aborted").Value()
+	sm.TimedOut = s.met.outcome("timed_out").Value()
+	sm.Rescues = s.met.rescues.Value()
+	sm.Latency = s.met.latency.Buckets()
+	if s.cfg.Journal != nil {
+		sm.Fsync = s.cfg.Journal.FsyncLatency()
+	}
+	return sm
+}
+
+// WatchStats implements watch.Source for an unsharded service.
+func (s *Service) WatchStats(stall time.Duration) watch.Stats {
+	return watch.Stats{Shards: []watch.ShardSample{s.WatchSample(stall)}}
 }
 
 // Close drains and stops the service. New submissions are rejected with

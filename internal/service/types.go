@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/olog"
 	"repro/internal/obs/span"
 	"repro/internal/transport"
 	"repro/internal/types"
@@ -116,6 +117,15 @@ type Config struct {
 	// SpanCapacity sizes the default span collector's ring buffer
 	// (default 16384 most recent spans). Ignored when Spans is set.
 	SpanCapacity int
+	// SpanTxnCap, when > 0, bounds how many *completed* transactions'
+	// spans the collector retains (FIFO eviction of whole transactions):
+	// long soaks can run with spans enabled without completed graphs
+	// squatting in the ring. Applied to Spans (default or supplied).
+	SpanTxnCap int
+	// Logger receives structured operational log records (decisions,
+	// crashes, rescues) with txn/shard/node correlation fields. Nil
+	// logs nothing.
+	Logger *olog.Logger
 }
 
 // shardLabel is the value for the "shard" metric label: the configured
@@ -188,6 +198,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Spans == nil {
 		c.Spans = span.NewCollector(c.SpanCapacity)
+	}
+	if c.SpanTxnCap > 0 {
+		c.Spans.SetTxnCap(c.SpanTxnCap)
 	}
 	return c, nil
 }

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/span"
+	"repro/internal/obs/watch"
 	"repro/internal/service"
 	"repro/internal/stats"
 	"repro/internal/types"
@@ -655,6 +656,31 @@ func (c *Coordinator) Metrics() Metrics {
 	m.Cross.LatencyP95Ms = snap.Percentiles[1]
 	m.Cross.LatencyP99Ms = snap.Percentiles[2]
 	return m
+}
+
+// WatchStats implements watch.Source for the whole deployment: every
+// group's sample plus cross-shard transactions whose top-level verdict
+// has been in doubt longer than stall (sorted by id).
+func (c *Coordinator) WatchStats(stall time.Duration) watch.Stats {
+	st := watch.Stats{Shards: make([]watch.ShardSample, 0, c.cfg.Shards)}
+	for _, g := range c.groups {
+		st.Shards = append(st.Shards, g.WatchSample(stall))
+	}
+	now := time.Now()
+	c.mu.Lock()
+	for id, e := range c.cross {
+		if e.state.Decided {
+			continue
+		}
+		if age := now.Sub(e.submitted); age >= stall {
+			st.Cross = append(st.Cross, watch.TxnAge{
+				Txn: id, AgeMs: age.Milliseconds(), State: string(e.topState),
+			})
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(st.Cross, func(i, j int) bool { return st.Cross[i].Txn < st.Cross[j].Txn })
+	return st
 }
 
 // Resolve settles one in-doubt cross-shard transaction by interrogating

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/types"
 )
 
@@ -189,6 +190,10 @@ func (d *DecisionLog) ReplayStats() ReplayStats { return d.seg.ReplayStats() }
 
 // Durable reports the synced frontier (for crash simulation in tests).
 func (d *DecisionLog) Durable() (uint64, int64) { return d.seg.Durable() }
+
+// FsyncLatency snapshots the cumulative fsync-duration histogram
+// (seconds); nil without a Registry.
+func (d *DecisionLog) FsyncLatency() []obs.Bucket { return d.seg.FsyncLatency() }
 
 // Err returns the sticky poison error, if the log has failed.
 func (d *DecisionLog) Err() error { return d.seg.Err() }

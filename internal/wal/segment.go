@@ -246,6 +246,7 @@ type SegmentedLog struct {
 type segMetrics struct {
 	appends   *obs.Counter
 	fsyncs    *obs.Counter
+	fsyncLat  *obs.Histogram
 	batchSize *obs.Histogram
 	segsMade  *obs.Counter
 	segsGone  *obs.Counter
@@ -258,6 +259,8 @@ func newSegMetrics(reg *obs.Registry, name string, replay ReplayStats) segMetric
 			"Records appended to the segmented WAL.", "log").With(name),
 		fsyncs: reg.CounterVec("wal_fsyncs_total",
 			"fsync barriers issued by the segmented WAL; fsyncs/appends is the group-commit amortization.", "log").With(name),
+		fsyncLat: reg.HistogramVec("wal_fsync_seconds",
+			"Wall time of each group-commit fsync barrier.", obs.DefBuckets, "log").With(name),
 		batchSize: reg.HistogramVec("wal_group_commit_batch_size",
 			"Records coalesced per group-commit fsync.", obs.SizeBuckets, "log").With(name),
 		segsMade: reg.CounterVec("wal_segments_created_total",
@@ -444,6 +447,11 @@ func readSnapshotFile(fs FS, name string) ([]byte, error) {
 // ReplayStats reports what recovery replayed at open.
 func (s *SegmentedLog) ReplayStats() ReplayStats { return s.replay }
 
+// FsyncLatency snapshots the cumulative fsync-duration histogram
+// (seconds). Nil when the log was opened without a Registry. Watchdogs
+// subtract successive snapshots to get a windowed latency distribution.
+func (s *SegmentedLog) FsyncLatency() []obs.Bucket { return s.met.fsyncLat.Buckets() }
+
 // Stats snapshots the log's counters.
 func (s *SegmentedLog) Stats() SegStats {
 	return SegStats{
@@ -620,7 +628,9 @@ func (s *SegmentedLog) commit(batch []segAppend) {
 		}
 	}
 	if err == nil {
+		fsyncStart := time.Now()
 		if err = s.active.Sync(); err == nil {
+			s.met.fsyncLat.Observe(time.Since(fsyncStart).Seconds())
 			s.fsyncs.Add(1)
 			s.met.fsyncs.Inc()
 			s.durableSeq.Store(s.activeSeq)
